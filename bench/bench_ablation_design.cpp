@@ -1,0 +1,99 @@
+// Design-choice ablations (DESIGN.md §6) — our own analysis bench.
+//
+// Variants of CALLOC trained on the same data, evaluated clean and under
+// FGSM(ϵ=0.3, ø=60):
+//   full        — adaptive curriculum + hyperspace alignment loss
+//   static      — curriculum without the §IV.D adaptive ø reduction
+//   no-align    — alignment (hyperspace MSE) weight set to 0
+//   NC          — no curriculum (single hardest-mix lesson)
+// Expected shape: full >= static >= NC on robustness; alignment helps
+// cross-device consistency.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/calloc.hpp"
+#include "eval/harness.hpp"
+
+int main() {
+  using namespace cal;
+  bench::banner("Ablation — adaptive curriculum / alignment loss / NC",
+                "which CALLOC design choices buy the robustness");
+
+  struct Variant {
+    std::string name;
+    bool curriculum;
+    bool adaptive;
+    float align_weight;
+  };
+  const std::vector<Variant> variants = {
+      {"full", true, true, 0.5F},
+      {"static", true, false, 0.5F},
+      {"no-align", true, true, 0.0F},
+      {"NC", false, false, 0.5F},
+  };
+
+  attacks::AttackConfig atk;
+  atk.epsilon = 0.3;
+  atk.phi_percent = 60.0;
+
+  TextTable table({"variant", "clean mean(m)", "FGSM mean(m)",
+                   "FGSM worst(m)", "device spread(m)"});
+  std::vector<double> robust_means;
+  bool ok = true;
+
+  const auto buildings = bench::bench_building_indices();
+  for (const auto& variant : variants) {
+    double clean_sum = 0.0;
+    double adv_sum = 0.0;
+    double adv_worst = 0.0;
+    double spread_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t b : buildings) {
+      const sim::Scenario sc = bench::bench_scenario(b);
+      core::CallocConfig cfg;
+      cfg.seed = 500 + b;
+      cfg.use_curriculum = variant.curriculum;
+      cfg.adaptive = variant.adaptive;
+      cfg.train.hyperspace_loss_weight = variant.align_weight;
+      cfg.train.max_epochs_per_lesson = bench::full_mode() ? 12 : 8;
+      core::Calloc model(cfg);
+      model.fit(sc.train);
+
+      double dev_lo = 1e300;
+      double dev_hi = 0.0;
+      for (const auto& test : sc.device_tests) {
+        const auto clean = eval::evaluate_clean(model, test);
+        const auto adv = eval::evaluate_under_attack(
+            model, test, attacks::AttackKind::Fgsm, atk,
+            *model.gradient_source());
+        clean_sum += clean.error_m.mean;
+        adv_sum += adv.error_m.mean;
+        adv_worst = std::max(adv_worst, adv.error_m.max);
+        dev_lo = std::min(dev_lo, adv.error_m.mean);
+        dev_hi = std::max(dev_hi, adv.error_m.mean);
+        ++n;
+      }
+      spread_sum += dev_hi - dev_lo;
+    }
+    const double adv_mean = adv_sum / n;
+    table.add_row(variant.name,
+                  {clean_sum / n, adv_mean, adv_worst,
+                   spread_sum / static_cast<double>(buildings.size())});
+    robust_means.push_back(adv_mean);
+    std::printf("evaluated variant %-9s (FGSM mean %.2f m)\n",
+                variant.name.c_str(), adv_mean);
+  }
+
+  std::printf("\nAblation results (FGSM eps=0.3, phi=60)\n%s\n",
+              table.str().c_str());
+
+  ok &= bench::shape_check(robust_means[0] <= robust_means[3] * 1.05,
+                           "full curriculum is at least as robust as NC");
+  ok &= bench::shape_check(
+      robust_means[1] <= robust_means[3] * 1.15,
+      "even a static curriculum beats cramming (NC) or ties it");
+  std::printf("(adaptive-vs-static and alignment deltas are reported for "
+              "analysis; the paper only claims the curriculum-vs-NC gap)\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Fig. 4 — CALLOC mean localization error heatmaps: device x building,
+// one heatmap per attack (FGSM, PGD, MIM), averaged over the ϵ and ø
+// grids (paper: ϵ 0.1..0.5, ø 10..100).
+//
+// Shapes to reproduce: (a) rows are flat — CALLOC is device-resilient;
+// (b) FGSM (the trained-against attack) is no worse than the iterative
+// PGD/MIM; (c) errors stay bounded (no collapse) everywhere.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/calloc.hpp"
+#include "eval/harness.hpp"
+
+int main() {
+  using namespace cal;
+  bench::banner("Fig. 4 — CALLOC heatmaps (device x building x attack)",
+                "mean error under FGSM/PGD/MIM over the eps/phi grid");
+
+  const auto buildings = bench::bench_building_indices();
+  const auto eps_grid = bench::epsilon_grid();
+  const auto phi_grid = bench::phi_grid();
+  const std::vector<attacks::AttackKind> kinds = {
+      attacks::AttackKind::Fgsm, attacks::AttackKind::Pgd,
+      attacks::AttackKind::Mim};
+
+  // errors[kind][building][device]
+  std::vector<std::vector<std::vector<double>>> errors(
+      kinds.size(),
+      std::vector<std::vector<double>>(buildings.size(),
+                                       std::vector<double>(6, 0.0)));
+  std::vector<std::string> row_labels;
+  std::vector<std::string> device_names;
+
+  for (std::size_t bi = 0; bi < buildings.size(); ++bi) {
+    const sim::Scenario sc = bench::bench_scenario(buildings[bi]);
+    row_labels.push_back(sc.building_spec.name);
+    device_names = sc.device_names;
+
+    core::CallocConfig cfg;
+    cfg.seed = 100 + buildings[bi];
+    cfg.train.max_epochs_per_lesson = bench::full_mode() ? 12 : 8;
+    core::Calloc model(cfg);
+    model.fit(sc.train);
+    std::printf("trained CALLOC on %s (%zu lessons, %zu epochs)\n",
+                sc.building_spec.name.c_str(),
+                model.report().lessons.size(),
+                model.report().total_epochs);
+
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      for (std::size_t d = 0; d < sc.device_tests.size(); ++d) {
+        double acc = 0.0;
+        std::size_t cells = 0;
+        for (double eps : eps_grid) {
+          for (double phi : phi_grid) {
+            attacks::AttackConfig atk;
+            atk.epsilon = eps;
+            atk.phi_percent = phi;
+            atk.num_steps = 6;
+            const auto stats = eval::evaluate_under_attack(
+                model, sc.device_tests[d], kinds[k], atk,
+                *model.gradient_source());
+            acc += stats.error_m.mean;
+            ++cells;
+          }
+        }
+        errors[k][bi][d] = acc / static_cast<double>(cells);
+      }
+    }
+  }
+
+  bool ok = true;
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    std::printf("\n%s\n",
+                render_heatmap("Fig. 4 heatmap — " + to_string(kinds[k]) +
+                                   " (mean error, metres)",
+                               row_labels, device_names, errors[k])
+                    .c_str());
+  }
+
+  // Shape checks.
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    for (std::size_t bi = 0; bi < buildings.size(); ++bi) {
+      double lo = errors[k][bi][0];
+      double hi = errors[k][bi][0];
+      for (double e : errors[k][bi]) {
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+      }
+      ok &= bench::shape_check(
+          hi - lo < 3.0, to_string(kinds[k]) + " / " + row_labels[bi] +
+                             ": flat row (device resilience, spread < 3 m)");
+      const double path =
+          static_cast<double>(sim::table2_buildings()[buildings[bi]]
+                                  .path_length_m);
+      ok &= bench::shape_check(hi < path / 2.0,
+                               to_string(kinds[k]) + " / " + row_labels[bi] +
+                                   ": bounded error (no collapse)");
+    }
+  }
+  // FGSM (trained-against) no worse than the iterative attacks on average.
+  double fgsm_avg = 0.0, iter_avg = 0.0;
+  for (std::size_t bi = 0; bi < buildings.size(); ++bi)
+    for (std::size_t d = 0; d < 6; ++d) {
+      fgsm_avg += errors[0][bi][d];
+      iter_avg += 0.5 * (errors[1][bi][d] + errors[2][bi][d]);
+    }
+  ok &= bench::shape_check(
+      fgsm_avg <= iter_avg * 1.1,
+      "FGSM error <= PGD/MIM error (stronger iterative attacks)");
+  return ok ? 0 : 1;
+}

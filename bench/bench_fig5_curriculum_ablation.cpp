@@ -1,0 +1,97 @@
+// Fig. 5 — impact of curriculum learning across attacks and ϵ.
+//
+// Bars: mean error of CALLOC vs CALLOC-NC (no curriculum) for each attack
+// kind and ϵ value, averaged over devices, buildings and the ø grid.
+// Shape to reproduce: NC degrades markedly at higher ϵ while the
+// curriculum-trained model stays flat; curriculum never loses by much.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/calloc.hpp"
+#include "eval/harness.hpp"
+
+int main() {
+  using namespace cal;
+  bench::banner("Fig. 5 — curriculum vs no-curriculum (NC)",
+                "curriculum keeps error flat as attack strength grows");
+
+  const auto buildings = bench::bench_building_indices();
+  const auto eps_grid = bench::epsilon_grid();
+  const auto phi_grid = bench::phi_grid();
+  const std::vector<attacks::AttackKind> kinds = {
+      attacks::AttackKind::Fgsm, attacks::AttackKind::Pgd,
+      attacks::AttackKind::Mim};
+
+  // err[variant][kind][eps-index] accumulated over buildings/devices/phi.
+  double err[2][3][5] = {};
+  std::size_t cells[2][3][5] = {};
+
+  for (std::size_t b : buildings) {
+    const sim::Scenario sc = bench::bench_scenario(b);
+    for (int variant = 0; variant < 2; ++variant) {
+      core::CallocConfig cfg;
+      cfg.seed = 55 + b;
+      cfg.use_curriculum = (variant == 0);
+      cfg.train.max_epochs_per_lesson = bench::full_mode() ? 12 : 8;
+      core::Calloc model(cfg);
+      model.fit(sc.train);
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        for (std::size_t e = 0; e < eps_grid.size(); ++e) {
+          for (double phi : phi_grid) {
+            attacks::AttackConfig atk;
+            atk.epsilon = eps_grid[e];
+            atk.phi_percent = phi;
+            atk.num_steps = 6;
+            for (const auto& test : sc.device_tests) {
+              const auto stats = eval::evaluate_under_attack(
+                  model, test, kinds[k], atk, *model.gradient_source());
+              err[variant][k][e] += stats.error_m.mean;
+              ++cells[variant][k][e];
+            }
+          }
+        }
+      }
+    }
+  }
+
+  bool ok = true;
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    TextTable table({"eps", "CALLOC mean(m)", "NC mean(m)", "NC/CALLOC"});
+    std::vector<std::string> labels;
+    std::vector<double> bars;
+    for (std::size_t e = 0; e < eps_grid.size(); ++e) {
+      const double with_c = err[0][k][e] / cells[0][k][e];
+      const double without_c = err[1][k][e] / cells[1][k][e];
+      table.add_row("eps=" + std::to_string(eps_grid[e]).substr(0, 3),
+                    {with_c, without_c, without_c / std::max(with_c, 1e-9)});
+      labels.push_back("C  eps=" + std::to_string(eps_grid[e]).substr(0, 3));
+      bars.push_back(with_c);
+      labels.push_back("NC eps=" + std::to_string(eps_grid[e]).substr(0, 3));
+      bars.push_back(without_c);
+    }
+    std::printf("\nFig. 5 series — %s\n%s\n%s\n",
+                to_string(kinds[k]).c_str(), table.str().c_str(),
+                render_bar_chart("Fig. 5 bars — " + to_string(kinds[k]),
+                                 labels, bars)
+                    .c_str());
+
+    // Shape checks per attack: at the highest ϵ the curriculum must win.
+    const std::size_t last = eps_grid.size() - 1;
+    const double with_c = err[0][k][last] / cells[0][k][last];
+    const double without_c = err[1][k][last] / cells[1][k][last];
+    ok &= bench::shape_check(with_c <= without_c * 1.05,
+                             to_string(kinds[k]) +
+                                 ": curriculum <= NC at the highest eps");
+  }
+  // Averaged over everything, curriculum must be the better variant.
+  double tot_c = 0.0, tot_nc = 0.0;
+  for (std::size_t k = 0; k < 3; ++k)
+    for (std::size_t e = 0; e < eps_grid.size(); ++e) {
+      tot_c += err[0][k][e] / cells[0][k][e];
+      tot_nc += err[1][k][e] / cells[1][k][e];
+    }
+  ok &= bench::shape_check(tot_c < tot_nc,
+                           "overall: curriculum beats no-curriculum");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Fig. 6 — CALLOC vs state-of-the-art frameworks (AdvLoc, SANGRIA,
+// ANVIL, WiDeep) across devices, buildings, ϵ (0.1..0.5) and ø (1..100).
+//
+// The paper reports CALLOC winning by 1.77x/2.35x (AdvLoc), 2.64x/2.92x
+// (SANGRIA), 3.77x/4.26x (ANVIL) and 6.03x/4.6x (WiDeep) on mean /
+// worst-case error. Absolute ratios depend on the testbed; the shape to
+// reproduce is the ordering: CALLOC best on both statistics, AdvLoc the
+// closest competitor, WiDeep the worst.
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/surrogate.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "eval/frameworks.hpp"
+#include "eval/harness.hpp"
+
+int main() {
+  using namespace cal;
+  bench::banner("Fig. 6 — CALLOC vs state-of-the-art",
+                "lowest mean and worst-case error across the attack grid");
+
+  const std::vector<std::string> frameworks = {"CALLOC", "AdvLoc", "SANGRIA",
+                                               "ANVIL", "WiDeep"};
+  const auto buildings = bench::bench_building_indices();
+  const auto eps_grid = bench::epsilon_grid();
+  const auto phi_grid = bench::phi_grid();
+  const std::vector<attacks::AttackKind> kinds = {
+      attacks::AttackKind::Fgsm, attacks::AttackKind::Pgd,
+      attacks::AttackKind::Mim};
+
+  std::vector<double> mean_err(frameworks.size(), 0.0);
+  std::vector<double> worst_err(frameworks.size(), 0.0);
+  std::vector<std::size_t> cells(frameworks.size(), 0);
+
+  for (std::size_t b : buildings) {
+    const sim::Scenario sc = bench::bench_scenario(b);
+    baselines::SurrogateGradients surrogate(sc.train, 300 + b);
+    for (std::size_t f = 0; f < frameworks.size(); ++f) {
+      auto model =
+          eval::make_framework(frameworks[f], 60 + b, !bench::full_mode());
+      model->fit(sc.train);
+      auto& grads = baselines::gradients_for(*model, surrogate);
+      for (const auto kind : kinds) {
+        for (double eps : eps_grid) {
+          for (double phi : phi_grid) {
+            attacks::AttackConfig atk;
+            atk.epsilon = eps;
+            atk.phi_percent = phi;
+            atk.num_steps = 6;
+            for (const auto& test : sc.device_tests) {
+              const auto stats =
+                  eval::evaluate_under_attack(*model, test, kind, atk, grads);
+              mean_err[f] += stats.error_m.mean;
+              worst_err[f] = std::max(worst_err[f], stats.error_m.max);
+              ++cells[f];
+            }
+          }
+        }
+      }
+      std::printf("evaluated %-8s on %s\n", frameworks[f].c_str(),
+                  sc.building_spec.name.c_str());
+    }
+  }
+
+  for (std::size_t f = 0; f < frameworks.size(); ++f)
+    mean_err[f] /= static_cast<double>(cells[f]);
+
+  TextTable table({"framework", "mean(m)", "worst-case(m)", "mean ratio",
+                   "worst ratio"});
+  for (std::size_t f = 0; f < frameworks.size(); ++f) {
+    table.add_row(frameworks[f],
+                  {mean_err[f], worst_err[f], mean_err[f] / mean_err[0],
+                   worst_err[f] / worst_err[0]});
+  }
+  std::printf("\nFig. 6 — aggregate over attacks x eps x phi x devices x "
+              "buildings\n%s\n",
+              table.str().c_str());
+  std::printf("%s\n", render_bar_chart("Fig. 6 bars — mean error",
+                                       frameworks, mean_err)
+                          .c_str());
+  std::printf("paper ratios for reference: AdvLoc 1.77x/2.35x, SANGRIA "
+              "2.64x/2.92x, ANVIL 3.77x/4.26x, WiDeep 6.03x/4.6x\n\n");
+
+  bool ok = true;
+  for (std::size_t f = 1; f < frameworks.size(); ++f) {
+    ok &= bench::shape_check(mean_err[0] < mean_err[f],
+                             "CALLOC mean < " + frameworks[f] + " mean");
+    // Worst-case is a single-sample statistic over the whole grid and is
+    // inherently noisy at bench scale; allow 15% slack.
+    ok &= bench::shape_check(worst_err[0] <= worst_err[f] * 1.15,
+                             "CALLOC worst <= " + frameworks[f] +
+                                 " worst (15% slack)");
+  }
+  const std::size_t advloc = 1;
+  double best_other = 1e300;
+  for (std::size_t f = 2; f < frameworks.size(); ++f)
+    best_other = std::min(best_other, mean_err[f]);
+  ok &= bench::shape_check(
+      mean_err[advloc] <= best_other * 1.1,
+      "AdvLoc (adversarially trained) is CALLOC's closest competitor");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// §V.A — model footprint and inference latency.
+//
+// The paper reports 65,239 trainable parameters (42,496 embedding /
+// 18,961 attention / 3,782 classifier) in a 254.84 kB model, sized for
+// mobile and IoT deployment. This bench audits our parameter accounting
+// at the paper's configuration and uses google-benchmark to measure
+// single-fingerprint and batch inference latency against the baselines.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "common/table.hpp"
+#include "attacks/attack.hpp"
+#include "core/calloc.hpp"
+#include "eval/frameworks.hpp"
+#include "sim/collector.hpp"
+
+namespace {
+
+using namespace cal;
+
+/// Shared trained fixtures (built once; benchmarks only measure predict).
+struct Fixtures {
+  sim::Scenario sc;
+  std::unique_ptr<core::Calloc> calloc_model;
+  std::unique_ptr<baselines::ILocalizer> dnn;
+  std::unique_ptr<baselines::ILocalizer> knn;
+  Tensor one;
+  Tensor batch;
+
+  Fixtures() : sc(sim::make_scenario(sim::table2_buildings()[2], 7)) {
+    core::CallocConfig cfg;
+    cfg.train.max_epochs_per_lesson = 6;
+    calloc_model = std::make_unique<core::Calloc>(cfg);
+    calloc_model->fit(sc.train);
+    dnn = eval::make_framework("DNN", 3, /*fast=*/true);
+    dnn->fit(sc.train);
+    knn = eval::make_framework("KNN", 3);
+    knn->fit(sc.train);
+
+    const Tensor all = sc.device_tests.back().normalized();
+    one = Tensor({1, all.cols()});
+    std::copy(all.row(0).begin(), all.row(0).end(), one.data());
+    const std::size_t rows = std::min<std::size_t>(32, all.rows());
+    batch = Tensor({rows, all.cols()});
+    std::copy(all.data(), all.data() + rows * all.cols(), batch.data());
+  }
+};
+
+Fixtures& fixtures() {
+  static Fixtures f;
+  return f;
+}
+
+void BM_CallocSingleFingerprint(benchmark::State& state) {
+  auto& f = fixtures();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(f.calloc_model->predict(f.one));
+}
+BENCHMARK(BM_CallocSingleFingerprint);
+
+void BM_CallocBatch32(benchmark::State& state) {
+  auto& f = fixtures();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(f.calloc_model->predict(f.batch));
+}
+BENCHMARK(BM_CallocBatch32);
+
+void BM_DnnSingleFingerprint(benchmark::State& state) {
+  auto& f = fixtures();
+  for (auto _ : state) benchmark::DoNotOptimize(f.dnn->predict(f.one));
+}
+BENCHMARK(BM_DnnSingleFingerprint);
+
+void BM_KnnSingleFingerprint(benchmark::State& state) {
+  auto& f = fixtures();
+  for (auto _ : state) benchmark::DoNotOptimize(f.knn->predict(f.one));
+}
+BENCHMARK(BM_KnnSingleFingerprint);
+
+void BM_CallocFgsmCrafting(benchmark::State& state) {
+  auto& f = fixtures();
+  attacks::AttackConfig atk;
+  atk.epsilon = 0.3;
+  const std::vector<std::size_t> y{0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(attacks::fgsm_attack(
+        *f.calloc_model->gradient_source(), f.one, y, atk));
+}
+BENCHMARK(BM_CallocFgsmCrafting);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cal;
+
+  std::printf("================================================================\n");
+  std::printf("Sec. V.A — model footprint audit + inference latency\n");
+  std::printf("================================================================\n");
+
+  // Parameter audit at the paper's published configuration.
+  core::CallocModelConfig paper;
+  paper.num_aps = 165;  // reproduces the embedding count of Sec. V.A exactly
+  paper.num_rps = 61;
+  core::CallocModel model(paper);
+  TextTable audit({"component", "ours", "paper"});
+  audit.add_row({"embedding layers",
+                 std::to_string(model.embedding_parameter_count()), "42,496"});
+  audit.add_row({"attention layer",
+                 std::to_string(model.attention_parameter_count()), "18,961"});
+  audit.add_row({"final FC layer",
+                 std::to_string(model.classifier_parameter_count()), "3,782"});
+  audit.add_row({"total", std::to_string(model.parameter_count()), "65,239"});
+  audit.add_row({"serialized size (kB)",
+                 std::to_string(model.weight_bytes() / 1024), "254.84"});
+  std::printf("\n%s\n", audit.str().c_str());
+  std::printf("(embedding and FC counts match the paper exactly; our "
+              "attention layer uses two 128->64 projections plus a learned "
+              "temperature — 16,513 parameters vs the paper's 18,961 — see "
+              "EXPERIMENTS.md)\n\n");
+
+  const bool ok =
+      model.embedding_parameter_count() == 42496 &&
+      model.classifier_parameter_count() == 3782 &&
+      model.weight_bytes() < 300 * 1024;
+  std::printf("  [%s] embedding + FC parameter counts match Sec. V.A; model "
+              "under 300 kB\n\n",
+              ok ? "PASS" : "FAIL");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Table I + Table II — experimental-setup tables (paper §V.A).
+//
+// Regenerates both tables from the simulator presets and verifies the
+// derived campaign numbers (RPs at 1 m granularity, 5 train fingerprints
+// per RP on OP3, 1 test fingerprint per RP per device).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/collector.hpp"
+
+int main() {
+  using namespace cal;
+  bench::banner("Table I + Table II — experimental setup",
+                "Smartphone roster and building floorplans used everywhere");
+
+  TextTable t1({"Manufacturer", "Model", "Acronym", "offset(dB)", "slope",
+                "noise(dB)", "floor(dBm)"});
+  for (const auto& d : sim::table1_devices()) {
+    t1.add_row({d.name == "BLU" ? "BLU"
+                : d.name == "HTC" ? "HTC"
+                : d.name == "S7" ? "Samsung"
+                : d.name == "LG" ? "LG"
+                : d.name == "MOTO" ? "Motorola"
+                : "Oneplus",
+                d.model, d.name, std::to_string(d.gain_offset_db),
+                std::to_string(d.gain_slope),
+                std::to_string(d.noise_sigma_db),
+                std::to_string(d.sensitivity_dbm)});
+  }
+  std::printf("\nTABLE I: SMARTPHONE DETAILS (+ heterogeneity profile)\n%s\n",
+              t1.str().c_str());
+
+  TextTable t2({"Building", "Visible APs", "Path Length", "Characteristics",
+                "RPs", "train fp", "test fp/device"});
+  for (std::size_t i = 0; i < sim::table2_buildings().size(); ++i) {
+    const auto spec = sim::table2_buildings()[i];
+    const sim::Building b(spec);
+    t2.add_row({spec.name, std::to_string(spec.num_aps),
+                std::to_string(spec.path_length_m) + " meters",
+                spec.characteristics, std::to_string(b.num_rps()),
+                std::to_string(5 * b.num_rps()), std::to_string(b.num_rps())});
+  }
+  std::printf("TABLE II: BUILDING FLOORPLAN DETAILS (+ derived campaign)\n%s\n",
+              t2.str().c_str());
+
+  bool ok = true;
+  const auto specs = sim::table2_buildings();
+  ok &= bench::shape_check(specs.size() == 5, "five buildings (Table II)");
+  ok &= bench::shape_check(sim::table1_devices().size() == 6,
+                           "six smartphones (Table I)");
+  ok &= bench::shape_check(
+      specs[0].num_aps == 156 && specs[1].num_aps == 125 &&
+          specs[2].num_aps == 78 && specs[3].num_aps == 112 &&
+          specs[4].num_aps == 218,
+      "visible-AP counts match the paper");
+  ok &= bench::shape_check(
+      specs[0].path_length_m == 64 && specs[4].path_length_m == 60,
+      "path lengths match the paper");
+  const sim::Scenario sc = bench::bench_scenario(0);
+  ok &= bench::shape_check(
+      sc.train.num_samples() == 5 * sc.train.num_rps(),
+      "offline phase: 5 fingerprints per RP (OP3)");
+  ok &= bench::shape_check(
+      sc.device_tests[0].num_samples() == sc.train.num_rps(),
+      "online phase: 1 fingerprint per RP per device");
+  return ok ? 0 : 1;
+}

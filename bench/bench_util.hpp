@@ -1,0 +1,67 @@
+// Shared helpers for the paper-artefact benches.
+//
+// Every bench binary runs argument-free. The default ("quick") mode
+// shrinks the sweep (fewer buildings, coarser ϵ/ø grids, shorter training)
+// so `for b in build/bench/*; do $b; done` finishes in minutes; setting
+// CALLOC_BENCH_FULL=1 restores the paper's full matrix. Each bench prints
+// the rows/series of its figure plus explicit PASS/FAIL shape checks for
+// the qualitative claims the paper makes about that artefact.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/collector.hpp"
+
+namespace cal::bench {
+
+/// True when CALLOC_BENCH_FULL=1 requests the paper-scale sweep.
+inline bool full_mode() {
+  const char* env = std::getenv("CALLOC_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Indices into sim::table2_buildings() used by this run.
+inline std::vector<std::size_t> bench_building_indices() {
+  if (full_mode()) return {0, 1, 2, 3, 4};
+  return {0, 2};  // Building 1 (noisiest) and Building 3 (fewest APs)
+}
+
+/// Scenario for one Table II building under the paper's protocol.
+inline sim::Scenario bench_scenario(std::size_t building_idx,
+                                    std::uint64_t seed = 2024) {
+  const auto specs = sim::table2_buildings();
+  return sim::make_scenario(specs.at(building_idx), seed + building_idx);
+}
+
+/// ϵ grid (paper: 0.1..0.5).
+inline std::vector<double> epsilon_grid() {
+  if (full_mode()) return {0.1, 0.2, 0.3, 0.4, 0.5};
+  return {0.1, 0.3, 0.5};
+}
+
+/// ø grid (paper: 10..100).
+inline std::vector<double> phi_grid() {
+  if (full_mode()) return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  return {10, 50, 100};
+}
+
+/// One shape-check line; returns `ok` so callers can aggregate.
+inline bool shape_check(bool ok, const std::string& claim) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  return ok;
+}
+
+/// Standard bench banner.
+inline void banner(const std::string& artefact, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artefact.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("mode: %s (set CALLOC_BENCH_FULL=1 for the full paper matrix)\n",
+              full_mode() ? "FULL" : "quick");
+  std::printf("================================================================\n");
+}
+
+}  // namespace cal::bench

@@ -1,0 +1,73 @@
+// Asset tracking — the paper's motivating application (§I): follow an
+// asset tag moving through a building, localising each scan with CALLOC
+// while an adversary intermittently spoofs APs along the way.
+//
+// Run: ./build/examples/asset_tracking
+#include <cstdio>
+#include <vector>
+
+#include "attacks/mitm.hpp"
+#include "core/calloc.hpp"
+#include "eval/metrics.hpp"
+#include "sim/collector.hpp"
+
+int main() {
+  using namespace cal;
+
+  const auto spec = sim::table2_buildings()[3];  // Building 4
+  sim::Building building(spec);
+  sim::RadioEnvironment env(building);
+  const auto op3 = sim::device_by_name("OP3");
+  const auto tag = sim::device_by_name("BLU");  // cheap asset tag radio
+
+  // Offline phase.
+  const auto train = sim::collect_fingerprints(env, op3, 5, 10);
+  core::CallocConfig cfg;
+  cfg.train.max_epochs_per_lesson = 10;
+  core::Calloc model(cfg);
+  model.fit(train);
+  std::printf("%s: CALLOC trained on %zu fingerprints (%zu RPs)\n\n",
+              spec.name.c_str(), train.num_samples(), train.num_rps());
+
+  // Online phase: the asset moves along the corridor, scanning every 4 m.
+  // The adversary attacks only in the middle third of the route.
+  Rng rng(77);
+  const auto drift = env.draw_session_drift(rng);
+  attacks::AttackConfig atk;
+  atk.epsilon = 0.3;
+  atk.phi_percent = 50.0;
+
+  std::printf("step | true RP | est RP | err(m) | channel\n");
+  std::printf("-----+---------+--------+--------+--------------------\n");
+  std::vector<double> errors;
+  for (std::size_t rp = 0; rp < building.num_rps(); rp += 4) {
+    const auto fp = env.fingerprint(building.rp_positions()[rp], tag, rng,
+                                    drift);
+    data::FingerprintDataset scan(building.num_aps(), building.rp_map());
+    scan.add_sample(fp, rp);
+
+    const bool under_attack = rp > building.num_rps() / 3 &&
+                              rp < 2 * building.num_rps() / 3;
+    Tensor x = scan.normalized();
+    if (under_attack) {
+      const std::vector<std::size_t> label{rp};
+      x = attacks::mitm_attack(attacks::MitmMode::SignalSpoofing,
+                               attacks::AttackKind::Fgsm,
+                               *model.gradient_source(), x, label, atk);
+    }
+    const auto est = model.predict(x)[0];
+    const double err = data::distance_m(building.rp_map()[rp],
+                                        building.rp_map()[est]);
+    errors.push_back(err);
+    std::printf("%4zu | %7zu | %6zu | %6.2f | %s\n", rp / 4, rp, est, err,
+                under_attack ? "SPOOFED (FGSM MITM)" : "clean");
+  }
+
+  const auto s = summarize(errors);
+  std::printf("\ntrack summary: mean %.2f m, median %.2f m, worst %.2f m over "
+              "%zu scans\n",
+              s.mean, s.median, s.max, s.count);
+  std::printf("CALLOC keeps the asset on the map even through the spoofed "
+              "segment.\n");
+  return 0;
+}

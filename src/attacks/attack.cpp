@@ -1,0 +1,162 @@
+#include "attacks/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace cal::attacks {
+namespace {
+
+void validate(const Tensor& x, std::span<const std::size_t> y,
+              const AttackConfig& cfg) {
+  CAL_ENSURE(x.rank() == 2, "attack expects rank-2 input");
+  CAL_ENSURE(y.size() == x.rows(), "attack labels/batch mismatch");
+  CAL_ENSURE(cfg.epsilon >= 0.0 && cfg.epsilon <= 1.0,
+             "epsilon out of [0,1]: " << cfg.epsilon);
+  CAL_ENSURE(cfg.num_steps >= 1, "attacks need at least one step");
+}
+
+/// Build a 0/1 column mask over the targeted APs.
+std::vector<char> column_mask(std::size_t num_aps,
+                              std::span<const std::size_t> targets) {
+  std::vector<char> mask(num_aps, 0);
+  for (std::size_t j : targets) {
+    CAL_ENSURE(j < num_aps, "target AP " << j << " out of " << num_aps);
+    mask[j] = 1;
+  }
+  return mask;
+}
+
+/// Clip x_adv to the intersection of the ϵ-ball around x and [0,1].
+void project(Tensor& x_adv, const Tensor& x, double epsilon,
+             const std::vector<char>& mask) {
+  const std::size_t cols = x.cols();
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* xr = x.data() + i * cols;
+    float* ar = x_adv.data() + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (!mask[j]) {
+        ar[j] = xr[j];  // untargeted APs are untouched, exactly
+        continue;
+      }
+      const float lo =
+          std::max(0.0F, xr[j] - static_cast<float>(epsilon));
+      const float hi =
+          std::min(1.0F, xr[j] + static_cast<float>(epsilon));
+      ar[j] = std::clamp(ar[j], lo, hi);
+    }
+  }
+}
+
+double effective_alpha(const AttackConfig& cfg) {
+  if (cfg.alpha > 0.0) return cfg.alpha;
+  // Standard heuristic: cover the ϵ-ball with margin in num_steps steps.
+  return 2.5 * cfg.epsilon / static_cast<double>(cfg.num_steps);
+}
+
+}  // namespace
+
+Tensor fgsm_attack(GradientSource& grads, const Tensor& x,
+                   std::span<const std::size_t> y, const AttackConfig& cfg) {
+  validate(x, y, cfg);
+  const auto targets = select_target_aps(x, y, cfg, grads);
+  const auto mask = column_mask(x.cols(), targets);
+
+  const Tensor g = grads.input_gradient(x, y);
+  Tensor x_adv = x;
+  const auto eps = static_cast<float>(cfg.epsilon);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* gr = g.data() + i * x.cols();
+    float* ar = x_adv.data() + i * x.cols();
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      if (!mask[j] || gr[j] == 0.0F) continue;
+      ar[j] += (gr[j] > 0.0F ? eps : -eps);
+    }
+  }
+  project(x_adv, x, cfg.epsilon, mask);
+  return x_adv;
+}
+
+Tensor pgd_attack(GradientSource& grads, const Tensor& x,
+                  std::span<const std::size_t> y, const AttackConfig& cfg) {
+  validate(x, y, cfg);
+  const auto targets = select_target_aps(x, y, cfg, grads);
+  const auto mask = column_mask(x.cols(), targets);
+  const auto alpha = static_cast<float>(effective_alpha(cfg));
+
+  Tensor x_adv = x;
+  if (cfg.random_start && cfg.epsilon > 0.0) {
+    Rng rng(cfg.seed ^ 0xA77AC4ULL);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      float* ar = x_adv.data() + i * x.cols();
+      for (std::size_t j = 0; j < x.cols(); ++j)
+        if (mask[j])
+          ar[j] += static_cast<float>(
+              rng.uniform(-cfg.epsilon, cfg.epsilon));
+    }
+    project(x_adv, x, cfg.epsilon, mask);
+  }
+
+  for (std::size_t step = 0; step < cfg.num_steps; ++step) {
+    const Tensor g = grads.input_gradient(x_adv, y);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const float* gr = g.data() + i * x.cols();
+      float* ar = x_adv.data() + i * x.cols();
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        if (!mask[j] || gr[j] == 0.0F) continue;
+        ar[j] += (gr[j] > 0.0F ? alpha : -alpha);
+      }
+    }
+    project(x_adv, x, cfg.epsilon, mask);
+  }
+  return x_adv;
+}
+
+Tensor mim_attack(GradientSource& grads, const Tensor& x,
+                  std::span<const std::size_t> y, const AttackConfig& cfg) {
+  validate(x, y, cfg);
+  const auto targets = select_target_aps(x, y, cfg, grads);
+  const auto mask = column_mask(x.cols(), targets);
+  const auto alpha = static_cast<float>(effective_alpha(cfg));
+  const auto mu = static_cast<float>(cfg.momentum_decay);
+
+  Tensor x_adv = x;
+  Tensor velocity(x.shape());
+  for (std::size_t step = 0; step < cfg.num_steps; ++step) {
+    const Tensor g = grads.input_gradient(x_adv, y);
+    // Normalise the gradient by its L1 norm per sample (Dong et al. eq. 6),
+    // then accumulate momentum and step along its sign.
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const float* gr = g.data() + i * x.cols();
+      float* vr = velocity.data() + i * x.cols();
+      float* ar = x_adv.data() + i * x.cols();
+      double l1 = 0.0;
+      for (std::size_t j = 0; j < x.cols(); ++j)
+        if (mask[j]) l1 += std::fabs(gr[j]);
+      const float inv_l1 = l1 > 0.0 ? static_cast<float>(1.0 / l1) : 0.0F;
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        if (!mask[j]) continue;
+        vr[j] = mu * vr[j] + gr[j] * inv_l1;
+        if (vr[j] != 0.0F) ar[j] += (vr[j] > 0.0F ? alpha : -alpha);
+      }
+    }
+    project(x_adv, x, cfg.epsilon, mask);
+  }
+  return x_adv;
+}
+
+Tensor run_attack(AttackKind kind, GradientSource& grads, const Tensor& x,
+                  std::span<const std::size_t> y, const AttackConfig& cfg) {
+  switch (kind) {
+    case AttackKind::None: return x;
+    case AttackKind::Fgsm: return fgsm_attack(grads, x, y, cfg);
+    case AttackKind::Pgd: return pgd_attack(grads, x, y, cfg);
+    case AttackKind::Mim: return mim_attack(grads, x, y, cfg);
+  }
+  CAL_ENSURE(false, "unknown AttackKind");
+  return x;
+}
+
+}  // namespace cal::attacks

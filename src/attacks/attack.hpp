@@ -1,0 +1,71 @@
+// White-box adversarial attacks on RSS fingerprints (paper §III).
+//
+// All attacks operate on the normalised [0,1] RSS scale (so ϵ matches the
+// paper's 0.1–0.5 range), perturb only a chosen subset of ø% of the APs
+// (the attacker's targeted-AP budget), and clip results to the valid RSS
+// box [0,1].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attacks/gradient_source.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cal::attacks {
+
+/// How the attacker picks the ø% targeted APs.
+enum class TargetSelection {
+  Strongest,  ///< highest mean RSS — the white-box prior (most informative)
+  Random,     ///< uniform subset (seeded)
+  Saliency,   ///< largest mean |∇ₓJ| — pure gradient-driven choice
+};
+
+/// Which attack algorithm to run.
+enum class AttackKind { None, Fgsm, Pgd, Mim };
+
+/// Name strings for reports ("FGSM", "PGD", "MIM", "None").
+std::string to_string(AttackKind kind);
+std::string to_string(TargetSelection sel);
+
+/// Attack hyper-parameters.
+struct AttackConfig {
+  double epsilon = 0.1;       ///< L∞ budget on normalised RSS
+  double phi_percent = 100.0; ///< ø: percentage of APs targeted (0..100]
+  std::size_t num_steps = 10; ///< PGD/MIM iterations
+  double alpha = 0.0;         ///< step size; 0 ⇒ 2.5·ϵ/num_steps
+  double momentum_decay = 1.0;///< MIM µ
+  TargetSelection selection = TargetSelection::Strongest;
+  std::uint64_t seed = 7;     ///< randomised selection / PGD start
+  bool random_start = false;  ///< PGD random initialisation inside ϵ-ball
+};
+
+/// Resolve the attacked AP column set for a batch (shared across rows —
+/// the MITM attacker compromises physical APs, not per-packet columns).
+std::vector<std::size_t> select_target_aps(const Tensor& x,
+                                           std::span<const std::size_t> y,
+                                           const AttackConfig& cfg,
+                                           GradientSource& grads);
+
+/// Fast Gradient Sign Method (eq. 1): X_adv = X + ϵ·sign(∇ₓJ) on the
+/// targeted columns, clipped to [0,1].
+Tensor fgsm_attack(GradientSource& grads, const Tensor& x,
+                   std::span<const std::size_t> y, const AttackConfig& cfg);
+
+/// Projected Gradient Descent (eq. 2): iterative ϵ-ball ascent with
+/// per-step clip.
+Tensor pgd_attack(GradientSource& grads, const Tensor& x,
+                  std::span<const std::size_t> y, const AttackConfig& cfg);
+
+/// Momentum Iterative Method: PGD with accumulated normalised gradient
+/// momentum (Dong et al., CVPR'18).
+Tensor mim_attack(GradientSource& grads, const Tensor& x,
+                  std::span<const std::size_t> y, const AttackConfig& cfg);
+
+/// Dispatch on kind (None returns x unchanged).
+Tensor run_attack(AttackKind kind, GradientSource& grads, const Tensor& x,
+                  std::span<const std::size_t> y, const AttackConfig& cfg);
+
+}  // namespace cal::attacks

@@ -1,0 +1,25 @@
+#include "attacks/gradient_source.hpp"
+
+#include "autograd/ops.hpp"
+#include "common/ensure.hpp"
+
+namespace cal::attacks {
+
+ModuleGradientSource::ModuleGradientSource(nn::Module& model)
+    : model_(&model) {}
+
+Tensor ModuleGradientSource::input_gradient(const Tensor& x,
+                                            std::span<const std::size_t> y) {
+  CAL_ENSURE(x.rank() == 2, "input_gradient expects rank-2 inputs");
+  CAL_ENSURE(y.size() == x.rows(), "labels/batch mismatch");
+  const bool was_training = model_->training();
+  model_->set_training(false);
+  auto input = autograd::make_leaf(x, /*requires_grad=*/true);
+  auto logits = model_->forward(input);
+  auto loss = autograd::cross_entropy(logits, y);
+  autograd::backward(loss);
+  model_->set_training(was_training);
+  return input->grad();
+}
+
+}  // namespace cal::attacks

@@ -1,0 +1,48 @@
+// Gradient access for white-box attack crafting.
+//
+// The attack algorithms (FGSM/PGD/MIM) are generic in how ∇ₓJ(X, Y) is
+// obtained:
+//  * differentiable victims (every NN model here) expose their own exact
+//    input gradient through the autograd tape;
+//  * non-differentiable victims (KNN, GPC, GBDT stages) are attacked by
+//    transfer: gradients come from a differentiable surrogate trained on
+//    the same data — the standard white-box treatment in the adversarial
+//    ML literature, and the only sensible reading of the paper's Fig. 1
+//    (FGSM "against" KNN/GPC).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cal::attacks {
+
+/// Produces ∇ₓ loss(model(x), y) on the normalised [0,1] feature scale.
+class GradientSource {
+ public:
+  virtual ~GradientSource() = default;
+
+  /// Gradient of the classification loss w.r.t. each input entry.
+  /// x: (B, num_aps) normalised features; y: true RP labels (size B).
+  virtual Tensor input_gradient(const Tensor& x,
+                                std::span<const std::size_t> y) = 0;
+};
+
+/// Exact input gradients through any Module classifier (logits output).
+/// The module is run in eval mode so dropout/noise do not randomise the
+/// attack direction.
+class ModuleGradientSource : public GradientSource {
+ public:
+  /// Borrows `model`; the caller keeps it alive.
+  explicit ModuleGradientSource(nn::Module& model);
+
+  Tensor input_gradient(const Tensor& x,
+                        std::span<const std::size_t> y) override;
+
+ private:
+  nn::Module* model_;
+};
+
+}  // namespace cal::attacks

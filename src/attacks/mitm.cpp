@@ -1,0 +1,51 @@
+#include "attacks/mitm.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::attacks {
+namespace {
+
+/// Normalised value below which an AP counts as "not detected" (clean 0.0
+/// plus a small guard for float noise).
+constexpr float kDetectionEps = 1e-6F;
+
+}  // namespace
+
+std::string to_string(MitmMode mode) {
+  switch (mode) {
+    case MitmMode::SignalManipulation: return "SignalManipulation";
+    case MitmMode::SignalSpoofing: return "SignalSpoofing";
+  }
+  return "?";
+}
+
+Tensor mitm_attack(MitmMode mode, AttackKind kind, GradientSource& grads,
+                   const Tensor& x_clean, std::span<const std::size_t> y,
+                   const AttackConfig& cfg) {
+  Tensor x_adv = run_attack(kind, grads, x_clean, y, cfg);
+  if (kind == AttackKind::None) return x_adv;
+
+  switch (mode) {
+    case MitmMode::SignalSpoofing:
+      // A spoofing adversary fabricates its own frames: any targeted AP
+      // reading is realisable, including for APs the victim never heard.
+      return x_adv;
+    case MitmMode::SignalManipulation: {
+      // A manipulation adversary can only distort frames that exist:
+      // perturbations on not-detected APs are physically impossible and
+      // are rolled back to the clean (absent) reading.
+      const std::size_t cols = x_clean.cols();
+      for (std::size_t i = 0; i < x_clean.rows(); ++i) {
+        const float* cr = x_clean.data() + i * cols;
+        float* ar = x_adv.data() + i * cols;
+        for (std::size_t j = 0; j < cols; ++j)
+          if (cr[j] <= kDetectionEps) ar[j] = cr[j];
+      }
+      return x_adv;
+    }
+  }
+  CAL_ENSURE(false, "unknown MitmMode");
+  return x_adv;
+}
+
+}  // namespace cal::attacks

@@ -1,0 +1,39 @@
+// Man-in-the-middle channel attack wrapper (paper §III.A).
+//
+// The gradient attacks in attack.hpp compute *what* perturbation misleads
+// the model; this wrapper models *where* the adversary injects it:
+//
+//  * SignalManipulation — the adversary tampers with genuine frames in
+//    flight, so it can only perturb APs the victim device actually
+//    detected (a not-detected AP has no frames to tamper with);
+//  * SignalSpoofing — the adversary fabricates counterfeit frames that
+//    mimic a target AP (cloned MAC/channel), so it can also conjure
+//    readings for APs the device did not hear, and its counterfeit power
+//    budget allows larger effective swings.
+//
+// Both modes take the gradient-crafted adversarial example and restrict it
+// to what their channel position can physically realise.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace cal::attacks {
+
+/// Channel-side injection mode.
+enum class MitmMode {
+  SignalManipulation,
+  SignalSpoofing,
+};
+
+std::string to_string(MitmMode mode);
+
+/// Apply a MITM attack: craft X_adv with `kind` under `cfg`, then restrict
+/// the perturbation to what `mode` can realise given the clean capture
+/// (normalised features; a clean value of 0.0 means "not detected").
+///
+/// Returns the fingerprint batch the victim device would actually report.
+Tensor mitm_attack(MitmMode mode, AttackKind kind, GradientSource& grads,
+                   const Tensor& x_clean, std::span<const std::size_t> y,
+                   const AttackConfig& cfg);
+
+}  // namespace cal::attacks

@@ -1,0 +1,90 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "attacks/attack.hpp"
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace cal::attacks {
+
+std::string to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::None: return "None";
+    case AttackKind::Fgsm: return "FGSM";
+    case AttackKind::Pgd: return "PGD";
+    case AttackKind::Mim: return "MIM";
+  }
+  return "?";
+}
+
+std::string to_string(TargetSelection sel) {
+  switch (sel) {
+    case TargetSelection::Strongest: return "Strongest";
+    case TargetSelection::Random: return "Random";
+    case TargetSelection::Saliency: return "Saliency";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> select_target_aps(const Tensor& x,
+                                           std::span<const std::size_t> y,
+                                           const AttackConfig& cfg,
+                                           GradientSource& grads) {
+  CAL_ENSURE(x.rank() == 2, "select_target_aps expects rank-2 input");
+  CAL_ENSURE(cfg.phi_percent > 0.0 && cfg.phi_percent <= 100.0,
+             "phi_percent out of (0,100]: " << cfg.phi_percent);
+  const std::size_t num_aps = x.cols();
+  // ø% of APs, at least one.
+  const auto count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::round(static_cast<double>(num_aps) * cfg.phi_percent /
+                        100.0)));
+
+  std::vector<std::size_t> all(num_aps);
+  std::iota(all.begin(), all.end(), 0);
+
+  switch (cfg.selection) {
+    case TargetSelection::Random: {
+      Rng rng(cfg.seed);
+      auto chosen = rng.sample_without_replacement(num_aps, count);
+      std::sort(chosen.begin(), chosen.end());
+      return chosen;
+    }
+    case TargetSelection::Strongest: {
+      // Column mean RSS; strongest APs carry the most location signal.
+      std::vector<double> score(num_aps, 0.0);
+      for (std::size_t i = 0; i < x.rows(); ++i) {
+        const float* row = x.data() + i * num_aps;
+        for (std::size_t j = 0; j < num_aps; ++j) score[j] += row[j];
+      }
+      std::partial_sort(all.begin(), all.begin() + static_cast<long>(count),
+                        all.end(), [&](std::size_t a, std::size_t b) {
+                          return score[a] > score[b];
+                        });
+      all.resize(count);
+      std::sort(all.begin(), all.end());
+      return all;
+    }
+    case TargetSelection::Saliency: {
+      const Tensor g = grads.input_gradient(x, y);
+      std::vector<double> score(num_aps, 0.0);
+      for (std::size_t i = 0; i < g.rows(); ++i) {
+        const float* row = g.data() + i * num_aps;
+        for (std::size_t j = 0; j < num_aps; ++j)
+          score[j] += std::fabs(row[j]);
+      }
+      std::partial_sort(all.begin(), all.begin() + static_cast<long>(count),
+                        all.end(), [&](std::size_t a, std::size_t b) {
+                          return score[a] > score[b];
+                        });
+      all.resize(count);
+      std::sort(all.begin(), all.end());
+      return all;
+    }
+  }
+  CAL_ENSURE(false, "unknown TargetSelection");
+  return {};
+}
+
+}  // namespace cal::attacks

@@ -1,0 +1,75 @@
+#include "autograd/variable.hpp"
+
+#include <unordered_set>
+
+#include "common/ensure.hpp"
+
+namespace cal::autograd {
+
+Node::Node(Tensor value, bool requires_grad, std::string op_name)
+    : value_(std::move(value)),
+      requires_grad_(requires_grad),
+      op_name_(std::move(op_name)) {}
+
+const Tensor& Node::grad() const {
+  if (grad_.empty()) grad_ = Tensor(value_.shape());
+  return grad_;
+}
+
+void Node::zero_grad() {
+  if (!grad_.empty()) grad_.fill(0.0F);
+}
+
+Tensor& Node::grad_buffer() {
+  if (grad_.empty()) grad_ = Tensor(value_.shape());
+  return grad_;
+}
+
+Var make_leaf(Tensor value, bool requires_grad) {
+  return std::make_shared<Node>(std::move(value), requires_grad, "leaf");
+}
+
+Var constant(Tensor value) {
+  return std::make_shared<Node>(std::move(value), false, "const");
+}
+
+std::vector<Node*> topo_order(const Var& root) {
+  CAL_ENSURE(root != nullptr, "topo_order on null Var");
+  std::vector<Node*> order;
+  std::unordered_set<const Node*> visited;
+  // Iterative DFS to avoid stack overflow on deep graphs.
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents().size()) {
+      Node* parent = top.node->parents()[top.next_parent].get();
+      ++top.next_parent;
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  return order;  // parents before children
+}
+
+void backward(const Var& root) {
+  CAL_ENSURE(root != nullptr, "backward on null Var");
+  CAL_ENSURE(root->value().size() == 1,
+             "backward requires a scalar root, got shape "
+                 << root->value().shape_str());
+  auto order = topo_order(root);
+  root->grad_buffer()[0] += 1.0F;
+  // Children appear after parents in `order`; run closures child-first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->requires_grad()) (*it)->run_backward();
+  }
+}
+
+}  // namespace cal::autograd

@@ -1,0 +1,90 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// Why an autograd instead of per-layer manual backprop: the white-box
+// attacks (FGSM eq. 1, PGD eq. 2, MIM) need gradients of the loss with
+// respect to the *input* RSS vector for arbitrary composed models —
+// including CALLOC's dual-input attention model where the curriculum batch
+// flows through one embedding and the original batch through another. A
+// tape gives d(loss)/d(anything) for free and is pinned down by
+// finite-difference tests.
+//
+// Graph model: each forward op creates a Node holding its output value, the
+// parent edges, and a backward closure that scatters the node's gradient
+// into the parents' gradients. Parameters and inputs are leaf nodes;
+// leaves with requires_grad accumulate into their `grad` tensor across
+// backward() calls until zero_grad().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace cal::autograd {
+
+class Node;
+
+/// Shared handle to a graph node. Cheap to copy; the graph is freed when
+/// the last handle to its root goes away (parents are owned by children).
+using Var = std::shared_ptr<Node>;
+
+/// One vertex of the computation graph.
+class Node {
+ public:
+  Node(Tensor value, bool requires_grad, std::string op_name);
+
+  /// Forward value of this node.
+  const Tensor& value() const { return value_; }
+  Tensor& mutable_value() { return value_; }
+
+  /// Accumulated gradient (zeros until backward reaches this node).
+  const Tensor& grad() const;
+
+  /// True when this node (or any ancestor) wants gradients.
+  bool requires_grad() const { return requires_grad_; }
+
+  /// Leaf = created by make_leaf/constant rather than an op.
+  bool is_leaf() const { return parents_.empty(); }
+
+  /// Human-readable op name for diagnostics ("matmul", "relu", ...).
+  const std::string& op_name() const { return op_name_; }
+
+  /// Reset accumulated gradient to zeros (no-op if grad never allocated).
+  void zero_grad();
+
+  /// Allocate (if needed) and return the gradient buffer for accumulation.
+  Tensor& grad_buffer();
+
+  // Wiring used by op constructors (not for end users).
+  void add_parent(Var p) { parents_.push_back(std::move(p)); }
+  void set_backward(std::function<void()> fn) { backward_fn_ = std::move(fn); }
+  const std::vector<Var>& parents() const { return parents_; }
+  void run_backward() const {
+    if (backward_fn_) backward_fn_();
+  }
+
+ private:
+  Tensor value_;
+  mutable Tensor grad_;  // lazily sized to value_'s shape
+  bool requires_grad_ = false;
+  std::string op_name_;
+  std::vector<Var> parents_;
+  std::function<void()> backward_fn_;
+};
+
+/// Create a leaf variable (parameter or attackable input).
+Var make_leaf(Tensor value, bool requires_grad);
+
+/// Create a constant (no gradient ever flows into it).
+Var constant(Tensor value);
+
+/// Run reverse-mode accumulation from a scalar root (shape {1}).
+/// Gradients accumulate into every reachable node with requires_grad.
+void backward(const Var& root);
+
+/// Topological order (parents before children) of the graph under `root`.
+std::vector<Node*> topo_order(const Var& root);
+
+}  // namespace cal::autograd

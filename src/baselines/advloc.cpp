@@ -1,0 +1,59 @@
+#include "baselines/advloc.hpp"
+
+#include "attacks/attack.hpp"
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace cal::baselines {
+
+AdvLoc::AdvLoc(AdvLocConfig cfg) : Dnn(cfg.dnn), adv_cfg_(cfg) {
+  CAL_ENSURE(cfg.adversarial_fraction >= 0.0 &&
+                 cfg.adversarial_fraction <= 1.0,
+             "adversarial_fraction out of [0,1]");
+}
+
+void AdvLoc::fit(const data::FingerprintDataset& train) {
+  CAL_ENSURE(train.num_samples() >= 2, "AdvLoc fit needs >= 2 samples");
+  build(train.num_aps(), train.num_rps());
+
+  const Tensor x = train.normalized();
+  const auto labels = train.labels();
+
+  // Phase 1: clean warm-up so the FGSM gradients are meaningful.
+  nn::TrainConfig warm = cfg_.train;
+  warm.epochs = adv_cfg_.warmup_epochs;
+  nn::fit_classifier(*net_, x, labels, warm);
+
+  // Phase 2: craft a static adversarial copy of a random subset with
+  // FGSM against the warmed-up model (self-augmentation, as in [24]).
+  Rng rng(cfg_.seed ^ 0xAD70CULL);
+  const auto n_adv = static_cast<std::size_t>(
+      static_cast<double>(x.rows()) * adv_cfg_.adversarial_fraction);
+  Tensor x_aug = x;
+  std::vector<std::size_t> y_aug(labels.begin(), labels.end());
+  if (n_adv > 0) {
+    auto idx = rng.sample_without_replacement(x.rows(), n_adv);
+    Tensor x_sub = nn::gather_rows(x, idx);
+    std::vector<std::size_t> y_sub(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) y_sub[i] = labels[idx[i]];
+
+    attacks::AttackConfig atk;
+    atk.epsilon = adv_cfg_.train_epsilon;
+    atk.phi_percent = adv_cfg_.train_phi_percent;
+    atk.selection = attacks::TargetSelection::Strongest;
+    Tensor x_adv = attacks::fgsm_attack(*grads_, x_sub, y_sub, atk);
+
+    // Stack clean + adversarial into one training matrix.
+    Tensor stacked({x.rows() + x_adv.rows(), x.cols()});
+    std::copy(x.flat().begin(), x.flat().end(), stacked.data());
+    std::copy(x_adv.flat().begin(), x_adv.flat().end(),
+              stacked.data() + x.size());
+    x_aug = std::move(stacked);
+    y_aug.insert(y_aug.end(), y_sub.begin(), y_sub.end());
+  }
+
+  // Phase 3: continue training on the augmented set.
+  history_ = nn::fit_classifier(*net_, x_aug, y_aug, cfg_.train);
+}
+
+}  // namespace cal::baselines

@@ -1,0 +1,68 @@
+#include "baselines/anvil.hpp"
+
+#include "autograd/ops.hpp"
+#include "common/ensure.hpp"
+#include "nn/linear.hpp"
+#include "nn/prototype_attention.hpp"
+
+namespace cal::baselines {
+
+/// logits = head(ReLU(fc1([mha(x) ; x]))) — attention features plus the
+/// raw fingerprint as a residual, matching the skip connections of the
+/// ANVIL encoder block and keeping gradients strong while the attention
+/// warms up.
+class Anvil::AnvilNet : public nn::Module {
+ public:
+  AnvilNet(std::size_t num_aps, std::size_t num_classes,
+           const AnvilConfig& cfg, Rng& rng)
+      : mha_(num_aps, cfg.head_dim, cfg.num_heads, cfg.num_prototypes, rng,
+             "anvil_mha"),
+        fc1_(mha_.out_features() + num_aps, cfg.hidden, rng, "anvil_fc1"),
+        head_(cfg.hidden, num_classes, rng, "anvil_head") {}
+
+  autograd::Var forward(const autograd::Var& x) override {
+    auto attended = mha_.forward(x);
+    auto h = autograd::concat_cols(attended, x);
+    h = autograd::relu(fc1_.forward(h));
+    return head_.forward(h);
+  }
+
+  std::vector<nn::Parameter> parameters() override {
+    auto all = mha_.parameters();
+    for (auto& p : fc1_.parameters()) all.push_back(p);
+    for (auto& p : head_.parameters()) all.push_back(p);
+    return all;
+  }
+
+  void set_training(bool training) override {
+    nn::Module::set_training(training);
+    mha_.set_training(training);
+  }
+
+ private:
+  nn::MultiHeadPrototypeAttention mha_;
+  nn::Linear fc1_;
+  nn::Linear head_;
+};
+
+Anvil::Anvil(AnvilConfig cfg) : cfg_(cfg) {}
+
+void Anvil::fit(const data::FingerprintDataset& train) {
+  CAL_ENSURE(train.num_samples() >= 2, "ANVIL fit needs >= 2 samples");
+  Rng rng(cfg_.seed);
+  net_ = std::make_shared<AnvilNet>(train.num_aps(), train.num_rps(), cfg_,
+                                    rng);
+  grads_ = std::make_unique<attacks::ModuleGradientSource>(*net_);
+  nn::fit_classifier(*net_, train.normalized(), train.labels(), cfg_.train);
+}
+
+std::vector<std::size_t> Anvil::predict(const Tensor& x) {
+  CAL_ENSURE(net_ != nullptr, "ANVIL predict before fit");
+  return autograd::argmax_rows(nn::predict_tensor(*net_, x));
+}
+
+attacks::GradientSource* Anvil::gradient_source() {
+  return grads_ ? grads_.get() : nullptr;
+}
+
+}  // namespace cal::baselines

@@ -1,0 +1,48 @@
+// ANVIL baseline [17]: multi-head attention neural network.
+//
+// ANVIL pairs a multi-headed attention encoder with an MLP head to gain
+// device-heterogeneity resilience. Here each head attends from the
+// fingerprint embedding over learned prototype tokens (inducing-point
+// attention, see nn/prototype_attention.hpp), which preserves the
+// architecture's character while staying efficiently batchable.
+#pragma once
+
+#include <memory>
+
+#include "baselines/localizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+
+namespace cal::baselines {
+
+struct AnvilConfig {
+  std::size_t num_heads = 4;
+  std::size_t head_dim = 32;
+  std::size_t num_prototypes = 16;
+  std::size_t hidden = 128;
+  /// The attention block needs a hotter learning rate than a plain MLP to
+  /// escape its initial near-uniform prototype softmax.
+  nn::TrainConfig train{.learning_rate = 3e-3F};
+  std::uint64_t seed = 29;
+};
+
+class Anvil : public ILocalizer {
+ public:
+  explicit Anvil(AnvilConfig cfg = AnvilConfig{});
+
+  void fit(const data::FingerprintDataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& x_normalized) override;
+  std::string name() const override { return "ANVIL"; }
+  attacks::GradientSource* gradient_source() override;
+
+ private:
+  /// MHA block with a residual concat around it (as in the ANVIL encoder),
+  /// feeding an MLP classification head.
+  class AnvilNet;
+
+  AnvilConfig cfg_;
+  std::shared_ptr<AnvilNet> net_;
+  std::unique_ptr<attacks::ModuleGradientSource> grads_;
+};
+
+}  // namespace cal::baselines

@@ -1,0 +1,105 @@
+#include "baselines/autoencoder.hpp"
+
+#include "autograd/ops.hpp"
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+
+namespace cal::baselines {
+
+/// Encoder (Linear+ReLU) and decoder (Linear) trained end-to-end on MSE.
+class DenoisingAutoencoder::AeModule : public nn::Module {
+ public:
+  AeModule(std::size_t input_dim, std::size_t hidden, Rng& rng)
+      : enc_(input_dim, hidden, rng, "enc"),
+        dec_(hidden, input_dim, rng, "dec") {}
+
+  autograd::Var forward(const autograd::Var& x) override {
+    return dec_.forward(encode(x));
+  }
+
+  autograd::Var encode(const autograd::Var& x) {
+    return autograd::relu(enc_.forward(x));
+  }
+
+  std::vector<nn::Parameter> parameters() override {
+    auto p = enc_.parameters();
+    for (auto& q : dec_.parameters()) p.push_back(q);
+    return p;
+  }
+
+ private:
+  nn::Linear enc_;
+  nn::Linear dec_;
+};
+
+DenoisingAutoencoder::DenoisingAutoencoder(std::size_t input_dim,
+                                           DaeConfig cfg)
+    : input_dim_(input_dim), cfg_(cfg) {
+  CAL_ENSURE(input_dim_ > 0 && cfg_.hidden > 0, "DAE dims must be positive");
+  CAL_ENSURE(cfg_.corruption >= 0.0F && cfg_.corruption < 1.0F,
+             "corruption out of [0,1)");
+  Rng rng(cfg_.seed);
+  net_ = std::make_shared<AeModule>(input_dim_, cfg_.hidden, rng);
+}
+
+nn::TrainHistory DenoisingAutoencoder::fit(const Tensor& x_clean) {
+  CAL_ENSURE(x_clean.rank() == 2 && x_clean.cols() == input_dim_,
+             "DAE fit input mismatch");
+  // Pre-corrupt the inputs (masking + Gaussian); targets stay clean.
+  Rng rng(cfg_.seed ^ 0xC0FFEEULL);
+  Tensor x_noisy = x_clean;
+  for (std::size_t i = 0; i < x_noisy.size(); ++i) {
+    if (cfg_.corruption > 0.0F && rng.bernoulli(cfg_.corruption)) {
+      x_noisy[i] = 0.0F;
+    } else if (cfg_.noise_sigma > 0.0F) {
+      x_noisy[i] += static_cast<float>(rng.normal(0.0, cfg_.noise_sigma));
+    }
+  }
+  return nn::fit_regression(*net_, x_noisy, x_clean, cfg_.train);
+}
+
+Tensor DenoisingAutoencoder::encode(const Tensor& x) const {
+  CAL_ENSURE(x.rank() == 2 && x.cols() == input_dim_, "encode input mismatch");
+  auto h = net_->encode(autograd::constant(x));
+  return h->value();
+}
+
+StackedAutoencoder::StackedAutoencoder(std::size_t input_dim,
+                                       std::vector<std::size_t> hidden_dims,
+                                       DaeConfig cfg) {
+  CAL_ENSURE(!hidden_dims.empty(), "stacked AE needs at least one layer");
+  std::size_t in = input_dim;
+  for (std::size_t i = 0; i < hidden_dims.size(); ++i) {
+    DaeConfig layer_cfg = cfg;
+    layer_cfg.hidden = hidden_dims[i];
+    layer_cfg.seed = cfg.seed + 131 * (i + 1);
+    layers_.push_back(
+        std::make_unique<DenoisingAutoencoder>(in, layer_cfg));
+    in = hidden_dims[i];
+  }
+}
+
+void StackedAutoencoder::fit(const Tensor& x_clean) {
+  // Greedy layer-wise pre-training: each layer denoises the codes of the
+  // stack below it (Bengio et al.'s classic recipe, as used by SANGRIA).
+  Tensor codes = x_clean;
+  for (auto& layer : layers_) {
+    layer->fit(codes);
+    codes = layer->encode(codes);
+  }
+  fitted_ = true;
+}
+
+Tensor StackedAutoencoder::encode(const Tensor& x) const {
+  CAL_ENSURE(fitted_, "stacked AE encode before fit");
+  Tensor codes = x;
+  for (const auto& layer : layers_) codes = layer->encode(codes);
+  return codes;
+}
+
+std::size_t StackedAutoencoder::code_dim() const {
+  return layers_.back()->hidden_dim();
+}
+
+}  // namespace cal::baselines

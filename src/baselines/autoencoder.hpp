@@ -1,0 +1,68 @@
+// Denoising and stacked autoencoders.
+//
+// Substrates for SANGRIA [19] (stacked autoencoder feeding a
+// gradient-boosted-tree classifier) and WiDeep [14] (denoising autoencoder
+// feeding a Gaussian-process classifier).
+#pragma once
+
+#include <memory>
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "nn/trainer.hpp"
+
+namespace cal::baselines {
+
+/// One denoising autoencoder layer: corrupt -> encode -> decode.
+struct DaeConfig {
+  std::size_t hidden = 64;
+  /// Fraction of inputs zeroed (masking corruption) during training.
+  float corruption = 0.2F;
+  /// Additive Gaussian corruption sigma.
+  float noise_sigma = 0.1F;
+  nn::TrainConfig train;
+  std::uint64_t seed = 31;
+};
+
+/// A single denoising autoencoder with a ReLU encoder and linear decoder.
+class DenoisingAutoencoder {
+ public:
+  DenoisingAutoencoder(std::size_t input_dim, DaeConfig cfg);
+
+  /// Train to reconstruct clean inputs from corrupted copies.
+  nn::TrainHistory fit(const Tensor& x_clean);
+
+  /// Encode a batch into the hidden representation (eval mode).
+  Tensor encode(const Tensor& x) const;
+
+  std::size_t hidden_dim() const { return cfg_.hidden; }
+  std::size_t input_dim() const { return input_dim_; }
+
+ private:
+  /// Full reconstruction module used during training.
+  class AeModule;
+
+  std::size_t input_dim_;
+  DaeConfig cfg_;
+  std::shared_ptr<AeModule> net_;
+};
+
+/// Layer-wise-trained stack of denoising autoencoders (SANGRIA front end).
+class StackedAutoencoder {
+ public:
+  /// hidden_dims: e.g. {128, 64}; each layer trained greedily on the
+  /// previous layer's codes.
+  StackedAutoencoder(std::size_t input_dim,
+                     std::vector<std::size_t> hidden_dims, DaeConfig cfg);
+
+  void fit(const Tensor& x_clean);
+  Tensor encode(const Tensor& x) const;
+
+  std::size_t code_dim() const;
+
+ private:
+  std::vector<std::unique_ptr<DenoisingAutoencoder>> layers_;
+  bool fitted_ = false;
+};
+
+}  // namespace cal::baselines

@@ -1,0 +1,44 @@
+#include "baselines/cnn.hpp"
+
+#include <algorithm>
+
+#include "autograd/ops.hpp"
+#include "common/ensure.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/linear.hpp"
+
+namespace cal::baselines {
+
+Cnn::Cnn(CnnConfig cfg) : cfg_(cfg) {}
+
+void Cnn::fit(const data::FingerprintDataset& train) {
+  CAL_ENSURE(train.num_samples() >= 2, "CNN fit needs >= 2 samples");
+  const std::size_t num_aps = train.num_aps();
+  const std::size_t kernel = std::min(cfg_.kernel_size, num_aps);
+
+  Rng rng(cfg_.seed);
+  net_ = std::make_unique<nn::Sequential>();
+  auto conv = std::make_unique<nn::Conv1d>(num_aps, kernel, cfg_.filters,
+                                           cfg_.stride, rng, "conv1");
+  const std::size_t conv_out = conv->output_features();
+  net_->add(std::move(conv));
+  net_->emplace<nn::ReLU>();
+  net_->emplace<nn::Linear>(conv_out, cfg_.hidden, rng, "fc1");
+  net_->emplace<nn::ReLU>();
+  net_->emplace<nn::Linear>(cfg_.hidden, train.num_rps(), rng, "head");
+  grads_ = std::make_unique<attacks::ModuleGradientSource>(*net_);
+
+  nn::fit_classifier(*net_, train.normalized(), train.labels(), cfg_.train);
+}
+
+std::vector<std::size_t> Cnn::predict(const Tensor& x) {
+  CAL_ENSURE(net_ != nullptr, "CNN predict before fit");
+  return autograd::argmax_rows(nn::predict_tensor(*net_, x));
+}
+
+attacks::GradientSource* Cnn::gradient_source() {
+  return grads_ ? grads_.get() : nullptr;
+}
+
+}  // namespace cal::baselines

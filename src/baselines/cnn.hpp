@@ -1,0 +1,37 @@
+// Convolutional fingerprint classifier [16].
+#pragma once
+
+#include <memory>
+
+#include "baselines/localizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+
+namespace cal::baselines {
+
+struct CnnConfig {
+  std::size_t kernel_size = 7;
+  std::size_t filters = 8;
+  std::size_t stride = 2;
+  std::size_t hidden = 128;
+  nn::TrainConfig train;
+  std::uint64_t seed = 23;
+};
+
+/// Conv1d over the AP axis + MLP head.
+class Cnn : public ILocalizer {
+ public:
+  explicit Cnn(CnnConfig cfg = CnnConfig{});
+
+  void fit(const data::FingerprintDataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& x_normalized) override;
+  std::string name() const override { return "CNN"; }
+  attacks::GradientSource* gradient_source() override;
+
+ private:
+  CnnConfig cfg_;
+  std::unique_ptr<nn::Sequential> net_;
+  std::unique_ptr<attacks::ModuleGradientSource> grads_;
+};
+
+}  // namespace cal::baselines

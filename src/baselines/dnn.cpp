@@ -1,0 +1,46 @@
+#include "baselines/dnn.hpp"
+
+#include "autograd/ops.hpp"
+#include "common/ensure.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/regularizers.hpp"
+
+namespace cal::baselines {
+
+Dnn::Dnn(DnnConfig cfg) : cfg_(cfg) {}
+
+void Dnn::build(std::size_t num_aps, std::size_t num_classes) {
+  Rng rng(cfg_.seed);
+  net_ = std::make_unique<nn::Sequential>();
+  net_->emplace<nn::Linear>(num_aps, cfg_.hidden1, rng, "fc1");
+  net_->emplace<nn::ReLU>();
+  net_->emplace<nn::Dropout>(cfg_.dropout, rng.fork(1));
+  net_->emplace<nn::Linear>(cfg_.hidden1, cfg_.hidden2, rng, "fc2");
+  net_->emplace<nn::ReLU>();
+  net_->emplace<nn::Linear>(cfg_.hidden2, num_classes, rng, "head");
+  grads_ = std::make_unique<attacks::ModuleGradientSource>(*net_);
+}
+
+void Dnn::fit(const data::FingerprintDataset& train) {
+  CAL_ENSURE(train.num_samples() >= 2, "DNN fit needs >= 2 samples");
+  build(train.num_aps(), train.num_rps());
+  history_ = nn::fit_classifier(*net_, train.normalized(), train.labels(),
+                                cfg_.train);
+}
+
+std::vector<std::size_t> Dnn::predict(const Tensor& x) {
+  CAL_ENSURE(net_ != nullptr, "DNN predict before fit");
+  return autograd::argmax_rows(nn::predict_tensor(*net_, x));
+}
+
+attacks::GradientSource* Dnn::gradient_source() {
+  return grads_ ? grads_.get() : nullptr;
+}
+
+nn::Module& Dnn::model() {
+  CAL_ENSURE(net_ != nullptr, "DNN model() before fit");
+  return *net_;
+}
+
+}  // namespace cal::baselines

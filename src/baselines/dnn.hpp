@@ -1,0 +1,44 @@
+// Deep-neural-network fingerprint classifier [15].
+#pragma once
+
+#include <memory>
+
+#include "baselines/localizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+
+namespace cal::baselines {
+
+/// MLP hyper-parameters shared by the DNN-family baselines.
+struct DnnConfig {
+  std::size_t hidden1 = 128;
+  std::size_t hidden2 = 128;
+  float dropout = 0.1F;
+  nn::TrainConfig train;
+  std::uint64_t seed = 21;
+};
+
+/// Two-hidden-layer ReLU MLP trained with Adam + cross-entropy.
+class Dnn : public ILocalizer {
+ public:
+  explicit Dnn(DnnConfig cfg = DnnConfig{});
+
+  void fit(const data::FingerprintDataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& x_normalized) override;
+  std::string name() const override { return "DNN"; }
+  attacks::GradientSource* gradient_source() override;
+
+  nn::Module& model();
+  const nn::TrainHistory& history() const { return history_; }
+
+ protected:
+  /// Build the network for the given input/output width (called by fit).
+  void build(std::size_t num_aps, std::size_t num_classes);
+
+  DnnConfig cfg_;
+  std::unique_ptr<nn::Sequential> net_;
+  std::unique_ptr<attacks::ModuleGradientSource> grads_;
+  nn::TrainHistory history_;
+};
+
+}  // namespace cal::baselines

@@ -1,0 +1,246 @@
+#include "baselines/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "autograd/ops.hpp"
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace cal::baselines {
+namespace {
+
+/// Newton leaf weight: -G / (H + lambda).
+double leaf_weight(double g, double h, double lambda) {
+  return -g / (h + lambda);
+}
+
+/// Split gain (constant terms dropped).
+double split_gain(double gl, double hl, double gr, double hr, double lambda) {
+  const double g = gl + gr;
+  const double h = hl + hr;
+  return gl * gl / (hl + lambda) + gr * gr / (hr + lambda) -
+         g * g / (h + lambda);
+}
+
+/// Rows pre-sorted by every feature (computed once per fit; trees then
+/// filter the global order by node membership instead of re-sorting).
+struct SortedFeatures {
+  std::vector<std::vector<std::uint32_t>> order;  // [feature][rank] -> row
+};
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// RegressionTree
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct BuildContext {
+  const Tensor* x = nullptr;
+  std::span<const double> grad;
+  std::span<const double> hess;
+  const SortedFeatures* sorted = nullptr;
+  std::vector<char>* member = nullptr;  // per-row membership of current node
+  const GbdtConfig* cfg = nullptr;
+  std::vector<std::uint32_t> scratch;   // member rows in feature order
+};
+
+}  // namespace
+
+int RegressionTree::build(const Tensor& x, std::span<const double> grad,
+                          std::span<const double> hess,
+                          std::vector<std::size_t>& rows, std::size_t depth,
+                          const GbdtConfig& cfg) {
+  // Exact greedy search with per-node feature sorts. Training sets here
+  // are small (5 fingerprints per RP), so this stays well under a second
+  // per classifier; a histogram/pre-sort scheme would only pay off at
+  // orders of magnitude more rows.
+  double g_sum = 0.0;
+  double h_sum = 0.0;
+  for (std::size_t r : rows) {
+    g_sum += grad[r];
+    h_sum += hess[r];
+  }
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  nodes_[static_cast<std::size_t>(node_id)].value =
+      leaf_weight(g_sum, h_sum, cfg.lambda);
+
+  if (depth >= cfg.max_depth || rows.size() < 2 * cfg.min_samples_leaf)
+    return node_id;
+
+  const std::size_t num_features = x.cols();
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  float best_threshold = 0.0F;
+
+  std::vector<std::size_t> order(rows);
+  for (std::size_t f = 0; f < num_features; ++f) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return x.data()[a * num_features + f] < x.data()[b * num_features + f];
+    });
+    double gl = 0.0;
+    double hl = 0.0;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      gl += grad[order[i]];
+      hl += hess[order[i]];
+      const float cur = x.data()[order[i] * num_features + f];
+      const float nxt = x.data()[order[i + 1] * num_features + f];
+      if (cur == nxt) continue;
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = order.size() - n_left;
+      if (n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf)
+        continue;
+      const double g = split_gain(gl, hl, g_sum - gl, h_sum - hl, cfg.lambda);
+      if (g > best_gain) {
+        best_gain = g;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5F * (cur + nxt);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t r : rows) {
+    if (x.data()[r * num_features + static_cast<std::size_t>(best_feature)] <=
+        best_threshold)
+      left_rows.push_back(r);
+    else
+      right_rows.push_back(r);
+  }
+  CAL_INVARIANT(!left_rows.empty() && !right_rows.empty(),
+                "degenerate GBDT split");
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const int left = build(x, grad, hess, left_rows, depth + 1, cfg);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  const int right = build(x, grad, hess, right_rows, depth + 1, cfg);
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+void RegressionTree::fit(const Tensor& x, std::span<const double> grad,
+                         std::span<const double> hess,
+                         std::span<const std::size_t> rows,
+                         const GbdtConfig& cfg) {
+  CAL_ENSURE(!rows.empty(), "tree fit with no rows");
+  CAL_ENSURE(x.rank() == 2, "tree fit expects rank-2 features");
+  CAL_ENSURE(grad.size() == x.rows() && hess.size() == x.rows(),
+             "grad/hess must cover every row");
+  nodes_.clear();
+  std::vector<std::size_t> mutable_rows(rows.begin(), rows.end());
+  build(x, grad, hess, mutable_rows, 0, cfg);
+}
+
+double RegressionTree::predict_one(const float* row) const {
+  CAL_ENSURE(!nodes_.empty(), "predict on unfitted tree");
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const auto& n = nodes_[static_cast<std::size_t>(node)];
+    node = (row[n.feature] <= n.threshold) ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+// --------------------------------------------------------------------------
+// GbdtClassifier
+// --------------------------------------------------------------------------
+
+GbdtClassifier::GbdtClassifier(GbdtConfig cfg) : cfg_(cfg) {
+  CAL_ENSURE(cfg_.rounds >= 1, "GBDT needs >= 1 round");
+  CAL_ENSURE(cfg_.learning_rate > 0.0, "GBDT learning rate must be positive");
+  CAL_ENSURE(cfg_.subsample > 0.0 && cfg_.subsample <= 1.0,
+             "subsample out of (0,1]");
+}
+
+void GbdtClassifier::fit(const Tensor& x, std::span<const std::size_t> labels,
+                         std::size_t num_classes) {
+  CAL_ENSURE(x.rank() == 2, "GBDT fit expects rank-2 features");
+  CAL_ENSURE(labels.size() == x.rows(), "labels/rows mismatch");
+  CAL_ENSURE(num_classes >= 2, "GBDT needs >= 2 classes");
+  num_classes_ = num_classes;
+  num_features_ = x.cols();
+  trees_.clear();
+
+  const std::size_t n = x.rows();
+  std::vector<double> f(n * num_classes_, 0.0);
+  std::vector<double> probs(n * num_classes_, 0.0);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  Rng rng(cfg_.seed);
+
+  for (std::size_t round = 0; round < cfg_.rounds; ++round) {
+    // Softmax over the current scores, once per round for all classes.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* fi = &f[i * num_classes_];
+      double* pi = &probs[i * num_classes_];
+      double mx = fi[0];
+      for (std::size_t k = 1; k < num_classes_; ++k)
+        mx = std::max(mx, fi[k]);
+      double denom = 0.0;
+      for (std::size_t k = 0; k < num_classes_; ++k) {
+        pi[k] = std::exp(fi[k] - mx);
+        denom += pi[k];
+      }
+      const double inv = 1.0 / denom;
+      for (std::size_t k = 0; k < num_classes_; ++k) pi[k] *= inv;
+    }
+
+    std::vector<std::size_t> rows;
+    if (cfg_.subsample < 1.0) {
+      const auto keep = static_cast<std::size_t>(
+          std::max(2.0, std::floor(static_cast<double>(n) * cfg_.subsample)));
+      rows = rng.sample_without_replacement(n, keep);
+      std::sort(rows.begin(), rows.end());
+    } else {
+      rows.resize(n);
+      for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+    }
+
+    trees_.emplace_back();
+    auto& round_trees = trees_.back();
+    round_trees.resize(num_classes_);
+
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double p = probs[i * num_classes_ + c];
+        const double y = (labels[i] == c) ? 1.0 : 0.0;
+        grad[i] = p - y;
+        hess[i] = std::max(p * (1.0 - p), 1e-6);
+      }
+      round_trees[c].fit(x, grad, hess, rows, cfg_);
+      for (std::size_t i = 0; i < n; ++i)
+        f[i * num_classes_ + c] +=
+            cfg_.learning_rate *
+            round_trees[c].predict_one(x.data() + i * num_features_);
+    }
+  }
+}
+
+Tensor GbdtClassifier::decision_scores(const Tensor& x) const {
+  CAL_ENSURE(!trees_.empty(), "GBDT predict before fit");
+  CAL_ENSURE(x.rank() == 2 && x.cols() == num_features_,
+             "GBDT feature mismatch");
+  Tensor scores({x.rows(), num_classes_});
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.data() + i * num_features_;
+    float* out = scores.data() + i * num_classes_;
+    for (const auto& round_trees : trees_)
+      for (std::size_t c = 0; c < num_classes_; ++c)
+        out[c] += static_cast<float>(cfg_.learning_rate *
+                                     round_trees[c].predict_one(row));
+  }
+  return scores;
+}
+
+std::vector<std::size_t> GbdtClassifier::predict(const Tensor& x) const {
+  return autograd::argmax_rows(decision_scores(x));
+}
+
+}  // namespace cal::baselines

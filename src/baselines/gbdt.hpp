@@ -1,0 +1,81 @@
+// Gradient-boosted decision trees (SANGRIA's classifier stage [19]).
+//
+// Multiclass softmax boosting with second-order (Newton) leaf weights and
+// XGBoost-style split gain: at each round, per class, a regression tree is
+// fitted to the gradient/hessian of the softmax cross-entropy. Exact
+// greedy splits — the trees operate on the autoencoder's low-dimensional
+// code, so exhaustive search is cheap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace cal::baselines {
+
+struct GbdtConfig {
+  std::size_t rounds = 40;          ///< boosting iterations
+  std::size_t max_depth = 3;
+  double learning_rate = 0.2;
+  std::size_t min_samples_leaf = 4;
+  double lambda = 1.0;              ///< L2 leaf regulariser
+  double subsample = 0.8;           ///< per-round row sampling
+  std::uint64_t seed = 37;
+};
+
+/// One fitted regression tree (flat node array).
+class RegressionTree {
+ public:
+  /// Fit to (gradient, hessian) statistics over the rows in `rows`.
+  void fit(const Tensor& x, std::span<const double> grad,
+           std::span<const double> hess, std::span<const std::size_t> rows,
+           const GbdtConfig& cfg);
+
+  /// Predicted leaf weight for one feature row.
+  double predict_one(const float* row) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct TreeNode {
+    int feature = -1;       ///< -1 for leaves
+    float threshold = 0.0F;
+    double value = 0.0;     ///< leaf weight
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const Tensor& x, std::span<const double> grad,
+            std::span<const double> hess, std::vector<std::size_t>& rows,
+            std::size_t depth, const GbdtConfig& cfg);
+
+  std::vector<TreeNode> nodes_;
+};
+
+/// Multiclass gradient-boosted classifier.
+class GbdtClassifier {
+ public:
+  explicit GbdtClassifier(GbdtConfig cfg = GbdtConfig{});
+
+  void fit(const Tensor& x, std::span<const std::size_t> labels,
+           std::size_t num_classes);
+
+  /// Raw additive scores (N x C).
+  Tensor decision_scores(const Tensor& x) const;
+
+  std::vector<std::size_t> predict(const Tensor& x) const;
+
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t rounds_fitted() const { return trees_.size(); }
+
+ private:
+  GbdtConfig cfg_;
+  std::size_t num_classes_ = 0;
+  std::size_t num_features_ = 0;
+  /// trees_[round][class]
+  std::vector<std::vector<RegressionTree>> trees_;
+};
+
+}  // namespace cal::baselines

@@ -1,0 +1,134 @@
+#include "baselines/gpc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace cal::baselines {
+
+Gpc::Gpc(GpcConfig cfg) : cfg_(cfg) {
+  CAL_ENSURE(cfg_.signal_variance > 0.0, "signal variance must be positive");
+  CAL_ENSURE(cfg_.noise_variance > 0.0, "noise variance must be positive");
+  CAL_ENSURE(cfg_.max_train_samples >= 2, "GPC needs >= 2 training samples");
+}
+
+double Gpc::kernel(const double* a, const double* b, std::size_t n) const {
+  double sq = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d = a[j] - b[j];
+    sq += d * d;
+  }
+  return cfg_.signal_variance *
+         std::exp(-sq / (2.0 * length_scale_ * length_scale_));
+}
+
+void Gpc::fit(const data::FingerprintDataset& train) {
+  CAL_ENSURE(train.num_samples() >= 2, "GPC fit needs >= 2 samples");
+  fit_features(train.normalized(), train.labels(), train.num_rps());
+}
+
+void Gpc::fit_features(const Tensor& x, std::span<const std::size_t> labels,
+                       std::size_t num_classes) {
+  CAL_ENSURE(x.rank() == 2 && x.rows() >= 2, "GPC fit needs >= 2 samples");
+  CAL_ENSURE(labels.size() == x.rows(), "GPC labels/rows mismatch");
+  num_classes_ = num_classes;
+  num_features_ = x.cols();
+
+  // Optional subsampling to bound the O(N^3) factorisation.
+  std::vector<std::size_t> keep(x.rows());
+  for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+  if (x.rows() > cfg_.max_train_samples) {
+    Rng rng(cfg_.seed);
+    keep = rng.sample_without_replacement(x.rows(), cfg_.max_train_samples);
+    std::sort(keep.begin(), keep.end());
+  }
+  const std::size_t n = keep.size();
+
+  train_x_ = linalg::Matrix(n, num_features_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = x.data() + keep[i] * num_features_;
+    for (std::size_t j = 0; j < num_features_; ++j)
+      train_x_(i, j) = static_cast<double>(row[j]);
+  }
+
+  // Median-pairwise-distance heuristic for the length scale.
+  if (cfg_.length_scale > 0.0) {
+    length_scale_ = cfg_.length_scale;
+  } else {
+    Rng rng(cfg_.seed ^ 0x5CA1EULL);
+    std::vector<double> dists;
+    const std::size_t pairs = std::min<std::size_t>(2000, n * (n - 1) / 2);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const std::size_t a = rng.uniform_index(n);
+      std::size_t b = rng.uniform_index(n);
+      if (a == b) b = (b + 1) % n;
+      double sq = 0.0;
+      for (std::size_t j = 0; j < num_features_; ++j) {
+        const double d = train_x_(a, j) - train_x_(b, j);
+        sq += d * d;
+      }
+      dists.push_back(std::sqrt(sq));
+    }
+    length_scale_ = std::max(median(dists), 1e-3);
+  }
+
+  // K + σ_n² I and the posterior weights α = (K+σ_n²I)⁻¹ Y.
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(&train_x_(i, 0), &train_x_(j, 0),
+                              num_features_);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  k.add_diagonal(cfg_.noise_variance);
+
+  linalg::Matrix y(n, num_classes_);
+  for (std::size_t i = 0; i < n; ++i) y(i, labels[keep[i]]) = 1.0;
+
+  double used_jitter = 0.0;
+  const auto chol =
+      linalg::cholesky_with_jitter(k, 0.0, 1e-3, &used_jitter);
+  alpha_ = chol.solve(y);
+}
+
+linalg::Matrix Gpc::decision_scores(const Tensor& x) const {
+  CAL_ENSURE(alpha_.rows() > 0, "GPC predict before fit");
+  CAL_ENSURE(x.rank() == 2 && x.cols() == num_features_,
+             "GPC feature mismatch");
+  const std::size_t n = train_x_.rows();
+  linalg::Matrix scores(x.rows(), num_classes_);
+  std::vector<double> q(num_features_);
+  std::vector<double> kstar(n);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.data() + i * num_features_;
+    for (std::size_t j = 0; j < num_features_; ++j)
+      q[j] = static_cast<double>(row[j]);
+    for (std::size_t t = 0; t < n; ++t)
+      kstar[t] = kernel(q.data(), train_x_.row(t).data(), num_features_);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      double acc = 0.0;
+      for (std::size_t t = 0; t < n; ++t) acc += kstar[t] * alpha_(t, c);
+      scores(i, c) = acc;
+    }
+  }
+  return scores;
+}
+
+std::vector<std::size_t> Gpc::predict(const Tensor& x) {
+  const auto scores = decision_scores(x);
+  std::vector<std::size_t> out(scores.rows());
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < num_classes_; ++c)
+      if (scores(i, c) > scores(i, best)) best = c;
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace cal::baselines

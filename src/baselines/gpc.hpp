@@ -1,0 +1,58 @@
+// Gaussian-process classifier [14].
+//
+// Implemented as Gaussian-process regression on one-hot class targets
+// (least-squares classification): one shared RBF kernel, a single Cholesky
+// factorisation of K + σ_n²I, and C posterior-mean solves. This is the
+// standard scalable GP classifier (GPML §6.5); the full Laplace
+// approximation changes the link function, not the qualitative behaviour
+// that matters here — extreme sensitivity of the kernel to perturbed
+// inputs, which is exactly what the paper exploits when WiDeep/GPC
+// degrades under noise and attack.
+#pragma once
+
+#include "baselines/localizer.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cal::baselines {
+
+/// Hyper-parameters of the RBF-kernel GP classifier.
+struct GpcConfig {
+  double signal_variance = 1.0;   ///< σ_f²
+  double length_scale = 0.0;      ///< ℓ; 0 ⇒ median-distance heuristic
+  double noise_variance = 0.01;   ///< σ_n²
+  std::size_t max_train_samples = 700;  ///< subsample cap (keeps O(N³) sane)
+  std::uint64_t seed = 11;
+};
+
+class Gpc : public ILocalizer {
+ public:
+  explicit Gpc(GpcConfig cfg = GpcConfig{});
+
+  void fit(const data::FingerprintDataset& train) override;
+
+  /// Fit directly on an arbitrary feature matrix (e.g. autoencoder codes
+  /// in WiDeep) rather than normalised fingerprints.
+  void fit_features(const Tensor& x, std::span<const std::size_t> labels,
+                    std::size_t num_classes);
+
+  std::vector<std::size_t> predict(const Tensor& x_normalized) override;
+  std::string name() const override { return "GPC"; }
+
+  /// Posterior-mean scores per class (rows align with x).
+  linalg::Matrix decision_scores(const Tensor& x_normalized) const;
+
+  double length_scale() const { return length_scale_; }
+
+ private:
+  double kernel(const double* a, const double* b, std::size_t n) const;
+
+  GpcConfig cfg_;
+  double length_scale_ = 1.0;
+  std::size_t num_classes_ = 0;
+  std::size_t num_features_ = 0;
+  linalg::Matrix train_x_;  // (N x A) double copy
+  linalg::Matrix alpha_;    // (N x C) posterior weights
+};
+
+}  // namespace cal::baselines

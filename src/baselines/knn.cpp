@@ -1,0 +1,59 @@
+#include "baselines/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace cal::baselines {
+
+Knn::Knn(std::size_t k) : k_(k) {
+  CAL_ENSURE(k_ >= 1, "KNN needs k >= 1");
+}
+
+void Knn::fit(const data::FingerprintDataset& train) {
+  CAL_ENSURE(train.num_samples() >= 1, "KNN fit on empty dataset");
+  train_x_ = train.normalized();
+  train_y_.assign(train.labels().begin(), train.labels().end());
+  num_classes_ = train.num_rps();
+}
+
+std::vector<std::size_t> Knn::predict(const Tensor& x) {
+  CAL_ENSURE(!train_y_.empty(), "KNN predict before fit");
+  CAL_ENSURE(x.rank() == 2 && x.cols() == train_x_.cols(),
+             "KNN feature mismatch: " << x.shape_str() << " vs train "
+                                      << train_x_.shape_str());
+  const std::size_t n_train = train_x_.rows();
+  const std::size_t k = std::min(k_, n_train);
+  const std::size_t cols = x.cols();
+
+  std::vector<std::size_t> out(x.rows());
+  std::vector<std::pair<float, std::size_t>> dist(n_train);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* q = x.data() + i * cols;
+    for (std::size_t t = 0; t < n_train; ++t) {
+      const float* r = train_x_.data() + t * cols;
+      float acc = 0.0F;
+      for (std::size_t j = 0; j < cols; ++j) {
+        const float d = q[j] - r[j];
+        acc += d * d;
+      }
+      dist[t] = {acc, t};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                      dist.end());
+    // Distance-weighted vote: w = 1/(d+eps); robust to ties and to a
+    // single mislabeled close neighbour.
+    std::vector<double> votes(num_classes_, 0.0);
+    for (std::size_t t = 0; t < k; ++t) {
+      const double w = 1.0 / (std::sqrt(static_cast<double>(dist[t].first)) +
+                              1e-6);
+      votes[train_y_[dist[t].second]] += w;
+    }
+    out[i] = static_cast<std::size_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+  }
+  return out;
+}
+
+}  // namespace cal::baselines

@@ -1,0 +1,27 @@
+// K-Nearest-Neighbours fingerprint classifier [13].
+#pragma once
+
+#include "baselines/localizer.hpp"
+
+namespace cal::baselines {
+
+/// Euclidean KNN over normalised fingerprints with majority vote
+/// (distance-weighted tie-breaking).
+class Knn : public ILocalizer {
+ public:
+  explicit Knn(std::size_t k = 5);
+
+  void fit(const data::FingerprintDataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& x_normalized) override;
+  std::string name() const override { return "KNN"; }
+
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  Tensor train_x_;
+  std::vector<std::size_t> train_y_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace cal::baselines

@@ -1,0 +1,17 @@
+#include "baselines/localizer.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::baselines {
+
+double prediction_accuracy(ILocalizer& model, const Tensor& x_normalized,
+                           std::span<const std::size_t> labels) {
+  CAL_ENSURE(labels.size() == x_normalized.rows(), "labels/rows mismatch");
+  const auto pred = model.predict(x_normalized);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace cal::baselines

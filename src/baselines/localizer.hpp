@@ -1,0 +1,42 @@
+// Common interface for every indoor-localization model in the repository
+// (the classical baselines of Fig. 1, the state-of-the-art frameworks of
+// Fig. 6/7, and CALLOC itself).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/gradient_source.hpp"
+#include "data/dataset.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cal::baselines {
+
+/// A fingerprint-to-RP classifier with optional white-box gradient access.
+class ILocalizer {
+ public:
+  ILocalizer() = default;
+  ILocalizer(const ILocalizer&) = delete;
+  ILocalizer& operator=(const ILocalizer&) = delete;
+  virtual ~ILocalizer() = default;
+
+  /// Train on an offline-phase dataset (consumes normalised features
+  /// internally; callers pass the raw dataset).
+  virtual void fit(const data::FingerprintDataset& train) = 0;
+
+  /// Predict the RP class for each row of a normalised [0,1] batch.
+  virtual std::vector<std::size_t> predict(const Tensor& x_normalized) = 0;
+
+  /// Display name used in reports ("KNN", "CALLOC", ...).
+  virtual std::string name() const = 0;
+
+  /// Exact white-box gradient access, or nullptr when the model is not
+  /// differentiable (attackers then transfer from a surrogate).
+  virtual attacks::GradientSource* gradient_source() { return nullptr; }
+};
+
+/// Prediction accuracy helper shared by tests.
+double prediction_accuracy(ILocalizer& model, const Tensor& x_normalized,
+                           std::span<const std::size_t> labels);
+
+}  // namespace cal::baselines

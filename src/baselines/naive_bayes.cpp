@@ -1,0 +1,91 @@
+#include "baselines/naive_bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace cal::baselines {
+
+NaiveBayes::NaiveBayes(double variance_floor)
+    : variance_floor_(variance_floor) {
+  CAL_ENSURE(variance_floor_ > 0.0, "variance floor must be positive");
+}
+
+void NaiveBayes::fit(const data::FingerprintDataset& train) {
+  CAL_ENSURE(train.num_samples() >= 1, "NaiveBayes fit on empty dataset");
+  const Tensor x = train.normalized();
+  const auto labels = train.labels();
+  num_classes_ = train.num_rps();
+  num_features_ = x.cols();
+
+  mean_.assign(num_classes_ * num_features_, 0.0);
+  var_.assign(num_classes_ * num_features_, 0.0);
+  log_prior_.assign(num_classes_, 0.0);
+  std::vector<std::size_t> counts(num_classes_, 0);
+
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.data() + i * num_features_;
+    double* m = &mean_[labels[i] * num_features_];
+    for (std::size_t j = 0; j < num_features_; ++j) m[j] += row[j];
+    ++counts[labels[i]];
+  }
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    if (counts[c] == 0) continue;
+    double* m = &mean_[c * num_features_];
+    for (std::size_t j = 0; j < num_features_; ++j)
+      m[j] /= static_cast<double>(counts[c]);
+  }
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.data() + i * num_features_;
+    const double* m = &mean_[labels[i] * num_features_];
+    double* v = &var_[labels[i] * num_features_];
+    for (std::size_t j = 0; j < num_features_; ++j) {
+      const double d = row[j] - m[j];
+      v[j] += d * d;
+    }
+  }
+  const auto total = static_cast<double>(x.rows());
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    double* v = &var_[c * num_features_];
+    for (std::size_t j = 0; j < num_features_; ++j) {
+      v[j] = counts[c] > 0
+                 ? std::max(v[j] / static_cast<double>(counts[c]),
+                            variance_floor_)
+                 : variance_floor_;
+    }
+    // Unvisited classes get a vanishing prior rather than -inf.
+    log_prior_[c] = std::log(
+        std::max(static_cast<double>(counts[c]), 0.5) / total);
+  }
+}
+
+std::vector<std::size_t> NaiveBayes::predict(const Tensor& x) {
+  CAL_ENSURE(num_classes_ > 0, "NaiveBayes predict before fit");
+  CAL_ENSURE(x.rank() == 2 && x.cols() == num_features_,
+             "NaiveBayes feature mismatch");
+  std::vector<std::size_t> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.data() + i * num_features_;
+    double best_score = -1e300;
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      const double* m = &mean_[c * num_features_];
+      const double* v = &var_[c * num_features_];
+      double score = log_prior_[c];
+      for (std::size_t j = 0; j < num_features_; ++j) {
+        const double d = row[j] - m[j];
+        score += -0.5 * (std::log(2.0 * 3.14159265358979 * v[j]) +
+                         d * d / v[j]);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace cal::baselines

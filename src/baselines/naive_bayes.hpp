@@ -1,0 +1,28 @@
+// Gaussian Naive Bayes fingerprint classifier [12].
+#pragma once
+
+#include "baselines/localizer.hpp"
+
+namespace cal::baselines {
+
+/// Per-class, per-AP Gaussian likelihood with a variance floor; classes
+/// are scored by log-prior + sum of feature log-likelihoods.
+class NaiveBayes : public ILocalizer {
+ public:
+  /// variance_floor regularises APs with near-constant readings.
+  explicit NaiveBayes(double variance_floor = 1e-4);
+
+  void fit(const data::FingerprintDataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& x_normalized) override;
+  std::string name() const override { return "NaiveBayes"; }
+
+ private:
+  double variance_floor_;
+  std::size_t num_classes_ = 0;
+  std::size_t num_features_ = 0;
+  std::vector<double> mean_;      // (C x A)
+  std::vector<double> var_;       // (C x A)
+  std::vector<double> log_prior_; // (C)
+};
+
+}  // namespace cal::baselines

@@ -1,0 +1,30 @@
+#include "baselines/sangria.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::baselines {
+
+Sangria::Sangria(SangriaConfig cfg) : cfg_(cfg) {}
+
+void Sangria::fit(const data::FingerprintDataset& train) {
+  CAL_ENSURE(train.num_samples() >= 2, "SANGRIA fit needs >= 2 samples");
+  const Tensor x = train.normalized();
+
+  DaeConfig dae = cfg_.dae;
+  dae.seed = cfg_.seed;
+  encoder_ = std::make_unique<StackedAutoencoder>(train.num_aps(),
+                                                  cfg_.hidden_dims, dae);
+  encoder_->fit(x);
+
+  GbdtConfig gbdt = cfg_.gbdt;
+  gbdt.seed = cfg_.seed ^ 0x5A46ULL;
+  trees_ = std::make_unique<GbdtClassifier>(gbdt);
+  trees_->fit(encoder_->encode(x), train.labels(), train.num_rps());
+}
+
+std::vector<std::size_t> Sangria::predict(const Tensor& x) {
+  CAL_ENSURE(trees_ != nullptr, "SANGRIA predict before fit");
+  return trees_->predict(encoder_->encode(x));
+}
+
+}  // namespace cal::baselines

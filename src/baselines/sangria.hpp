@@ -1,0 +1,40 @@
+// SANGRIA baseline [19]: stacked autoencoder + gradient-boosted trees.
+//
+// SANGRIA couples a domain-specific stacked autoencoder (noise-robust
+// embedding) with a categorical gradient-boosted tree classifier. It
+// excels at environmental-noise augmentation but has no adversarial
+// defence — the paper's Fig. 6 places it between AdvLoc and ANVIL.
+#pragma once
+
+#include <memory>
+
+#include "baselines/autoencoder.hpp"
+#include "baselines/gbdt.hpp"
+#include "baselines/localizer.hpp"
+
+namespace cal::baselines {
+
+struct SangriaConfig {
+  std::vector<std::size_t> hidden_dims = {128, 48};
+  DaeConfig dae;
+  GbdtConfig gbdt;
+  std::uint64_t seed = 41;
+};
+
+class Sangria : public ILocalizer {
+ public:
+  explicit Sangria(SangriaConfig cfg = SangriaConfig{});
+
+  void fit(const data::FingerprintDataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& x_normalized) override;
+  std::string name() const override { return "SANGRIA"; }
+
+  // Non-differentiable end-to-end (trees): attacks transfer via surrogate.
+
+ private:
+  SangriaConfig cfg_;
+  std::unique_ptr<StackedAutoencoder> encoder_;
+  std::unique_ptr<GbdtClassifier> trees_;
+};
+
+}  // namespace cal::baselines

@@ -1,0 +1,28 @@
+#include "baselines/surrogate.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::baselines {
+
+SurrogateGradients::SurrogateGradients(const data::FingerprintDataset& train,
+                                       std::uint64_t seed) {
+  DnnConfig cfg;
+  cfg.seed = seed;
+  cfg.train.epochs = 40;
+  dnn_ = std::make_unique<Dnn>(cfg);
+  dnn_->fit(train);
+}
+
+attacks::GradientSource& SurrogateGradients::source() {
+  attacks::GradientSource* src = dnn_->gradient_source();
+  CAL_ENSURE(src != nullptr, "surrogate DNN has no gradient source");
+  return *src;
+}
+
+attacks::GradientSource& gradients_for(ILocalizer& victim,
+                                       SurrogateGradients& surrogate) {
+  if (auto* own = victim.gradient_source(); own != nullptr) return *own;
+  return surrogate.source();
+}
+
+}  // namespace cal::baselines

@@ -1,0 +1,36 @@
+// Surrogate gradient provider for attacking non-differentiable victims.
+//
+// White-box attacks on KNN/GPC/GBDT-based localizers (Fig. 1, Fig. 6/7)
+// use transfer: a DNN surrogate is trained on the victim's training data
+// and its input gradients drive the perturbation. Transferability of
+// FGSM/PGD perturbations across models trained on the same data is the
+// standard assumption in the adversarial-ML literature.
+#pragma once
+
+#include <memory>
+
+#include "attacks/gradient_source.hpp"
+#include "baselines/dnn.hpp"
+#include "data/dataset.hpp"
+
+namespace cal::baselines {
+
+/// Trains an internal DNN on the given dataset and exposes its exact
+/// input gradients as an attacks::GradientSource.
+class SurrogateGradients {
+ public:
+  explicit SurrogateGradients(const data::FingerprintDataset& train,
+                              std::uint64_t seed = 4242);
+
+  attacks::GradientSource& source();
+
+ private:
+  std::unique_ptr<Dnn> dnn_;
+};
+
+/// Resolve the gradient source used to attack `victim`: its own exact
+/// gradients when differentiable, otherwise `surrogate`.
+attacks::GradientSource& gradients_for(ILocalizer& victim,
+                                       SurrogateGradients& surrogate);
+
+}  // namespace cal::baselines

@@ -1,0 +1,29 @@
+#include "baselines/wideep.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::baselines {
+
+WiDeep::WiDeep(WiDeepConfig cfg) : cfg_(cfg) {}
+
+void WiDeep::fit(const data::FingerprintDataset& train) {
+  CAL_ENSURE(train.num_samples() >= 2, "WiDeep fit needs >= 2 samples");
+  const Tensor x = train.normalized();
+
+  DaeConfig dae = cfg_.dae;
+  dae.seed = cfg_.seed;
+  encoder_ = std::make_unique<DenoisingAutoencoder>(train.num_aps(), dae);
+  encoder_->fit(x);
+
+  GpcConfig gpc_cfg = cfg_.gpc;
+  gpc_cfg.seed = cfg_.seed ^ 0x91DEEULL;
+  gpc_ = std::make_unique<Gpc>(gpc_cfg);
+  gpc_->fit_features(encoder_->encode(x), train.labels(), train.num_rps());
+}
+
+std::vector<std::size_t> WiDeep::predict(const Tensor& x) {
+  CAL_ENSURE(gpc_ != nullptr, "WiDeep predict before fit");
+  return gpc_->predict(encoder_->encode(x));
+}
+
+}  // namespace cal::baselines

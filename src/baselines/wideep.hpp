@@ -1,0 +1,38 @@
+// WiDeep baseline [14]: denoising autoencoder + Gaussian-process classifier.
+//
+// WiDeep denoises fingerprints with an autoencoder and classifies the
+// embedding with a GPC. Its GP stage is extremely sensitive to residual
+// noise — the paper attributes WiDeep's 6.03x mean-error gap to exactly
+// that (Fig. 6 discussion).
+#pragma once
+
+#include <memory>
+
+#include "baselines/autoencoder.hpp"
+#include "baselines/gpc.hpp"
+#include "baselines/localizer.hpp"
+
+namespace cal::baselines {
+
+struct WiDeepConfig {
+  DaeConfig dae;
+  GpcConfig gpc;
+  std::uint64_t seed = 43;
+};
+
+class WiDeep : public ILocalizer {
+ public:
+  explicit WiDeep(WiDeepConfig cfg = WiDeepConfig{});
+
+  void fit(const data::FingerprintDataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& x_normalized) override;
+  std::string name() const override { return "WiDeep"; }
+
+ private:
+  WiDeepConfig cfg_;
+  std::unique_ptr<DenoisingAutoencoder> encoder_;
+  std::unique_ptr<Gpc> gpc_;
+  std::unique_ptr<data::FingerprintDataset> embedded_train_;
+};
+
+}  // namespace cal::baselines

@@ -1,0 +1,88 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/ensure.hpp"
+
+namespace cal {
+
+CsvRow parse_csv_line(const std::string& line) {
+  CsvRow out;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // ignore CR from CRLF files
+    } else {
+      field.push_back(c);
+    }
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string format_csv_row(const CsvRow& row) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(row[i]);
+  }
+  return os.str();
+}
+
+CsvDocument read_csv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  CAL_ENSURE(in.good(), "cannot open CSV file for reading: " << path);
+  CsvDocument doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto row = parse_csv_line(line);
+    if (first && has_header) {
+      doc.header = std::move(row);
+    } else {
+      doc.rows.push_back(std::move(row));
+    }
+    first = false;
+  }
+  return doc;
+}
+
+void write_csv(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path);
+  CAL_ENSURE(out.good(), "cannot open CSV file for writing: " << path);
+  if (!doc.header.empty()) out << format_csv_row(doc.header) << '\n';
+  for (const auto& row : doc.rows) out << format_csv_row(row) << '\n';
+}
+
+}  // namespace cal

@@ -1,0 +1,38 @@
+// Minimal CSV reading/writing for experiment artefacts and dataset
+// round-trips. Handles quoting of fields containing commas/quotes/newlines;
+// this is deliberately not a full RFC 4180 parser (no embedded newlines on
+// read), which is sufficient for the numeric tables this library produces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cal {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// In-memory CSV document: optional header plus data rows.
+struct CsvDocument {
+  CsvRow header;
+  std::vector<CsvRow> rows;
+};
+
+/// Split a single CSV line honouring double-quote escaping.
+CsvRow parse_csv_line(const std::string& line);
+
+/// Quote a field if it contains a comma, quote, or newline.
+std::string csv_escape(const std::string& field);
+
+/// Serialize one row.
+std::string format_csv_row(const CsvRow& row);
+
+/// Read a CSV file; if `has_header`, first line becomes doc.header.
+/// Throws PreconditionError when the file cannot be opened.
+CsvDocument read_csv(const std::string& path, bool has_header);
+
+/// Write a CSV file (header emitted when non-empty).
+/// Throws PreconditionError when the file cannot be created.
+void write_csv(const std::string& path, const CsvDocument& doc);
+
+}  // namespace cal

@@ -1,0 +1,64 @@
+// Precondition / invariant checking helpers.
+//
+// Per the C++ Core Guidelines (I.6, E.12), interface preconditions are
+// expressed as checks that throw informative exceptions rather than
+// asserting in release builds: a localisation library embedded in a larger
+// application must not abort the host process on bad input.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cal {
+
+/// Error thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Error thrown when an internal invariant is broken (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace cal
+
+/// Check a caller-facing precondition; throws cal::PreconditionError.
+#define CAL_ENSURE(expr, msg)                                          \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::cal::detail::throw_precondition(#expr, __FILE__, __LINE__,     \
+                                        (std::ostringstream{} << msg)  \
+                                            .str());                   \
+  } while (false)
+
+/// Check an internal invariant; throws cal::InvariantError.
+#define CAL_INVARIANT(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::cal::detail::throw_invariant(#expr, __FILE__, __LINE__,       \
+                                     (std::ostringstream{} << msg)    \
+                                         .str());                     \
+  } while (false)

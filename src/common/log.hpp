@@ -1,0 +1,38 @@
+// Tiny leveled logger for training/experiment progress.
+//
+// Benches and examples print their artefacts on stdout; diagnostic progress
+// goes through this logger on stderr so artefact output stays clean and
+// parseable. Verbosity is a process-wide setting (default: Info).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cal {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the process-wide minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Current minimum level.
+LogLevel log_level();
+
+/// Emit one line at `level` (no-op if below the configured level).
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace cal
+
+#define CAL_LOG_AT(level, expr)                                   \
+  do {                                                            \
+    if (static_cast<int>(level) >= static_cast<int>(::cal::log_level())) { \
+      std::ostringstream cal_log_os;                              \
+      cal_log_os << expr;                                         \
+      ::cal::log_message(level, cal_log_os.str());                \
+    }                                                             \
+  } while (false)
+
+#define CAL_DEBUG(expr) CAL_LOG_AT(::cal::LogLevel::Debug, expr)
+#define CAL_INFO(expr) CAL_LOG_AT(::cal::LogLevel::Info, expr)
+#define CAL_WARN(expr) CAL_LOG_AT(::cal::LogLevel::Warn, expr)
+#define CAL_ERROR(expr) CAL_LOG_AT(::cal::LogLevel::Error, expr)

@@ -1,0 +1,113 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace cal {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  CAL_ENSURE(lo <= hi, "uniform range inverted: [" << lo << ", " << hi << ")");
+  return lo + (hi - lo) * uniform();
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  CAL_ENSURE(n > 0, "uniform_index requires a non-empty range");
+  // Modulo bias is negligible for n << 2^64 (all our uses).
+  return static_cast<std::size_t>(next_u64() % n);
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sigma) {
+  CAL_ENSURE(sigma >= 0.0, "normal() sigma must be non-negative, got " << sigma);
+  return mean + sigma * normal();
+}
+
+bool Rng::bernoulli(double p) {
+  CAL_ENSURE(p >= 0.0 && p <= 1.0, "bernoulli p out of [0,1]: " << p);
+  return uniform() < p;
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  return Rng(next_u64() ^ (salt * 0xD2B74407B1CE6E93ULL + 0x8CB92BA72F3D8DD7ULL));
+}
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+  if (v.size() < 2) return;
+  for (std::size_t i = v.size() - 1; i > 0; --i) {
+    const std::size_t j = uniform_index(i + 1);
+    std::swap(v[i], v[j]);
+  }
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  shuffle(v);
+  return v;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  CAL_ENSURE(k <= n, "cannot sample " << k << " distinct items from " << n);
+  auto perm = permutation(n);
+  perm.resize(k);
+  return perm;
+}
+
+}  // namespace cal

@@ -1,0 +1,74 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace cal {
+
+double mean(std::span<const double> xs) {
+  CAL_ENSURE(!xs.empty(), "mean of empty range");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  CAL_ENSURE(!xs.empty(), "stddev of empty range");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double min_value(std::span<const double> xs) {
+  CAL_ENSURE(!xs.empty(), "min of empty range");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  CAL_ENSURE(!xs.empty(), "max of empty range");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double rank = (p / 100.0) * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  CAL_ENSURE(!xs.empty(), "percentile of empty range");
+  CAL_ENSURE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]: " << p);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+Summary summarize(std::span<const double> xs) {
+  CAL_ENSURE(!xs.empty(), "summarize of empty range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = percentile_sorted(sorted, 50.0);
+  s.p95 = percentile_sorted(sorted, 95.0);
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  return s;
+}
+
+}  // namespace cal

@@ -1,0 +1,44 @@
+// Small descriptive-statistics helpers used by metrics and reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cal {
+
+/// Arithmetic mean. Requires a non-empty range.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation. Requires a non-empty range.
+double stddev(std::span<const double> xs);
+
+/// Minimum value. Requires a non-empty range.
+double min_value(std::span<const double> xs);
+
+/// Maximum value. Requires a non-empty range.
+double max_value(std::span<const double> xs);
+
+/// Median (linear-interpolated). Requires a non-empty range.
+double median(std::span<const double> xs);
+
+/// p-th percentile, p in [0, 100], linear interpolation between order
+/// statistics (the NIST "R-7" definition used by numpy.percentile).
+double percentile(std::span<const double> xs, double p);
+
+/// Summary bundle of the statistics reported throughout the paper's
+/// evaluation (mean and worst-case error, plus distribution shape).
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;  ///< the paper's "worst-case" error
+  std::size_t count = 0;
+};
+
+/// Compute all Summary fields in one pass over a copy of the data.
+Summary summarize(std::span<const double> xs);
+
+}  // namespace cal

@@ -1,0 +1,136 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/ensure.hpp"
+
+namespace cal {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CAL_ENSURE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  CAL_ENSURE(row.size() == header_.size(),
+             "row has " << row.size() << " cells, header has "
+                        << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    row.push_back(os.str());
+  }
+  add_row(std::move(row));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string render_heatmap(const std::string& title,
+                           const std::vector<std::string>& row_labels,
+                           const std::vector<std::string>& col_labels,
+                           const std::vector<std::vector<double>>& values,
+                           int precision) {
+  CAL_ENSURE(values.size() == row_labels.size(),
+             "heatmap rows/labels mismatch");
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (const auto& row : values) {
+    CAL_ENSURE(row.size() == col_labels.size(),
+               "heatmap cols/labels mismatch");
+    for (double v : row) {
+      if (first) { lo = hi = v; first = false; }
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  // Five shade buckets from light to dark, matching a printed heatmap.
+  static const char* kShades[] = {" ", ".", ":", "*", "#"};
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+
+  std::ostringstream os;
+  os << title << "  (min=" << std::fixed << std::setprecision(precision) << lo
+     << ", max=" << hi << ", shade: ' '<'.'<':'<'*'<'#')\n";
+  TextTable table([&] {
+    std::vector<std::string> h;
+    h.push_back("");
+    for (const auto& c : col_labels) h.push_back(c);
+    return h;
+  }());
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    std::vector<std::string> row;
+    row.push_back(row_labels[r]);
+    for (double v : values[r]) {
+      const int bucket = std::min(
+          4, static_cast<int>(std::floor((v - lo) / span * 5.0)));
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(precision) << v << ' '
+           << kShades[std::max(0, bucket)];
+      row.push_back(cell.str());
+    }
+    table.add_row(std::move(row));
+  }
+  os << table.str();
+  return os.str();
+}
+
+std::string render_bar_chart(const std::string& title,
+                             const std::vector<std::string>& labels,
+                             const std::vector<double>& values, int width,
+                             const std::string& unit) {
+  CAL_ENSURE(labels.size() == values.size(), "bar chart labels/values mismatch");
+  CAL_ENSURE(width > 0, "bar chart width must be positive");
+  double hi = 0.0;
+  for (double v : values) hi = std::max(hi, v);
+  std::size_t label_w = 0;
+  for (const auto& l : labels) label_w = std::max(label_w, l.size());
+
+  std::ostringstream os;
+  os << title << '\n';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int n = hi > 0.0
+                      ? static_cast<int>(std::round(values[i] / hi * width))
+                      : 0;
+    os << "  " << std::left << std::setw(static_cast<int>(label_w))
+       << labels[i] << " | " << std::string(static_cast<std::size_t>(n), '#')
+       << ' ' << std::fixed << std::setprecision(2) << values[i];
+    if (!unit.empty()) os << ' ' << unit;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cal

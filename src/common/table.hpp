@@ -1,0 +1,52 @@
+// ASCII table and heatmap rendering for the benchmark harness.
+//
+// The paper's evaluation is communicated through tables (Table I/II),
+// grouped bar charts (Fig. 1, 5, 6) and heatmaps (Fig. 4). The benches
+// regenerate each artefact as aligned monospace output so the "rows/series"
+// the paper reports can be read directly from the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cal {
+
+/// Aligned-column text table builder.
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision into a row.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  /// Render with column alignment and a header rule.
+  std::string str() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a numeric matrix as a labelled ASCII heatmap (Fig. 4 style):
+/// each cell prints the value plus a shade glyph bucketed over [min,max].
+std::string render_heatmap(const std::string& title,
+                           const std::vector<std::string>& row_labels,
+                           const std::vector<std::string>& col_labels,
+                           const std::vector<std::vector<double>>& values,
+                           int precision = 2);
+
+/// Render a horizontal ASCII bar chart (Fig. 1/5/6 style): one bar per
+/// (label, value), scaled to `width` characters at the maximum value.
+std::string render_bar_chart(const std::string& title,
+                             const std::vector<std::string>& labels,
+                             const std::vector<double>& values,
+                             int width = 48, const std::string& unit = "m");
+
+}  // namespace cal

@@ -1,0 +1,218 @@
+#include "core/adaptive_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "attacks/attack.hpp"
+#include "attacks/gradient_source.hpp"
+#include "autograd/ops.hpp"
+#include "common/ensure.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace cal::core {
+namespace {
+
+/// Lesson data: the (partially adversarial) curriculum view of the clean
+/// training matrix, row-aligned with it.
+Tensor make_lesson_data(CallocModel& model, const Tensor& x_clean,
+                        std::span<const std::size_t> y, const Lesson& lesson,
+                        double phi_override, Rng& rng) {
+  const double phi = phi_override;
+  if (lesson.adversarial_fraction <= 0.0 || lesson.epsilon <= 0.0 ||
+      phi <= 0.0)
+    return x_clean;
+
+  // Pick the adversarial subset for this lesson round.
+  const auto n_adv = static_cast<std::size_t>(
+      static_cast<double>(x_clean.rows()) * lesson.adversarial_fraction);
+  if (n_adv == 0) return x_clean;
+  auto idx = rng.sample_without_replacement(x_clean.rows(), n_adv);
+  std::sort(idx.begin(), idx.end());
+
+  Tensor x_sub = nn::gather_rows(x_clean, idx);
+  std::vector<std::size_t> y_sub(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) y_sub[i] = y[idx[i]];
+
+  attacks::AttackConfig atk;
+  atk.epsilon = lesson.epsilon;
+  atk.phi_percent = phi;
+  atk.selection = attacks::TargetSelection::Strongest;
+  atk.seed = rng.next_u64();
+  attacks::ModuleGradientSource grads(model);
+  const Tensor x_adv = attacks::fgsm_attack(grads, x_sub, y_sub, atk);
+
+  Tensor lesson_x = x_clean;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const float* src = x_adv.data() + i * x_clean.cols();
+    float* dst = lesson_x.data() + idx[i] * x_clean.cols();
+    std::copy(src, src + x_clean.cols(), dst);
+  }
+  return lesson_x;
+}
+
+}  // namespace
+
+AdaptiveCurriculumTrainer::AdaptiveCurriculumTrainer(AdaptiveTrainConfig cfg)
+    : cfg_(cfg) {
+  CAL_ENSURE(cfg_.max_epochs_per_lesson >= 1, "need >= 1 epoch per lesson");
+  CAL_ENSURE(cfg_.batch_size >= 1, "batch_size must be >= 1");
+  CAL_ENSURE(cfg_.learning_rate > 0.0F, "learning rate must be positive");
+  CAL_ENSURE(cfg_.validation_fraction >= 0.0 &&
+                 cfg_.validation_fraction < 1.0,
+             "validation_fraction out of [0,1)");
+  CAL_ENSURE(cfg_.phi_reduction_step > 0.0,
+             "phi_reduction_step must be positive");
+  CAL_ENSURE(cfg_.hyperspace_loss_weight >= 0.0F,
+             "hyperspace loss weight must be >= 0");
+}
+
+CurriculumReport AdaptiveCurriculumTrainer::train(
+    CallocModel& model, const Tensor& x, std::span<const std::size_t> y,
+    const CurriculumSchedule& schedule) {
+  CAL_ENSURE(x.rank() == 2 && x.rows() >= 4, "need >= 4 training samples");
+  CAL_ENSURE(y.size() == x.rows(), "labels/rows mismatch");
+  CAL_ENSURE(model.has_anchors(), "install anchors before training");
+
+  Rng rng(cfg_.seed);
+
+  // Fixed train/validation split shared by every lesson so losses are
+  // comparable across the curriculum.
+  auto perm = rng.permutation(x.rows());
+  const auto n_val = static_cast<std::size_t>(
+      static_cast<double>(x.rows()) * cfg_.validation_fraction);
+  std::vector<std::size_t> val_idx(perm.begin(),
+                                   perm.begin() + static_cast<long>(n_val));
+  std::vector<std::size_t> train_idx(perm.begin() + static_cast<long>(n_val),
+                                     perm.end());
+  CAL_ENSURE(!train_idx.empty(), "validation split consumed all data");
+
+  nn::Adam opt(model.parameters(), cfg_.learning_rate);
+  CurriculumReport report;
+
+  std::size_t lesson_ordinal = 0;
+  for (const Lesson& lesson : schedule.lessons()) {
+    opt.set_learning_rate(cfg_.learning_rate *
+                          std::pow(cfg_.lr_decay_per_lesson,
+                                   static_cast<float>(lesson_ordinal)));
+    ++lesson_ordinal;
+    LessonReport lr;
+    lr.lesson_index = lesson.index;
+    lr.phi_requested = lesson.phi_percent;
+    double phi = lesson.phi_percent;
+
+    // Best-weight tracking is per lesson: lesson losses are not comparable
+    // across lessons (harder lessons have intrinsically higher loss), so a
+    // global best would always point back at lesson 1.
+    std::vector<Tensor> lesson_best_weights = model.snapshot_weights();
+    double lesson_best = std::numeric_limits<double>::infinity();
+    std::size_t rising_streak = 0;
+    std::size_t since_best = 0;
+    double prev_val = std::numeric_limits<double>::infinity();
+
+    for (std::size_t epoch = 0; epoch < cfg_.max_epochs_per_lesson;
+         ++epoch) {
+      // ---- one training epoch over the lesson data -------------------
+      // Lesson perturbations are re-crafted against the *current* model
+      // every epoch: training on stale perturbations from an earlier
+      // model state defends against the wrong attack (the online-phase
+      // adversary always attacks the deployed weights).
+      Tensor lesson_x = make_lesson_data(model, x, y, lesson, phi, rng);
+      model.set_training(true);
+      rng.shuffle(train_idx);
+      for (std::size_t start = 0; start < train_idx.size();
+           start += cfg_.batch_size) {
+        const std::size_t end =
+            std::min(start + cfg_.batch_size, train_idx.size());
+        std::span<const std::size_t> bidx(train_idx.data() + start,
+                                          end - start);
+        Tensor xb_lesson = nn::gather_rows(lesson_x, bidx);
+        Tensor xb_clean = nn::gather_rows(x, bidx);
+        std::vector<std::size_t> yb(bidx.size());
+        for (std::size_t i = 0; i < bidx.size(); ++i) yb[i] = y[bidx[i]];
+
+        auto in_lesson = autograd::constant(xb_lesson);
+        auto in_clean = autograd::constant(xb_clean);
+        auto logits = model.forward(in_lesson);
+        auto loss = autograd::cross_entropy(logits, yb);
+        if (cfg_.hyperspace_loss_weight > 0.0F) {
+          // Hyperspace alignment: the curriculum embedding of the
+          // (perturbed) sample should match the original embedding of its
+          // clean counterpart.
+          auto h_c = model.hyperspace_curriculum(in_lesson);
+          auto h_o = model.hyperspace_original(in_clean);
+          auto align = autograd::mse_loss(h_c, h_o->value());
+          loss = autograd::add(
+              loss, autograd::scale(align, cfg_.hyperspace_loss_weight));
+        }
+        opt.zero_grad();
+        autograd::backward(loss);
+        opt.step();
+      }
+      ++lr.epochs_run;
+      ++report.total_epochs;
+
+      // ---- validation loss of the final FC layer ---------------------
+      model.set_training(false);
+      double val_loss = 0.0;
+      {
+        const auto& eval_idx = val_idx.empty() ? train_idx : val_idx;
+        Tensor xv = nn::gather_rows(lesson_x, eval_idx);
+        std::vector<std::size_t> yv(eval_idx.size());
+        for (std::size_t i = 0; i < eval_idx.size(); ++i)
+          yv[i] = y[eval_idx[i]];
+        auto logits = model.forward(autograd::constant(xv));
+        val_loss = autograd::cross_entropy(logits, yv)->value()[0];
+      }
+      if (cfg_.verbose)
+        CAL_INFO("lesson " << lesson.index << " phi=" << phi << " epoch "
+                           << epoch << " val=" << val_loss);
+
+      if (val_loss < lesson_best) {
+        lesson_best = val_loss;
+        lesson_best_weights = model.snapshot_weights();
+        since_best = 0;
+      } else {
+        ++since_best;
+      }
+
+      rising_streak = (val_loss > prev_val) ? rising_streak + 1 : 0;
+      prev_val = val_loss;
+
+      // ---- adaptive response to divergence (§IV.D) --------------------
+      const bool divergence = cfg_.divergence_patience > 0 &&
+                              rising_streak >= cfg_.divergence_patience &&
+                              val_loss > lesson_best;
+      if (divergence && lr.adaptations < cfg_.max_adaptations_per_lesson &&
+          phi > 0.0) {
+        model.restore_weights(lesson_best_weights);
+        phi = std::max(0.0, phi - cfg_.phi_reduction_step);
+        ++lr.adaptations;
+        rising_streak = 0;
+        since_best = 0;
+        prev_val = std::numeric_limits<double>::infinity();
+        if (cfg_.verbose)
+          CAL_INFO("  divergence -> revert, phi reduced to " << phi);
+        continue;
+      }
+      if (cfg_.early_stop_patience > 0 &&
+          since_best >= cfg_.early_stop_patience)
+        break;  // lesson converged; advance
+    }
+
+    // Advance to the next lesson from this lesson's best state.
+    model.restore_weights(lesson_best_weights);
+    lr.phi_trained = phi;
+    lr.best_val_loss = lesson_best;
+    report.lessons.push_back(lr);
+    report.final_val_loss = lesson_best;
+  }
+
+  model.set_training(false);
+  return report;
+}
+
+}  // namespace cal::core

@@ -1,0 +1,85 @@
+// Adaptive curriculum training controller (paper §IV.A + §IV.D).
+//
+// Per lesson:
+//   1. Generate lesson data: an ø%-AP FGSM perturbation (crafted against
+//      the *current* model, ϵ fixed at the lesson value) of a growing
+//      fraction of the training set; the rest stays original.
+//   2. Train, monitoring the validation loss of the final FC layer.
+//      The batch loss is CE(logits(lesson batch), y) + λ·MSE(H_C(lesson
+//      batch), H_O(clean batch)) — the hyperspace-alignment term the paper
+//      attaches to both embedding networks.
+//   3. Divergence (validation loss rising for `divergence_patience`
+//      consecutive epochs): revert to the best weights, reduce ø by
+//      `phi_reduction_step` (= 2, per §IV.D), regenerate lesson data and
+//      continue. Recovery advances to the next lesson.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/calloc_model.hpp"
+#include "core/curriculum.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cal::core {
+
+struct AdaptiveTrainConfig {
+  std::size_t max_epochs_per_lesson = 18;
+  std::size_t batch_size = 32;
+  float learning_rate = 2e-3F;
+  /// Multiplicative learning-rate decay applied at each lesson boundary:
+  /// late lessons fine-tune on the hardest adversarial mixtures, where a
+  /// full-rate Adam step oscillates between successive re-crafted attacks.
+  float lr_decay_per_lesson = 0.85F;
+  double validation_fraction = 0.15;
+  /// Consecutive epochs of rising validation loss that count as
+  /// divergence. 0 disables adaptation (static curriculum ablation).
+  std::size_t divergence_patience = 2;
+  /// ø reduction applied on divergence (paper: steps of two).
+  double phi_reduction_step = 2.0;
+  std::size_t max_adaptations_per_lesson = 4;
+  /// λ weight of the hyperspace-alignment MSE term. The MSE acts on
+  /// ReLU activations of ~0.1 scale, so a weight well above 1 is needed
+  /// for the alignment to register against the cross-entropy term
+  /// (ablated in bench_ablation_design).
+  float hyperspace_loss_weight = 2.0F;
+  /// Early-stop a lesson after this many epochs without improvement.
+  std::size_t early_stop_patience = 6;
+  std::uint64_t seed = 61;
+  bool verbose = false;
+};
+
+/// Outcome of one lesson.
+struct LessonReport {
+  std::size_t lesson_index = 0;
+  double phi_requested = 0.0;
+  double phi_trained = 0.0;  ///< after any adaptive reductions
+  std::size_t epochs_run = 0;
+  std::size_t adaptations = 0;
+  double best_val_loss = 0.0;
+};
+
+/// Outcome of the full curriculum.
+struct CurriculumReport {
+  std::vector<LessonReport> lessons;
+  std::size_t total_epochs = 0;
+  double final_val_loss = 0.0;
+};
+
+/// Drives a CallocModel through a CurriculumSchedule.
+class AdaptiveCurriculumTrainer {
+ public:
+  explicit AdaptiveCurriculumTrainer(AdaptiveTrainConfig cfg);
+
+  /// Train on normalised fingerprints `x` with RP labels `y`.
+  /// The model must already have its anchor set installed.
+  CurriculumReport train(CallocModel& model, const Tensor& x,
+                         std::span<const std::size_t> y,
+                         const CurriculumSchedule& schedule);
+
+ private:
+  AdaptiveTrainConfig cfg_;
+};
+
+}  // namespace cal::core

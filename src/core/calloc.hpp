@@ -1,0 +1,76 @@
+// Public entry point of the CALLOC framework.
+//
+// Quickstart:
+//   cal::core::Calloc model;                       // default configuration
+//   model.fit(train_dataset);                      // offline phase
+//   auto rps = model.predict(test.normalized());   // online phase
+//
+// fit() builds the anchor database (one mean clean fingerprint per RP),
+// instantiates the hyperspace-attention model sized to the dataset, and
+// runs the adaptive curriculum. Configuration switches expose the paper's
+// ablations: use_curriculum=false gives the "NC" variant of Fig. 5 and
+// adaptive=false freezes the ø schedule (static curriculum).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "baselines/localizer.hpp"
+#include "core/adaptive_trainer.hpp"
+#include "core/calloc_model.hpp"
+#include "core/curriculum.hpp"
+
+namespace cal::core {
+
+struct CallocConfig {
+  /// Model shape; num_aps/num_rps are filled in by fit() from the data.
+  CallocModelConfig model;
+  /// Curriculum shape (paper defaults: 10 lessons, ϵ = 0.1).
+  std::size_t num_lessons = 10;
+  double train_epsilon = 0.1;
+  double max_adversarial_fraction = 0.9;
+  /// Training controller.
+  AdaptiveTrainConfig train;
+  /// Fig. 5 "NC" ablation: single hardest-mix lesson, no progression.
+  bool use_curriculum = true;
+  /// §IV.D ablation: disable divergence-driven ø reduction.
+  bool adaptive = true;
+  std::uint64_t seed = 71;
+};
+
+/// CALLOC as an ILocalizer, interchangeable with every baseline.
+class Calloc : public baselines::ILocalizer {
+ public:
+  explicit Calloc(CallocConfig cfg = CallocConfig{});
+
+  void fit(const data::FingerprintDataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& x_normalized) override;
+  std::string name() const override;
+  attacks::GradientSource* gradient_source() override;
+
+  /// Trained model access (for footprint audits and weight IO).
+  CallocModel& model();
+
+  /// Persist the trained weights (deployment artefact, ~250 kB at paper
+  /// scale). The dataset geometry (num_aps/num_rps) and anchors must be
+  /// re-established via fit() or load_weights() on a matching dataset.
+  void save_weights(const std::string& path);
+
+  /// Restore weights saved by save_weights(). `train` must be the same
+  /// (or an identically-shaped) dataset used for the original fit: it
+  /// rebuilds the model geometry and the anchor database without
+  /// re-running the curriculum.
+  void load_weights(const std::string& path,
+                    const data::FingerprintDataset& train);
+
+  /// Curriculum outcome of the last fit().
+  const CurriculumReport& report() const;
+
+ private:
+  CallocConfig cfg_;
+  std::unique_ptr<CallocModel> model_;
+  std::unique_ptr<attacks::ModuleGradientSource> grads_;
+  std::optional<CurriculumReport> report_;
+};
+
+}  // namespace cal::core

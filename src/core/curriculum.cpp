@@ -1,0 +1,55 @@
+#include "core/curriculum.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::core {
+
+CurriculumSchedule::CurriculumSchedule(std::vector<Lesson> lessons)
+    : lessons_(std::move(lessons)) {
+  CAL_ENSURE(!lessons_.empty(), "curriculum needs at least one lesson");
+  for (std::size_t i = 0; i < lessons_.size(); ++i) {
+    const Lesson& l = lessons_[i];
+    CAL_ENSURE(l.phi_percent >= 0.0 && l.phi_percent <= 100.0,
+               "lesson ø out of [0,100]: " << l.phi_percent);
+    CAL_ENSURE(l.epsilon >= 0.0 && l.epsilon <= 1.0,
+               "lesson ϵ out of [0,1]: " << l.epsilon);
+    CAL_ENSURE(l.adversarial_fraction >= 0.0 &&
+                   l.adversarial_fraction <= 1.0,
+               "lesson adversarial fraction out of [0,1]");
+    if (i > 0)
+      CAL_ENSURE(l.phi_percent >= lessons_[i - 1].phi_percent,
+                 "curriculum ø must be non-decreasing (lesson " << i + 1
+                                                                << ")");
+  }
+}
+
+CurriculumSchedule CurriculumSchedule::standard(
+    std::size_t num_lessons, double epsilon,
+    double max_adversarial_fraction) {
+  CAL_ENSURE(num_lessons >= 2, "standard curriculum needs >= 2 lessons");
+  std::vector<Lesson> lessons;
+  lessons.reserve(num_lessons);
+  for (std::size_t i = 0; i < num_lessons; ++i) {
+    Lesson l;
+    l.index = i + 1;
+    const double t =
+        static_cast<double>(i) / static_cast<double>(num_lessons - 1);
+    l.phi_percent = 100.0 * t;           // lesson 1: 0, final lesson: 100
+    l.epsilon = (i == 0) ? 0.0 : epsilon;
+    l.adversarial_fraction = max_adversarial_fraction * t;
+    lessons.push_back(l);
+  }
+  return CurriculumSchedule(std::move(lessons));
+}
+
+CurriculumSchedule CurriculumSchedule::no_curriculum(
+    double epsilon, double max_adversarial_fraction) {
+  Lesson l;
+  l.index = 1;
+  l.phi_percent = 100.0;
+  l.epsilon = epsilon;
+  l.adversarial_fraction = max_adversarial_fraction;
+  return CurriculumSchedule({l});
+}
+
+}  // namespace cal::core

@@ -1,0 +1,51 @@
+// Curriculum schedule (paper §IV.A).
+//
+// Ten lessons of increasing adversarial difficulty: lesson 1 is 100%
+// original data (ø = 0); subsequent lessons raise the fraction of
+// FGSM-perturbed samples and the percentage ø of attacked APs, ending at
+// ø = 100. ϵ stays fixed and small (0.1) throughout — the paper's key
+// observation is that training against subtle perturbation *patterns*
+// generalises to unseen magnitudes and unseen attacks (PGD/MIM).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cal::core {
+
+/// One curriculum lesson.
+struct Lesson {
+  std::size_t index = 0;            ///< 1-based lesson number
+  double phi_percent = 0.0;         ///< ø: % of APs attacked in lesson data
+  double epsilon = 0.1;             ///< FGSM magnitude (fixed, small)
+  double adversarial_fraction = 0.0;///< share of lesson samples perturbed
+};
+
+/// Ordered set of lessons.
+class CurriculumSchedule {
+ public:
+  /// Build a custom schedule (must be non-empty; lessons must be in
+  /// non-decreasing ø order — the premise of curriculum learning).
+  explicit CurriculumSchedule(std::vector<Lesson> lessons);
+
+  /// The paper's schedule: `num_lessons` lessons, lesson 1 at ø = 0 with
+  /// 100% original data, then ø and the adversarial fraction rising
+  /// linearly to ø = 100 / `max_adversarial_fraction` at the final lesson.
+  static CurriculumSchedule standard(std::size_t num_lessons = 10,
+                                     double epsilon = 0.1,
+                                     double max_adversarial_fraction = 0.9);
+
+  /// A single-lesson schedule carrying the hardest mixture immediately —
+  /// the "NC" (no-curriculum) ablation of Fig. 5.
+  static CurriculumSchedule no_curriculum(double epsilon = 0.1,
+                                          double max_adversarial_fraction =
+                                              0.9);
+
+  const std::vector<Lesson>& lessons() const { return lessons_; }
+  std::size_t size() const { return lessons_.size(); }
+
+ private:
+  std::vector<Lesson> lessons_;
+};
+
+}  // namespace cal::core

@@ -1,0 +1,183 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/ensure.hpp"
+
+namespace cal::data {
+
+double distance_m(const RpPosition& a, const RpPosition& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+float normalize_rss(float dbm) {
+  const float clamped = std::clamp(dbm, kNotDetectedDbm, kMaxRssDbm);
+  return (clamped - kNotDetectedDbm) / (kMaxRssDbm - kNotDetectedDbm);
+}
+
+float denormalize_rss(float unit) {
+  const float clamped = std::clamp(unit, 0.0F, 1.0F);
+  return kNotDetectedDbm + clamped * (kMaxRssDbm - kNotDetectedDbm);
+}
+
+FingerprintDataset::FingerprintDataset(std::size_t num_aps,
+                                       std::vector<RpPosition> rps)
+    : num_aps_(num_aps), rps_(std::move(rps)) {
+  CAL_ENSURE(num_aps_ > 0, "dataset needs at least one AP");
+  CAL_ENSURE(!rps_.empty(), "dataset needs at least one RP");
+}
+
+void FingerprintDataset::add_sample(std::span<const float> rss_dbm,
+                                    std::size_t rp_label) {
+  CAL_ENSURE(rss_dbm.size() == num_aps_,
+             "fingerprint has " << rss_dbm.size() << " APs, dataset expects "
+                                << num_aps_);
+  CAL_ENSURE(rp_label < rps_.size(),
+             "RP label " << rp_label << " out of " << rps_.size());
+  flat_.insert(flat_.end(), rss_dbm.begin(), rss_dbm.end());
+  labels_.push_back(rp_label);
+  cache_valid_ = false;
+}
+
+const Tensor& FingerprintDataset::raw() const {
+  CAL_ENSURE(!labels_.empty(), "raw() on empty dataset");
+  if (!cache_valid_) {
+    cached_raw_ = Tensor({labels_.size(), num_aps_});
+    std::copy(flat_.begin(), flat_.end(), cached_raw_.data());
+    cache_valid_ = true;
+  }
+  return cached_raw_;
+}
+
+Tensor FingerprintDataset::normalized() const {
+  Tensor out = raw();
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = normalize_rss(out[i]);
+  return out;
+}
+
+const RpPosition& FingerprintDataset::position_of_sample(std::size_t i) const {
+  CAL_ENSURE(i < labels_.size(), "sample " << i << " out of "
+                                           << labels_.size());
+  return rps_[labels_[i]];
+}
+
+void FingerprintDataset::shuffle(Rng& rng) {
+  const auto perm = rng.permutation(labels_.size());
+  std::vector<float> new_flat(flat_.size());
+  std::vector<std::size_t> new_labels(labels_.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const std::size_t src = perm[i];
+    std::copy(flat_.begin() + static_cast<long>(src * num_aps_),
+              flat_.begin() + static_cast<long>((src + 1) * num_aps_),
+              new_flat.begin() + static_cast<long>(i * num_aps_));
+    new_labels[i] = labels_[src];
+  }
+  flat_ = std::move(new_flat);
+  labels_ = std::move(new_labels);
+  cache_valid_ = false;
+}
+
+void FingerprintDataset::merge(const FingerprintDataset& other) {
+  CAL_ENSURE(other.num_aps_ == num_aps_,
+             "merge AP-count mismatch: " << other.num_aps_ << " vs "
+                                         << num_aps_);
+  CAL_ENSURE(other.rps_.size() == rps_.size(), "merge RP-map mismatch");
+  flat_.insert(flat_.end(), other.flat_.begin(), other.flat_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  cache_valid_ = false;
+}
+
+FingerprintDataset FingerprintDataset::subset(
+    std::span<const std::size_t> idx) const {
+  FingerprintDataset out(num_aps_, rps_);
+  for (std::size_t i : idx) {
+    CAL_ENSURE(i < labels_.size(), "subset index " << i << " out of "
+                                                   << labels_.size());
+    out.add_sample({flat_.data() + i * num_aps_, num_aps_}, labels_[i]);
+  }
+  return out;
+}
+
+Tensor FingerprintDataset::mean_fingerprint_per_rp() const {
+  CAL_ENSURE(!labels_.empty(), "mean fingerprints of empty dataset");
+  Tensor sums({rps_.size(), num_aps_});
+  std::vector<std::size_t> counts(rps_.size(), 0);
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const float* row = flat_.data() + i * num_aps_;
+    float* dst = sums.data() + labels_[i] * num_aps_;
+    for (std::size_t j = 0; j < num_aps_; ++j) dst[j] += row[j];
+    ++counts[labels_[i]];
+  }
+  for (std::size_t r = 0; r < rps_.size(); ++r) {
+    CAL_ENSURE(counts[r] > 0,
+               "RP " << r << " has no samples; cannot build anchors");
+    float* dst = sums.data() + r * num_aps_;
+    const float inv = 1.0F / static_cast<float>(counts[r]);
+    for (std::size_t j = 0; j < num_aps_; ++j) dst[j] *= inv;
+  }
+  return sums;
+}
+
+void FingerprintDataset::save_csv(const std::string& path) const {
+  CsvDocument doc;
+  doc.header = {"rp", "x", "y"};
+  for (std::size_t j = 0; j < num_aps_; ++j)
+    doc.header.push_back("ap" + std::to_string(j));
+  // First num_rps rows carry the RP map (with label sentinel "#rp").
+  for (std::size_t r = 0; r < rps_.size(); ++r) {
+    CsvRow row = {"#rp" + std::to_string(r), std::to_string(rps_[r].x),
+                  std::to_string(rps_[r].y)};
+    for (std::size_t j = 0; j < num_aps_; ++j) row.push_back("0");
+    doc.rows.push_back(std::move(row));
+  }
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    CsvRow row = {std::to_string(labels_[i]),
+                  std::to_string(rps_[labels_[i]].x),
+                  std::to_string(rps_[labels_[i]].y)};
+    const float* src = flat_.data() + i * num_aps_;
+    for (std::size_t j = 0; j < num_aps_; ++j) {
+      std::ostringstream os;
+      os << src[j];
+      row.push_back(os.str());
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  write_csv(path, doc);
+}
+
+FingerprintDataset FingerprintDataset::load_csv(const std::string& path) {
+  const CsvDocument doc = read_csv(path, /*has_header=*/true);
+  CAL_ENSURE(doc.header.size() > 3, "malformed dataset CSV: " << path);
+  const std::size_t num_aps = doc.header.size() - 3;
+
+  std::vector<RpPosition> rps;
+  std::vector<const CsvRow*> samples;
+  for (const auto& row : doc.rows) {
+    CAL_ENSURE(row.size() == doc.header.size(),
+               "malformed dataset CSV row in " << path);
+    if (row[0].rfind("#rp", 0) == 0) {
+      rps.push_back({std::stod(row[1]), std::stod(row[2])});
+    } else {
+      samples.push_back(&row);
+    }
+  }
+  CAL_ENSURE(!rps.empty(), "dataset CSV has no RP map: " << path);
+
+  FingerprintDataset out(num_aps, std::move(rps));
+  std::vector<float> rss(num_aps);
+  for (const CsvRow* row : samples) {
+    const auto label = static_cast<std::size_t>(std::stoul((*row)[0]));
+    for (std::size_t j = 0; j < num_aps; ++j)
+      rss[j] = std::stof((*row)[3 + j]);
+    out.add_sample(rss, label);
+  }
+  return out;
+}
+
+}  // namespace cal::data

@@ -1,0 +1,99 @@
+// Fingerprint dataset container shared by the whole pipeline.
+//
+// A fingerprint is one RSS vector (dBm per visible AP, NOT_DETECTED for
+// unseen APs) labelled with the reference point (RP) it was captured at.
+// RPs are classes for the classifiers; their metric coordinates turn class
+// confusion into localisation error in metres (the paper's reporting unit).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cal::data {
+
+/// RSS floor reported when an AP is not detected (dBm).
+inline constexpr float kNotDetectedDbm = -100.0F;
+
+/// Strongest representable RSS (dBm).
+inline constexpr float kMaxRssDbm = 0.0F;
+
+/// Ground-truth metric position of one reference point.
+struct RpPosition {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two RP positions in metres.
+double distance_m(const RpPosition& a, const RpPosition& b);
+
+/// Map raw dBm in [-100, 0] to the normalised [0, 1] feature scale used by
+/// every model and by the attack budget ϵ (the paper's ϵ ∈ [0.1, 0.5] is on
+/// this scale: ϵ = 0.1 ⇔ 10 dB of perturbation headroom).
+float normalize_rss(float dbm);
+
+/// Inverse of normalize_rss.
+float denormalize_rss(float unit);
+
+/// Labelled RSS fingerprint collection for one building (+ device).
+class FingerprintDataset {
+ public:
+  FingerprintDataset() = default;
+
+  /// Create an empty dataset over `num_aps` APs and the given RP map.
+  FingerprintDataset(std::size_t num_aps, std::vector<RpPosition> rps);
+
+  std::size_t num_aps() const { return num_aps_; }
+  std::size_t num_rps() const { return rps_.size(); }
+  std::size_t num_samples() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// Append one fingerprint (raw dBm values, length == num_aps).
+  void add_sample(std::span<const float> rss_dbm, std::size_t rp_label);
+
+  /// Raw dBm feature matrix (num_samples x num_aps).
+  const Tensor& raw() const;
+
+  /// Normalised [0,1] feature matrix (num_samples x num_aps).
+  Tensor normalized() const;
+
+  /// RP labels per sample.
+  std::span<const std::size_t> labels() const { return labels_; }
+
+  /// RP index -> metric position.
+  const std::vector<RpPosition>& rp_positions() const { return rps_; }
+
+  /// Metric position of sample i's true RP.
+  const RpPosition& position_of_sample(std::size_t i) const;
+
+  /// In-place deterministic shuffle of samples.
+  void shuffle(Rng& rng);
+
+  /// Merge another dataset collected over the same AP set and RP map.
+  void merge(const FingerprintDataset& other);
+
+  /// Subset copy by sample indices.
+  FingerprintDataset subset(std::span<const std::size_t> idx) const;
+
+  /// Per-RP mean fingerprint (one row per RP, raw dBm). RPs with no
+  /// samples are rejected. Used to build the CALLOC anchor set.
+  Tensor mean_fingerprint_per_rp() const;
+
+  /// Persist to CSV (header: rp,x,y,ap0..apN) and restore.
+  void save_csv(const std::string& path) const;
+  static FingerprintDataset load_csv(const std::string& path);
+
+ private:
+  std::size_t num_aps_ = 0;
+  std::vector<RpPosition> rps_;
+  std::vector<float> flat_;           // row-major raw dBm
+  std::vector<std::size_t> labels_;
+  mutable Tensor cached_raw_;         // rebuilt on demand after mutation
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace cal::data

@@ -1,0 +1,86 @@
+#include "eval/frameworks.hpp"
+
+#include "baselines/advloc.hpp"
+#include "baselines/anvil.hpp"
+#include "baselines/cnn.hpp"
+#include "baselines/dnn.hpp"
+#include "baselines/gpc.hpp"
+#include "baselines/knn.hpp"
+#include "baselines/naive_bayes.hpp"
+#include "baselines/sangria.hpp"
+#include "baselines/wideep.hpp"
+#include "common/ensure.hpp"
+#include "core/calloc.hpp"
+
+namespace cal::eval {
+
+std::vector<std::string> framework_names() {
+  return {"CALLOC", "CALLOC-NC", "AdvLoc", "SANGRIA", "ANVIL",
+          "WiDeep", "KNN",       "GPC",    "DNN",     "CNN",
+          "NaiveBayes"};
+}
+
+std::unique_ptr<baselines::ILocalizer> make_framework(const std::string& name,
+                                                      std::uint64_t seed,
+                                                      bool fast) {
+  using namespace baselines;
+  const std::size_t nn_epochs = fast ? 15 : 45;
+
+  if (name == "CALLOC" || name == "CALLOC-NC") {
+    core::CallocConfig cfg;
+    cfg.seed = seed;
+    cfg.use_curriculum = (name == "CALLOC");
+    cfg.train.max_epochs_per_lesson = fast ? 10 : 14;
+    return std::make_unique<core::Calloc>(cfg);
+  }
+  if (name == "AdvLoc") {
+    AdvLocConfig cfg;
+    cfg.dnn.seed = seed;
+    cfg.dnn.train.epochs = nn_epochs;
+    cfg.warmup_epochs = fast ? 8 : 20;
+    return std::make_unique<AdvLoc>(cfg);
+  }
+  if (name == "SANGRIA") {
+    SangriaConfig cfg;
+    cfg.seed = seed;
+    cfg.dae.train.epochs = fast ? 12 : 30;
+    cfg.gbdt.rounds = fast ? 8 : 20;
+    return std::make_unique<Sangria>(cfg);
+  }
+  if (name == "ANVIL") {
+    AnvilConfig cfg;
+    cfg.seed = seed;
+    cfg.train.epochs = nn_epochs;
+    return std::make_unique<Anvil>(cfg);
+  }
+  if (name == "WiDeep") {
+    WiDeepConfig cfg;
+    cfg.seed = seed;
+    cfg.dae.train.epochs = fast ? 12 : 30;
+    return std::make_unique<WiDeep>(cfg);
+  }
+  if (name == "KNN") return std::make_unique<Knn>(5);
+  if (name == "GPC") {
+    GpcConfig cfg;
+    cfg.seed = seed;
+    return std::make_unique<Gpc>(cfg);
+  }
+  if (name == "DNN") {
+    DnnConfig cfg;
+    cfg.seed = seed;
+    cfg.train.epochs = nn_epochs;
+    return std::make_unique<Dnn>(cfg);
+  }
+  if (name == "CNN") {
+    CnnConfig cfg;
+    cfg.seed = seed;
+    cfg.train.epochs = nn_epochs;
+    return std::make_unique<Cnn>(cfg);
+  }
+  if (name == "NaiveBayes") return std::make_unique<NaiveBayes>();
+
+  CAL_ENSURE(false, "unknown framework name: " << name);
+  return nullptr;
+}
+
+}  // namespace cal::eval

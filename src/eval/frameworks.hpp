@@ -1,0 +1,26 @@
+// Framework factory shared by the bench harness.
+//
+// Builds every localizer compared in the paper by name, with bench-scale
+// training budgets so the full Fig. 6/7 sweeps finish in reasonable time.
+// A "fast" flag further shrinks epochs for smoke tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/localizer.hpp"
+
+namespace cal::eval {
+
+/// Names accepted by make_framework (paper order): "CALLOC", "CALLOC-NC",
+/// "AdvLoc", "SANGRIA", "ANVIL", "WiDeep", "KNN", "GPC", "DNN", "CNN",
+/// "NaiveBayes".
+std::vector<std::string> framework_names();
+
+/// Instantiate an untrained framework by name (throws on unknown names).
+std::unique_ptr<baselines::ILocalizer> make_framework(const std::string& name,
+                                                      std::uint64_t seed,
+                                                      bool fast = false);
+
+}  // namespace cal::eval

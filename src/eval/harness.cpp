@@ -1,0 +1,35 @@
+#include "eval/harness.hpp"
+
+namespace cal::eval {
+
+ErrorStats evaluate_clean(baselines::ILocalizer& model,
+                          const data::FingerprintDataset& test) {
+  const auto pred = model.predict(test.normalized());
+  return error_stats(test, pred);
+}
+
+ErrorStats evaluate_under_attack(baselines::ILocalizer& model,
+                                 const data::FingerprintDataset& test,
+                                 attacks::AttackKind kind,
+                                 const attacks::AttackConfig& cfg,
+                                 attacks::GradientSource& grads) {
+  const Tensor x = test.normalized();
+  const Tensor x_adv = attacks::run_attack(kind, grads, x, test.labels(), cfg);
+  const auto pred = model.predict(x_adv);
+  return error_stats(test, pred);
+}
+
+ErrorStats evaluate_under_mitm(baselines::ILocalizer& model,
+                               const data::FingerprintDataset& test,
+                               attacks::MitmMode mode,
+                               attacks::AttackKind kind,
+                               const attacks::AttackConfig& cfg,
+                               attacks::GradientSource& grads) {
+  const Tensor x = test.normalized();
+  const Tensor x_adv =
+      attacks::mitm_attack(mode, kind, grads, x, test.labels(), cfg);
+  const auto pred = model.predict(x_adv);
+  return error_stats(test, pred);
+}
+
+}  // namespace cal::eval

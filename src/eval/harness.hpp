@@ -1,0 +1,36 @@
+// Attack-evaluation harness: the online phase under adversarial pressure.
+//
+// Ties together a trained localizer, a test capture, an attack algorithm
+// and a gradient provider, reproducing the paper's evaluation loop: craft
+// X_adv from the victim's (or surrogate's) gradients, then measure the
+// localisation error of the victim on the perturbed fingerprints.
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "attacks/mitm.hpp"
+#include "baselines/localizer.hpp"
+#include "eval/metrics.hpp"
+
+namespace cal::eval {
+
+/// Clean (no-attack) evaluation.
+ErrorStats evaluate_clean(baselines::ILocalizer& model,
+                          const data::FingerprintDataset& test);
+
+/// Evaluate under one attack. `grads` supplies ∇ₓJ (the victim's own
+/// gradients for differentiable models, a surrogate's otherwise).
+ErrorStats evaluate_under_attack(baselines::ILocalizer& model,
+                                 const data::FingerprintDataset& test,
+                                 attacks::AttackKind kind,
+                                 const attacks::AttackConfig& cfg,
+                                 attacks::GradientSource& grads);
+
+/// Same, but routed through a MITM channel model (manipulation/spoofing).
+ErrorStats evaluate_under_mitm(baselines::ILocalizer& model,
+                               const data::FingerprintDataset& test,
+                               attacks::MitmMode mode,
+                               attacks::AttackKind kind,
+                               const attacks::AttackConfig& cfg,
+                               attacks::GradientSource& grads);
+
+}  // namespace cal::eval

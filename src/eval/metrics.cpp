@@ -1,0 +1,38 @@
+#include "eval/metrics.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::eval {
+
+std::vector<double> localization_errors(
+    const data::FingerprintDataset& test,
+    std::span<const std::size_t> predicted) {
+  CAL_ENSURE(predicted.size() == test.num_samples(),
+             "predictions (" << predicted.size() << ") != test samples ("
+                             << test.num_samples() << ")");
+  const auto& rps = test.rp_positions();
+  const auto labels = test.labels();
+  std::vector<double> errors(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    CAL_ENSURE(predicted[i] < rps.size(),
+               "predicted RP " << predicted[i] << " out of " << rps.size());
+    errors[i] = data::distance_m(rps[labels[i]], rps[predicted[i]]);
+  }
+  return errors;
+}
+
+ErrorStats error_stats(const data::FingerprintDataset& test,
+                       std::span<const std::size_t> predicted) {
+  const auto errors = localization_errors(test, predicted);
+  ErrorStats stats;
+  stats.error_m = summarize(errors);
+  std::size_t correct = 0;
+  const auto labels = test.labels();
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    if (predicted[i] == labels[i]) ++correct;
+  stats.accuracy =
+      static_cast<double>(correct) / static_cast<double>(predicted.size());
+  return stats;
+}
+
+}  // namespace cal::eval

@@ -1,0 +1,34 @@
+// Localisation error metrics.
+//
+// Classifier predictions (RP indices) become metric errors through the RP
+// coordinate map: error = Euclidean distance between the predicted RP and
+// the true RP, in metres — the unit of every figure in the paper. "Mean
+// error" and "worst-case (max) error" are the paper's two headline
+// statistics (Fig. 6).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "data/dataset.hpp"
+
+namespace cal::eval {
+
+/// Per-sample localisation error (metres) of predicted RP labels against
+/// the test set's ground truth.
+std::vector<double> localization_errors(
+    const data::FingerprintDataset& test,
+    std::span<const std::size_t> predicted);
+
+/// Error statistics bundle.
+struct ErrorStats {
+  Summary error_m;    ///< distribution of per-sample errors (metres)
+  double accuracy = 0.0;  ///< exact-RP classification rate
+};
+
+/// Summarise predictions against the test set.
+ErrorStats error_stats(const data::FingerprintDataset& test,
+                       std::span<const std::size_t> predicted);
+
+}  // namespace cal::eval

@@ -1,0 +1,98 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace cal::linalg {
+
+Cholesky::Cholesky(const Matrix& a) {
+  CAL_ENSURE(a.rows() == a.cols(), "Cholesky needs a square matrix, got "
+                                       << a.rows() << "x" << a.cols());
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    CAL_ENSURE(diag > 0.0,
+               "matrix not positive definite at pivot " << j << " (d=" << diag
+                                                        << ")");
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc / ljj;
+    }
+  }
+}
+
+std::vector<double> Cholesky::solve_lower(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  CAL_ENSURE(b.size() == n, "solve_lower dimension mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::solve_upper(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  CAL_ENSURE(b.size() == n, "solve_upper dimension mismatch");
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  const auto y = solve_lower(b);
+  return solve_upper(y);
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  CAL_ENSURE(b.rows() == l_.rows(), "solve(Matrix) dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  std::vector<double> col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const auto sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double Cholesky::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+Cholesky cholesky_with_jitter(Matrix a, double initial_jitter,
+                              double max_jitter, double* used_jitter) {
+  CAL_ENSURE(initial_jitter >= 0.0 && max_jitter >= initial_jitter,
+             "invalid jitter range");
+  double jitter = initial_jitter;
+  Matrix trial = a;
+  for (;;) {
+    trial = a;
+    if (jitter > 0.0) trial.add_diagonal(jitter);
+    try {
+      Cholesky chol(trial);
+      if (used_jitter != nullptr) *used_jitter = jitter;
+      return chol;
+    } catch (const PreconditionError&) {
+      if (jitter >= max_jitter) throw;
+      jitter = (jitter == 0.0) ? 1e-10 : jitter * 10.0;
+      if (jitter > max_jitter) jitter = max_jitter;
+    }
+  }
+}
+
+}  // namespace cal::linalg

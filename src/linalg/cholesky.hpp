@@ -1,0 +1,51 @@
+// Cholesky factorisation and SPD solves.
+//
+// The Gaussian-process classifier (WiDeep's GPC stage and the standalone
+// GPC baseline) requires repeated solves against kernel matrices
+// K + sigma^2 I. Cholesky is the numerically appropriate tool for symmetric
+// positive-definite systems (GPML, Rasmussen & Williams, Alg. 3.1/3.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cal::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+class Cholesky {
+ public:
+  /// Factor an SPD matrix. Throws PreconditionError if `a` is not square
+  /// or not (numerically) positive definite.
+  explicit Cholesky(const Matrix& a);
+
+  /// The lower-triangular factor.
+  const Matrix& lower() const { return l_; }
+
+  /// Solve L y = b (forward substitution).
+  std::vector<double> solve_lower(std::span<const double> b) const;
+
+  /// Solve L^T x = b (back substitution).
+  std::vector<double> solve_upper(std::span<const double> b) const;
+
+  /// Solve A x = b via the two triangular solves.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solve A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// log det(A) = 2 * sum log L_ii.
+  double log_det() const;
+
+ private:
+  Matrix l_;
+};
+
+/// Try to factor A + jitter*I, escalating jitter up to `max_jitter`
+/// (multiplying by 10 each attempt). Returns the factor and writes the
+/// jitter actually used. Throws if even max_jitter fails.
+Cholesky cholesky_with_jitter(Matrix a, double initial_jitter,
+                              double max_jitter, double* used_jitter);
+
+}  // namespace cal::linalg

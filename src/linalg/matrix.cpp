@@ -1,0 +1,124 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace cal::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    CAL_ENSURE(row.size() == cols_, "ragged initializer list for Matrix");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  CAL_ENSURE(r < rows_ && c < cols_,
+             "Matrix index (" << r << "," << c << ") out of " << rows_ << "x"
+                              << cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  CAL_ENSURE(r < rows_ && c < cols_,
+             "Matrix index (" << r << "," << c << ") out of " << rows_ << "x"
+                              << cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  CAL_ENSURE(r < rows_, "Matrix row " << r << " out of " << rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  CAL_ENSURE(r < rows_, "Matrix row " << r << " out of " << rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::matmul(const Matrix& rhs) const {
+  CAL_ENSURE(cols_ == rhs.rows_, "matmul shape mismatch: " << rows_ << "x"
+                                                           << cols_ << " * "
+                                                           << rhs.rows_ << "x"
+                                                           << rhs.cols_);
+  Matrix out(rows_, rhs.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* rrow = &rhs.data_[k * rhs.cols_];
+      double* orow = &out.data_[i * rhs.cols_];
+      for (std::size_t j = 0; j < rhs.cols_; ++j) orow[j] += a * rrow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = data_[i * cols_ + j];
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  CAL_ENSURE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch in +");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  CAL_ENSURE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch in -");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x *= s;
+  return out;
+}
+
+void Matrix::add_diagonal(double s) {
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) data_[i * cols_ + i] += s;
+}
+
+std::vector<double> Matrix::matvec(std::span<const double> v) const {
+  CAL_ENSURE(v.size() == cols_, "matvec length mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = &data_[i * cols_];
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace cal::linalg

@@ -1,0 +1,75 @@
+// Dense double-precision matrix for the classical-ML substrates
+// (Gaussian-process classifier kernels, Newton systems). Deliberately
+// separate from cal::Tensor: the GP path needs double precision and
+// factorisations, while the NN path needs float throughput — mixing the two
+// in one type would pessimise both.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace cal::linalg {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+
+  /// Build from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// Matrix product; inner dimensions must agree.
+  Matrix matmul(const Matrix& rhs) const;
+
+  /// Transpose copy.
+  Matrix transposed() const;
+
+  /// Elementwise sum; shapes must match.
+  Matrix operator+(const Matrix& rhs) const;
+
+  /// Elementwise difference; shapes must match.
+  Matrix operator-(const Matrix& rhs) const;
+
+  /// Scalar product.
+  Matrix operator*(double s) const;
+
+  /// Add `s` to every diagonal entry (jitter / ridge).
+  void add_diagonal(double s);
+
+  /// Matrix–vector product (v.size() == cols()).
+  std::vector<double> matvec(std::span<const double> v) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace cal::linalg

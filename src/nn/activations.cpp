@@ -1,0 +1,3 @@
+#include "nn/activations.hpp"
+
+// Activations are header-only; this TU anchors the library target.

@@ -1,0 +1,32 @@
+// Parameter-free activation modules.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace cal::nn {
+
+class ReLU : public Module {
+ public:
+  autograd::Var forward(const autograd::Var& x) override {
+    return autograd::relu(x);
+  }
+  std::vector<Parameter> parameters() override { return {}; }
+};
+
+class Tanh : public Module {
+ public:
+  autograd::Var forward(const autograd::Var& x) override {
+    return autograd::tanh_op(x);
+  }
+  std::vector<Parameter> parameters() override { return {}; }
+};
+
+class Sigmoid : public Module {
+ public:
+  autograd::Var forward(const autograd::Var& x) override {
+    return autograd::sigmoid(x);
+  }
+  std::vector<Parameter> parameters() override { return {}; }
+};
+
+}  // namespace cal::nn

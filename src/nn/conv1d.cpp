@@ -1,0 +1,87 @@
+#include "nn/conv1d.hpp"
+
+#include "common/ensure.hpp"
+#include "nn/init.hpp"
+
+namespace cal::nn {
+namespace {
+
+using autograd::Node;
+using autograd::Var;
+
+/// Gather sliding windows: x (B, L) -> (B*out_len, kernel).
+Var im2col1d(const Var& x, std::size_t kernel, std::size_t stride,
+             std::size_t out_len) {
+  const Tensor& xv = x->value();
+  const std::size_t batch = xv.rows();
+  const std::size_t len = xv.cols();
+  Tensor out({batch * out_len, kernel});
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = xv.data() + b * len;
+    for (std::size_t t = 0; t < out_len; ++t) {
+      float* orow = out.data() + (b * out_len + t) * kernel;
+      const std::size_t start = t * stride;
+      for (std::size_t k = 0; k < kernel; ++k) orow[k] = row[start + k];
+    }
+  }
+  auto node = std::make_shared<Node>(std::move(out), x->requires_grad(),
+                                     "im2col1d");
+  node->add_parent(x);
+  if (node->requires_grad()) {
+    Node* self = node.get();
+    Node* px = x.get();
+    node->set_backward([self, px, kernel, stride, out_len, batch, len] {
+      if (!px->requires_grad()) return;
+      const Tensor& g = self->grad();
+      Tensor& gx = px->grad_buffer();
+      for (std::size_t b = 0; b < batch; ++b) {
+        float* grow = gx.data() + b * len;
+        for (std::size_t t = 0; t < out_len; ++t) {
+          const float* orow = g.data() + (b * out_len + t) * kernel;
+          const std::size_t start = t * stride;
+          for (std::size_t k = 0; k < kernel; ++k) grow[start + k] += orow[k];
+        }
+      }
+    });
+  }
+  return node;
+}
+
+}  // namespace
+
+Conv1d::Conv1d(std::size_t input_len, std::size_t kernel_size,
+               std::size_t filters, std::size_t stride, Rng& rng,
+               std::string name)
+    : input_len_(input_len),
+      kernel_(kernel_size),
+      filters_(filters),
+      stride_(stride),
+      name_(std::move(name)) {
+  CAL_ENSURE(stride_ >= 1, "conv stride must be >= 1");
+  CAL_ENSURE(kernel_ >= 1 && kernel_ <= input_len_,
+             "conv kernel " << kernel_ << " incompatible with input length "
+                            << input_len_);
+  CAL_ENSURE(filters_ >= 1, "conv needs at least one filter");
+  out_len_ = (input_len_ - kernel_) / stride_ + 1;
+  w_ = autograd::make_leaf(xavier_uniform(kernel_, filters_, rng), true);
+  b_ = autograd::make_leaf(Tensor({filters_}), true);
+}
+
+autograd::Var Conv1d::forward(const autograd::Var& x) {
+  const Tensor& xv = x->value();
+  CAL_ENSURE(xv.rank() == 2 && xv.cols() == input_len_,
+             name_ << ": expected input (*, " << input_len_ << "), got "
+                   << xv.shape_str());
+  const std::size_t batch = xv.rows();
+  Var cols = im2col1d(x, kernel_, stride_, out_len_);
+  Var act = autograd::add_rowwise(autograd::matmul(cols, w_), b_);
+  // (B*out_len, filters) rows are laid out b-major, so a flat reshape
+  // yields the (B, out_len*filters) feature map without copying semantics.
+  return autograd::reshape(act, {batch, out_len_ * filters_});
+}
+
+std::vector<Parameter> Conv1d::parameters() {
+  return {{name_ + ".weight", w_}, {name_ + ".bias", b_}};
+}
+
+}  // namespace cal::nn

@@ -1,0 +1,38 @@
+// 1-D convolution over the AP axis (used by the CNN baseline [16]).
+//
+// The RSS fingerprint is a 1-D signal indexed by AP; a Conv1d layer slides
+// `filters` kernels of width `kernel_size` along it. Implemented as an
+// im2col gather (a custom autograd node with scatter-add backward) followed
+// by a matmul, the standard lowering.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace cal::nn {
+
+/// Single-input-channel 1-D convolution producing a flattened
+/// (batch, out_len * filters) activation map.
+class Conv1d : public Module {
+ public:
+  /// input_len: AP count; stride >= 1; kernel_size <= input_len.
+  Conv1d(std::size_t input_len, std::size_t kernel_size, std::size_t filters,
+         std::size_t stride, Rng& rng, std::string name = "conv1d");
+
+  autograd::Var forward(const autograd::Var& x) override;
+  std::vector<Parameter> parameters() override;
+
+  std::size_t output_len() const { return out_len_; }
+  std::size_t output_features() const { return out_len_ * filters_; }
+
+ private:
+  std::size_t input_len_;
+  std::size_t kernel_;
+  std::size_t filters_;
+  std::size_t stride_;
+  std::size_t out_len_;
+  std::string name_;
+  autograd::Var w_;  // (kernel, filters)
+  autograd::Var b_;  // (filters)
+};
+
+}  // namespace cal::nn

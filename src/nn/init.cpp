@@ -1,0 +1,18 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace cal::nn {
+
+Tensor xavier_uniform(std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  const float a =
+      std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  return Tensor::rand_uniform({fan_in, fan_out}, rng, -a, a);
+}
+
+Tensor he_normal(std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  const float sigma = std::sqrt(2.0F / static_cast<float>(fan_in));
+  return Tensor::randn({fan_in, fan_out}, rng, sigma);
+}
+
+}  // namespace cal::nn

@@ -1,0 +1,15 @@
+// Weight initialisation schemes.
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cal::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Tensor xavier_uniform(std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+/// He normal: N(0, 2 / fan_in), preferred for ReLU stacks.
+Tensor he_normal(std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+}  // namespace cal::nn

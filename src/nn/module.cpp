@@ -1,0 +1,88 @@
+#include "nn/module.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/ensure.hpp"
+
+namespace cal::nn {
+
+std::size_t Module::parameter_count() {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p.var->value().size();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.var->zero_grad();
+}
+
+std::vector<Tensor> Module::snapshot_weights() {
+  std::vector<Tensor> snap;
+  for (const auto& p : parameters()) snap.push_back(p.var->value());
+  return snap;
+}
+
+void Module::restore_weights(const std::vector<Tensor>& snapshot) {
+  auto params = parameters();
+  CAL_ENSURE(snapshot.size() == params.size(),
+             "snapshot has " << snapshot.size() << " tensors, module has "
+                             << params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    CAL_ENSURE(snapshot[i].same_shape(params[i].var->value()),
+               "snapshot shape mismatch at parameter " << params[i].name);
+    params[i].var->mutable_value() = snapshot[i];
+  }
+}
+
+void Module::save_weights(std::ostream& out) {
+  auto params = parameters();
+  const std::uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const Tensor& t = p.var->value();
+    const std::uint64_t n = t.size();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  CAL_ENSURE(out.good(), "failed writing module weights");
+}
+
+void Module::load_weights(std::istream& in) {
+  auto params = parameters();
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  CAL_ENSURE(in.good() && count == params.size(),
+             "weight blob has " << count << " tensors, module has "
+                                << params.size());
+  for (auto& p : params) {
+    std::uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    Tensor& t = p.var->mutable_value();
+    CAL_ENSURE(in.good() && n == t.size(),
+               "weight blob tensor size mismatch at " << p.name);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    CAL_ENSURE(in.good(), "truncated weight blob at " << p.name);
+  }
+}
+
+std::size_t Module::weight_bytes() {
+  // Header + per-tensor length prefix + float payload (mirrors save_weights).
+  std::size_t bytes = sizeof(std::uint64_t);
+  for (const auto& p : parameters())
+    bytes += sizeof(std::uint64_t) + p.var->value().size() * sizeof(float);
+  return bytes;
+}
+
+Tensor predict_tensor(Module& m, const Tensor& x) {
+  const bool was_training = m.training();
+  m.set_training(false);
+  auto out = m.forward(autograd::constant(x));
+  m.set_training(was_training);
+  return out->value();
+}
+
+}  // namespace cal::nn

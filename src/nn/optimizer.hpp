@@ -1,0 +1,68 @@
+// First-order optimisers over Module parameters.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace cal::nn {
+
+/// Abstract optimiser; bound to a fixed parameter list at construction.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter> params);
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Zero all bound parameter gradients.
+  void zero_grad();
+
+ protected:
+  std::vector<Parameter> params_;
+};
+
+/// SGD with classical momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter> params, float lr, float momentum = 0.0F,
+      float weight_decay = 0.0F);
+
+  void step() override;
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter> params, float lr, float beta1 = 0.9F,
+       float beta2 = 0.999F, float eps = 1e-8F, float weight_decay = 0.0F);
+
+  void step() override;
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace cal::nn

@@ -1,0 +1,68 @@
+#include "nn/prototype_attention.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::nn {
+
+PrototypeAttentionHead::PrototypeAttentionHead(std::size_t in_features,
+                                               std::size_t head_dim,
+                                               std::size_t num_prototypes,
+                                               Rng& rng, std::string name)
+    : head_dim_(head_dim), name_(std::move(name)) {
+  CAL_ENSURE(head_dim_ > 0 && num_prototypes > 0,
+             "attention head dims must be positive");
+  w_q_ = std::make_unique<Linear>(in_features, head_dim_, rng, name_ + ".wq");
+  proto_k_ = autograd::make_leaf(
+      Tensor::randn({num_prototypes, head_dim_}, rng, 0.5F), true);
+  proto_v_ = autograd::make_leaf(
+      Tensor::randn({num_prototypes, head_dim_}, rng, 0.5F), true);
+}
+
+autograd::Var PrototypeAttentionHead::forward(const autograd::Var& x) {
+  auto q = w_q_->forward(x);
+  return autograd::scaled_dot_product_attention(q, proto_k_, proto_v_);
+}
+
+std::vector<Parameter> PrototypeAttentionHead::parameters() {
+  auto params = w_q_->parameters();
+  params.push_back({name_ + ".proto_k", proto_k_});
+  params.push_back({name_ + ".proto_v", proto_v_});
+  return params;
+}
+
+MultiHeadPrototypeAttention::MultiHeadPrototypeAttention(
+    std::size_t in_features, std::size_t head_dim, std::size_t num_heads,
+    std::size_t num_prototypes, Rng& rng, std::string name) {
+  CAL_ENSURE(num_heads > 0, "need at least one attention head");
+  for (std::size_t h = 0; h < num_heads; ++h) {
+    heads_.push_back(std::make_unique<PrototypeAttentionHead>(
+        in_features, head_dim, num_prototypes, rng,
+        name + ".head" + std::to_string(h)));
+  }
+  out_features_ = head_dim * num_heads;
+  w_o_ = std::make_unique<Linear>(out_features_, out_features_, rng,
+                                  name + ".wo");
+}
+
+autograd::Var MultiHeadPrototypeAttention::forward(const autograd::Var& x) {
+  autograd::Var cat = heads_[0]->forward(x);
+  for (std::size_t h = 1; h < heads_.size(); ++h)
+    cat = autograd::concat_cols(cat, heads_[h]->forward(x));
+  return w_o_->forward(cat);
+}
+
+std::vector<Parameter> MultiHeadPrototypeAttention::parameters() {
+  std::vector<Parameter> all;
+  for (auto& h : heads_)
+    for (auto& p : h->parameters()) all.push_back(p);
+  for (auto& p : w_o_->parameters()) all.push_back(p);
+  return all;
+}
+
+void MultiHeadPrototypeAttention::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& h : heads_) h->set_training(training);
+  w_o_->set_training(training);
+}
+
+}  // namespace cal::nn

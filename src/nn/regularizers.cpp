@@ -1,0 +1,23 @@
+#include "nn/regularizers.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::nn {
+
+Dropout::Dropout(float rate, Rng rng) : rate_(rate), rng_(rng) {
+  CAL_ENSURE(rate >= 0.0F && rate < 1.0F, "dropout rate out of [0,1): " << rate);
+}
+
+autograd::Var Dropout::forward(const autograd::Var& x) {
+  return autograd::dropout(x, rate_, rng_, training());
+}
+
+GaussianNoise::GaussianNoise(float sigma, Rng rng) : sigma_(sigma), rng_(rng) {
+  CAL_ENSURE(sigma >= 0.0F, "noise sigma must be >= 0: " << sigma);
+}
+
+autograd::Var GaussianNoise::forward(const autograd::Var& x) {
+  return autograd::gaussian_noise(x, sigma_, rng_, training());
+}
+
+}  // namespace cal::nn

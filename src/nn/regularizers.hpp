@@ -1,0 +1,41 @@
+// Stochastic regularisation modules (active only in training mode).
+//
+// CALLOC's original-data embedding uses Dropout(0.2) + GaussianNoise(0.32)
+// to simulate environmental and device variation during training (§IV.B).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace cal::nn {
+
+/// Inverted dropout module with its own deterministic RNG stream.
+class Dropout : public Module {
+ public:
+  Dropout(float rate, Rng rng);
+
+  autograd::Var forward(const autograd::Var& x) override;
+  std::vector<Parameter> parameters() override { return {}; }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+};
+
+/// Additive zero-mean Gaussian noise module.
+class GaussianNoise : public Module {
+ public:
+  GaussianNoise(float sigma, Rng rng);
+
+  autograd::Var forward(const autograd::Var& x) override;
+  std::vector<Parameter> parameters() override { return {}; }
+
+  float sigma() const { return sigma_; }
+
+ private:
+  float sigma_;
+  Rng rng_;
+};
+
+}  // namespace cal::nn

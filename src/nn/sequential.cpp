@@ -1,0 +1,32 @@
+#include "nn/sequential.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Module> child) {
+  CAL_ENSURE(child != nullptr, "Sequential::add(nullptr)");
+  children_.push_back(std::move(child));
+  return *this;
+}
+
+autograd::Var Sequential::forward(const autograd::Var& x) {
+  CAL_ENSURE(!children_.empty(), "forward on empty Sequential");
+  autograd::Var h = x;
+  for (auto& child : children_) h = child->forward(h);
+  return h;
+}
+
+std::vector<Parameter> Sequential::parameters() {
+  std::vector<Parameter> all;
+  for (auto& child : children_)
+    for (auto& p : child->parameters()) all.push_back(p);
+  return all;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& child : children_) child->set_training(training);
+}
+
+}  // namespace cal::nn

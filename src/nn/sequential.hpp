@@ -1,0 +1,34 @@
+// Ordered container of modules.
+#pragma once
+
+#include <memory>
+
+#include "nn/module.hpp"
+
+namespace cal::nn {
+
+/// Chains child modules; forward applies them in insertion order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Append a child (takes ownership); returns *this for chaining.
+  Sequential& add(std::unique_ptr<Module> child);
+
+  /// Emplace a child of type M constructed from args.
+  template <typename M, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<M>(std::forward<Args>(args)...));
+  }
+
+  autograd::Var forward(const autograd::Var& x) override;
+  std::vector<Parameter> parameters() override;
+  void set_training(bool training) override;
+
+  std::size_t num_children() const { return children_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace cal::nn

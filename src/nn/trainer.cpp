@@ -1,0 +1,175 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace cal::nn {
+namespace {
+
+/// Internal loss adapter so classification and regression share one loop.
+struct LossSpec {
+  // When labels is non-null the loss is cross-entropy; otherwise MSE
+  // against the matching rows of `targets`.
+  const std::vector<std::size_t>* labels = nullptr;
+  const Tensor* targets = nullptr;
+};
+
+autograd::Var batch_loss(Module& model, const Tensor& xb,
+                         std::span<const std::size_t> idx,
+                         const LossSpec& spec) {
+  auto input = autograd::constant(xb);
+  auto out = model.forward(input);
+  if (spec.labels != nullptr) {
+    std::vector<std::size_t> yb(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) yb[i] = (*spec.labels)[idx[i]];
+    return autograd::cross_entropy(out, yb);
+  }
+  Tensor tb = gather_rows(*spec.targets, idx);
+  return autograd::mse_loss(out, tb);
+}
+
+TrainHistory fit_impl(Module& model, const Tensor& x, const LossSpec& spec,
+                      const TrainConfig& cfg) {
+  CAL_ENSURE(x.rank() == 2, "training data must be rank-2");
+  const std::size_t n = x.rows();
+  CAL_ENSURE(n >= 2, "need at least 2 training samples");
+  CAL_ENSURE(cfg.batch_size >= 1, "batch_size must be >= 1");
+  CAL_ENSURE(cfg.validation_fraction >= 0.0 && cfg.validation_fraction < 1.0,
+             "validation_fraction out of [0,1)");
+
+  Rng rng(cfg.seed);
+  auto perm = rng.permutation(n);
+  const auto n_val = static_cast<std::size_t>(
+      static_cast<double>(n) * cfg.validation_fraction);
+  std::vector<std::size_t> val_idx(perm.begin(),
+                                   perm.begin() + static_cast<long>(n_val));
+  std::vector<std::size_t> train_idx(perm.begin() + static_cast<long>(n_val),
+                                     perm.end());
+  CAL_ENSURE(!train_idx.empty(), "validation split consumed all data");
+
+  Adam opt(model.parameters(), cfg.learning_rate, 0.9F, 0.999F, 1e-8F,
+           cfg.weight_decay);
+
+  TrainHistory history;
+  history.best_val_loss = std::numeric_limits<double>::infinity();
+  std::vector<Tensor> best_weights = model.snapshot_weights();
+  std::size_t since_best = 0;
+
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    model.set_training(true);
+    rng.shuffle(train_idx);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < train_idx.size();
+         start += cfg.batch_size) {
+      const std::size_t end =
+          std::min(start + cfg.batch_size, train_idx.size());
+      std::span<const std::size_t> idx(train_idx.data() + start, end - start);
+      Tensor xb = gather_rows(x, idx);
+      auto loss = batch_loss(model, xb, idx, spec);
+      opt.zero_grad();
+      autograd::backward(loss);
+      opt.step();
+      epoch_loss += loss->value()[0];
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(batches, 1));
+    history.train_loss.push_back(epoch_loss);
+
+    // Validation (falls back to train loss when no split requested).
+    double val_loss = epoch_loss;
+    if (!val_idx.empty()) {
+      model.set_training(false);
+      Tensor xv = gather_rows(x, val_idx);
+      auto loss = batch_loss(model, xv, val_idx, spec);
+      val_loss = loss->value()[0];
+    }
+    history.val_loss.push_back(val_loss);
+    if (cfg.verbose)
+      CAL_INFO("epoch " << epoch << " train=" << epoch_loss
+                        << " val=" << val_loss);
+
+    if (val_loss < history.best_val_loss) {
+      history.best_val_loss = val_loss;
+      history.best_epoch = epoch;
+      since_best = 0;
+      if (cfg.restore_best_weights) best_weights = model.snapshot_weights();
+    } else {
+      ++since_best;
+      if (cfg.early_stop_patience > 0 &&
+          since_best >= cfg.early_stop_patience) {
+        history.early_stopped = true;
+        break;
+      }
+    }
+  }
+
+  if (cfg.restore_best_weights) model.restore_weights(best_weights);
+  model.set_training(false);
+  return history;
+}
+
+}  // namespace
+
+Tensor gather_rows(const Tensor& x, std::span<const std::size_t> idx) {
+  CAL_ENSURE(x.rank() == 2, "gather_rows expects rank-2");
+  CAL_ENSURE(!idx.empty(), "gather_rows with empty index set");
+  Tensor out({idx.size(), x.cols()});
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    CAL_ENSURE(idx[i] < x.rows(), "row index " << idx[i] << " out of "
+                                               << x.rows());
+    const float* src = x.data() + idx[i] * x.cols();
+    float* dst = out.data() + i * x.cols();
+    std::copy(src, src + x.cols(), dst);
+  }
+  return out;
+}
+
+TrainHistory fit_classifier(Module& model, const Tensor& x,
+                            std::span<const std::size_t> y,
+                            const TrainConfig& cfg) {
+  CAL_ENSURE(y.size() == x.rows(), "labels/rows mismatch: " << y.size()
+                                                            << " vs "
+                                                            << x.rows());
+  std::vector<std::size_t> labels(y.begin(), y.end());
+  LossSpec spec;
+  spec.labels = &labels;
+  return fit_impl(model, x, spec, cfg);
+}
+
+TrainHistory fit_regression(Module& model, const Tensor& x,
+                            const Tensor& targets, const TrainConfig& cfg) {
+  CAL_ENSURE(targets.rank() == 2 && targets.rows() == x.rows(),
+             "targets/rows mismatch");
+  LossSpec spec;
+  spec.targets = &targets;
+  return fit_impl(model, x, spec, cfg);
+}
+
+double evaluate_classifier_loss(Module& model, const Tensor& x,
+                                std::span<const std::size_t> y) {
+  CAL_ENSURE(y.size() == x.rows(), "labels/rows mismatch");
+  const bool was_training = model.training();
+  model.set_training(false);
+  auto out = model.forward(autograd::constant(x));
+  auto loss = autograd::cross_entropy(out, y);
+  model.set_training(was_training);
+  return loss->value()[0];
+}
+
+double evaluate_accuracy(Module& model, const Tensor& x,
+                         std::span<const std::size_t> y) {
+  CAL_ENSURE(y.size() == x.rows(), "labels/rows mismatch");
+  Tensor logits = predict_tensor(model, x);
+  auto pred = autograd::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == y[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(y.size());
+}
+
+}  // namespace cal::nn

@@ -1,0 +1,63 @@
+// Generic mini-batch training loops with early stopping.
+//
+// Used by every NN baseline (DNN, CNN, AdvLoc, ANVIL, autoencoders).
+// CALLOC's curriculum training has its own adaptive controller in
+// src/core/adaptive_trainer.*, which layers lesson logic on top of the
+// same epoch mechanics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+
+namespace cal::nn {
+
+/// Hyper-parameters for one fit() call.
+struct TrainConfig {
+  std::size_t epochs = 60;
+  std::size_t batch_size = 32;
+  float learning_rate = 1e-3F;
+  float weight_decay = 0.0F;
+  /// Fraction of the data held out for validation (0 disables).
+  double validation_fraction = 0.15;
+  /// Stop after this many epochs without val-loss improvement (0 disables).
+  std::size_t early_stop_patience = 10;
+  /// Restore the best-validation weights after training.
+  bool restore_best_weights = true;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// Loss trajectory and stopping information from a fit() call.
+struct TrainHistory {
+  std::vector<double> train_loss;
+  std::vector<double> val_loss;
+  std::size_t best_epoch = 0;
+  double best_val_loss = 0.0;
+  bool early_stopped = false;
+};
+
+/// Train a classifier (logits output) with cross-entropy + Adam.
+TrainHistory fit_classifier(Module& model, const Tensor& x,
+                            std::span<const std::size_t> y,
+                            const TrainConfig& cfg);
+
+/// Train a regression/reconstruction model (MSE) — e.g. autoencoders.
+TrainHistory fit_regression(Module& model, const Tensor& x,
+                            const Tensor& targets, const TrainConfig& cfg);
+
+/// Mean cross-entropy of model logits on (x, y) in eval mode.
+double evaluate_classifier_loss(Module& model, const Tensor& x,
+                                std::span<const std::size_t> y);
+
+/// Classification accuracy in eval mode.
+double evaluate_accuracy(Module& model, const Tensor& x,
+                         std::span<const std::size_t> y);
+
+/// Copy selected rows of x (and labels) into a fresh batch tensor.
+Tensor gather_rows(const Tensor& x, std::span<const std::size_t> idx);
+
+}  // namespace cal::nn

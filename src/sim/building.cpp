@@ -1,0 +1,142 @@
+#include "sim/building.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace cal::sim {
+namespace {
+
+/// Serpentine corridor waypoints: east-going runs of `run_m`, joined by
+/// north jogs of `jog_m`, until the requested walk length is covered.
+std::vector<Point> serpentine_walk(double total_m, double run_m, double jog_m) {
+  std::vector<Point> waypoints;
+  waypoints.push_back({0.0, 0.0});
+  double remaining = total_m;
+  double x = 0.0;
+  double y = 0.0;
+  int dir = 1;
+  while (remaining > 1e-9) {
+    const double run = std::min(run_m, remaining);
+    x += dir * run;
+    waypoints.push_back({x, y});
+    remaining -= run;
+    if (remaining <= 1e-9) break;
+    const double jog = std::min(jog_m, remaining);
+    y += jog;
+    waypoints.push_back({x, y});
+    remaining -= jog;
+    dir = -dir;
+  }
+  return waypoints;
+}
+
+/// Sample the polyline every metre of arc length.
+std::vector<Point> sample_every_metre(const std::vector<Point>& waypoints,
+                                      std::size_t path_length_m) {
+  std::vector<Point> rps;
+  rps.reserve(path_length_m + 1);
+  std::size_t seg = 0;
+  double seg_used = 0.0;
+  Point cur = waypoints.front();
+  rps.push_back(cur);
+  for (std::size_t step = 1; step <= path_length_m; ++step) {
+    double remaining = 1.0;
+    while (remaining > 1e-12 && seg + 1 < waypoints.size()) {
+      const Point& a = waypoints[seg];
+      const Point& b = waypoints[seg + 1];
+      const double seg_len = std::hypot(b.x - a.x, b.y - a.y);
+      const double avail = seg_len - seg_used;
+      if (avail > remaining) {
+        seg_used += remaining;
+        remaining = 0.0;
+      } else {
+        remaining -= avail;
+        ++seg;
+        seg_used = 0.0;
+      }
+    }
+    const Point& a = waypoints[seg];
+    const Point& b = waypoints[std::min(seg + 1, waypoints.size() - 1)];
+    const double seg_len = std::max(std::hypot(b.x - a.x, b.y - a.y), 1e-12);
+    const double t = seg_used / seg_len;
+    cur = {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+    rps.push_back(cur);
+  }
+  return rps;
+}
+
+}  // namespace
+
+Building::Building(BuildingSpec spec) : spec_(std::move(spec)) {
+  CAL_ENSURE(spec_.num_aps > 0, "building needs at least one AP");
+  CAL_ENSURE(spec_.path_length_m >= 4, "path length must be >= 4 m");
+
+  Rng rng(spec_.seed);
+
+  // Corridor geometry: run length scales with total walk so every building
+  // has 3-4 parallel corridors, jog 4 m between them.
+  const double run_m =
+      std::max(12.0, static_cast<double>(spec_.path_length_m) / 3.5);
+  const double jog_m = 4.0;
+  const auto waypoints =
+      serpentine_walk(static_cast<double>(spec_.path_length_m), run_m, jog_m);
+  rps_ = sample_every_metre(waypoints, spec_.path_length_m);
+
+  // Footprint = walk bounding box plus a 4 m margin all around.
+  double min_x = rps_[0].x, max_x = rps_[0].x;
+  double min_y = rps_[0].y, max_y = rps_[0].y;
+  for (const auto& p : rps_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double margin = 4.0;
+  width_ = (max_x - min_x) + 2 * margin;
+  height_ = (max_y - min_y) + 2 * margin;
+
+  // Shift the walk so the footprint origin is (0,0).
+  for (auto& p : rps_) {
+    p.x += margin - min_x;
+    p.y += margin - min_y;
+  }
+
+  aps_.reserve(spec_.num_aps);
+  for (std::size_t i = 0; i < spec_.num_aps; ++i)
+    aps_.push_back({rng.uniform(0.0, width_), rng.uniform(0.0, height_)});
+}
+
+std::vector<data::RpPosition> Building::rp_map() const {
+  std::vector<data::RpPosition> map;
+  map.reserve(rps_.size());
+  for (const auto& p : rps_) map.push_back({p.x, p.y});
+  return map;
+}
+
+std::vector<BuildingSpec> table2_buildings() {
+  // Material profiles keyed to the Table II "Characteristics" column.
+  // Wood+concrete: moderate walls, strong people/equipment shadowing (the
+  // paper observes Building 1's dynamic noise). Heavy metal: high wall
+  // attenuation and multipath fading. Wide spaces: low exponent, few
+  // walls, but large open-space shadowing variation (Building 5).
+  // Last field: session drift — highest in Building 1 and Building 5,
+  // whose "dynamic density of people / movement of equipment" the paper
+  // singles out as the noisiest floorplans.
+  const MaterialProfile wood_concrete{2.9, 4.5, 6.0, 5.0, 1.6, 12.0, 3.0};
+  const MaterialProfile heavy_metal{3.2, 7.0, 8.0, 3.8, 2.2, 10.0, 1.8};
+  const MaterialProfile mixed{3.0, 5.5, 7.0, 4.2, 1.8, 13.0, 2.0};
+  const MaterialProfile mixed_b4{2.95, 5.0, 7.0, 4.0, 1.7, 13.0, 2.0};
+  const MaterialProfile wide_spaces{2.3, 3.0, 14.0, 5.5, 1.5, 18.0, 3.2};
+
+  return {
+      {"Building 1", 156, 64, "Wood and Concrete", wood_concrete, 101},
+      {"Building 2", 125, 62, "Heavy Metallic Equipments", heavy_metal, 202},
+      {"Building 3", 78, 88, "Wood, Concrete, Metal", mixed, 303},
+      {"Building 4", 112, 68, "Wood, Concrete, Metal", mixed_b4, 404},
+      {"Building 5", 218, 60, "Wide Spaces, Wood, Metal", wide_spaces, 505},
+  };
+}
+
+}  // namespace cal::sim

@@ -1,0 +1,86 @@
+// Synthetic building floorplans (substitute for the paper's Table II).
+//
+// Each building is a serpentine corridor walk inside a rectangular
+// footprint: reference points (RPs) are dropped every metre of the walk
+// (the paper's "physical granularity of 1 meter"), and Wi-Fi APs are
+// scattered over the footprint. Path length and AP count are taken
+// directly from Table II; material characteristics select the propagation
+// profile in propagation.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace cal::sim {
+
+/// 2-D point in metres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Propagation-relevant material characteristics of a floorplan.
+struct MaterialProfile {
+  double path_loss_exponent = 2.8;  ///< log-distance exponent n
+  double wall_attenuation_db = 4.0; ///< loss per wall crossed
+  double wall_spacing_m = 8.0;      ///< mean distance between walls
+  double shadow_sigma_db = 4.0;     ///< correlated shadowing strength
+  double fading_sigma_db = 1.5;     ///< per-measurement fast fading
+  double shadow_wavelength_m = 14.0;///< spatial scale of shadowing field
+  /// Per-AP offset drawn fresh for every collection session: the slow
+  /// environmental drift (people density, moved equipment, AP power
+  /// changes) that separates the online phase from the offline survey.
+  double session_drift_sigma_db = 2.0;
+};
+
+/// Static description of one building (one Table II row).
+struct BuildingSpec {
+  std::string name;
+  std::size_t num_aps = 0;
+  std::size_t path_length_m = 0;  ///< RPs = path_length_m + 1
+  std::string characteristics;
+  MaterialProfile material;
+  std::uint64_t seed = 0;  ///< geometry + shadowing field seed
+};
+
+/// Instantiated floorplan geometry.
+class Building {
+ public:
+  /// Generate geometry deterministically from the spec's seed.
+  explicit Building(BuildingSpec spec);
+
+  const BuildingSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  /// RP walk positions (size == path_length_m + 1), 1 m apart.
+  const std::vector<Point>& rp_positions() const { return rps_; }
+
+  /// AP positions (size == spec.num_aps).
+  const std::vector<Point>& ap_positions() const { return aps_; }
+
+  std::size_t num_rps() const { return rps_.size(); }
+  std::size_t num_aps() const { return aps_.size(); }
+
+  /// Footprint bounds (metres).
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+  /// RP map in dataset form.
+  std::vector<data::RpPosition> rp_map() const;
+
+ private:
+  BuildingSpec spec_;
+  double width_ = 0.0;
+  double height_ = 0.0;
+  std::vector<Point> rps_;
+  std::vector<Point> aps_;
+};
+
+/// The five Table II buildings, with material profiles matched to their
+/// "Characteristics" column and distinct geometry seeds.
+std::vector<BuildingSpec> table2_buildings();
+
+}  // namespace cal::sim

@@ -1,0 +1,56 @@
+#include "sim/collector.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::sim {
+
+data::FingerprintDataset collect_fingerprints(const RadioEnvironment& env,
+                                              const DeviceProfile& device,
+                                              std::size_t samples_per_rp,
+                                              std::uint64_t seed,
+                                              bool with_session_drift) {
+  CAL_ENSURE(samples_per_rp > 0, "samples_per_rp must be positive");
+  const Building& b = env.building();
+  data::FingerprintDataset ds(b.num_aps(), b.rp_map());
+  Rng rng(seed);
+  std::vector<double> drift;
+  if (with_session_drift) drift = env.draw_session_drift(rng);
+  for (std::size_t rp = 0; rp < b.num_rps(); ++rp) {
+    for (std::size_t s = 0; s < samples_per_rp; ++s) {
+      const auto fp =
+          env.fingerprint(b.rp_positions()[rp], device, rng, drift);
+      ds.add_sample(fp, rp);
+    }
+  }
+  return ds;
+}
+
+Scenario make_scenario(const BuildingSpec& spec, std::uint64_t seed,
+                       std::size_t train_samples_per_rp,
+                       std::size_t test_samples_per_rp) {
+  Building building(spec);
+  RadioEnvironment env(building);
+
+  Scenario sc;
+  sc.building_spec = spec;
+  const auto devices = table1_devices();
+  const DeviceProfile& op3 = devices.back();
+  CAL_ENSURE(op3.name == "OP3", "expected OP3 as the reference device");
+
+  // Offline survey: drift-free reference campaign on the OP3.
+  sc.train = collect_fingerprints(env, op3, train_samples_per_rp,
+                                  seed ^ 0x5EEDF00DULL,
+                                  /*with_session_drift=*/false);
+  // Online phase: each device visits in its own later session, so every
+  // test capture carries fresh environmental drift.
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    sc.device_names.push_back(devices[d].name);
+    sc.device_tests.push_back(
+        collect_fingerprints(env, devices[d], test_samples_per_rp,
+                             seed + 977 * (d + 1),
+                             /*with_session_drift=*/true));
+  }
+  return sc;
+}
+
+}  // namespace cal::sim

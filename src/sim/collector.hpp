@@ -1,0 +1,40 @@
+// Fingerprint campaign collector (the paper's offline/online phases).
+//
+// Offline phase (§V.A): 5 fingerprints per RP captured with the OP3
+// reference device. Online phase: 1 fingerprint per RP per test device.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "sim/propagation.hpp"
+
+namespace cal::sim {
+
+/// Collect `samples_per_rp` fingerprints at every RP of the building with
+/// the given device. Deterministic in `seed`. When `with_session_drift`
+/// is set, a fresh per-AP drift vector (environmental change since the
+/// offline survey) is drawn for this collection session — the paper's
+/// online phase always carries such drift.
+data::FingerprintDataset collect_fingerprints(const RadioEnvironment& env,
+                                              const DeviceProfile& device,
+                                              std::size_t samples_per_rp,
+                                              std::uint64_t seed,
+                                              bool with_session_drift = false);
+
+/// One building's full experimental scenario: OP3 training set plus one
+/// test set per Table I device (paper data-collection protocol).
+struct Scenario {
+  BuildingSpec building_spec;
+  data::FingerprintDataset train;  ///< OP3, 5 fingerprints/RP
+  std::vector<std::string> device_names;
+  std::vector<data::FingerprintDataset> device_tests;  ///< 1 fp/RP each
+};
+
+/// Build the scenario for one Table II building. `test_samples_per_rp`
+/// defaults to the paper's single online fingerprint per RP.
+Scenario make_scenario(const BuildingSpec& spec, std::uint64_t seed,
+                       std::size_t train_samples_per_rp = 5,
+                       std::size_t test_samples_per_rp = 1);
+
+}  // namespace cal::sim

@@ -1,0 +1,34 @@
+#include "sim/device.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::sim {
+
+double apply_device_gain(const DeviceProfile& dev, double true_rss_dbm) {
+  return kDevicePivotDbm +
+         dev.gain_slope * (true_rss_dbm - kDevicePivotDbm) +
+         dev.gain_offset_db;
+}
+
+std::vector<DeviceProfile> table1_devices() {
+  // Offsets/slopes span the ±6 dB / 0.9–1.1 range reported for commodity
+  // chipsets; MOTO and BLU get the most aggressive transforms (the paper's
+  // Fig. 4 calls out MOTO and OP3-vs-rest variation in Building 1).
+  return {
+      {"BLU", "Vivo 8", -7.0, 0.88, 2.8, -90.0, 1.0},
+      {"HTC", "U11", 4.0, 1.09, 2.0, -93.0, 1.0},
+      {"S7", "Galaxy S7", -2.5, 1.05, 1.6, -95.0, 1.0},
+      {"LG", "V20", 5.5, 0.92, 2.2, -92.0, 1.0},
+      {"MOTO", "Z2", -9.0, 1.14, 3.4, -88.0, 2.0},
+      {"OP3", "Oneplus 3", 0.0, 1.00, 1.2, -96.0, 1.0},
+  };
+}
+
+DeviceProfile device_by_name(const std::string& acronym) {
+  for (const auto& d : table1_devices())
+    if (d.name == acronym) return d;
+  CAL_ENSURE(false, "unknown device acronym: " << acronym);
+  return {};  // unreachable
+}
+
+}  // namespace cal::sim

@@ -1,0 +1,42 @@
+// Device heterogeneity models (substitute for the paper's Table I).
+//
+// Two phones at the same spot report different RSS because of Wi-Fi
+// chipset gain, firmware noise filtering, antenna sensitivity and
+// reporting granularity. The standard literature model — and what defeats
+// naive fingerprinting — is an affine per-device transform plus a
+// detection floor; each Table I handset gets a distinct profile, with the
+// OnePlus 3 (OP3) as the neutral reference device used for offline
+// training (paper §V.A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cal::sim {
+
+/// Per-device RSS measurement transform.
+struct DeviceProfile {
+  std::string name;          ///< Table I acronym (BLU, HTC, S7, LG, MOTO, OP3)
+  std::string model;         ///< marketing name
+  double gain_offset_db = 0.0;   ///< additive chipset gain bias
+  double gain_slope = 1.0;       ///< multiplicative distortion around pivot
+  double noise_sigma_db = 1.0;   ///< firmware/measurement noise
+  double sensitivity_dbm = -96.0;///< weakest detectable RSS
+  double quantization_db = 1.0;  ///< reporting granularity
+};
+
+/// RSS pivot around which the slope distortion acts (typical mid-range).
+inline constexpr double kDevicePivotDbm = -60.0;
+
+/// Apply the device transform to a true channel RSS (before noise; noise
+/// is added by the collector using the profile's noise_sigma_db).
+double apply_device_gain(const DeviceProfile& dev, double true_rss_dbm);
+
+/// The six Table I smartphones. OP3 (last) is the reference training
+/// device with a neutral transform.
+std::vector<DeviceProfile> table1_devices();
+
+/// Look up a Table I device by acronym; throws if unknown.
+DeviceProfile device_by_name(const std::string& acronym);
+
+}  // namespace cal::sim

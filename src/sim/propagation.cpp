@@ -1,0 +1,100 @@
+#include "sim/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "data/dataset.hpp"
+
+namespace cal::sim {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr std::size_t kWavesPerAp = 8;
+
+}  // namespace
+
+RadioEnvironment::RadioEnvironment(const Building& building, TxConfig tx)
+    : building_(&building), tx_(tx), material_(building.spec().material) {
+  CAL_ENSURE(tx_.min_distance_m > 0.0, "min_distance must be positive");
+  // Shadowing fields are part of the *static* radio map: derive them from
+  // the building seed so every collector sees the same environment.
+  Rng rng(building.spec().seed ^ 0xABCDEF0123456789ULL);
+  const double k_mag = 2.0 * kPi / material_.shadow_wavelength_m;
+  shadow_waves_.resize(building.num_aps());
+  for (auto& waves : shadow_waves_) {
+    waves.reserve(kWavesPerAp);
+    for (std::size_t w = 0; w < kWavesPerAp; ++w) {
+      const double theta = rng.uniform(0.0, 2.0 * kPi);
+      // Jitter the wavelength per wave to avoid periodic artefacts.
+      const double mag = k_mag * rng.uniform(0.6, 1.4);
+      waves.push_back(
+          {mag * std::cos(theta), mag * std::sin(theta),
+           rng.uniform(0.0, 2.0 * kPi)});
+    }
+  }
+  shadow_scale_ =
+      material_.shadow_sigma_db * std::sqrt(2.0 / static_cast<double>(kWavesPerAp));
+}
+
+double RadioEnvironment::shadow_db(std::size_t ap, const Point& p) const {
+  const auto& waves = shadow_waves_[ap];
+  double acc = 0.0;
+  for (const auto& w : waves)
+    acc += std::cos(w.kx * p.x + w.ky * p.y + w.phase);
+  return shadow_scale_ * acc;
+}
+
+double RadioEnvironment::channel_rss_dbm(std::size_t ap, const Point& p) const {
+  CAL_ENSURE(ap < building_->num_aps(),
+             "AP index " << ap << " out of " << building_->num_aps());
+  const Point& a = building_->ap_positions()[ap];
+  const double d =
+      std::max(std::hypot(p.x - a.x, p.y - a.y), tx_.min_distance_m);
+  const double path_loss =
+      10.0 * material_.path_loss_exponent * std::log10(d / tx_.min_distance_m);
+  // Walls crossed grows with distance through the floorplan.
+  const double walls = std::floor(d / material_.wall_spacing_m);
+  const double wall_loss =
+      std::min(walls, 8.0) * material_.wall_attenuation_db;
+  return tx_.rss_at_1m_dbm - path_loss - wall_loss + shadow_db(ap, p);
+}
+
+double RadioEnvironment::measure_dbm(std::size_t ap, const Point& p,
+                                     const DeviceProfile& dev, Rng& rng,
+                                     std::span<const double> session_drift)
+    const {
+  const double drift =
+      session_drift.empty() ? 0.0 : session_drift[ap];
+  const double channel = channel_rss_dbm(ap, p) + drift +
+                         rng.normal(0.0, material_.fading_sigma_db);
+  double rss = apply_device_gain(dev, channel) +
+               rng.normal(0.0, dev.noise_sigma_db);
+  if (rss < dev.sensitivity_dbm)
+    return static_cast<double>(data::kNotDetectedDbm);
+  if (dev.quantization_db > 0.0)
+    rss = std::round(rss / dev.quantization_db) * dev.quantization_db;
+  return std::clamp(rss, static_cast<double>(data::kNotDetectedDbm),
+                    static_cast<double>(data::kMaxRssDbm));
+}
+
+std::vector<float> RadioEnvironment::fingerprint(
+    const Point& p, const DeviceProfile& dev, Rng& rng,
+    std::span<const double> session_drift) const {
+  CAL_ENSURE(session_drift.empty() ||
+                 session_drift.size() == building_->num_aps(),
+             "session drift vector must cover every AP");
+  std::vector<float> rss(building_->num_aps());
+  for (std::size_t ap = 0; ap < rss.size(); ++ap)
+    rss[ap] = static_cast<float>(measure_dbm(ap, p, dev, rng, session_drift));
+  return rss;
+}
+
+std::vector<double> RadioEnvironment::draw_session_drift(Rng& rng) const {
+  std::vector<double> drift(building_->num_aps());
+  for (auto& d : drift)
+    d = rng.normal(0.0, material_.session_drift_sigma_db);
+  return drift;
+}
+
+}  // namespace cal::sim

@@ -1,0 +1,77 @@
+// Wi-Fi RSS propagation physics.
+//
+// Log-distance path loss with three noise layers, matching the effects the
+// paper attributes to real floorplans (§I, §V.B):
+//   1. wall/material attenuation        — static, distance-proportional
+//   2. spatially-correlated shadowing   — static per (AP, location); people,
+//                                         furniture, structural features
+//   3. fast fading                      — fresh per measurement; multipath
+// The shadowing field is a sum of random-phase plane waves (a standard
+// Gaussian-random-field approximation), so nearby RPs see correlated bias —
+// exactly the structure that makes fingerprinting work at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/building.hpp"
+#include "sim/device.hpp"
+
+namespace cal::sim {
+
+/// Transmit-side constants of the simulated APs.
+struct TxConfig {
+  double rss_at_1m_dbm = -38.0;  ///< measured RSS one metre from the AP
+  double min_distance_m = 1.0;   ///< near-field clamp
+};
+
+/// Deterministic radio map of one building plus measurement sampling.
+class RadioEnvironment {
+ public:
+  /// Build the static radio map (shadowing fields) for a building.
+  explicit RadioEnvironment(const Building& building,
+                            TxConfig tx = TxConfig{});
+
+  const Building& building() const { return *building_; }
+
+  /// Noise-free channel RSS (path loss + walls + shadowing) from AP `ap`
+  /// at position `p`, before any device effect. May fall below the
+  /// detection floor; callers clamp via the device profile.
+  double channel_rss_dbm(std::size_t ap, const Point& p) const;
+
+  /// One measured RSS sample as reported by `dev` at position `p`:
+  /// channel RSS + session drift + fast fading + device gain + device
+  /// noise, quantised, and replaced by data::kNotDetectedDbm when below
+  /// the device's sensitivity. `session_drift` is a per-AP offset vector
+  /// (may be empty for a drift-free survey).
+  double measure_dbm(std::size_t ap, const Point& p, const DeviceProfile& dev,
+                     Rng& rng,
+                     std::span<const double> session_drift = {}) const;
+
+  /// Full fingerprint at `p` for device `dev` (one value per AP).
+  std::vector<float> fingerprint(const Point& p, const DeviceProfile& dev,
+                                 Rng& rng,
+                                 std::span<const double> session_drift = {}) const;
+
+  /// Draw a per-AP session-drift vector from the building's material
+  /// profile (deterministic in `rng`).
+  std::vector<double> draw_session_drift(Rng& rng) const;
+
+ private:
+  struct PlaneWave {
+    double kx = 0.0;
+    double ky = 0.0;
+    double phase = 0.0;
+  };
+
+  double shadow_db(std::size_t ap, const Point& p) const;
+
+  const Building* building_;
+  TxConfig tx_;
+  MaterialProfile material_;
+  std::vector<std::vector<PlaneWave>> shadow_waves_;  // per AP
+  double shadow_scale_ = 0.0;
+};
+
+}  // namespace cal::sim

@@ -1,0 +1,234 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/ensure.hpp"
+
+namespace cal {
+namespace {
+
+std::size_t shape_product(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+  CAL_ENSURE(!shape_.empty(), "tensor rank must be >= 1");
+  for (std::size_t d : shape_)
+    CAL_ENSURE(d > 0, "tensor dims must be positive (" << shape_str() << ")");
+  data_.assign(shape_product(shape_), 0.0F);
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : Tensor(std::move(shape)) {
+  this->fill(fill);
+}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
+  return Tensor({rows, cols});
+}
+
+Tensor Tensor::zeros(std::size_t n) { return Tensor({n}); }
+
+Tensor Tensor::from_rows(
+    std::initializer_list<std::initializer_list<float>> rows) {
+  CAL_ENSURE(rows.size() > 0, "from_rows needs at least one row");
+  const std::size_t cols = rows.begin()->size();
+  Tensor t({rows.size(), cols});
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    CAL_ENSURE(row.size() == cols, "ragged rows in from_rows");
+    for (float v : row) t.data_[i++] = v;
+  }
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float sigma) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, sigma));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(std::vector<std::size_t> shape, Rng& rng, float lo,
+                            float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+std::size_t Tensor::rows() const {
+  CAL_ENSURE(rank() == 2, "rows() requires rank-2, got " << shape_str());
+  return shape_[0];
+}
+
+std::size_t Tensor::cols() const {
+  CAL_ENSURE(rank() == 2, "cols() requires rank-2, got " << shape_str());
+  return shape_[1];
+}
+
+float& Tensor::operator[](std::size_t i) {
+  CAL_ENSURE(i < data_.size(), "flat index " << i << " out of " << data_.size());
+  return data_[i];
+}
+
+float Tensor::operator[](std::size_t i) const {
+  CAL_ENSURE(i < data_.size(), "flat index " << i << " out of " << data_.size());
+  return data_[i];
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  CAL_ENSURE(rank() == 2, "at(r,c) requires rank-2, got " << shape_str());
+  CAL_ENSURE(r < shape_[0] && c < shape_[1],
+             "index (" << r << "," << c << ") out of " << shape_str());
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+std::span<float> Tensor::row(std::size_t r) {
+  CAL_ENSURE(rank() == 2, "row() requires rank-2, got " << shape_str());
+  CAL_ENSURE(r < shape_[0], "row " << r << " out of " << shape_[0]);
+  return {data_.data() + r * shape_[1], shape_[1]};
+}
+
+std::span<const float> Tensor::row(std::size_t r) const {
+  CAL_ENSURE(rank() == 2, "row() requires rank-2, got " << shape_str());
+  CAL_ENSURE(r < shape_[0], "row " << r << " out of " << shape_[0]);
+  return {data_.data() + r * shape_[1], shape_[1]};
+}
+
+void Tensor::reshape(std::vector<std::size_t> new_shape) {
+  CAL_ENSURE(shape_product(new_shape) == data_.size(),
+             "reshape must preserve element count");
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < shape_.size(); ++i)
+    os << (i ? "x" : "") << shape_[i];
+  return os.str();
+}
+
+Tensor Tensor::operator+(const Tensor& rhs) const {
+  CAL_ENSURE(same_shape(rhs), "shape mismatch in +: " << shape_str() << " vs "
+                                                      << rhs.shape_str());
+  Tensor out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Tensor Tensor::operator-(const Tensor& rhs) const {
+  CAL_ENSURE(same_shape(rhs), "shape mismatch in -: " << shape_str() << " vs "
+                                                      << rhs.shape_str());
+  Tensor out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Tensor Tensor::operator*(const Tensor& rhs) const {
+  CAL_ENSURE(same_shape(rhs), "shape mismatch in *: " << shape_str() << " vs "
+                                                      << rhs.shape_str());
+  Tensor out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= rhs.data_[i];
+  return out;
+}
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  CAL_ENSURE(same_shape(rhs), "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  CAL_ENSURE(same_shape(rhs), "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Tensor Tensor::operator*(float s) const {
+  Tensor out = *this;
+  for (auto& x : out.data_) x *= s;
+  return out;
+}
+
+double Tensor::sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return acc;
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0F;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+Tensor Tensor::matmul(const Tensor& rhs) const {
+  CAL_ENSURE(rank() == 2 && rhs.rank() == 2,
+             "matmul requires rank-2 operands");
+  CAL_ENSURE(shape_[1] == rhs.shape_[0],
+             "matmul shape mismatch: " << shape_str() << " * "
+                                       << rhs.shape_str());
+  const std::size_t m = shape_[0];
+  const std::size_t k = shape_[1];
+  const std::size_t n = rhs.shape_[1];
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = &data_[i * k];
+    float* orow = &out.data_[i * n];
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float a = arow[kk];
+      if (a == 0.0F) continue;
+      const float* brow = &rhs.data_[kk * n];
+      for (std::size_t j = 0; j < n; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::transposed() const {
+  CAL_ENSURE(rank() == 2, "transposed requires rank-2, got " << shape_str());
+  Tensor out({shape_[1], shape_[0]});
+  for (std::size_t i = 0; i < shape_[0]; ++i)
+    for (std::size_t j = 0; j < shape_[1]; ++j)
+      out.data_[j * shape_[0] + i] = data_[i * shape_[1] + j];
+  return out;
+}
+
+Tensor Tensor::select_columns(std::span<const std::size_t> cols_idx) const {
+  CAL_ENSURE(rank() == 2, "select_columns requires rank-2");
+  CAL_ENSURE(!cols_idx.empty(), "select_columns with empty index set");
+  Tensor out({shape_[0], cols_idx.size()});
+  for (std::size_t i = 0; i < shape_[0]; ++i) {
+    for (std::size_t j = 0; j < cols_idx.size(); ++j) {
+      CAL_ENSURE(cols_idx[j] < shape_[1],
+                 "column index " << cols_idx[j] << " out of " << shape_[1]);
+      out.data_[i * cols_idx.size() + j] = data_[i * shape_[1] + cols_idx[j]];
+    }
+  }
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (!a.same_shape(b)) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float x = a[i];
+    const float y = b[i];
+    if (std::fabs(x - y) > atol + rtol * std::fabs(y)) return false;
+  }
+  return true;
+}
+
+}  // namespace cal

@@ -1,0 +1,117 @@
+// Float tensor used by the neural-network stack.
+//
+// Shapes are small (batch x features, at most a few hundred each), so the
+// implementation favours clarity and cache-friendly loops over SIMD
+// intrinsics; the blocked i-k-j matmul is the only hot kernel and is fast
+// enough for every bench in this repository.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cal {
+
+/// Dense row-major float tensor (rank 1 or 2 in practice; rank-N storage).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero tensor of the given shape. Empty dims are not allowed.
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  /// Constant-filled tensor.
+  Tensor(std::vector<std::size_t> shape, float fill);
+
+  /// 2-D convenience factory.
+  static Tensor zeros(std::size_t rows, std::size_t cols);
+
+  /// 1-D convenience factory.
+  static Tensor zeros(std::size_t n);
+
+  /// Build a 2-D tensor from nested lists (rows must be equal length).
+  static Tensor from_rows(
+      std::initializer_list<std::initializer_list<float>> rows);
+
+  /// i.i.d. N(0, sigma^2) entries.
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng,
+                      float sigma = 1.0F);
+
+  /// i.i.d. U(lo, hi) entries.
+  static Tensor rand_uniform(std::vector<std::size_t> shape, Rng& rng,
+                             float lo, float hi);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Number of rows / cols for rank-2 tensors (throws otherwise).
+  std::size_t rows() const;
+  std::size_t cols() const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  float& operator[](std::size_t i);
+  float operator[](std::size_t i) const;
+
+  /// Rank-2 element access.
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  /// Contiguous row view of a rank-2 tensor.
+  std::span<float> row(std::size_t r);
+  std::span<const float> row(std::size_t r) const;
+
+  /// True when shapes are identical.
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Reshape in place; total element count must be preserved.
+  void reshape(std::vector<std::size_t> new_shape);
+
+  void fill(float v);
+
+  /// "2x3" style shape string for diagnostics.
+  std::string shape_str() const;
+
+  // --- elementwise (shape-checked) -------------------------------------
+  Tensor operator+(const Tensor& rhs) const;
+  Tensor operator-(const Tensor& rhs) const;
+  Tensor operator*(const Tensor& rhs) const;  ///< Hadamard product
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor operator*(float s) const;
+
+  /// Sum of all elements.
+  double sum() const;
+
+  /// Max |x| over all elements.
+  float abs_max() const;
+
+  // --- rank-2 linear algebra --------------------------------------------
+  /// Matrix product (this: MxK, rhs: KxN -> MxN).
+  Tensor matmul(const Tensor& rhs) const;
+
+  /// Transpose copy of a rank-2 tensor.
+  Tensor transposed() const;
+
+  /// Extract a copy of selected columns (used by per-AP attack masking).
+  Tensor select_columns(std::span<const std::size_t> cols_idx) const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Strict elementwise closeness check for tests.
+bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5F,
+              float rtol = 1e-4F);
+
+}  // namespace cal

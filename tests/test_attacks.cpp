@@ -1,0 +1,336 @@
+// Property tests for the white-box attacks: every attack must respect the
+// ϵ budget, touch only the ø-selected AP columns, stay inside the valid
+// RSS box, and actually increase the victim's loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/attack.hpp"
+#include "attacks/mitm.hpp"
+#include "common/ensure.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+using namespace cal;
+using namespace cal::attacks;
+
+/// Tiny trained victim + data fixture shared by the attack tests.
+struct Victim {
+  std::unique_ptr<nn::Sequential> net;
+  std::unique_ptr<ModuleGradientSource> grads;
+  Tensor x;                     // normalised batch in [0,1]
+  std::vector<std::size_t> y;
+};
+
+Victim make_victim(std::size_t num_aps = 12, std::size_t classes = 3) {
+  Victim v;
+  Rng rng(101);
+  v.net = std::make_unique<nn::Sequential>();
+  v.net->emplace<nn::Linear>(num_aps, 24, rng);
+  v.net->emplace<nn::ReLU>();
+  v.net->emplace<nn::Linear>(24, classes, rng);
+
+  // Class c concentrates energy on AP block c.
+  const std::size_t n = 60;
+  v.x = Tensor({n, num_aps});
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cls = i % classes;
+    for (std::size_t j = 0; j < num_aps; ++j) {
+      const bool hot = j / (num_aps / classes) == cls;
+      v.x.at(i, j) = std::clamp(
+          static_cast<float>((hot ? 0.7 : 0.15) + rng.normal(0.0, 0.05)),
+          0.0F, 1.0F);
+    }
+    v.y.push_back(cls);
+  }
+  nn::TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.seed = 7;
+  nn::fit_classifier(*v.net, v.x, v.y, cfg);
+  v.grads = std::make_unique<ModuleGradientSource>(*v.net);
+  return v;
+}
+
+double loss_of(Victim& v, const Tensor& x) {
+  return nn::evaluate_classifier_loss(*v.net, x, v.y);
+}
+
+/// Columns whose values changed anywhere in the batch.
+std::vector<std::size_t> changed_columns(const Tensor& a, const Tensor& b) {
+  std::vector<std::size_t> cols;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      if (a.at(i, j) != b.at(i, j)) {
+        cols.push_back(j);
+        break;
+      }
+    }
+  }
+  return cols;
+}
+
+TEST(GradientSource, ShapeAndNonZero) {
+  auto v = make_victim();
+  const Tensor g = v.grads->input_gradient(v.x, v.y);
+  EXPECT_TRUE(g.same_shape(v.x));
+  EXPECT_GT(g.abs_max(), 0.0F);
+}
+
+TEST(TargetSelection, CountMatchesPhi) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  for (double phi : {10.0, 25.0, 50.0, 100.0}) {
+    cfg.phi_percent = phi;
+    const auto targets = select_target_aps(v.x, v.y, cfg, *v.grads);
+    const auto expected = static_cast<std::size_t>(
+        std::round(12 * phi / 100.0));
+    EXPECT_EQ(targets.size(), std::max<std::size_t>(1, expected));
+  }
+}
+
+TEST(TargetSelection, StrongestPicksHighestMeanColumns) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  cfg.phi_percent = 25.0;  // 3 of 12 APs
+  cfg.selection = TargetSelection::Strongest;
+  const auto targets = select_target_aps(v.x, v.y, cfg, *v.grads);
+  // Verify every selected column has mean >= every unselected column.
+  std::vector<double> mean(12, 0.0);
+  for (std::size_t i = 0; i < v.x.rows(); ++i)
+    for (std::size_t j = 0; j < 12; ++j) mean[j] += v.x.at(i, j);
+  std::vector<bool> chosen(12, false);
+  for (auto t : targets) chosen[t] = true;
+  double min_chosen = 1e9, max_unchosen = -1e9;
+  for (std::size_t j = 0; j < 12; ++j) {
+    if (chosen[j]) min_chosen = std::min(min_chosen, mean[j]);
+    else max_unchosen = std::max(max_unchosen, mean[j]);
+  }
+  EXPECT_GE(min_chosen, max_unchosen);
+}
+
+TEST(TargetSelection, RandomIsSeedDeterministic) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  cfg.phi_percent = 50.0;
+  cfg.selection = TargetSelection::Random;
+  cfg.seed = 33;
+  const auto a = select_target_aps(v.x, v.y, cfg, *v.grads);
+  const auto b = select_target_aps(v.x, v.y, cfg, *v.grads);
+  EXPECT_EQ(a, b);
+  cfg.seed = 34;
+  const auto c = select_target_aps(v.x, v.y, cfg, *v.grads);
+  EXPECT_NE(a, c);
+}
+
+TEST(TargetSelection, InvalidPhiThrows) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  cfg.phi_percent = 0.0;
+  EXPECT_THROW(select_target_aps(v.x, v.y, cfg, *v.grads),
+               PreconditionError);
+  cfg.phi_percent = 120.0;
+  EXPECT_THROW(select_target_aps(v.x, v.y, cfg, *v.grads),
+               PreconditionError);
+}
+
+struct AttackCase {
+  AttackKind kind;
+  double epsilon;
+  double phi;
+};
+
+class AttackInvariants : public ::testing::TestWithParam<AttackCase> {};
+
+TEST_P(AttackInvariants, BudgetMaskBoxAndDamage) {
+  const auto param = GetParam();
+  auto v = make_victim();
+  AttackConfig cfg;
+  cfg.epsilon = param.epsilon;
+  cfg.phi_percent = param.phi;
+  cfg.num_steps = 6;
+  const Tensor x_adv = run_attack(param.kind, *v.grads, v.x, v.y, cfg);
+
+  // 1. L-infinity budget.
+  const Tensor delta = x_adv - v.x;
+  EXPECT_LE(delta.abs_max(), static_cast<float>(param.epsilon) + 1e-5F);
+
+  // 2. Only the selected ø% columns change.
+  const auto targets = select_target_aps(v.x, v.y, cfg, *v.grads);
+  const auto changed = changed_columns(v.x, x_adv);
+  for (auto col : changed)
+    EXPECT_TRUE(std::find(targets.begin(), targets.end(), col) !=
+                targets.end())
+        << "column " << col << " changed but was not targeted";
+
+  // 3. Valid RSS box.
+  for (std::size_t i = 0; i < x_adv.size(); ++i) {
+    EXPECT_GE(x_adv[i], 0.0F);
+    EXPECT_LE(x_adv[i], 1.0F);
+  }
+
+  // 4. The attack hurts: loss increases.
+  EXPECT_GT(loss_of(v, x_adv), loss_of(v, v.x));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsilonPhiSweep, AttackInvariants,
+    ::testing::Values(AttackCase{AttackKind::Fgsm, 0.1, 100.0},
+                      AttackCase{AttackKind::Fgsm, 0.3, 50.0},
+                      AttackCase{AttackKind::Fgsm, 0.5, 25.0},
+                      AttackCase{AttackKind::Pgd, 0.1, 100.0},
+                      AttackCase{AttackKind::Pgd, 0.3, 50.0},
+                      AttackCase{AttackKind::Pgd, 0.5, 100.0},
+                      AttackCase{AttackKind::Mim, 0.1, 100.0},
+                      AttackCase{AttackKind::Mim, 0.3, 50.0},
+                      AttackCase{AttackKind::Mim, 0.5, 25.0}));
+
+TEST(Attacks, IterativeAtLeastAsStrongAsFgsm) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  cfg.epsilon = 0.2;
+  cfg.phi_percent = 100.0;
+  cfg.num_steps = 10;
+  const double fgsm_loss =
+      loss_of(v, fgsm_attack(*v.grads, v.x, v.y, cfg));
+  const double pgd_loss = loss_of(v, pgd_attack(*v.grads, v.x, v.y, cfg));
+  const double mim_loss = loss_of(v, mim_attack(*v.grads, v.x, v.y, cfg));
+  // PGD/MIM refine the FGSM direction; allow a small tolerance for the
+  // rare case the one-shot sign step is already optimal.
+  EXPECT_GT(pgd_loss, fgsm_loss * 0.9);
+  EXPECT_GT(mim_loss, fgsm_loss * 0.9);
+}
+
+TEST(Attacks, NoneKindIsIdentity) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  const Tensor out = run_attack(AttackKind::None, *v.grads, v.x, v.y, cfg);
+  EXPECT_TRUE(allclose(out, v.x));
+}
+
+TEST(Attacks, ZeroEpsilonChangesNothing) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  cfg.epsilon = 0.0;
+  const Tensor out = fgsm_attack(*v.grads, v.x, v.y, cfg);
+  EXPECT_TRUE(allclose(out, v.x));
+}
+
+TEST(Attacks, InvalidConfigThrows) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  cfg.epsilon = 2.0;
+  EXPECT_THROW(fgsm_attack(*v.grads, v.x, v.y, cfg), PreconditionError);
+  cfg.epsilon = 0.1;
+  cfg.num_steps = 0;
+  EXPECT_THROW(pgd_attack(*v.grads, v.x, v.y, cfg), PreconditionError);
+}
+
+TEST(Attacks, LabelsBatchMismatchThrows) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  const std::vector<std::size_t> wrong{0};
+  EXPECT_THROW(fgsm_attack(*v.grads, v.x, wrong, cfg), PreconditionError);
+}
+
+TEST(Attacks, PgdRandomStartStaysInBall) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  cfg.epsilon = 0.15;
+  cfg.random_start = true;
+  cfg.num_steps = 4;
+  const Tensor x_adv = pgd_attack(*v.grads, v.x, v.y, cfg);
+  EXPECT_LE((x_adv - v.x).abs_max(), 0.15F + 1e-5F);
+}
+
+TEST(Mitm, ManipulationCannotTouchUndetectedAps) {
+  auto v = make_victim();
+  // Zero out one targeted AP column entirely ("not detected").
+  Tensor x = v.x;
+  for (std::size_t i = 0; i < x.rows(); ++i) x.at(i, 0) = 0.0F;
+  AttackConfig cfg;
+  cfg.epsilon = 0.4;
+  cfg.phi_percent = 100.0;
+  const Tensor manip = mitm_attack(MitmMode::SignalManipulation,
+                                   AttackKind::Fgsm, *v.grads, x, v.y, cfg);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    EXPECT_FLOAT_EQ(manip.at(i, 0), 0.0F);
+
+  const Tensor spoof = mitm_attack(MitmMode::SignalSpoofing,
+                                   AttackKind::Fgsm, *v.grads, x, v.y, cfg);
+  // Spoofing CAN conjure readings on a silent AP.
+  bool any_changed = false;
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    any_changed = any_changed || spoof.at(i, 0) != 0.0F;
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(Mitm, NoneKindPassesThrough) {
+  auto v = make_victim();
+  AttackConfig cfg;
+  const Tensor out = mitm_attack(MitmMode::SignalSpoofing, AttackKind::None,
+                                 *v.grads, v.x, v.y, cfg);
+  EXPECT_TRUE(allclose(out, v.x));
+}
+
+struct MitmCase {
+  MitmMode mode;
+  AttackKind kind;
+};
+
+class MitmInvariants : public ::testing::TestWithParam<MitmCase> {};
+
+TEST_P(MitmInvariants, ChannelRealismHolds) {
+  const auto param = GetParam();
+  auto v = make_victim();
+  // Silence two columns so "not detected" semantics are exercised.
+  Tensor x = v.x;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x.at(i, 3) = 0.0F;
+    x.at(i, 9) = 0.0F;
+  }
+  AttackConfig cfg;
+  cfg.epsilon = 0.3;
+  cfg.phi_percent = 100.0;
+  cfg.num_steps = 4;
+  const Tensor out =
+      mitm_attack(param.mode, param.kind, *v.grads, x, v.y, cfg);
+
+  // Invariants shared by every channel mode and algorithm:
+  EXPECT_LE((out - x).abs_max(), 0.3F + 1e-5F);  // epsilon budget
+  for (std::size_t i = 0; i < out.size(); ++i) {  // valid RSS box
+    EXPECT_GE(out[i], 0.0F);
+    EXPECT_LE(out[i], 1.0F);
+  }
+  if (param.mode == MitmMode::SignalManipulation) {
+    // Manipulation cannot create readings for silent APs.
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      EXPECT_FLOAT_EQ(out.at(i, 3), 0.0F);
+      EXPECT_FLOAT_EQ(out.at(i, 9), 0.0F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModeKindMatrix, MitmInvariants,
+    ::testing::Values(
+        MitmCase{MitmMode::SignalManipulation, AttackKind::Fgsm},
+        MitmCase{MitmMode::SignalManipulation, AttackKind::Pgd},
+        MitmCase{MitmMode::SignalManipulation, AttackKind::Mim},
+        MitmCase{MitmMode::SignalSpoofing, AttackKind::Fgsm},
+        MitmCase{MitmMode::SignalSpoofing, AttackKind::Pgd},
+        MitmCase{MitmMode::SignalSpoofing, AttackKind::Mim}));
+
+TEST(Names, ToStringCoverage) {
+  EXPECT_EQ(to_string(AttackKind::Fgsm), "FGSM");
+  EXPECT_EQ(to_string(AttackKind::Pgd), "PGD");
+  EXPECT_EQ(to_string(AttackKind::Mim), "MIM");
+  EXPECT_EQ(to_string(AttackKind::None), "None");
+  EXPECT_EQ(to_string(TargetSelection::Strongest), "Strongest");
+  EXPECT_EQ(to_string(MitmMode::SignalSpoofing), "SignalSpoofing");
+}
+
+}  // namespace

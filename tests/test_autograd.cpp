@@ -1,0 +1,287 @@
+// Gradient correctness: every autograd op is verified against central
+// finite differences, plus graph-mechanics tests (accumulation, topology,
+// constants, composite attention).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/ops.hpp"
+#include "autograd/variable.hpp"
+#include "common/ensure.hpp"
+
+namespace {
+
+using namespace cal;
+using autograd::Var;
+
+/// Check d(scalar graph)/d(leaf) against central finite differences.
+/// `build` must construct a scalar graph from the given leaf.
+void check_gradient(Tensor x0, const std::function<Var(const Var&)>& build,
+                    float fd_eps = 1e-2F, float tol = 2e-2F) {
+  Var leaf = autograd::make_leaf(x0, true);
+  Var loss = build(leaf);
+  ASSERT_EQ(loss->value().size(), 1u) << "gradient check needs scalar loss";
+  autograd::backward(loss);
+  const Tensor analytic = leaf->grad();
+
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    Tensor xp = x0;
+    xp[i] += fd_eps;
+    Tensor xm = x0;
+    xm[i] -= fd_eps;
+    const float fp = build(autograd::make_leaf(xp, false))->value()[0];
+    const float fm = build(autograd::make_leaf(xm, false))->value()[0];
+    const float numeric = (fp - fm) / (2.0F * fd_eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tol * (1.0F + std::fabs(numeric)))
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+Tensor small_matrix(std::uint64_t seed, std::size_t r, std::size_t c) {
+  Rng rng(seed);
+  return Tensor::randn({r, c}, rng, 0.7F);
+}
+
+TEST(Autograd, MatmulGradientLhs) {
+  const Tensor b = small_matrix(2, 3, 2);
+  check_gradient(small_matrix(1, 2, 3), [&](const Var& x) {
+    return autograd::mean_all(autograd::matmul(x, autograd::constant(b)));
+  });
+}
+
+TEST(Autograd, MatmulGradientRhs) {
+  const Tensor a = small_matrix(3, 2, 3);
+  check_gradient(small_matrix(4, 3, 2), [&](const Var& x) {
+    return autograd::mean_all(autograd::matmul(autograd::constant(a), x));
+  });
+}
+
+TEST(Autograd, AddSubMulGradients) {
+  const Tensor other = small_matrix(5, 2, 2);
+  check_gradient(small_matrix(6, 2, 2), [&](const Var& x) {
+    auto c = autograd::constant(other);
+    auto expr = autograd::mul(autograd::add(x, c), autograd::sub(x, c));
+    return autograd::mean_all(expr);
+  });
+}
+
+TEST(Autograd, AddRowwiseGradientBias) {
+  const Tensor a = small_matrix(7, 3, 4);
+  Rng rng(8);
+  check_gradient(Tensor::randn({4}, rng), [&](const Var& bias) {
+    return autograd::mean_all(
+        autograd::add_rowwise(autograd::constant(a), bias));
+  });
+}
+
+TEST(Autograd, SubRowwiseAndMeanOverRowsGradient) {
+  check_gradient(small_matrix(9, 3, 4), [](const Var& x) {
+    auto m = autograd::mean_over_rows(x);
+    return autograd::mean_all(autograd::sub_rowwise(x, m));
+  });
+}
+
+TEST(Autograd, ScaleGradient) {
+  check_gradient(small_matrix(10, 2, 3), [](const Var& x) {
+    return autograd::mean_all(autograd::scale(x, -2.5F));
+  });
+}
+
+TEST(Autograd, ScaleByLearnableScalarGradient) {
+  const Tensor a = small_matrix(11, 2, 2);
+  Tensor s({1});
+  s[0] = 1.7F;
+  check_gradient(s, [&](const Var& scalar) {
+    return autograd::mean_all(
+        autograd::scale_by(autograd::constant(a), scalar));
+  });
+}
+
+TEST(Autograd, TransposeGradient) {
+  const Tensor b = small_matrix(12, 3, 2);
+  check_gradient(small_matrix(13, 3, 2), [&](const Var& x) {
+    return autograd::mean_all(
+        autograd::matmul(autograd::transpose(x), autograd::constant(b)));
+  });
+}
+
+TEST(Autograd, ConcatColsGradient) {
+  const Tensor b = small_matrix(14, 2, 3);
+  check_gradient(small_matrix(15, 2, 2), [&](const Var& x) {
+    return autograd::mean_all(
+        autograd::concat_cols(x, autograd::constant(b)));
+  });
+}
+
+TEST(Autograd, ReshapeGradient) {
+  check_gradient(small_matrix(16, 2, 6), [](const Var& x) {
+    auto r = autograd::reshape(x, {3, 4});
+    return autograd::mean_all(autograd::mul(r, r));
+  });
+}
+
+TEST(Autograd, ReluGradient) {
+  // Shift values away from the kink to keep finite differences clean.
+  Tensor x = small_matrix(17, 3, 3);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (std::fabs(x[i]) < 0.05F) x[i] = 0.2F;
+  check_gradient(x, [](const Var& v) {
+    return autograd::mean_all(autograd::relu(v));
+  });
+}
+
+TEST(Autograd, TanhSigmoidGradients) {
+  check_gradient(small_matrix(18, 2, 3), [](const Var& x) {
+    return autograd::mean_all(
+        autograd::mul(autograd::tanh_op(x), autograd::sigmoid(x)));
+  });
+}
+
+TEST(Autograd, SoftmaxRowsGradient) {
+  const Tensor w = small_matrix(19, 2, 4);
+  check_gradient(small_matrix(20, 2, 4), [&](const Var& x) {
+    return autograd::mean_all(
+        autograd::mul(autograd::softmax_rows(x), autograd::constant(w)));
+  });
+}
+
+TEST(Autograd, L2NormalizeRowsGradient) {
+  const Tensor w = small_matrix(21, 2, 4);
+  check_gradient(small_matrix(22, 2, 4), [&](const Var& x) {
+    return autograd::mean_all(autograd::mul(autograd::l2_normalize_rows(x),
+                                            autograd::constant(w)));
+  });
+}
+
+TEST(Autograd, MseLossGradient) {
+  const Tensor target = small_matrix(23, 2, 3);
+  check_gradient(small_matrix(24, 2, 3), [&](const Var& x) {
+    return autograd::mse_loss(x, target);
+  });
+}
+
+TEST(Autograd, CrossEntropyGradient) {
+  const std::vector<std::size_t> labels{1, 0, 2};
+  check_gradient(small_matrix(25, 3, 4), [&](const Var& x) {
+    return autograd::cross_entropy(x, labels);
+  });
+}
+
+TEST(Autograd, AttentionCompositeGradient) {
+  const Tensor k = small_matrix(26, 4, 3);
+  const Tensor v = small_matrix(27, 4, 2);
+  check_gradient(small_matrix(28, 2, 3), [&](const Var& q) {
+    return autograd::mean_all(autograd::scaled_dot_product_attention(
+        q, autograd::constant(k), autograd::constant(v)));
+  });
+}
+
+TEST(Autograd, MeanSumReductions) {
+  Tensor x = Tensor::from_rows({{2.0F, 4.0F}});
+  auto leaf = autograd::make_leaf(x, true);
+  EXPECT_FLOAT_EQ(autograd::mean_all(leaf)->value()[0], 3.0F);
+  EXPECT_FLOAT_EQ(autograd::sum_all(leaf)->value()[0], 6.0F);
+}
+
+TEST(Autograd, DropoutEvalIsIdentityTrainScales) {
+  Rng rng(30);
+  Tensor x({1000}, 1.0F);
+  x.reshape({10, 100});
+  auto leaf = autograd::make_leaf(x, false);
+  auto eval_out = autograd::dropout(leaf, 0.4F, rng, false);
+  EXPECT_TRUE(allclose(eval_out->value(), x));
+  auto train_out = autograd::dropout(leaf, 0.4F, rng, true);
+  // Inverted dropout preserves the expectation.
+  EXPECT_NEAR(train_out->value().sum() / 1000.0, 1.0, 0.1);
+}
+
+TEST(Autograd, DropoutMaskAppliesInBackward) {
+  Rng rng(31);
+  Tensor x({4, 4}, 1.0F);
+  auto leaf = autograd::make_leaf(x, true);
+  auto out = autograd::dropout(leaf, 0.5F, rng, true);
+  auto loss = autograd::sum_all(out);
+  autograd::backward(loss);
+  // Gradient equals the mask: zero where dropped, 1/keep where kept.
+  const Tensor& g = leaf->grad();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_TRUE(g[i] == 0.0F || std::fabs(g[i] - 2.0F) < 1e-6F);
+    EXPECT_EQ(g[i] == 0.0F, out->value()[i] == 0.0F);
+  }
+}
+
+TEST(Autograd, GaussianNoisePassThroughGradient) {
+  Rng rng(32);
+  Tensor x({3, 3}, 0.5F);
+  auto leaf = autograd::make_leaf(x, true);
+  auto out = autograd::gaussian_noise(leaf, 0.3F, rng, true);
+  autograd::backward(autograd::sum_all(out));
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(leaf->grad()[i], 1.0F);
+}
+
+TEST(Autograd, GradientAccumulatesAcrossBackwardCalls) {
+  Tensor x = Tensor::from_rows({{1.0F, 2.0F}});
+  auto leaf = autograd::make_leaf(x, true);
+  for (int pass = 0; pass < 2; ++pass) {
+    auto loss = autograd::mean_all(autograd::mul(leaf, leaf));
+    autograd::backward(loss);
+  }
+  // d/dx mean(x^2) = x; two passes accumulate 2x.
+  EXPECT_FLOAT_EQ(leaf->grad()[0], 2.0F);
+  EXPECT_FLOAT_EQ(leaf->grad()[1], 4.0F);
+  leaf->zero_grad();
+  EXPECT_FLOAT_EQ(leaf->grad()[0], 0.0F);
+}
+
+TEST(Autograd, ConstantsReceiveNoGradient) {
+  auto c = autograd::constant(Tensor::from_rows({{3.0F}}));
+  auto leaf = autograd::make_leaf(Tensor::from_rows({{2.0F}}), true);
+  auto loss = autograd::mean_all(autograd::mul(leaf, c));
+  autograd::backward(loss);
+  EXPECT_FLOAT_EQ(leaf->grad()[0], 3.0F);
+  EXPECT_FALSE(c->requires_grad());
+}
+
+TEST(Autograd, DiamondGraphTopologicalOrder) {
+  // y = (x*x) + (x*x) — the same subexpression feeding two consumers.
+  auto leaf = autograd::make_leaf(Tensor::from_rows({{3.0F}}), true);
+  auto sq = autograd::mul(leaf, leaf);
+  auto loss = autograd::mean_all(autograd::add(sq, sq));
+  autograd::backward(loss);
+  EXPECT_FLOAT_EQ(leaf->grad()[0], 12.0F);  // d/dx 2x² = 4x
+}
+
+TEST(Autograd, BackwardRequiresScalarRoot) {
+  auto leaf = autograd::make_leaf(Tensor({2, 2}), true);
+  EXPECT_THROW(autograd::backward(leaf), PreconditionError);
+}
+
+TEST(Autograd, ArgmaxRows) {
+  auto t = Tensor::from_rows({{0.1F, 0.9F}, {2.0F, -1.0F}});
+  const auto idx = autograd::argmax_rows(t);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);
+}
+
+TEST(Autograd, SoftmaxRowsSumToOne) {
+  auto t = small_matrix(33, 5, 7);
+  const auto sm = autograd::softmax_rows_tensor(t);
+  for (std::size_t i = 0; i < sm.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < sm.cols(); ++j) {
+      EXPECT_GT(sm.at(i, j), 0.0F);
+      row_sum += sm.at(i, j);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Autograd, CrossEntropyRejectsBadLabels) {
+  auto logits = autograd::make_leaf(Tensor({2, 3}), true);
+  const std::vector<std::size_t> bad{0, 7};
+  EXPECT_THROW(autograd::cross_entropy(logits, bad), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Baseline localizers: each must learn a small simulated building well
+// enough to beat chance by a wide margin, and expose the right interface
+// (gradient sources for differentiable models, surrogate otherwise).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/advloc.hpp"
+#include "baselines/anvil.hpp"
+#include "baselines/autoencoder.hpp"
+#include "baselines/cnn.hpp"
+#include "baselines/dnn.hpp"
+#include "baselines/gpc.hpp"
+#include "baselines/knn.hpp"
+#include "baselines/naive_bayes.hpp"
+#include "baselines/sangria.hpp"
+#include "baselines/surrogate.hpp"
+#include "baselines/wideep.hpp"
+#include "common/ensure.hpp"
+#include "eval/harness.hpp"
+#include "sim/collector.hpp"
+
+namespace {
+
+using namespace cal;
+using namespace cal::baselines;
+
+/// Shared small scenario (built once; fitting every model on it keeps the
+/// whole suite fast).
+const sim::Scenario& scenario() {
+  static const sim::Scenario sc = [] {
+    sim::BuildingSpec spec;
+    spec.name = "test-building";
+    spec.num_aps = 24;
+    spec.path_length_m = 14;
+    spec.material = sim::MaterialProfile{};
+    spec.seed = 99;
+    return sim::make_scenario(spec, 123);
+  }();
+  return sc;
+}
+
+nn::TrainConfig fast_train() {
+  nn::TrainConfig cfg;
+  cfg.epochs = 25;
+  return cfg;
+}
+
+/// Every localizer must land within `max_mean_err` metres on the OP3
+/// (same-device) test capture.
+void expect_learns(ILocalizer& model, double max_mean_err) {
+  model.fit(scenario().train);
+  const auto& op3_test = scenario().device_tests.back();
+  const auto stats = eval::evaluate_clean(model, op3_test);
+  EXPECT_LT(stats.error_m.mean, max_mean_err)
+      << model.name() << " mean error too high";
+}
+
+TEST(Knn, LearnsAndValidates) {
+  Knn knn(5);
+  expect_learns(knn, 2.0);
+  EXPECT_EQ(knn.name(), "KNN");
+  EXPECT_EQ(knn.gradient_source(), nullptr);
+  EXPECT_THROW(Knn(0), PreconditionError);
+  Knn unfitted;
+  EXPECT_THROW(unfitted.predict(Tensor({1, 24})), PreconditionError);
+}
+
+TEST(Knn, FeatureMismatchThrows) {
+  Knn knn;
+  knn.fit(scenario().train);
+  EXPECT_THROW(knn.predict(Tensor({1, 5})), PreconditionError);
+}
+
+TEST(NaiveBayes, Learns) {
+  NaiveBayes nb;
+  expect_learns(nb, 3.5);
+  EXPECT_THROW(NaiveBayes(-1.0), PreconditionError);
+}
+
+TEST(Gpc, LearnsAndExposesScores) {
+  Gpc gpc;
+  expect_learns(gpc, 2.5);
+  const auto scores =
+      gpc.decision_scores(scenario().device_tests.back().normalized());
+  EXPECT_EQ(scores.rows(), scenario().device_tests.back().num_samples());
+  EXPECT_EQ(scores.cols(), scenario().train.num_rps());
+  EXPECT_GT(gpc.length_scale(), 0.0);
+}
+
+TEST(Gpc, SubsamplingCapRespected) {
+  GpcConfig cfg;
+  cfg.max_train_samples = 20;
+  Gpc gpc(cfg);
+  gpc.fit(scenario().train);
+  // Still better than chance even on 20 anchors.
+  const auto stats =
+      eval::evaluate_clean(gpc, scenario().device_tests.back());
+  EXPECT_LT(stats.error_m.mean, 5.0);
+}
+
+TEST(Gpc, ConfigValidation) {
+  EXPECT_THROW(Gpc(GpcConfig{.signal_variance = 0.0}), PreconditionError);
+  EXPECT_THROW(Gpc(GpcConfig{.noise_variance = 0.0}), PreconditionError);
+}
+
+TEST(Dnn, LearnsAndHasGradients) {
+  DnnConfig cfg;
+  cfg.train = fast_train();
+  Dnn dnn(cfg);
+  expect_learns(dnn, 2.0);
+  ASSERT_NE(dnn.gradient_source(), nullptr);
+  const auto& test = scenario().device_tests.back();
+  const Tensor g = dnn.gradient_source()->input_gradient(
+      test.normalized(), test.labels());
+  EXPECT_GT(g.abs_max(), 0.0F);
+  EXPECT_FALSE(dnn.history().train_loss.empty());
+}
+
+TEST(Cnn, Learns) {
+  CnnConfig cfg;
+  cfg.train = fast_train();
+  Cnn cnn(cfg);
+  expect_learns(cnn, 2.5);
+  EXPECT_NE(cnn.gradient_source(), nullptr);
+}
+
+TEST(AdvLoc, LearnsWithAdversarialAugmentation) {
+  AdvLocConfig cfg;
+  cfg.dnn.train = fast_train();
+  cfg.warmup_epochs = 10;
+  AdvLoc advloc(cfg);
+  expect_learns(advloc, 2.5);
+  EXPECT_EQ(advloc.name(), "AdvLoc");
+}
+
+TEST(AdvLoc, ConfigValidation) {
+  AdvLocConfig cfg;
+  cfg.adversarial_fraction = 1.5;
+  EXPECT_THROW(AdvLoc{cfg}, PreconditionError);
+}
+
+TEST(Anvil, Learns) {
+  AnvilConfig cfg;
+  cfg.train.epochs = 45;  // keep the config's hotter attention lr
+  Anvil anvil(cfg);
+  expect_learns(anvil, 3.0);
+  EXPECT_NE(anvil.gradient_source(), nullptr);
+}
+
+TEST(Autoencoder, ReconstructsAndEncodes) {
+  DaeConfig cfg;
+  cfg.hidden = 16;
+  cfg.train.epochs = 30;
+  DenoisingAutoencoder dae(24, cfg);
+  const Tensor x = scenario().train.normalized();
+  const auto hist = dae.fit(x);
+  EXPECT_LT(hist.train_loss.back(), hist.train_loss.front());
+  const Tensor codes = dae.encode(x);
+  EXPECT_EQ(codes.rows(), x.rows());
+  EXPECT_EQ(codes.cols(), 16u);
+}
+
+TEST(Autoencoder, StackedLayerwise) {
+  DaeConfig cfg;
+  cfg.train.epochs = 15;
+  StackedAutoencoder stack(24, {20, 8}, cfg);
+  const Tensor x = scenario().train.normalized();
+  stack.fit(x);
+  EXPECT_EQ(stack.code_dim(), 8u);
+  EXPECT_EQ(stack.encode(x).cols(), 8u);
+}
+
+TEST(Autoencoder, EncodeBeforeFitThrows) {
+  DaeConfig cfg;
+  StackedAutoencoder stack(24, {8}, cfg);
+  EXPECT_THROW(stack.encode(Tensor({1, 24})), PreconditionError);
+}
+
+TEST(Sangria, Learns) {
+  SangriaConfig cfg;
+  cfg.hidden_dims = {32, 16};
+  cfg.dae.train.epochs = 15;
+  cfg.gbdt.rounds = 10;
+  Sangria sangria(cfg);
+  expect_learns(sangria, 3.0);
+  EXPECT_EQ(sangria.name(), "SANGRIA");
+  EXPECT_EQ(sangria.gradient_source(), nullptr);
+}
+
+TEST(WiDeep, Learns) {
+  WiDeepConfig cfg;
+  cfg.dae.hidden = 24;
+  cfg.dae.train.epochs = 15;
+  WiDeep wideep(cfg);
+  expect_learns(wideep, 3.0);
+  EXPECT_EQ(wideep.name(), "WiDeep");
+}
+
+TEST(Surrogate, ProvidesGradientsForNonDifferentiableVictims) {
+  SurrogateGradients surrogate(scenario().train, 777);
+  Knn knn;
+  knn.fit(scenario().train);
+  // KNN has no own gradients; gradients_for must fall back to surrogate.
+  auto& src = gradients_for(knn, surrogate);
+  const auto& test = scenario().device_tests.back();
+  const Tensor g = src.input_gradient(test.normalized(), test.labels());
+  EXPECT_TRUE(g.same_shape(test.normalized()));
+  EXPECT_GT(g.abs_max(), 0.0F);
+
+  // A DNN prefers its own gradients.
+  DnnConfig dc;
+  dc.train = fast_train();
+  Dnn dnn(dc);
+  dnn.fit(scenario().train);
+  EXPECT_EQ(&gradients_for(dnn, surrogate), dnn.gradient_source());
+}
+
+TEST(PredictionAccuracy, HelperAgreesWithManualCount) {
+  Knn knn;
+  knn.fit(scenario().train);
+  const auto& test = scenario().device_tests.back();
+  const double acc =
+      prediction_accuracy(knn, test.normalized(), test.labels());
+  const auto pred = knn.predict(test.normalized());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == test.labels()[i]) ++correct;
+  EXPECT_DOUBLE_EQ(acc, static_cast<double>(correct) / pred.size());
+}
+
+}  // namespace

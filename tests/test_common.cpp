@@ -1,0 +1,220 @@
+// Unit tests: RNG, statistics, CSV, tables, error helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace cal;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(9);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(10);
+  const int n = 50000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+  Rng rng(11);
+  EXPECT_THROW(rng.normal(0.0, -1.0), PreconditionError);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng fork = a.fork(1);
+  // Fork is deterministic given parent state and salt.
+  Rng a2(5);
+  Rng fork2 = a2.fork(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fork.next_u64(), fork2.next_u64());
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(13);
+  auto perm = rng.permutation(100);
+  std::vector<bool> seen(100, false);
+  for (auto i : perm) {
+    ASSERT_LT(i, 100u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(14);
+  auto s = rng.sample_without_replacement(50, 20);
+  ASSERT_EQ(s.size(), 20u);
+  std::sort(s.begin(), s.end());
+  EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(15);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), PreconditionError);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, SummarizeMatchesPieces) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Stats, EmptyRangeThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(mean(xs), PreconditionError);
+  EXPECT_THROW(summarize(xs), PreconditionError);
+  EXPECT_THROW(percentile(xs, 50.0), PreconditionError);
+}
+
+TEST(Stats, PercentileRejectsBadP) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(xs, -1.0), PreconditionError);
+  EXPECT_THROW(percentile(xs, 101.0), PreconditionError);
+}
+
+TEST(Csv, EscapeAndParseRoundTrip) {
+  const CsvRow row{"plain", "with,comma", "with\"quote", "multi word"};
+  const auto line = format_csv_row(row);
+  const auto parsed = parse_csv_line(line);
+  EXPECT_EQ(parsed, row);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cal_test_csv.csv").string();
+  CsvDocument doc;
+  doc.header = {"a", "b"};
+  doc.rows = {{"1", "2"}, {"x,y", "z"}};
+  write_csv(path, doc);
+  const auto loaded = read_csv(path, true);
+  EXPECT_EQ(loaded.header, doc.header);
+  EXPECT_EQ(loaded.rows, doc.rows);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely/not.csv", false),
+               PreconditionError);
+}
+
+TEST(Table, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.5}, 1);
+  EXPECT_EQ(t.num_rows(), 2u);
+  const auto s = t.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, HeatmapRendersAllCells) {
+  const auto s = render_heatmap("hm", {"r1", "r2"}, {"c1", "c2"},
+                                {{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_NE(s.find("r1"), std::string::npos);
+  EXPECT_NE(s.find("4.00"), std::string::npos);
+}
+
+TEST(Table, HeatmapShapeMismatchThrows) {
+  EXPECT_THROW(
+      render_heatmap("hm", {"r1"}, {"c1", "c2"}, {{1.0}}),
+      PreconditionError);
+}
+
+TEST(Table, BarChartScalesToWidth) {
+  const auto s = render_bar_chart("bars", {"a", "b"}, {1.0, 2.0}, 10);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+}
+
+TEST(Ensure, MacrosThrowTypedErrors) {
+  EXPECT_THROW(CAL_ENSURE(false, "msg " << 42), PreconditionError);
+  EXPECT_THROW(CAL_INVARIANT(false, "bug"), InvariantError);
+  EXPECT_NO_THROW(CAL_ENSURE(true, "fine"));
+}
+
+}  // namespace

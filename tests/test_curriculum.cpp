@@ -1,0 +1,217 @@
+// Unit tests: curriculum schedule and the adaptive training controller.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/ensure.hpp"
+#include "attacks/attack.hpp"
+#include "attacks/gradient_source.hpp"
+#include "autograd/ops.hpp"
+#include "core/adaptive_trainer.hpp"
+#include "core/curriculum.hpp"
+#include "sim/collector.hpp"
+
+namespace {
+
+using namespace cal;
+using namespace cal::core;
+
+TEST(Curriculum, StandardScheduleShape) {
+  const auto sched = CurriculumSchedule::standard(10, 0.1, 0.9);
+  ASSERT_EQ(sched.size(), 10u);
+  const auto& lessons = sched.lessons();
+  // Lesson 1: pure original data (paper §IV.A).
+  EXPECT_DOUBLE_EQ(lessons[0].phi_percent, 0.0);
+  EXPECT_DOUBLE_EQ(lessons[0].adversarial_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(lessons[0].epsilon, 0.0);
+  // Final lesson: ø = 100.
+  EXPECT_DOUBLE_EQ(lessons.back().phi_percent, 100.0);
+  EXPECT_DOUBLE_EQ(lessons.back().adversarial_fraction, 0.9);
+  // ϵ fixed at 0.1 for every adversarial lesson.
+  for (std::size_t i = 1; i < lessons.size(); ++i)
+    EXPECT_DOUBLE_EQ(lessons[i].epsilon, 0.1);
+  // Monotone difficulty.
+  for (std::size_t i = 1; i < lessons.size(); ++i) {
+    EXPECT_GE(lessons[i].phi_percent, lessons[i - 1].phi_percent);
+    EXPECT_GE(lessons[i].adversarial_fraction,
+              lessons[i - 1].adversarial_fraction);
+  }
+  // Lesson indices are 1-based like the paper's lesson numbering.
+  EXPECT_EQ(lessons[0].index, 1u);
+  EXPECT_EQ(lessons.back().index, 10u);
+}
+
+TEST(Curriculum, SecondLessonMatchesPaperExample) {
+  // Paper: "the second lesson contains ø = 10 (10% attacked APs) with
+  // ϵ = 0.1" — our linear schedule gives ø ≈ 11% for 10 lessons.
+  const auto sched = CurriculumSchedule::standard();
+  EXPECT_NEAR(sched.lessons()[1].phi_percent, 11.1, 0.2);
+  EXPECT_DOUBLE_EQ(sched.lessons()[1].epsilon, 0.1);
+}
+
+TEST(Curriculum, NoCurriculumIsSingleHardLesson) {
+  const auto nc = CurriculumSchedule::no_curriculum(0.1, 0.9);
+  ASSERT_EQ(nc.size(), 1u);
+  EXPECT_DOUBLE_EQ(nc.lessons()[0].phi_percent, 100.0);
+  EXPECT_DOUBLE_EQ(nc.lessons()[0].adversarial_fraction, 0.9);
+}
+
+TEST(Curriculum, CustomScheduleValidation) {
+  EXPECT_THROW(CurriculumSchedule({}), PreconditionError);
+  Lesson bad;
+  bad.phi_percent = 150.0;
+  EXPECT_THROW(CurriculumSchedule({bad}), PreconditionError);
+  Lesson l1;
+  l1.phi_percent = 50.0;
+  Lesson l2;
+  l2.phi_percent = 10.0;  // decreasing ø violates curriculum premise
+  EXPECT_THROW(CurriculumSchedule({l1, l2}), PreconditionError);
+}
+
+TEST(Curriculum, StandardNeedsTwoLessons) {
+  EXPECT_THROW(CurriculumSchedule::standard(1), PreconditionError);
+}
+
+/// Small trained-from-scratch fixture for controller tests.
+struct Fixture {
+  Tensor x;
+  std::vector<std::size_t> y;
+  CallocModel model;
+
+  Fixture()
+      : model([] {
+          CallocModelConfig cfg;
+          cfg.num_aps = 16;
+          cfg.num_rps = 9;
+          cfg.embed_dim = 24;
+          cfg.attention_dim = 12;
+          cfg.seed = 5;
+          return cfg;
+        }()) {
+    sim::BuildingSpec spec;
+    spec.num_aps = 16;
+    spec.path_length_m = 8;
+    spec.seed = 31;
+    const auto sc = sim::make_scenario(spec, 57);
+    x = sc.train.normalized();
+    y.assign(sc.train.labels().begin(), sc.train.labels().end());
+    Tensor anchors = sc.train.mean_fingerprint_per_rp();
+    for (std::size_t i = 0; i < anchors.size(); ++i)
+      anchors[i] = data::normalize_rss(anchors[i]);
+    std::vector<std::size_t> labels(sc.train.num_rps());
+    std::iota(labels.begin(), labels.end(), 0);
+    model.set_anchors(anchors, labels);
+  }
+};
+
+TEST(AdaptiveTrainer, ConfigValidation) {
+  AdaptiveTrainConfig cfg;
+  cfg.max_epochs_per_lesson = 0;
+  EXPECT_THROW(AdaptiveCurriculumTrainer{cfg}, PreconditionError);
+  cfg = AdaptiveTrainConfig{};
+  cfg.learning_rate = 0.0F;
+  EXPECT_THROW(AdaptiveCurriculumTrainer{cfg}, PreconditionError);
+  cfg = AdaptiveTrainConfig{};
+  cfg.phi_reduction_step = 0.0;
+  EXPECT_THROW(AdaptiveCurriculumTrainer{cfg}, PreconditionError);
+}
+
+TEST(AdaptiveTrainer, RunsFullCurriculumAndReports) {
+  Fixture f;
+  AdaptiveTrainConfig cfg;
+  cfg.max_epochs_per_lesson = 4;
+  cfg.seed = 9;
+  AdaptiveCurriculumTrainer trainer(cfg);
+  const auto sched = CurriculumSchedule::standard(5, 0.1, 0.8);
+  const auto report = trainer.train(f.model, f.x, f.y, sched);
+
+  ASSERT_EQ(report.lessons.size(), 5u);
+  EXPECT_GT(report.total_epochs, 0u);
+  for (std::size_t i = 0; i < report.lessons.size(); ++i) {
+    const auto& lr = report.lessons[i];
+    EXPECT_EQ(lr.lesson_index, i + 1);
+    EXPECT_GT(lr.epochs_run, 0u);
+    // Adaptive ø only ever decreases from the requested value.
+    EXPECT_LE(lr.phi_trained, lr.phi_requested + 1e-9);
+    EXPECT_GE(lr.phi_trained, 0.0);
+  }
+}
+
+TEST(AdaptiveTrainer, PhiReductionsAreMultiplesOfStep) {
+  Fixture f;
+  AdaptiveTrainConfig cfg;
+  cfg.max_epochs_per_lesson = 6;
+  cfg.divergence_patience = 1;  // aggressive: adapt on any rise
+  cfg.phi_reduction_step = 2.0;
+  cfg.seed = 10;
+  AdaptiveCurriculumTrainer trainer(cfg);
+  const auto report =
+      trainer.train(f.model, f.x, f.y, CurriculumSchedule::standard(4));
+  for (const auto& lr : report.lessons) {
+    const double reduced = lr.phi_requested - lr.phi_trained;
+    EXPECT_NEAR(reduced, lr.adaptations * 2.0, 1e-9)
+        << "lesson " << lr.lesson_index;
+    EXPECT_LE(lr.adaptations, cfg.max_adaptations_per_lesson);
+  }
+}
+
+TEST(AdaptiveTrainer, StaticModeNeverAdapts) {
+  Fixture f;
+  AdaptiveTrainConfig cfg;
+  cfg.max_epochs_per_lesson = 4;
+  cfg.divergence_patience = 0;  // static curriculum ablation
+  cfg.seed = 11;
+  AdaptiveCurriculumTrainer trainer(cfg);
+  const auto report =
+      trainer.train(f.model, f.x, f.y, CurriculumSchedule::standard(4));
+  for (const auto& lr : report.lessons) {
+    EXPECT_EQ(lr.adaptations, 0u);
+    EXPECT_DOUBLE_EQ(lr.phi_trained, lr.phi_requested);
+  }
+}
+
+TEST(AdaptiveTrainer, TrainingImprovesAdversarialRobustness) {
+  // The Siamese warm start already gives a low *clean* loss before any
+  // training; what the curriculum buys is robustness. Compare the loss on
+  // FGSM-perturbed inputs before vs after curriculum training.
+  Fixture f;
+  attacks::AttackConfig atk;
+  atk.epsilon = 0.2;
+  atk.phi_percent = 100.0;
+  auto attacked_loss = [&] {
+    f.model.set_training(false);
+    attacks::ModuleGradientSource grads(f.model);
+    const Tensor x_adv = attacks::fgsm_attack(grads, f.x, f.y, atk);
+    return static_cast<double>(
+        autograd::cross_entropy(f.model.forward(autograd::constant(x_adv)),
+                                f.y)
+            ->value()[0]);
+  };
+  const double before = attacked_loss();
+  AdaptiveTrainConfig cfg;
+  cfg.max_epochs_per_lesson = 8;
+  cfg.seed = 12;
+  AdaptiveCurriculumTrainer trainer(cfg);
+  trainer.train(f.model, f.x, f.y, CurriculumSchedule::standard(4));
+  const double after = attacked_loss();
+  EXPECT_LT(after, before)
+      << "curriculum training should reduce loss under attack";
+}
+
+TEST(AdaptiveTrainer, RequiresAnchorsAndLabels) {
+  CallocModelConfig mc;
+  mc.num_aps = 16;
+  mc.num_rps = 9;
+  CallocModel no_anchors(mc);
+  Fixture f;
+  AdaptiveCurriculumTrainer trainer(AdaptiveTrainConfig{});
+  EXPECT_THROW(
+      trainer.train(no_anchors, f.x, f.y, CurriculumSchedule::standard(3)),
+      PreconditionError);
+  std::vector<std::size_t> short_y{0, 1};
+  EXPECT_THROW(
+      trainer.train(f.model, f.x, short_y, CurriculumSchedule::standard(3)),
+      PreconditionError);
+}
+
+}  // namespace

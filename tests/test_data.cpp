@@ -1,0 +1,149 @@
+// Unit tests: fingerprint dataset container and RSS normalisation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/ensure.hpp"
+#include "data/dataset.hpp"
+
+namespace {
+
+using namespace cal;
+using namespace cal::data;
+
+FingerprintDataset tiny_dataset() {
+  FingerprintDataset ds(3, {{0.0, 0.0}, {1.0, 0.0}, {0.0, 2.0}});
+  const std::vector<float> fp0{-40.0F, -70.0F, -100.0F};
+  const std::vector<float> fp1{-80.0F, -45.0F, -90.0F};
+  const std::vector<float> fp2{-100.0F, -60.0F, -50.0F};
+  ds.add_sample(fp0, 0);
+  ds.add_sample(fp1, 1);
+  ds.add_sample(fp2, 2);
+  ds.add_sample(fp0, 0);
+  return ds;
+}
+
+TEST(Normalize, MapsRangeAndClamps) {
+  EXPECT_FLOAT_EQ(normalize_rss(-100.0F), 0.0F);
+  EXPECT_FLOAT_EQ(normalize_rss(0.0F), 1.0F);
+  EXPECT_FLOAT_EQ(normalize_rss(-50.0F), 0.5F);
+  EXPECT_FLOAT_EQ(normalize_rss(-150.0F), 0.0F);  // clamped
+  EXPECT_FLOAT_EQ(denormalize_rss(0.5F), -50.0F);
+  EXPECT_FLOAT_EQ(denormalize_rss(normalize_rss(-73.0F)), -73.0F);
+}
+
+TEST(Distance, Euclidean) {
+  EXPECT_DOUBLE_EQ(distance_m({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+TEST(Dataset, ConstructionValidation) {
+  EXPECT_THROW(FingerprintDataset(0, {{0, 0}}), PreconditionError);
+  EXPECT_THROW(FingerprintDataset(3, {}), PreconditionError);
+}
+
+TEST(Dataset, AddSampleValidation) {
+  auto ds = tiny_dataset();
+  const std::vector<float> wrong_len{-50.0F};
+  EXPECT_THROW(ds.add_sample(wrong_len, 0), PreconditionError);
+  const std::vector<float> ok{-50.0F, -50.0F, -50.0F};
+  EXPECT_THROW(ds.add_sample(ok, 99), PreconditionError);
+}
+
+TEST(Dataset, RawAndNormalizedShapes) {
+  const auto ds = tiny_dataset();
+  EXPECT_EQ(ds.num_samples(), 4u);
+  EXPECT_EQ(ds.raw().rows(), 4u);
+  EXPECT_EQ(ds.raw().cols(), 3u);
+  const auto norm = ds.normalized();
+  for (std::size_t i = 0; i < norm.size(); ++i) {
+    EXPECT_GE(norm[i], 0.0F);
+    EXPECT_LE(norm[i], 1.0F);
+  }
+  EXPECT_FLOAT_EQ(norm.at(0, 0), 0.6F);  // -40 dBm
+}
+
+TEST(Dataset, PositionOfSample) {
+  const auto ds = tiny_dataset();
+  EXPECT_DOUBLE_EQ(ds.position_of_sample(1).x, 1.0);
+  EXPECT_THROW(ds.position_of_sample(10), PreconditionError);
+}
+
+TEST(Dataset, ShuffleKeepsPairing) {
+  auto ds = tiny_dataset();
+  const auto raw_before = ds.raw();
+  const std::vector<std::size_t> labels_before(ds.labels().begin(),
+                                               ds.labels().end());
+  Rng rng(5);
+  ds.shuffle(rng);
+  // Every (row, label) pair must still exist.
+  for (std::size_t i = 0; i < ds.num_samples(); ++i) {
+    bool found = false;
+    for (std::size_t j = 0; j < ds.num_samples() && !found; ++j) {
+      if (ds.labels()[i] != labels_before[j]) continue;
+      bool same = true;
+      for (std::size_t c = 0; c < 3; ++c)
+        same = same && ds.raw().at(i, c) == raw_before.at(j, c);
+      found = same;
+    }
+    EXPECT_TRUE(found) << "sample " << i << " lost its label pairing";
+  }
+}
+
+TEST(Dataset, MergeRequiresCompatibleShapes) {
+  auto a = tiny_dataset();
+  auto b = tiny_dataset();
+  const auto n = a.num_samples();
+  a.merge(b);
+  EXPECT_EQ(a.num_samples(), 2 * n);
+  FingerprintDataset other(2, {{0, 0}});
+  EXPECT_THROW(a.merge(other), PreconditionError);
+}
+
+TEST(Dataset, SubsetCopies) {
+  const auto ds = tiny_dataset();
+  const std::vector<std::size_t> idx{3, 1};
+  const auto sub = ds.subset(idx);
+  EXPECT_EQ(sub.num_samples(), 2u);
+  EXPECT_EQ(sub.labels()[0], 0u);
+  EXPECT_EQ(sub.labels()[1], 1u);
+  const std::vector<std::size_t> bad{9};
+  EXPECT_THROW(ds.subset(bad), PreconditionError);
+}
+
+TEST(Dataset, MeanFingerprintPerRp) {
+  const auto ds = tiny_dataset();
+  const auto means = ds.mean_fingerprint_per_rp();
+  EXPECT_EQ(means.rows(), 3u);
+  // RP0 has two identical samples; mean equals them.
+  EXPECT_FLOAT_EQ(means.at(0, 0), -40.0F);
+  EXPECT_FLOAT_EQ(means.at(1, 1), -45.0F);
+}
+
+TEST(Dataset, MeanFingerprintRequiresCoverage) {
+  FingerprintDataset ds(2, {{0, 0}, {1, 1}});
+  const std::vector<float> fp{-50.0F, -60.0F};
+  ds.add_sample(fp, 0);  // RP 1 uncovered
+  EXPECT_THROW(ds.mean_fingerprint_per_rp(), PreconditionError);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  const auto ds = tiny_dataset();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cal_ds.csv").string();
+  ds.save_csv(path);
+  const auto loaded = FingerprintDataset::load_csv(path);
+  EXPECT_EQ(loaded.num_samples(), ds.num_samples());
+  EXPECT_EQ(loaded.num_aps(), ds.num_aps());
+  EXPECT_EQ(loaded.num_rps(), ds.num_rps());
+  EXPECT_TRUE(allclose(loaded.raw(), ds.raw()));
+  for (std::size_t i = 0; i < ds.num_samples(); ++i)
+    EXPECT_EQ(loaded.labels()[i], ds.labels()[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(Dataset, EmptyRawThrows) {
+  FingerprintDataset ds(2, {{0, 0}});
+  EXPECT_THROW(ds.raw(), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Unit tests: metrics, attack-evaluation harness, framework factory.
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+#include "eval/frameworks.hpp"
+#include "eval/harness.hpp"
+#include "eval/metrics.hpp"
+#include "sim/collector.hpp"
+
+namespace {
+
+using namespace cal;
+using namespace cal::eval;
+
+data::FingerprintDataset line_dataset() {
+  // Three RPs on a line 2 m apart.
+  data::FingerprintDataset ds(2, {{0.0, 0.0}, {2.0, 0.0}, {4.0, 0.0}});
+  const std::vector<float> a{-40.0F, -80.0F};
+  const std::vector<float> b{-60.0F, -60.0F};
+  const std::vector<float> c{-80.0F, -40.0F};
+  ds.add_sample(a, 0);
+  ds.add_sample(b, 1);
+  ds.add_sample(c, 2);
+  return ds;
+}
+
+TEST(Metrics, ErrorsMatchHandComputation) {
+  const auto ds = line_dataset();
+  // Predict RP2 for everything: errors 4, 2, 0 metres.
+  const std::vector<std::size_t> pred{2, 2, 2};
+  const auto errors = localization_errors(ds, pred);
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_DOUBLE_EQ(errors[0], 4.0);
+  EXPECT_DOUBLE_EQ(errors[1], 2.0);
+  EXPECT_DOUBLE_EQ(errors[2], 0.0);
+
+  const auto stats = error_stats(ds, pred);
+  EXPECT_DOUBLE_EQ(stats.error_m.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.error_m.max, 4.0);
+  EXPECT_NEAR(stats.accuracy, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, PerfectPredictionIsZeroError) {
+  const auto ds = line_dataset();
+  const std::vector<std::size_t> pred{0, 1, 2};
+  const auto stats = error_stats(ds, pred);
+  EXPECT_DOUBLE_EQ(stats.error_m.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.accuracy, 1.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const auto ds = line_dataset();
+  const std::vector<std::size_t> pred{0};
+  EXPECT_THROW(localization_errors(ds, pred), PreconditionError);
+}
+
+TEST(Metrics, OutOfRangePredictionThrows) {
+  const auto ds = line_dataset();
+  const std::vector<std::size_t> pred{0, 1, 9};
+  EXPECT_THROW(localization_errors(ds, pred), PreconditionError);
+}
+
+TEST(Frameworks, FactoryBuildsEveryName) {
+  for (const auto& name : framework_names()) {
+    auto model = make_framework(name, 1, /*fast=*/true);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->name(), name);
+  }
+}
+
+TEST(Frameworks, UnknownNameThrows) {
+  EXPECT_THROW(make_framework("NotAModel", 1), PreconditionError);
+}
+
+TEST(Harness, CleanEqualsDirectPredict) {
+  sim::BuildingSpec spec;
+  spec.num_aps = 16;
+  spec.path_length_m = 8;
+  spec.seed = 5;
+  const auto sc = sim::make_scenario(spec, 77);
+  auto knn = make_framework("KNN", 1);
+  knn->fit(sc.train);
+  const auto& test = sc.device_tests.back();
+  const auto stats = evaluate_clean(*knn, test);
+  const auto direct = error_stats(test, knn->predict(test.normalized()));
+  EXPECT_DOUBLE_EQ(stats.error_m.mean, direct.error_m.mean);
+  EXPECT_DOUBLE_EQ(stats.accuracy, direct.accuracy);
+}
+
+TEST(Harness, AttackDegradesUndefendedModel) {
+  sim::BuildingSpec spec;
+  spec.num_aps = 16;
+  spec.path_length_m = 10;
+  spec.seed = 6;
+  const auto sc = sim::make_scenario(spec, 78);
+  auto dnn = make_framework("DNN", 2, /*fast=*/true);
+  dnn->fit(sc.train);
+  const auto& test = sc.device_tests.back();
+  const auto clean = evaluate_clean(*dnn, test);
+
+  attacks::AttackConfig atk;
+  atk.epsilon = 0.4;
+  atk.phi_percent = 100.0;
+  const auto attacked = evaluate_under_attack(
+      *dnn, test, attacks::AttackKind::Fgsm, atk, *dnn->gradient_source());
+  EXPECT_GT(attacked.error_m.mean, clean.error_m.mean);
+}
+
+TEST(Harness, MitmManipulationWeakerOrEqualToSpoofing) {
+  sim::BuildingSpec spec;
+  spec.num_aps = 16;
+  spec.path_length_m = 10;
+  spec.seed = 7;
+  const auto sc = sim::make_scenario(spec, 79);
+  auto dnn = make_framework("DNN", 3, /*fast=*/true);
+  dnn->fit(sc.train);
+  const auto& test = sc.device_tests[0];  // BLU (deaf device, many zeros)
+
+  attacks::AttackConfig atk;
+  atk.epsilon = 0.3;
+  atk.phi_percent = 100.0;
+  const auto manip = evaluate_under_mitm(
+      *dnn, test, attacks::MitmMode::SignalManipulation,
+      attacks::AttackKind::Fgsm, atk, *dnn->gradient_source());
+  const auto spoof = evaluate_under_mitm(
+      *dnn, test, attacks::MitmMode::SignalSpoofing, attacks::AttackKind::Fgsm,
+      atk, *dnn->gradient_source());
+  // Spoofing dominates manipulation: it can also fabricate absent APs.
+  EXPECT_GE(spoof.error_m.mean + 1e-9, manip.error_m.mean * 0.8);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Integration tests: the full paper pipeline at miniature scale —
+// simulate a building, train frameworks, attack the online phase, and
+// check that the paper's qualitative orderings hold.
+#include <gtest/gtest.h>
+
+#include "baselines/surrogate.hpp"
+#include "core/calloc.hpp"
+#include "eval/frameworks.hpp"
+#include "eval/harness.hpp"
+#include "sim/collector.hpp"
+
+namespace {
+
+using namespace cal;
+
+const sim::Scenario& scenario() {
+  static const sim::Scenario sc = [] {
+    sim::BuildingSpec spec;
+    spec.name = "integration";
+    spec.num_aps = 28;
+    spec.path_length_m = 16;
+    spec.seed = 404;
+    return sim::make_scenario(spec, 4242);
+  }();
+  return sc;
+}
+
+TEST(Integration, Fig1Shape_ClassicalModelsCollapseUnderAttack) {
+  // Fig. 1: FGSM inflates the error of classical ML localizers several-fold.
+  baselines::SurrogateGradients surrogate(scenario().train, 11);
+  attacks::AttackConfig atk;
+  atk.epsilon = 0.4;
+  atk.phi_percent = 100.0;
+
+  for (const std::string name : {"KNN", "DNN"}) {
+    auto model = eval::make_framework(name, 21, /*fast=*/true);
+    model->fit(scenario().train);
+    const auto& test = scenario().device_tests.back();
+    const auto clean = eval::evaluate_clean(*model, test);
+    const auto attacked = eval::evaluate_under_attack(
+        *model, test, attacks::AttackKind::Fgsm, atk,
+        baselines::gradients_for(*model, surrogate));
+    EXPECT_GT(attacked.error_m.mean, clean.error_m.mean + 1.0)
+        << name << " should degrade under FGSM";
+  }
+}
+
+TEST(Integration, Fig5Shape_CurriculumBeatsNoCurriculum) {
+  // Fig. 5: with curriculum, CALLOC resists high-ϵ attacks better than the
+  // same model trained without lesson progression.
+  auto with = eval::make_framework("CALLOC", 31, /*fast=*/true);
+  auto without = eval::make_framework("CALLOC-NC", 31, /*fast=*/true);
+  with->fit(scenario().train);
+  without->fit(scenario().train);
+
+  attacks::AttackConfig atk;
+  atk.epsilon = 0.4;
+  atk.phi_percent = 80.0;
+  double with_err = 0.0;
+  double without_err = 0.0;
+  for (const auto& test : scenario().device_tests) {
+    with_err += eval::evaluate_under_attack(*with, test,
+                                            attacks::AttackKind::Fgsm, atk,
+                                            *with->gradient_source())
+                    .error_m.mean;
+    without_err += eval::evaluate_under_attack(
+                       *without, test, attacks::AttackKind::Fgsm, atk,
+                       *without->gradient_source())
+                       .error_m.mean;
+  }
+  EXPECT_LT(with_err, without_err * 1.1)
+      << "curriculum should not be materially worse than NC under attack";
+}
+
+TEST(Integration, DeterministicPipeline) {
+  // Same seeds end-to-end => identical predictions.
+  auto run = [] {
+    auto model = eval::make_framework("CALLOC", 77, /*fast=*/true);
+    model->fit(scenario().train);
+    return model->predict(scenario().device_tests[2].normalized());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Integration, CrossDeviceEvaluationCoversAllDevices) {
+  auto knn = eval::make_framework("KNN", 3);
+  knn->fit(scenario().train);
+  ASSERT_EQ(scenario().device_names.size(), 6u);
+  for (std::size_t d = 0; d < scenario().device_tests.size(); ++d) {
+    const auto stats =
+        eval::evaluate_clean(*knn, scenario().device_tests[d]);
+    // Every device must localise far better than random guessing (which
+    // would average ~ a third of the 16 m path).
+    EXPECT_LT(stats.error_m.mean, 5.0)
+        << "device " << scenario().device_names[d];
+  }
+}
+
+TEST(Integration, SavedDatasetReproducesResults) {
+  // CSV round-trip of the training set must not change a trained model's
+  // behaviour (dataset IO is part of the experiment artefact chain).
+  const auto path = std::string("/tmp/cal_integration_train.csv");
+  scenario().train.save_csv(path);
+  const auto reloaded = data::FingerprintDataset::load_csv(path);
+
+  auto a = eval::make_framework("KNN", 5);
+  auto b = eval::make_framework("KNN", 5);
+  a->fit(scenario().train);
+  b->fit(reloaded);
+  const auto& test = scenario().device_tests[1];
+  EXPECT_EQ(a->predict(test.normalized()), b->predict(test.normalized()));
+  std::remove(path.c_str());
+}
+
+}  // namespace

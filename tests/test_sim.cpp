@@ -1,0 +1,220 @@
+// Unit + property tests: floorplan geometry, propagation physics, device
+// heterogeneity, fingerprint collection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "sim/collector.hpp"
+
+namespace {
+
+using namespace cal;
+using namespace cal::sim;
+
+BuildingSpec tiny_spec() {
+  BuildingSpec spec;
+  spec.name = "tiny";
+  spec.num_aps = 12;
+  spec.path_length_m = 10;
+  spec.material = MaterialProfile{};
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(Building, RpCountAndSpacing) {
+  Building b(tiny_spec());
+  ASSERT_EQ(b.num_rps(), 11u);  // path_length + 1 at 1 m granularity
+  for (std::size_t i = 1; i < b.num_rps(); ++i) {
+    const auto& a = b.rp_positions()[i - 1];
+    const auto& c = b.rp_positions()[i];
+    EXPECT_NEAR(std::hypot(c.x - a.x, c.y - a.y), 1.0, 1e-6);
+  }
+}
+
+TEST(Building, ApsInsideFootprint) {
+  Building b(tiny_spec());
+  EXPECT_EQ(b.num_aps(), 12u);
+  for (const auto& ap : b.ap_positions()) {
+    EXPECT_GE(ap.x, 0.0);
+    EXPECT_LE(ap.x, b.width());
+    EXPECT_GE(ap.y, 0.0);
+    EXPECT_LE(ap.y, b.height());
+  }
+}
+
+TEST(Building, DeterministicInSeed) {
+  Building a(tiny_spec());
+  Building b(tiny_spec());
+  for (std::size_t i = 0; i < a.num_aps(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ap_positions()[i].x, b.ap_positions()[i].x);
+    EXPECT_DOUBLE_EQ(a.ap_positions()[i].y, b.ap_positions()[i].y);
+  }
+}
+
+TEST(Building, RejectsDegenerateSpecs) {
+  auto spec = tiny_spec();
+  spec.num_aps = 0;
+  EXPECT_THROW(Building{spec}, PreconditionError);
+  spec = tiny_spec();
+  spec.path_length_m = 2;
+  EXPECT_THROW(Building{spec}, PreconditionError);
+}
+
+TEST(Table2, MatchesPaperRows) {
+  const auto buildings = table2_buildings();
+  ASSERT_EQ(buildings.size(), 5u);
+  EXPECT_EQ(buildings[0].num_aps, 156u);
+  EXPECT_EQ(buildings[0].path_length_m, 64u);
+  EXPECT_EQ(buildings[2].num_aps, 78u);
+  EXPECT_EQ(buildings[2].path_length_m, 88u);
+  EXPECT_EQ(buildings[4].num_aps, 218u);
+  EXPECT_EQ(buildings[4].characteristics, "Wide Spaces, Wood, Metal");
+}
+
+TEST(Propagation, RssDecaysWithDistanceOnAverage) {
+  Building b(tiny_spec());
+  RadioEnvironment env(b);
+  // Compare channel RSS near AP 0 vs far from it, averaged over several
+  // sample points to smooth the shadowing field.
+  const Point ap = b.ap_positions()[0];
+  double near_sum = 0.0;
+  double far_sum = 0.0;
+  int count = 0;
+  for (double dx : {1.0, 1.5, 2.0}) {
+    for (double dy : {0.0, 1.0}) {
+      near_sum += env.channel_rss_dbm(0, {ap.x + dx, ap.y + dy});
+      far_sum += env.channel_rss_dbm(0, {ap.x + dx * 8, ap.y + dy * 8});
+      ++count;
+    }
+  }
+  EXPECT_GT(near_sum / count, far_sum / count + 5.0);
+}
+
+TEST(Propagation, ShadowingIsStaticPerEnvironment) {
+  Building b(tiny_spec());
+  RadioEnvironment e1(b);
+  RadioEnvironment e2(b);
+  const Point p{3.0, 4.0};
+  for (std::size_t ap = 0; ap < b.num_aps(); ++ap)
+    EXPECT_DOUBLE_EQ(e1.channel_rss_dbm(ap, p), e2.channel_rss_dbm(ap, p));
+}
+
+TEST(Propagation, MeasurementRespectsSensitivityFloor) {
+  Building b(tiny_spec());
+  RadioEnvironment env(b);
+  DeviceProfile deaf = table1_devices()[0];
+  deaf.sensitivity_dbm = 10.0;  // cannot hear anything
+  Rng rng(1);
+  const auto fp = env.fingerprint(b.rp_positions()[0], deaf, rng);
+  for (float v : fp) EXPECT_FLOAT_EQ(v, data::kNotDetectedDbm);
+}
+
+TEST(Propagation, QuantizationAppliesToDetections) {
+  Building b(tiny_spec());
+  RadioEnvironment env(b);
+  DeviceProfile dev = table1_devices().back();  // OP3, 1 dB quantisation
+  Rng rng(2);
+  const auto fp = env.fingerprint(b.rp_positions()[5], dev, rng);
+  for (float v : fp) {
+    if (v == data::kNotDetectedDbm) continue;
+    EXPECT_NEAR(v, std::round(v), 1e-4);
+  }
+}
+
+TEST(Propagation, SessionDriftShiftsChannel) {
+  Building b(tiny_spec());
+  RadioEnvironment env(b);
+  Rng rng(3);
+  const auto drift = env.draw_session_drift(rng);
+  ASSERT_EQ(drift.size(), b.num_aps());
+  double spread = 0.0;
+  for (double d : drift) spread += std::fabs(d);
+  EXPECT_GT(spread, 0.0);
+}
+
+TEST(Device, GainTransformOrdering) {
+  // Devices with positive offset report stronger RSS around the pivot.
+  const auto devices = table1_devices();
+  const auto& op3 = devices.back();
+  for (const auto& dev : devices) {
+    const double at_pivot = apply_device_gain(dev, kDevicePivotDbm);
+    EXPECT_NEAR(at_pivot - kDevicePivotDbm, dev.gain_offset_db, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(apply_device_gain(op3, -75.0), -75.0);  // neutral ref
+}
+
+TEST(Device, Table1Roster) {
+  const auto devices = table1_devices();
+  ASSERT_EQ(devices.size(), 6u);
+  EXPECT_EQ(devices.back().name, "OP3");
+  EXPECT_NO_THROW(device_by_name("MOTO"));
+  EXPECT_THROW(device_by_name("PIXEL"), PreconditionError);
+}
+
+TEST(Collector, ShapesAndLabels) {
+  Building b(tiny_spec());
+  RadioEnvironment env(b);
+  const auto ds =
+      collect_fingerprints(env, table1_devices().back(), 3, 42);
+  EXPECT_EQ(ds.num_samples(), 3 * b.num_rps());
+  EXPECT_EQ(ds.num_aps(), b.num_aps());
+  EXPECT_EQ(ds.num_rps(), b.num_rps());
+  // Labels appear in groups of samples_per_rp.
+  EXPECT_EQ(ds.labels()[0], 0u);
+  EXPECT_EQ(ds.labels()[3], 1u);
+}
+
+TEST(Collector, DeterministicInSeed) {
+  Building b(tiny_spec());
+  RadioEnvironment env(b);
+  const auto d1 = collect_fingerprints(env, table1_devices()[0], 2, 9);
+  const auto d2 = collect_fingerprints(env, table1_devices()[0], 2, 9);
+  EXPECT_TRUE(allclose(d1.raw(), d2.raw()));
+  const auto d3 = collect_fingerprints(env, table1_devices()[0], 2, 10);
+  EXPECT_FALSE(allclose(d1.raw(), d3.raw()));
+}
+
+TEST(Collector, DevicesProduceDifferentFingerprints) {
+  Building b(tiny_spec());
+  RadioEnvironment env(b);
+  const auto devices = table1_devices();
+  const auto op3 = collect_fingerprints(env, devices.back(), 1, 5);
+  const auto moto = collect_fingerprints(env, devices[4], 1, 5);
+  EXPECT_FALSE(allclose(op3.raw(), moto.raw()));
+}
+
+TEST(Scenario, PaperProtocolShapes) {
+  auto spec = tiny_spec();
+  const auto sc = make_scenario(spec, 11);
+  EXPECT_EQ(sc.train.num_samples(), 5 * 11u);
+  ASSERT_EQ(sc.device_tests.size(), 6u);
+  for (const auto& test : sc.device_tests)
+    EXPECT_EQ(test.num_samples(), 11u);
+  EXPECT_EQ(sc.device_names.back(), "OP3");
+}
+
+class MaterialSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MaterialSweep, EveryTable2BuildingProducesLearnableData) {
+  auto spec = table2_buildings()[GetParam()];
+  // Shrink for speed: keep material, cut geometry.
+  spec.num_aps = 20;
+  spec.path_length_m = 12;
+  const auto sc = make_scenario(spec, 21);
+  EXPECT_EQ(sc.train.num_rps(), 13u);
+  // Sanity: normalised features span a nontrivial range.
+  const auto x = sc.train.normalized();
+  float lo = 1.0F, hi = 0.0F;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  EXPECT_GT(hi - lo, 0.15F);
+  EXPECT_GT(hi, 0.3F);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuildings, MaterialSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+}  // namespace

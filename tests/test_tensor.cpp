@@ -1,0 +1,126 @@
+// Unit tests: float tensor.
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace cal;
+
+TEST(Tensor, ZeroConstruction) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(Tensor, RejectsZeroDims) {
+  EXPECT_THROW(Tensor({0, 3}), PreconditionError);
+  EXPECT_THROW(Tensor(std::vector<std::size_t>{}), PreconditionError);
+}
+
+TEST(Tensor, FromRowsAndAccess) {
+  auto t = Tensor::from_rows({{1.0F, 2.0F}, {3.0F, 4.0F}});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.at(1, 0), 3.0F);
+  EXPECT_THROW(t.at(2, 0), PreconditionError);
+  EXPECT_THROW(Tensor::from_rows({{1.0F}, {1.0F, 2.0F}}), PreconditionError);
+}
+
+TEST(Tensor, ElementwiseOpsCheckShapes) {
+  auto a = Tensor::from_rows({{1.0F, 2.0F}});
+  auto b = Tensor::from_rows({{3.0F, 4.0F}});
+  auto sum = a + b;
+  EXPECT_EQ(sum.at(0, 1), 6.0F);
+  auto prod = a * b;
+  EXPECT_EQ(prod.at(0, 0), 3.0F);
+  Tensor c({2, 2});
+  EXPECT_THROW(a + c, PreconditionError);
+  EXPECT_THROW(a - c, PreconditionError);
+  EXPECT_THROW(a * c, PreconditionError);
+}
+
+TEST(Tensor, MatmulMatchesHandComputation) {
+  auto a = Tensor::from_rows({{1.0F, 2.0F}, {3.0F, 4.0F}});
+  auto b = Tensor::from_rows({{5.0F, 6.0F}, {7.0F, 8.0F}});
+  auto c = a.matmul(b);
+  EXPECT_EQ(c.at(0, 0), 19.0F);
+  EXPECT_EQ(c.at(1, 1), 50.0F);
+}
+
+TEST(Tensor, MatmulRejectsMismatch) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_THROW(a.matmul(b), PreconditionError);
+}
+
+TEST(Tensor, TransposedSwapsIndices) {
+  auto a = Tensor::from_rows({{1.0F, 2.0F, 3.0F}, {4.0F, 5.0F, 6.0F}});
+  auto t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.at(2, 1), 6.0F);
+}
+
+TEST(Tensor, ReshapePreservesCount) {
+  Tensor t({2, 6});
+  t.reshape({3, 4});
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_THROW(t.reshape({5, 5}), PreconditionError);
+}
+
+TEST(Tensor, SelectColumnsCopiesRequested) {
+  auto a = Tensor::from_rows({{1.0F, 2.0F, 3.0F}, {4.0F, 5.0F, 6.0F}});
+  const std::vector<std::size_t> idx{2, 0};
+  auto sel = a.select_columns(idx);
+  EXPECT_EQ(sel.cols(), 2u);
+  EXPECT_EQ(sel.at(0, 0), 3.0F);
+  EXPECT_EQ(sel.at(1, 1), 4.0F);
+  const std::vector<std::size_t> bad{7};
+  EXPECT_THROW(a.select_columns(bad), PreconditionError);
+}
+
+TEST(Tensor, SumAndAbsMax) {
+  auto a = Tensor::from_rows({{-3.0F, 1.0F}, {2.0F, 0.5F}});
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5);
+  EXPECT_EQ(a.abs_max(), 3.0F);
+}
+
+TEST(Tensor, RandomFactoriesDeterministic) {
+  Rng r1(3);
+  Rng r2(3);
+  auto a = Tensor::randn({4, 4}, r1);
+  auto b = Tensor::randn({4, 4}, r2);
+  EXPECT_TRUE(allclose(a, b));
+}
+
+TEST(Tensor, RandUniformWithinBounds) {
+  Rng rng(4);
+  auto t = Tensor::rand_uniform({100}, rng, -2.0F, 3.0F);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -2.0F);
+    EXPECT_LT(t[i], 3.0F);
+  }
+}
+
+TEST(Tensor, AllcloseDetectsDifference) {
+  auto a = Tensor::from_rows({{1.0F}});
+  auto b = Tensor::from_rows({{1.0001F}});
+  auto c = Tensor::from_rows({{1.5F}});
+  EXPECT_TRUE(allclose(a, b, 1e-3F, 1e-3F));
+  EXPECT_FALSE(allclose(a, c));
+  Tensor d({2});
+  EXPECT_FALSE(allclose(a, d));
+}
+
+TEST(Tensor, RowSpanViews) {
+  auto a = Tensor::from_rows({{1.0F, 2.0F}, {3.0F, 4.0F}});
+  auto row = a.row(1);
+  EXPECT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], 3.0F);
+  row[0] = 9.0F;
+  EXPECT_EQ(a.at(1, 0), 9.0F);
+}
+
+}  // namespace
