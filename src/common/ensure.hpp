@@ -6,6 +6,18 @@
 // application must not abort the host process on bad input.
 #pragma once
 
+// This library requires C++20 (std::span in tensor.hpp, matrix.hpp,
+// stats.hpp, gbdt.hpp, trainer.hpp, cholesky.hpp). Fail loudly here —
+// this header is at the bottom of every include chain — instead of
+// emitting a dozen cryptic std::span errors under -std=c++17.
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "CALLOC requires C++20 or newer: compile with /std:c++20"
+#endif
+#elif __cplusplus < 202002L
+#error "CALLOC requires C++20 or newer: compile with -std=c++20 (std::span is used throughout)"
+#endif
+
 #include <sstream>
 #include <stdexcept>
 #include <string>

@@ -189,8 +189,10 @@ Tensor Tensor::matmul(const Tensor& rhs) const {
     const float* arow = &data_[i * k];
     float* orow = &out.data_[i * n];
     for (std::size_t kk = 0; kk < k; ++kk) {
+      // No zero-skip here: 0·NaN and 0·Inf must propagate NaN per IEEE 754
+      // (an adversarial perturbation that overflows has to surface, not be
+      // masked), and a branch per element would stall the hot dense loop.
       const float a = arow[kk];
-      if (a == 0.0F) continue;
       const float* brow = &rhs.data_[kk * n];
       for (std::size_t j = 0; j < n; ++j) orow[j] += a * brow[j];
     }

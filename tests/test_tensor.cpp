@@ -1,6 +1,9 @@
 // Unit tests: float tensor.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/ensure.hpp"
 #include "tensor/tensor.hpp"
 
@@ -48,6 +51,23 @@ TEST(Tensor, MatmulMatchesHandComputation) {
   auto c = a.matmul(b);
   EXPECT_EQ(c.at(0, 0), 19.0F);
   EXPECT_EQ(c.at(1, 1), 50.0F);
+}
+
+// Regression: matmul once skipped zero lhs entries, so 0·NaN/0·Inf produced
+// 0 instead of NaN and overflowing adversarial perturbations were silently
+// masked. IEEE 754 requires NaN to propagate through the product.
+TEST(Tensor, MatmulPropagatesNanThroughZeroOperand) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  auto a = Tensor::from_rows({{0.0F, 1.0F}});
+  auto b = Tensor::from_rows({{nan, inf}, {2.0F, 3.0F}});
+  auto c = a.matmul(b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));  // 0*NaN + 1*2
+  EXPECT_TRUE(std::isnan(c.at(0, 1)));  // 0*Inf + 1*3
+  auto zeros = Tensor::from_rows({{0.0F, 0.0F}});
+  auto d = zeros.matmul(b);
+  EXPECT_TRUE(std::isnan(d.at(0, 0)));
+  EXPECT_TRUE(std::isnan(d.at(0, 1)));
 }
 
 TEST(Tensor, MatmulRejectsMismatch) {
