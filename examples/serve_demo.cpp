@@ -1,0 +1,163 @@
+// Online-serving demo: a fleet of heterogeneous devices (the paper's
+// Table I protocol) sends localization traffic — some of it PGD-attacked
+// through a MITM channel — to a LocalizationService running a trained
+// CALLOC model. Shows micro-batching, the fingerprint cache, and the
+// anchor-distance screen in one end-to-end run.
+//
+// Run: ./build/examples/serve_demo
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <thread>
+
+#include "attacks/attack.hpp"
+#include "common/table.hpp"
+#include "core/calloc.hpp"
+#include "serve/screening.hpp"
+#include "serve/service.hpp"
+#include "sim/collector.hpp"
+
+int main() {
+  using namespace cal;
+
+  // -- Offline phase: survey the building and train CALLOC ----------------
+  sim::BuildingSpec spec;
+  spec.name = "serve-demo-office";
+  spec.num_aps = 28;
+  spec.path_length_m = 20;
+  spec.seed = 424;
+  const sim::Scenario sc = sim::make_scenario(spec, 77);
+
+  core::CallocConfig ccfg;
+  ccfg.train.max_epochs_per_lesson = 8;
+  core::Calloc model(ccfg);
+  std::printf("training CALLOC on %zu fingerprints (%zu RPs, %zu APs)...\n",
+              sc.train.num_samples(), sc.train.num_rps(), sc.train.num_aps());
+  model.fit(sc.train);
+
+  const auto weights =
+      (std::filesystem::temp_directory_path() / "serve_demo_weights.bin")
+          .string();
+  model.save_weights(weights);
+
+  // -- Deployment: screen calibrated on a clean fleet capture (the online
+  // distribution — survey-only calibration would flag legitimate drift),
+  // one model replica per worker.
+  const Tensor anchors = model.model().anchor_matrix();
+  data::FingerprintDataset fleet_capture = sc.device_tests.front();
+  for (std::size_t d = 1; d < sc.device_tests.size(); ++d)
+    fleet_capture.merge(sc.device_tests[d]);
+  serve::ServiceConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_batch = 16;
+  cfg.queue_capacity = 256;
+  cfg.cache_capacity = 128;
+  cfg.cache_audit_rate = 0.05;
+  cfg.screening = serve::calibrate_thresholds(
+      anchors, fleet_capture.normalized(), 95.0, 3.0);
+  std::printf("screen thresholds: flag > %.4f, reject > %.4f (RMS/AP)\n",
+              cfg.screening.flag_distance, cfg.screening.reject_distance);
+
+  // -- Pre-craft the adversarial share of each device's traffic -----------
+  attacks::AttackConfig atk;
+  atk.epsilon = 0.3;
+  atk.phi_percent = 80.0;
+  atk.num_steps = 8;
+  std::vector<Tensor> clean_traffic;
+  std::vector<Tensor> attacked_traffic;
+  for (const auto& test : sc.device_tests) {
+    clean_traffic.push_back(test.normalized());
+    attacked_traffic.push_back(attacks::pgd_attack(
+        *model.gradient_source(), clean_traffic.back(), test.labels(), atk));
+  }
+
+  // -- Online phase: one client thread per device --------------------------
+  // The service starts only now, after attack crafting: its telemetry
+  // clock runs from construction, and idle pre-traffic time would dilute
+  // the reported throughput.
+  serve::LocalizationService service(
+      [&] {
+        auto replica = std::make_unique<core::Calloc>(ccfg);
+        replica->load_weights(weights, sc.train);
+        return replica;
+      },
+      sc.train.num_aps(), anchors, cfg);
+
+  constexpr std::size_t kRequestsPerDevice = 150;
+  struct Sent {
+    std::size_t true_rp;
+    bool attacked;
+    std::future<serve::ServeResult> fut;
+  };
+  std::vector<std::vector<Sent>> logs(sc.device_tests.size());
+  std::vector<std::thread> clients;
+  // Distinct base seed from ServiceConfig::seed (2026): the client streams
+  // must not collide with the workers' fork(worker_index + 1) audit
+  // streams (see the Rng threading contract in common/rng.hpp).
+  Rng fleet_rng(909);
+  for (std::size_t d = 0; d < sc.device_tests.size(); ++d) {
+    // Each client owns a private stream (Rng must not cross threads).
+    Rng rng = fleet_rng.fork(d + 1);
+    const bool compromised = d >= sc.device_tests.size() - 2;  // last two
+    clients.emplace_back([&, d, rng, compromised]() mutable {
+      const auto labels = sc.device_tests[d].labels();
+      std::size_t row = rng.uniform_index(labels.size());
+      for (std::size_t i = 0; i < kRequestsPerDevice; ++i) {
+        // A stationary device re-scans its spot more often than it moves.
+        if (rng.uniform() < 0.4) row = rng.uniform_index(labels.size());
+        const bool attack = compromised && rng.bernoulli(0.4);
+        const Tensor& pool =
+            attack ? attacked_traffic[d] : clean_traffic[d];
+        const auto fp = pool.row(row);
+        logs[d].push_back({labels[row], attack,
+                           service.submit({fp.begin(), fp.end()})});
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  // -- Per-device report ----------------------------------------------------
+  TextTable table({"device", "traffic", "flagged", "rejected", "cache",
+                   "clean err(m)", "p@clean"});
+  for (std::size_t d = 0; d < sc.device_tests.size(); ++d) {
+    std::size_t flagged = 0;
+    std::size_t rejected = 0;
+    std::size_t cached = 0;
+    std::size_t clean_n = 0;
+    std::size_t clean_correct = 0;
+    double clean_err = 0.0;
+    const auto& rps = sc.device_tests[d].rp_positions();
+    for (auto& s : logs[d]) {
+      const auto r = s.fut.get();
+      if (r.verdict == serve::Verdict::Flag) ++flagged;
+      if (r.verdict == serve::Verdict::Reject) ++rejected;
+      if (r.from_cache) ++cached;
+      if (!s.attacked && r.localized) {
+        ++clean_n;
+        clean_err += data::distance_m(rps[r.rp], rps[s.true_rp]);
+        if (r.rp == s.true_rp) ++clean_correct;
+      }
+    }
+    char err[32];
+    char acc[32];
+    std::snprintf(err, sizeof(err), "%.2f",
+                  clean_n > 0 ? clean_err / static_cast<double>(clean_n)
+                              : 0.0);
+    std::snprintf(acc, sizeof(acc), "%.0f%%",
+                  clean_n > 0 ? 100.0 * static_cast<double>(clean_correct) /
+                                    static_cast<double>(clean_n)
+                              : 0.0);
+    table.add_row({sc.device_names[d],
+                   d >= sc.device_tests.size() - 2 ? "40% PGD" : "clean",
+                   std::to_string(flagged), std::to_string(rejected),
+                   std::to_string(cached), err, acc});
+  }
+  service.shutdown();
+  std::printf("\nfleet of %zu devices x %zu requests (eps=%.1f, phi=%.0f%%)\n%s\n",
+              sc.device_tests.size(), kRequestsPerDevice, atk.epsilon,
+              atk.phi_percent, table.str().c_str());
+  std::printf("\nservice telemetry\n-----------------\n%s\n",
+              service.stats().str().c_str());
+  std::remove(weights.c_str());
+  return 0;
+}

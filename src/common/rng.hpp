@@ -3,6 +3,16 @@
 // Every stochastic component in the library (simulator, attacks, training,
 // data augmentation) draws from an explicitly seeded Rng so that every
 // experiment is reproducible run-to-run. There is no global RNG state.
+//
+// Threading contract: an Rng instance is mutable state (the xoshiro words
+// plus the Box–Muller spare) with no internal synchronisation. It must
+// NOT be shared across threads without external locking — concurrent
+// next_u64() calls are a data race, and even if benign-looking they
+// destroy run-to-run determinism. The supported pattern is one stream per
+// thread: construct a parent Rng from the experiment seed and hand each
+// thread its own `fork(salt)` child (deterministic in (state, salt), and
+// statistically independent). This is what the serving worker pool and
+// the traffic-simulation clients in src/serve do.
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,14 @@
 #include "nn/trainer.hpp"
 
 namespace cal::core {
+
+Tensor build_anchor_database(const data::FingerprintDataset& train) {
+  Tensor anchors = train.mean_fingerprint_per_rp();
+  for (std::size_t i = 0; i < anchors.size(); ++i)
+    anchors[i] = data::normalize_rss(anchors[i]);
+  return anchors;
+}
+
 namespace {
 
 /// Shared by fit() and load_weights(): size the model to the dataset and
@@ -19,9 +27,7 @@ std::unique_ptr<CallocModel> build_model_for(
   mc.num_rps = train.num_rps();
   mc.seed = seed;
   auto model = std::make_unique<CallocModel>(mc);
-  Tensor anchors = train.mean_fingerprint_per_rp();
-  for (std::size_t i = 0; i < anchors.size(); ++i)
-    anchors[i] = data::normalize_rss(anchors[i]);
+  Tensor anchors = build_anchor_database(train);
   std::vector<std::size_t> anchor_labels(train.num_rps());
   std::iota(anchor_labels.begin(), anchor_labels.end(), 0);
   model->set_anchors(anchors, anchor_labels);

@@ -22,6 +22,11 @@
 
 namespace cal::core {
 
+/// The anchor database fit() installs: one per-RP mean clean fingerprint,
+/// on the normalised [0,1] scale. Shared with the serving layer's
+/// screening calibration so both always describe the same manifold.
+Tensor build_anchor_database(const data::FingerprintDataset& train);
+
 struct CallocConfig {
   /// Model shape; num_aps/num_rps are filled in by fit() from the data.
   CallocModelConfig model;

@@ -134,6 +134,11 @@ std::size_t CallocModel::num_anchors() const {
   return anchors_->value().rows();
 }
 
+const Tensor& CallocModel::anchor_matrix() const {
+  CAL_ENSURE(anchors_ != nullptr, "no anchors installed");
+  return anchors_->value();
+}
+
 namespace {
 
 std::size_t count_params(nn::Module& m) {

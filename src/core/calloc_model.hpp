@@ -90,6 +90,10 @@ class CallocModel : public nn::Module {
   bool has_anchors() const { return anchors_ != nullptr; }
   std::size_t num_anchors() const;
 
+  /// The installed anchor database (M x num_aps, normalised) — the clean
+  /// fingerprint manifold the serving layer screens requests against.
+  const Tensor& anchor_matrix() const;
+
   /// Parameter-count breakdown mirroring the paper's §V.A audit.
   std::size_t embedding_parameter_count();
   std::size_t attention_parameter_count();

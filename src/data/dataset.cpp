@@ -1,13 +1,43 @@
 #include "data/dataset.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <sstream>
+#include <type_traits>
 
 #include "common/csv.hpp"
 #include "common/ensure.hpp"
 
 namespace cal::data {
+namespace {
+
+// Checked cell parsers for load_csv: a dataset CSV is untrusted input
+// (hand-edited surveys, exports from other tools), so a malformed cell
+// must surface as a clear PreconditionError instead of the silent
+// garbage/UB of unvalidated std::stof-style parsing. Each parser requires
+// the whole cell to be consumed ("1.2.3" and "12abc" are rejected, not
+// prefix-parsed).
+template <typename T>
+T parse_numeric_cell(const std::string& cell, const char* what,
+                     const std::string& path) {
+  T value{};
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  bool valid = ec == std::errc{} && ptr == end && !cell.empty();
+  if constexpr (std::is_floating_point_v<T>) {
+    // from_chars happily consumes "nan"/"inf"; a non-finite RSS or
+    // coordinate is still silent garbage downstream, so reject it here.
+    valid = valid && std::isfinite(value);
+  }
+  CAL_ENSURE(valid, "malformed dataset CSV " << path << ": " << what
+                                             << " cell '" << cell
+                                             << "' is not a finite number");
+  return value;
+}
+
+}  // namespace
 
 double distance_m(const RpPosition& a, const RpPosition& b) {
   const double dx = a.x - b.x;
@@ -162,7 +192,8 @@ FingerprintDataset FingerprintDataset::load_csv(const std::string& path) {
     CAL_ENSURE(row.size() == doc.header.size(),
                "malformed dataset CSV row in " << path);
     if (row[0].rfind("#rp", 0) == 0) {
-      rps.push_back({std::stod(row[1]), std::stod(row[2])});
+      rps.push_back({parse_numeric_cell<double>(row[1], "RP x", path),
+                     parse_numeric_cell<double>(row[2], "RP y", path)});
     } else {
       samples.push_back(&row);
     }
@@ -172,9 +203,13 @@ FingerprintDataset FingerprintDataset::load_csv(const std::string& path) {
   FingerprintDataset out(num_aps, std::move(rps));
   std::vector<float> rss(num_aps);
   for (const CsvRow* row : samples) {
-    const auto label = static_cast<std::size_t>(std::stoul((*row)[0]));
+    const auto label =
+        parse_numeric_cell<std::size_t>((*row)[0], "RP label", path);
+    CAL_ENSURE(label < out.num_rps(),
+               "malformed dataset CSV " << path << ": RP label " << label
+                                        << " out of " << out.num_rps());
     for (std::size_t j = 0; j < num_aps; ++j)
-      rss[j] = std::stof((*row)[3 + j]);
+      rss[j] = parse_numeric_cell<float>((*row)[3 + j], "RSS", path);
     out.add_sample(rss, label);
   }
   return out;

@@ -78,10 +78,12 @@ std::size_t Module::weight_bytes() {
 }
 
 Tensor predict_tensor(Module& m, const Tensor& x) {
+  // Toggle the mode only when needed, so this call is write-free (and
+  // therefore safe to run concurrently) on a module already in eval mode.
   const bool was_training = m.training();
-  m.set_training(false);
+  if (was_training) m.set_training(false);
   auto out = m.forward(autograd::constant(x));
-  m.set_training(was_training);
+  if (was_training) m.set_training(true);
   return out->value();
 }
 

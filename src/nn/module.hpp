@@ -68,6 +68,15 @@ class Module {
 
 /// Convenience: run a module in eval mode on a plain tensor batch,
 /// returning the output tensor (no gradients kept).
+///
+/// Threading contract: a Module already in eval mode is not written to by
+/// this call (the training flag is only toggled when it was set), and a
+/// forward pass only reads the parameter leaves, so concurrent
+/// predict_tensor calls on one eval-mode module are safe as long as
+/// nothing mutates the weights concurrently. A module in *training* mode
+/// must not be shared across threads: the flag toggle and the stochastic
+/// layers' Rng streams race. The serving layer (src/serve) sidesteps the
+/// question entirely by giving each worker its own replica.
 Tensor predict_tensor(Module& m, const Tensor& x);
 
 }  // namespace cal::nn

@@ -1,0 +1,82 @@
+#include "serve/lru_cache.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace cal::serve {
+
+FingerprintCache::FingerprintCache(std::size_t capacity, float quant_step)
+    : capacity_(capacity), quant_step_(quant_step) {
+  CAL_ENSURE(quant_step_ > 0.0F,
+             "cache quantization step must be positive, got " << quant_step_);
+}
+
+FingerprintCache::Key FingerprintCache::make_key(
+    std::span<const float> fingerprint) const {
+  Key key(fingerprint.size());
+  for (std::size_t i = 0; i < fingerprint.size(); ++i)
+    key[i] = static_cast<std::int32_t>(
+        std::lround(fingerprint[i] / quant_step_));
+  return key;
+}
+
+std::optional<std::size_t> FingerprintCache::lookup(const Key& key) {
+  if (!enabled()) return std::nullopt;
+  std::lock_guard lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  order_.splice(order_.begin(), order_, it->second);  // bump to MRU
+  ++hits_;
+  return it->second->second;
+}
+
+void FingerprintCache::insert(const Key& key, std::size_t rp) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = rp;
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (order_.size() >= capacity_) {
+    map_.erase(order_.back().first);
+    order_.pop_back();
+  }
+  order_.emplace_front(key, rp);
+  map_.emplace(key, order_.begin());
+}
+
+std::size_t FingerprintCache::size() const {
+  std::lock_guard lock(mu_);
+  return order_.size();
+}
+
+std::size_t FingerprintCache::hits() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::size_t FingerprintCache::misses() const {
+  std::lock_guard lock(mu_);
+  return misses_;
+}
+
+std::size_t FingerprintCache::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the quantized coordinates.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::int32_t v : k) {
+    auto u = static_cast<std::uint32_t>(v);
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (u >> (8 * byte)) & 0xFFU;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace cal::serve

@@ -1,0 +1,70 @@
+// Thread-safe LRU cache over quantized fingerprints.
+//
+// Stationary devices re-scan the same spot every few seconds, so repeat
+// (near-identical) fingerprints are the common case in online serving.
+// Exact float vectors almost never repeat, though: RSS jitter moves every
+// entry by fractions of a dB. Quantizing the normalised [0,1] vector to a
+// fixed grid (default 0.005 ⇔ 0.5 dB) makes "the same scan, re-measured"
+// hash to the same key while distinct locations stay distinct — the grid
+// is far coarser than measurement noise but far finer than the >=1 m RP
+// spacing. Collisions map a fingerprint to the answer of a neighbour
+// within half a quantization step, which is below the localisation noise
+// floor; the service can additionally audit a random sample of hits
+// against the model (see ServiceConfig::cache_audit_rate).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cal::serve {
+
+/// Quantized-fingerprint -> RP-prediction LRU map. All public methods are
+/// safe to call from multiple threads concurrently.
+class FingerprintCache {
+ public:
+  using Key = std::vector<std::int32_t>;
+
+  /// capacity == 0 disables the cache (lookups miss, inserts drop).
+  FingerprintCache(std::size_t capacity, float quant_step);
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+  float quant_step() const { return quant_step_; }
+
+  /// Quantize a normalised fingerprint to its grid key.
+  Key make_key(std::span<const float> fingerprint) const;
+
+  /// Cached RP for this key, bumping it to most-recently-used. Counts a
+  /// hit or a miss.
+  std::optional<std::size_t> lookup(const Key& key);
+
+  /// Insert (or refresh) a prediction, evicting the least-recently-used
+  /// entry when full.
+  void insert(const Key& key, std::size_t rp);
+
+  std::size_t size() const;
+  std::size_t hits() const;
+  std::size_t misses() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  using Entry = std::pair<Key, std::size_t>;  // (key, predicted RP)
+
+  std::size_t capacity_;
+  float quant_step_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace cal::serve

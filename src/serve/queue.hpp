@@ -1,0 +1,96 @@
+// Bounded multi-producer request queue with batched consumption.
+//
+// The serving front door pushes one request at a time from arbitrarily many
+// client threads; worker threads drain up to `max_items` requests in one
+// pop so the inference layer sees micro-batches instead of single
+// fingerprints. The queue is the service's backpressure mechanism: when
+// `capacity` requests are already waiting, producers block instead of
+// growing an unbounded backlog (a overload surge from a compromised fleet
+// must not exhaust server memory).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace cal::serve {
+
+/// Mutex/condvar bounded queue. Producers block while full; consumers
+/// block while empty. close() wakes everyone: subsequent pushes fail and
+/// pop_batch() drains the remaining items, then returns empty batches.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    CAL_ENSURE(capacity_ > 0, "queue capacity must be positive");
+  }
+
+  /// Enqueue one item (moves from `item`). Blocks while the queue is at
+  /// capacity. Returns false (leaving `item` untouched by the queue) when
+  /// the queue has been closed.
+  bool push(T&& item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeue up to `max_items` items in arrival order. Blocks until at
+  /// least one item is available or the queue is closed; an empty result
+  /// means closed-and-drained (the consumer should exit).
+  std::vector<T> pop_batch(std::size_t max_items) {
+    CAL_ENSURE(max_items > 0, "pop_batch needs max_items > 0");
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    std::vector<T> batch;
+    const std::size_t n = std::min(max_items, items_.size());
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    // Draining may have unblocked several producers; closing must wake
+    // every waiting consumer so the pool can exit.
+    not_full_.notify_all();
+    return batch;
+  }
+
+  /// Close the queue: future pushes fail, consumers drain then stop.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace cal::serve

@@ -1,0 +1,84 @@
+#include "serve/screening.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "common/stats.hpp"
+#include "core/calloc.hpp"
+
+namespace cal::serve {
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Accept: return "accept";
+    case Verdict::Flag: return "flag";
+    case Verdict::Reject: return "reject";
+  }
+  return "?";
+}
+
+double anchor_distance(const Tensor& anchors,
+                       std::span<const float> fingerprint) {
+  CAL_ENSURE(anchors.rank() == 2 && anchors.rows() > 0,
+             "anchor database must be a non-empty matrix");
+  CAL_ENSURE(fingerprint.size() == anchors.cols(),
+             "fingerprint has " << fingerprint.size()
+                                << " APs, anchors expect " << anchors.cols());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 0; m < anchors.rows(); ++m) {
+    const auto row = anchors.row(m);
+    double sq = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double d = static_cast<double>(fingerprint[j]) - row[j];
+      sq += d * d;
+    }
+    best = std::min(best, sq);
+  }
+  return std::sqrt(best / static_cast<double>(anchors.cols()));
+}
+
+Tensor anchor_database_from(const data::FingerprintDataset& train) {
+  return core::build_anchor_database(train);
+}
+
+ScreeningThresholds calibrate_thresholds(const Tensor& anchors,
+                                         const Tensor& clean_x_normalized,
+                                         double flag_percentile,
+                                         double reject_factor) {
+  CAL_ENSURE(flag_percentile >= 0.0 && flag_percentile <= 100.0,
+             "flag percentile out of [0,100]: " << flag_percentile);
+  CAL_ENSURE(reject_factor >= 1.0,
+             "reject factor must be >= 1, got " << reject_factor);
+  CAL_ENSURE(clean_x_normalized.rank() == 2 && clean_x_normalized.rows() > 0,
+             "calibration needs a non-empty clean batch");
+  std::vector<double> dists(clean_x_normalized.rows());
+  for (std::size_t i = 0; i < clean_x_normalized.rows(); ++i)
+    dists[i] = anchor_distance(anchors, clean_x_normalized.row(i));
+  ScreeningThresholds th;
+  th.flag_distance = percentile(dists, flag_percentile);
+  th.reject_distance = th.flag_distance * reject_factor;
+  return th;
+}
+
+AnchorScreen::AnchorScreen(Tensor anchors, ScreeningThresholds thresholds)
+    : anchors_(std::move(anchors)), thresholds_(thresholds) {
+  CAL_ENSURE(anchors_.rank() == 2 && anchors_.rows() > 0,
+             "AnchorScreen needs a non-empty anchor matrix");
+  CAL_ENSURE(thresholds_.flag_distance >= 0.0 &&
+                 thresholds_.reject_distance >= thresholds_.flag_distance,
+             "screening thresholds must satisfy 0 <= flag <= reject");
+}
+
+double AnchorScreen::distance(std::span<const float> fingerprint) const {
+  if (!enabled()) return 0.0;
+  return anchor_distance(anchors_, fingerprint);
+}
+
+Verdict AnchorScreen::classify(double distance) const {
+  if (!enabled()) return Verdict::Accept;
+  if (distance > thresholds_.reject_distance) return Verdict::Reject;
+  if (distance > thresholds_.flag_distance) return Verdict::Flag;
+  return Verdict::Accept;
+}
+
+}  // namespace cal::serve

@@ -1,0 +1,214 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+
+namespace cal::serve {
+namespace {
+
+AnchorScreen make_screen(Tensor anchors, std::size_t num_aps,
+                         const ScreeningThresholds& thresholds) {
+  if (anchors.empty()) return AnchorScreen{};
+  CAL_ENSURE(anchors.rank() == 2 && anchors.cols() == num_aps,
+             "anchor database must be (M, " << num_aps << "), got "
+                                            << anchors.shape_str());
+  return AnchorScreen(std::move(anchors), thresholds);
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+}  // namespace
+
+LocalizationService::LocalizationService(ReplicaFactory factory,
+                                         std::size_t num_aps, Tensor anchors,
+                                         ServiceConfig cfg)
+    : LocalizationService(std::move(factory), nullptr, num_aps,
+                          std::move(anchors), cfg) {}
+
+LocalizationService::LocalizationService(baselines::ILocalizer& model,
+                                         std::size_t num_aps, Tensor anchors,
+                                         ServiceConfig cfg)
+    : LocalizationService(ReplicaFactory{}, &model, num_aps,
+                          std::move(anchors), cfg) {}
+
+LocalizationService::LocalizationService(ReplicaFactory factory,
+                                         baselines::ILocalizer* shared_model,
+                                         std::size_t num_aps, Tensor anchors,
+                                         ServiceConfig cfg)
+    : cfg_(cfg),
+      num_aps_(num_aps),
+      screen_(make_screen(std::move(anchors), num_aps, cfg.screening)),
+      cache_(cfg.cache_capacity, cfg.cache_quant_step),
+      queue_(cfg.queue_capacity) {
+  CAL_ENSURE(num_aps_ > 0, "service needs num_aps > 0");
+  CAL_ENSURE(cfg_.num_workers > 0, "service needs >= 1 worker");
+  CAL_ENSURE(cfg_.max_batch > 0, "service needs max_batch >= 1");
+  CAL_ENSURE(cfg_.cache_audit_rate >= 0.0 && cfg_.cache_audit_rate <= 1.0,
+             "cache audit rate out of [0,1]: " << cfg_.cache_audit_rate);
+  if (factory) {
+    replicas_.reserve(cfg_.num_workers);
+    for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
+      replicas_.push_back(factory());
+      CAL_ENSURE(replicas_.back() != nullptr,
+                 "replica factory returned nullptr for worker " << i);
+    }
+  } else {
+    shared_model_ = shared_model;
+    CAL_ENSURE(shared_model_ != nullptr, "service needs a model");
+  }
+  workers_.reserve(cfg_.num_workers);
+  try {
+    for (std::size_t i = 0; i < cfg_.num_workers; ++i)
+      workers_.emplace_back(&LocalizationService::worker_loop, this, i);
+  } catch (...) {
+    // Thread spawn can fail (EAGAIN under resource exhaustion). Unwinding
+    // with joinable threads would std::terminate, so stop the ones that
+    // started before rethrowing.
+    queue_.close();
+    for (auto& w : workers_)
+      if (w.joinable()) w.join();
+    throw;
+  }
+}
+
+LocalizationService::~LocalizationService() { shutdown(); }
+
+std::future<ServeResult> LocalizationService::submit(
+    std::vector<float> fingerprint_normalized) {
+  CAL_ENSURE(fingerprint_normalized.size() == num_aps_,
+             "fingerprint has " << fingerprint_normalized.size()
+                                << " APs, service expects " << num_aps_);
+  Pending pending;
+  pending.fingerprint = std::move(fingerprint_normalized);
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  auto future = pending.promise.get_future();
+  // Count before the push: a worker may complete the request the instant
+  // it lands, and `completed` must never be observed above `submitted`.
+  stats_.record_submitted();
+  const bool accepted = queue_.push(std::move(pending));
+  if (!accepted) {
+    stats_.record_submit_rejected();
+    CAL_ENSURE(accepted, "submit() after service shutdown");
+  }
+  return future;
+}
+
+void LocalizationService::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.close();
+    for (auto& w : workers_)
+      if (w.joinable()) w.join();
+  });
+}
+
+std::vector<std::size_t> LocalizationService::run_inference(
+    std::size_t worker_index, const Tensor& batch) {
+  if (shared_model_ != nullptr) {
+    // ILocalizer::predict is not required to be thread-safe; serialize.
+    std::lock_guard lock(shared_model_mu_);
+    return shared_model_->predict(batch);
+  }
+  return replicas_[worker_index]->predict(batch);
+}
+
+void LocalizationService::worker_loop(std::size_t worker_index) {
+  // Private randomness stream for this worker (Rng is not shareable
+  // across threads): deterministic in (cfg.seed, worker_index).
+  Rng rng = Rng(cfg_.seed).fork(worker_index + 1);
+
+  struct Slot {
+    Pending req;
+    ServeResult res;
+    FingerprintCache::Key key;
+    bool infer = false;
+    bool audited = false;
+    bool audit_mismatch = false;
+    std::size_t cached_rp = 0;
+    bool fulfilled = false;
+  };
+
+  while (true) {
+    auto batch = queue_.pop_batch(cfg_.max_batch);
+    if (batch.empty()) return;  // closed and drained
+    stats_.record_batch(batch.size());
+
+    std::vector<Slot> slots;
+    slots.reserve(batch.size());
+    for (auto& pending : batch) {
+      Slot s;
+      s.req = std::move(pending);
+      slots.push_back(std::move(s));
+    }
+
+    try {
+      // Phase 1 — per-request screening and cache probe.
+      std::vector<std::size_t> infer_rows;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        Slot& s = slots[i];
+        s.res.anchor_distance = screen_.distance(s.req.fingerprint);
+        s.res.verdict = screen_.classify(s.res.anchor_distance);
+        if (s.res.verdict == Verdict::Reject) continue;  // never localised
+        if (cache_.enabled()) {
+          s.key = cache_.make_key(s.req.fingerprint);
+          if (const auto hit = cache_.lookup(s.key)) {
+            if (cfg_.cache_audit_rate > 0.0 &&
+                rng.bernoulli(cfg_.cache_audit_rate)) {
+              s.audited = true;
+              s.cached_rp = *hit;
+              s.infer = true;  // re-infer to verify the cached answer
+              infer_rows.push_back(i);
+            } else {
+              s.res.rp = *hit;
+              s.res.localized = true;
+              s.res.from_cache = true;
+            }
+            continue;
+          }
+        }
+        s.infer = true;
+        infer_rows.push_back(i);
+      }
+
+      // Phase 2 — one batched forward pass for every surviving request.
+      if (!infer_rows.empty()) {
+        Tensor xb({infer_rows.size(), num_aps_});
+        for (std::size_t k = 0; k < infer_rows.size(); ++k) {
+          const auto& fp = slots[infer_rows[k]].req.fingerprint;
+          std::copy(fp.begin(), fp.end(), xb.data() + k * num_aps_);
+        }
+        const auto rps = run_inference(worker_index, xb);
+        CAL_INVARIANT(rps.size() == infer_rows.size(),
+                      "predict returned " << rps.size() << " labels for "
+                                          << infer_rows.size() << " rows");
+        for (std::size_t k = 0; k < infer_rows.size(); ++k) {
+          Slot& s = slots[infer_rows[k]];
+          s.res.rp = rps[k];
+          s.res.localized = true;
+          if (s.audited) s.audit_mismatch = (s.cached_rp != rps[k]);
+          if (cache_.enabled()) cache_.insert(s.key, rps[k]);
+        }
+      }
+
+      // Phase 3 — fulfil promises and record telemetry.
+      for (Slot& s : slots) {
+        s.res.latency_ms = ms_since(s.req.enqueued_at);
+        stats_.record_result(s.res.latency_ms, s.res.verdict,
+                             s.res.from_cache, s.audited, s.audit_mismatch);
+        s.req.promise.set_value(s.res);
+        s.fulfilled = true;
+      }
+    } catch (...) {
+      // A model/bookkeeping failure must not strand waiting clients.
+      for (Slot& s : slots)
+        if (!s.fulfilled) s.req.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace cal::serve

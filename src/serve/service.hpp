@@ -1,0 +1,143 @@
+// Concurrent, batched online-localization serving engine.
+//
+// Turns any trained ILocalizer into a thread-safe localization service:
+//
+//   clients ──submit()──▶ bounded queue ──▶ worker pool ──▶ futures
+//                                           │ per worker:
+//                                           │  1. anchor-distance screen
+//                                           │     (rejects skip the rest)
+//                                           │  2. LRU cache probe
+//                                           │  3. coalesce survivors into
+//                                           │     ONE batched predict()
+//
+// Concurrency model. Two deployment shapes are supported:
+//  * replica mode — a ReplicaFactory builds one independent model replica
+//    per worker (e.g. Calloc::load_weights from one trained artefact).
+//    Workers never share mutable model state, so inference runs fully in
+//    parallel. Because every replica carries bit-identical weights and the
+//    forward math is row-independent, batched concurrent serving returns
+//    bit-identical predictions to sequential predict() calls.
+//  * shared mode — a single borrowed ILocalizer guarded by an internal
+//    mutex. Inference is serialized (ILocalizer::predict is not required
+//    to be thread-safe), but micro-batching still amortizes per-call graph
+//    setup: B coalesced fingerprints are one matmul-sized forward pass
+//    instead of B scalar loops.
+//
+// Every worker owns a private cal::Rng stream forked from ServiceConfig::
+// seed (Rng instances must not be shared across threads — see rng.hpp);
+// it drives the randomized cache-hit audit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/localizer.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/queue.hpp"
+#include "serve/screening.hpp"
+#include "serve/stats.hpp"
+
+namespace cal::serve {
+
+/// Outcome of one localization request.
+struct ServeResult {
+  std::size_t rp = 0;       ///< predicted RP; meaningful iff `localized`
+  bool localized = false;   ///< false when the screen rejected the request
+  Verdict verdict = Verdict::Accept;
+  double anchor_distance = 0.0;  ///< screening score (0 if screening off)
+  bool from_cache = false;
+  double latency_ms = 0.0;  ///< submit -> fulfillment, queueing included
+};
+
+/// Builds one independent, already-trained model replica per call.
+using ReplicaFactory =
+    std::function<std::unique_ptr<baselines::ILocalizer>()>;
+
+struct ServiceConfig {
+  std::size_t num_workers = 2;
+  /// Micro-batch coalescing cap B: a worker drains up to this many queued
+  /// requests and runs them through one batched predict() call.
+  std::size_t max_batch = 16;
+  /// Bounded queue capacity; submit() blocks (backpressure) when full.
+  std::size_t queue_capacity = 256;
+  /// LRU entries; 0 disables caching.
+  std::size_t cache_capacity = 0;
+  /// Cache key grid on the normalised [0,1] RSS scale (0.005 ⇔ 0.5 dB).
+  float cache_quant_step = 0.005F;
+  /// Probability that a cache hit is re-inferred and compared against the
+  /// cached value (guards against quantization collisions). 0 = off.
+  double cache_audit_rate = 0.0;
+  /// Accept/flag/reject cutoffs; defaults accept everything.
+  ScreeningThresholds screening;
+  /// Base seed for the per-worker Rng streams.
+  std::uint64_t seed = 2026;
+};
+
+/// Thread-safe localization front door over a trained ILocalizer.
+class LocalizationService {
+ public:
+  /// Replica mode. `anchors` is the normalised anchor database used for
+  /// screening (pass an empty Tensor to disable screening regardless of
+  /// thresholds). The factory is invoked num_workers times, up front.
+  LocalizationService(ReplicaFactory factory, std::size_t num_aps,
+                      Tensor anchors, ServiceConfig cfg);
+
+  /// Shared mode: borrows `model` (caller keeps it alive); model access
+  /// is serialized through an internal mutex.
+  LocalizationService(baselines::ILocalizer& model, std::size_t num_aps,
+                      Tensor anchors, ServiceConfig cfg);
+
+  LocalizationService(const LocalizationService&) = delete;
+  LocalizationService& operator=(const LocalizationService&) = delete;
+  ~LocalizationService();
+
+  /// Enqueue one normalised fingerprint (size == num_aps). Blocks while
+  /// the queue is at capacity. Throws PreconditionError after shutdown().
+  std::future<ServeResult> submit(std::vector<float> fingerprint_normalized);
+
+  /// Stop accepting requests, drain the queue, join the workers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  ServiceStats stats() const { return stats_.snapshot(); }
+
+  std::size_t num_aps() const { return num_aps_; }
+  std::size_t num_workers() const { return cfg_.num_workers; }
+  const FingerprintCache& cache() const { return cache_; }
+  const AnchorScreen& screen() const { return screen_; }
+
+ private:
+  struct Pending {
+    std::vector<float> fingerprint;
+    std::promise<ServeResult> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  LocalizationService(ReplicaFactory factory,
+                      baselines::ILocalizer* shared_model,
+                      std::size_t num_aps, Tensor anchors, ServiceConfig cfg);
+
+  void worker_loop(std::size_t worker_index);
+  std::vector<std::size_t> run_inference(std::size_t worker_index,
+                                         const Tensor& batch);
+
+  ServiceConfig cfg_;
+  std::size_t num_aps_;
+  AnchorScreen screen_;
+  FingerprintCache cache_;
+  StatsCollector stats_;
+  BoundedQueue<Pending> queue_;
+
+  baselines::ILocalizer* shared_model_ = nullptr;  // shared mode
+  std::mutex shared_model_mu_;
+  std::vector<std::unique_ptr<baselines::ILocalizer>> replicas_;
+
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace cal::serve

@@ -1,0 +1,89 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stats.hpp"
+
+namespace cal::serve {
+
+std::string ServiceStats::str() const {
+  std::ostringstream os;
+  os << "requests: " << completed << "/" << submitted << " completed, "
+     << flagged << " flagged, " << rejected << " rejected\n";
+  os << "cache:    " << cache_hits << " hits";
+  if (cache_audits > 0)
+    os << " (" << cache_audits << " audited, " << cache_audit_mismatches
+       << " mismatched)";
+  os << "\n";
+  os << "batching: " << batches << " micro-batches, mean " << mean_batch_size
+     << ", largest " << largest_batch << "\n";
+  os << "latency:  mean " << latency_mean_ms << " ms, p50 " << latency_p50_ms
+     << " ms, p95 " << latency_p95_ms << " ms, p99 " << latency_p99_ms
+     << " ms\n";
+  os << "rate:     " << throughput_rps << " req/s over " << wall_seconds
+     << " s";
+  return os.str();
+}
+
+StatsCollector::StatsCollector() : start_(std::chrono::steady_clock::now()) {}
+
+void StatsCollector::record_submitted() {
+  std::lock_guard lock(mu_);
+  ++submitted_;
+}
+
+void StatsCollector::record_submit_rejected() {
+  std::lock_guard lock(mu_);
+  --submitted_;
+}
+
+void StatsCollector::record_batch(std::size_t batch_size) {
+  std::lock_guard lock(mu_);
+  ++batches_;
+  batched_items_ += batch_size;
+  largest_batch_ = std::max(largest_batch_, batch_size);
+}
+
+void StatsCollector::record_result(double latency_ms, Verdict verdict,
+                                   bool from_cache, bool audited,
+                                   bool audit_mismatch) {
+  std::lock_guard lock(mu_);
+  ++completed_;
+  latencies_ms_.push_back(latency_ms);
+  if (from_cache) ++cache_hits_;
+  if (audited) ++cache_audits_;
+  if (audit_mismatch) ++cache_audit_mismatches_;
+  if (verdict == Verdict::Flag) ++flagged_;
+  if (verdict == Verdict::Reject) ++rejected_;
+}
+
+ServiceStats StatsCollector::snapshot() const {
+  std::lock_guard lock(mu_);
+  ServiceStats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.cache_hits = cache_hits_;
+  s.cache_audits = cache_audits_;
+  s.cache_audit_mismatches = cache_audit_mismatches_;
+  s.flagged = flagged_;
+  s.rejected = rejected_;
+  s.batches = batches_;
+  s.largest_batch = largest_batch_;
+  if (batches_ > 0)
+    s.mean_batch_size =
+        static_cast<double>(batched_items_) / static_cast<double>(batches_);
+  if (!latencies_ms_.empty()) {
+    s.latency_mean_ms = mean(latencies_ms_);
+    s.latency_p50_ms = percentile(latencies_ms_, 50.0);
+    s.latency_p95_ms = percentile(latencies_ms_, 95.0);
+    s.latency_p99_ms = percentile(latencies_ms_, 99.0);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  s.wall_seconds = std::chrono::duration<double>(elapsed).count();
+  if (s.wall_seconds > 0.0)
+    s.throughput_rps = static_cast<double>(completed_) / s.wall_seconds;
+  return s;
+}
+
+}  // namespace cal::serve

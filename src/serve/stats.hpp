@@ -1,0 +1,69 @@
+// Serving telemetry: the numbers an operator watches on a dashboard.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/screening.hpp"
+
+namespace cal::serve {
+
+/// Point-in-time snapshot of service health. Latencies are request
+/// latencies (submit -> result available), which include queueing delay —
+/// the figure a client actually experiences.
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;        ///< fulfilled results, any verdict
+  std::size_t cache_hits = 0;
+  std::size_t cache_audits = 0;     ///< hits re-inferred for verification
+  std::size_t cache_audit_mismatches = 0;
+  std::size_t flagged = 0;
+  std::size_t rejected = 0;
+  std::size_t batches = 0;          ///< micro-batches drained by workers
+  std::size_t largest_batch = 0;
+  double mean_batch_size = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double wall_seconds = 0.0;        ///< since service start
+  double throughput_rps = 0.0;      ///< completed / wall_seconds
+
+  /// Multi-line human-readable report for demos and benches.
+  std::string str() const;
+};
+
+/// Mutex-guarded accumulator shared by the worker pool.
+class StatsCollector {
+ public:
+  StatsCollector();
+
+  void record_submitted();
+  /// Roll back a record_submitted() whose push was refused (shutdown).
+  void record_submit_rejected();
+  void record_batch(std::size_t batch_size);
+  void record_result(double latency_ms, Verdict verdict, bool from_cache,
+                     bool audited, bool audit_mismatch);
+
+  ServiceStats snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<double> latencies_ms_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_audits_ = 0;
+  std::size_t cache_audit_mismatches_ = 0;
+  std::size_t flagged_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t largest_batch_ = 0;
+  std::size_t batched_items_ = 0;
+};
+
+}  // namespace cal::serve

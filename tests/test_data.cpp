@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "common/ensure.hpp"
 #include "data/dataset.hpp"
@@ -139,6 +140,91 @@ TEST(Dataset, CsvRoundTrip) {
   for (std::size_t i = 0; i < ds.num_samples(); ++i)
     EXPECT_EQ(loaded.labels()[i], ds.labels()[i]);
   std::filesystem::remove(path);
+}
+
+// load_csv consumes untrusted files; every malformation must be a clear
+// PreconditionError, never UB or silently garbled samples.
+class MalformedCsv : public ::testing::Test {
+ protected:
+  std::string write(const std::string& contents) {
+    path_ = (std::filesystem::temp_directory_path() / "cal_bad_ds.csv")
+                .string();
+    std::ofstream out(path_);
+    out << contents;
+    return path_;
+  }
+  void TearDown() override {
+    if (!path_.empty()) std::filesystem::remove(path_);
+  }
+  std::string path_;
+};
+
+TEST_F(MalformedCsv, HeaderTooNarrow) {
+  EXPECT_THROW(FingerprintDataset::load_csv(write("rp,x,y\n")),
+               PreconditionError);
+}
+
+TEST_F(MalformedCsv, WrongColumnCount) {
+  EXPECT_THROW(FingerprintDataset::load_csv(write(
+                   "rp,x,y,ap0,ap1\n"
+                   "#rp0,0,0,0,0\n"
+                   "0,0,0,-50\n")),  // sample row missing one AP cell
+               PreconditionError);
+}
+
+TEST_F(MalformedCsv, NonNumericRssCell) {
+  EXPECT_THROW(FingerprintDataset::load_csv(write(
+                   "rp,x,y,ap0,ap1\n"
+                   "#rp0,0,0,0,0\n"
+                   "0,0,0,-50,banana\n")),
+               PreconditionError);
+}
+
+TEST_F(MalformedCsv, PartiallyNumericCellIsRejected) {
+  EXPECT_THROW(FingerprintDataset::load_csv(write(
+                   "rp,x,y,ap0,ap1\n"
+                   "#rp0,0,0,0,0\n"
+                   "0,0,0,-50.1.2,-60\n")),  // prefix parses, suffix must not
+               PreconditionError);
+}
+
+TEST_F(MalformedCsv, NonFiniteRssCell) {
+  // from_chars parses "nan"/"inf" successfully; the loader must still
+  // reject them — a NaN RSS silently poisons every downstream loss.
+  EXPECT_THROW(FingerprintDataset::load_csv(write(
+                   "rp,x,y,ap0,ap1\n"
+                   "#rp0,0,0,0,0\n"
+                   "0,0,0,nan,-60\n")),
+               PreconditionError);
+  EXPECT_THROW(FingerprintDataset::load_csv(write(
+                   "rp,x,y,ap0,ap1\n"
+                   "#rp0,0,0,0,0\n"
+                   "0,0,0,-50,-inf\n")),
+               PreconditionError);
+}
+
+TEST_F(MalformedCsv, NonNumericLabel) {
+  EXPECT_THROW(FingerprintDataset::load_csv(write(
+                   "rp,x,y,ap0,ap1\n"
+                   "#rp0,0,0,0,0\n"
+                   "seven,0,0,-50,-60\n")),
+               PreconditionError);
+}
+
+TEST_F(MalformedCsv, LabelOutOfRpRange) {
+  EXPECT_THROW(FingerprintDataset::load_csv(write(
+                   "rp,x,y,ap0,ap1\n"
+                   "#rp0,0,0,0,0\n"
+                   "3,0,0,-50,-60\n")),
+               PreconditionError);
+}
+
+TEST_F(MalformedCsv, NonNumericRpCoordinate) {
+  EXPECT_THROW(FingerprintDataset::load_csv(write(
+                   "rp,x,y,ap0,ap1\n"
+                   "#rp0,north,0,0,0\n"
+                   "0,0,0,-50,-60\n")),
+               PreconditionError);
 }
 
 TEST(Dataset, EmptyRawThrows) {

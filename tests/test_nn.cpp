@@ -264,10 +264,37 @@ TEST(Module, SaveLoadWeightsRoundTrip) {
   std::stringstream blob;
   a.save_weights(blob);
   b.load_weights(blob);
+  // The serving layer deploys one trained artefact into per-worker
+  // replicas and promises bit-identical predictions, so the round trip
+  // must be float-exact, not merely close.
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const Tensor& ta = pa[i].var->value();
+    const Tensor& tb = pb[i].var->value();
+    ASSERT_TRUE(ta.same_shape(tb));
+    for (std::size_t j = 0; j < ta.size(); ++j)
+      EXPECT_EQ(ta[j], tb[j]) << pa[i].name << "[" << j << "]";
+  }
   const Tensor x = Tensor::randn({3, 4}, rng, 1.0F);
   EXPECT_TRUE(allclose(predict_tensor(a, x), predict_tensor(b, x)));
   EXPECT_EQ(a.weight_bytes(),
             sizeof(std::uint64_t) * 5 + a.parameter_count() * sizeof(float));
+}
+
+TEST(Module, LoadRejectsTruncatedBlob) {
+  Rng rng(25);
+  Linear a(3, 4, rng);
+  Linear b(3, 4, rng);
+  std::stringstream blob;
+  a.save_weights(blob);
+  const std::string full = blob.str();
+  // Cutting the payload anywhere must throw, never load garbage.
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(b.load_weights(truncated), PreconditionError);
+  std::stringstream empty;
+  EXPECT_THROW(b.load_weights(empty), PreconditionError);
 }
 
 TEST(Module, LoadRejectsWrongShape) {

@@ -1,0 +1,399 @@
+// Serving-engine tests: queue semantics, cache behaviour, screening, and
+// the headline guarantee — concurrent batched serving is bit-identical to
+// sequential predict() on the same trained model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "attacks/attack.hpp"
+#include "common/ensure.hpp"
+#include "core/calloc.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/queue.hpp"
+#include "serve/screening.hpp"
+#include "serve/service.hpp"
+#include "sim/collector.hpp"
+
+namespace {
+
+using namespace cal;
+using namespace cal::serve;
+
+// ---------------------------------------------------------------------------
+// Shared trained model: one curriculum run reused by every service test.
+// ---------------------------------------------------------------------------
+
+const sim::Scenario& scenario() {
+  static const sim::Scenario sc = [] {
+    sim::BuildingSpec spec;
+    spec.name = "serve-test";
+    spec.num_aps = 24;
+    spec.path_length_m = 14;
+    spec.seed = 313;
+    return sim::make_scenario(spec, 999);
+  }();
+  return sc;
+}
+
+core::CallocConfig fast_cfg(std::uint64_t seed = 71) {
+  core::CallocConfig cfg;
+  cfg.seed = seed;
+  cfg.num_lessons = 5;
+  cfg.train.max_epochs_per_lesson = 6;
+  return cfg;
+}
+
+struct TrainedModel {
+  core::Calloc model{fast_cfg()};
+  std::string weights_path;
+
+  TrainedModel() {
+    model.fit(scenario().train);
+    weights_path = (std::filesystem::temp_directory_path() /
+                    "cal_serve_test_weights.bin")
+                       .string();
+    model.save_weights(weights_path);
+  }
+  ~TrainedModel() { std::remove(weights_path.c_str()); }
+};
+
+TrainedModel& trained() {
+  static TrainedModel tm;
+  return tm;
+}
+
+/// Replica factory: deploy the one trained artefact into fresh models.
+ReplicaFactory calloc_factory() {
+  return [] {
+    auto replica = std::make_unique<core::Calloc>(fast_cfg());
+    replica->load_weights(trained().weights_path, scenario().train);
+    return replica;
+  };
+}
+
+std::vector<float> row_of(const Tensor& x, std::size_t r) {
+  const auto row = x.row(r);
+  return {row.begin(), row.end()};
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueue, FifoAndBatchCap) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(int{i}));
+  EXPECT_EQ(q.size(), 5u);
+  const auto first = q.pop_batch(3);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0], 0);
+  EXPECT_EQ(first[2], 2);
+  const auto rest = q.pop_batch(10);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[1], 4);
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop_batch(4).size(), 1u);   // drain survivors
+  EXPECT_TRUE(q.pop_batch(4).empty());    // closed-and-drained sentinel
+}
+
+TEST(BoundedQueue, FullQueueBlocksUntilDrained) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(3));  // must block until a pop frees a slot
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(q.pop_batch(1).size(), 1u);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// FingerprintCache
+// ---------------------------------------------------------------------------
+
+TEST(FingerprintCache, QuantizationGroupsJitteredScans) {
+  FingerprintCache cache(8, 0.01F);
+  const std::vector<float> a{0.500F, 0.300F, 0.700F};
+  const std::vector<float> jittered{0.501F, 0.299F, 0.702F};  // < step/2 off
+  const std::vector<float> elsewhere{0.100F, 0.900F, 0.200F};
+  EXPECT_EQ(cache.make_key(a), cache.make_key(jittered));
+  EXPECT_NE(cache.make_key(a), cache.make_key(elsewhere));
+}
+
+TEST(FingerprintCache, LruEvictionOrder) {
+  FingerprintCache cache(2, 0.01F);
+  const auto k1 = cache.make_key(std::vector<float>{0.1F});
+  const auto k2 = cache.make_key(std::vector<float>{0.2F});
+  const auto k3 = cache.make_key(std::vector<float>{0.3F});
+  cache.insert(k1, 11);
+  cache.insert(k2, 22);
+  ASSERT_TRUE(cache.lookup(k1).has_value());  // bump k1 to MRU
+  cache.insert(k3, 33);                       // evicts k2 (LRU)
+  EXPECT_FALSE(cache.lookup(k2).has_value());
+  EXPECT_EQ(cache.lookup(k1).value_or(999), 11u);
+  EXPECT_EQ(cache.lookup(k3).value_or(999), 33u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(FingerprintCache, ZeroCapacityDisables) {
+  FingerprintCache cache(0, 0.01F);
+  EXPECT_FALSE(cache.enabled());
+  const auto k = cache.make_key(std::vector<float>{0.5F});
+  cache.insert(k, 1);
+  EXPECT_FALSE(cache.lookup(k).has_value());
+  EXPECT_THROW(FingerprintCache(4, 0.0F), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Screening
+// ---------------------------------------------------------------------------
+
+TEST(Screening, DistanceAndClassification) {
+  const Tensor anchors = Tensor::from_rows({{0.5F, 0.5F}, {0.2F, 0.8F}});
+  ScreeningThresholds th;
+  th.flag_distance = 0.1;
+  th.reject_distance = 0.3;
+  const AnchorScreen screen(anchors, th);
+  // Exactly on an anchor: distance 0, accepted.
+  EXPECT_NEAR(screen.distance(std::vector<float>{0.2F, 0.8F}), 0.0, 1e-9);
+  EXPECT_EQ(screen.classify(0.05), Verdict::Accept);
+  EXPECT_EQ(screen.classify(0.2), Verdict::Flag);
+  EXPECT_EQ(screen.classify(0.5), Verdict::Reject);
+  // RMS-per-AP scale: (0.6,0.5) is 0.1 away from (0.5,0.5) in one of two
+  // coordinates -> sqrt(0.01/2).
+  EXPECT_NEAR(screen.distance(std::vector<float>{0.6F, 0.5F}),
+              std::sqrt(0.01 / 2.0), 1e-6);
+  EXPECT_THROW(AnchorScreen(anchors, {0.5, 0.1}), PreconditionError);
+}
+
+TEST(Screening, DisabledScreenAcceptsEverything) {
+  const AnchorScreen screen;
+  EXPECT_FALSE(screen.enabled());
+  EXPECT_EQ(screen.distance(std::vector<float>{9.0F}), 0.0);
+  EXPECT_EQ(screen.classify(1e9), Verdict::Accept);
+}
+
+TEST(Screening, CalibrationBoundsCleanData) {
+  const auto& train = scenario().train;
+  const Tensor anchors = anchor_database_from(train);
+  const Tensor clean = train.normalized();
+  const auto th = calibrate_thresholds(anchors, clean, 95.0, 2.0);
+  EXPECT_GT(th.flag_distance, 0.0);
+  EXPECT_NEAR(th.reject_distance, 2.0 * th.flag_distance, 1e-12);
+  // At the 95th-percentile cutoff, roughly 5% of the calibration data
+  // itself sits above the flag line — never more than ~10% of it.
+  std::size_t above = 0;
+  for (std::size_t i = 0; i < clean.rows(); ++i)
+    if (anchor_distance(anchors, clean.row(i)) > th.flag_distance) ++above;
+  EXPECT_LE(above, clean.rows() / 10);
+}
+
+// ---------------------------------------------------------------------------
+// LocalizationService
+// ---------------------------------------------------------------------------
+
+TEST(Service, ConcurrentBatchedMatchesSequentialBitIdentical) {
+  const auto& test = scenario().device_tests.back();
+  const Tensor x = test.normalized();
+  const auto expected = trained().model.predict(x);
+
+  ServiceConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 64;
+  cfg.cache_capacity = 0;  // every request must hit the model
+  LocalizationService service(calloc_factory(), test.num_aps(), Tensor{},
+                              cfg);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 64;
+  struct Outcome {
+    std::size_t row;
+    std::future<ServeResult> fut;
+  };
+  std::vector<std::vector<Outcome>> outcomes(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const std::size_t row = (c * 7 + i * 3) % x.rows();
+        outcomes[c].push_back({row, service.submit(row_of(x, row))});
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (auto& per_client : outcomes) {
+    for (auto& o : per_client) {
+      const ServeResult r = o.fut.get();
+      EXPECT_TRUE(r.localized);
+      EXPECT_EQ(r.verdict, Verdict::Accept);
+      EXPECT_EQ(r.rp, expected[o.row]) << "row " << o.row;
+      EXPECT_GE(r.latency_ms, 0.0);
+    }
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, kClients * kPerClient);
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_LE(stats.latency_p50_ms, stats.latency_p95_ms);
+  EXPECT_LE(stats.latency_p95_ms, stats.latency_p99_ms);
+  EXPECT_GT(stats.throughput_rps, 0.0);
+}
+
+TEST(Service, SharedModeSerializesOneModel) {
+  const auto& test = scenario().device_tests.front();
+  const Tensor x = test.normalized();
+  const auto expected = trained().model.predict(x);
+
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_batch = 4;
+  LocalizationService service(trained().model, test.num_aps(), Tensor{},
+                              cfg);
+  std::vector<std::future<ServeResult>> futs;
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    futs.push_back(service.submit(row_of(x, i)));
+  for (std::size_t i = 0; i < futs.size(); ++i)
+    EXPECT_EQ(futs[i].get().rp, expected[i]) << "row " << i;
+}
+
+TEST(Service, MicroBatchingCoalescesBacklog) {
+  const auto& test = scenario().device_tests.back();
+  const Tensor x = test.normalized();
+  ServiceConfig cfg;
+  cfg.num_workers = 1;  // single worker => backlog must coalesce
+  cfg.max_batch = 16;
+  cfg.queue_capacity = 128;
+  LocalizationService service(calloc_factory(), test.num_aps(), Tensor{},
+                              cfg);
+  std::vector<std::future<ServeResult>> futs;
+  for (std::size_t i = 0; i < 64; ++i)
+    futs.push_back(service.submit(row_of(x, i % x.rows())));
+  for (auto& f : futs) f.get();
+  service.shutdown();
+  const auto stats = service.stats();
+  EXPECT_GT(stats.largest_batch, 1u)
+      << "a single busy worker should drain queued requests in batches";
+  EXPECT_LT(stats.batches, 64u);
+}
+
+TEST(Service, CacheServesRepeatTrafficAndAuditAgrees) {
+  const auto& test = scenario().device_tests.back();
+  const Tensor x = test.normalized();
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.cache_capacity = 32;
+  cfg.cache_audit_rate = 0.5;  // audit half the hits against the model
+  LocalizationService service(calloc_factory(), test.num_aps(), Tensor{},
+                              cfg);
+
+  const auto fp = row_of(x, 0);
+  const std::size_t first = service.submit(fp).get().rp;
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < 50; ++i) futs.push_back(service.submit(fp));
+  std::size_t hits = 0;
+  for (auto& f : futs) {
+    const auto r = f.get();
+    EXPECT_EQ(r.rp, first);  // cached or recomputed, same answer
+    if (r.from_cache) ++hits;
+  }
+  service.shutdown();
+  const auto stats = service.stats();
+  EXPECT_GT(hits, 0u);
+  EXPECT_EQ(stats.cache_hits, hits);
+  EXPECT_GT(stats.cache_audits, 0u);
+  EXPECT_EQ(stats.cache_audit_mismatches, 0u)
+      << "auditing a stationary device must agree with the cache";
+}
+
+TEST(Service, ScreeningFlagsPgdTrafficMoreThanClean) {
+  const auto& test = scenario().device_tests[1];
+  const Tensor clean = test.normalized();
+  attacks::AttackConfig atk;
+  atk.epsilon = 0.3;
+  atk.phi_percent = 100.0;
+  atk.num_steps = 8;
+  const Tensor attacked =
+      attacks::pgd_attack(*trained().model.gradient_source(), clean,
+                          test.labels(), atk);
+
+  // Calibrate on a clean *online* capture spanning the device fleet —
+  // the offline train set alone is too tight once session drift and
+  // device heterogeneity kick in (its P95 sits below every test device).
+  data::FingerprintDataset fleet = scenario().device_tests.front();
+  for (std::size_t d = 1; d < scenario().device_tests.size(); ++d)
+    fleet.merge(scenario().device_tests[d]);
+
+  const Tensor anchors = trained().model.model().anchor_matrix();
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.screening =
+      calibrate_thresholds(anchors, fleet.normalized(), 95.0, 3.0);
+  LocalizationService service(calloc_factory(), test.num_aps(), anchors,
+                              cfg);
+
+  auto suspicious_rate = [&](const Tensor& batch) {
+    std::vector<std::future<ServeResult>> futs;
+    for (std::size_t i = 0; i < batch.rows(); ++i)
+      futs.push_back(service.submit(row_of(batch, i)));
+    std::size_t suspicious = 0;
+    for (auto& f : futs) {
+      const auto r = f.get();
+      if (r.verdict != Verdict::Accept) ++suspicious;
+      EXPECT_EQ(r.localized, r.verdict != Verdict::Reject);
+    }
+    return static_cast<double>(suspicious) /
+           static_cast<double>(batch.rows());
+  };
+
+  const double clean_rate = suspicious_rate(clean);
+  const double attacked_rate = suspicious_rate(attacked);
+  EXPECT_GT(attacked_rate, clean_rate)
+      << "PGD fingerprints must be flagged more often than clean ones";
+  EXPECT_GT(attacked_rate, 0.5)
+      << "eps=0.3 over all APs should leave the clean manifold";
+  EXPECT_GT(service.stats().flagged + service.stats().rejected, 0u);
+}
+
+TEST(Service, ValidatesInputsAndShutdownIsFinal) {
+  ServiceConfig cfg;
+  cfg.num_workers = 1;
+  LocalizationService service(trained().model,
+                              scenario().train.num_aps(), Tensor{}, cfg);
+  EXPECT_THROW(service.submit(std::vector<float>{0.5F}), PreconditionError);
+  service.shutdown();
+  service.shutdown();  // idempotent
+  const Tensor x = scenario().train.normalized();
+  EXPECT_THROW(service.submit(row_of(x, 0)), PreconditionError);
+
+  ServiceConfig bad;
+  bad.num_workers = 0;
+  EXPECT_THROW(LocalizationService(trained().model, 24, Tensor{}, bad),
+               PreconditionError);
+}
+
+}  // namespace
