@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/ensure.hpp"
+#include "kernels/gemm.hpp"
 
 namespace cal::autograd {
 namespace {
@@ -29,11 +30,47 @@ Var matmul(const Var& a, const Var& b) {
     Node* pa = a.get();
     Node* pb = b.get();
     node->set_backward([self, pa, pb] {
+      // dA = g·Bᵀ and dB = Aᵀ·g via the fused-transpose kernels,
+      // accumulated straight into the grad buffers: no transposed() copy
+      // and no temporary product per backward step.
       const Tensor& g = self->grad();
+      const Tensor& av = pa->value();
+      const Tensor& bv = pb->value();
+      const std::size_t m = av.rows();
+      const std::size_t k = av.cols();
+      const std::size_t n = bv.cols();
       if (pa->requires_grad())
-        pa->grad_buffer() += g.matmul(pb->value().transposed());
+        kernels::gemm_nt(g.flat(), bv.flat(), pa->grad_buffer().flat(), m, n,
+                         k, /*accumulate=*/true);
       if (pb->requires_grad())
-        pb->grad_buffer() += pa->value().transposed().matmul(g);
+        kernels::gemm_tn(av.flat(), g.flat(), pb->grad_buffer().flat(), k, m,
+                         n, /*accumulate=*/true);
+    });
+  }
+  return node;
+}
+
+Var matmul_nt(const Var& a, const Var& b) {
+  const Tensor out = a->value().matmul_nt(b->value());
+  Var node = make_op(out, "matmul_nt", {a, b});
+  if (node->requires_grad()) {
+    Node* self = node.get();
+    Node* pa = a.get();
+    Node* pb = b.get();
+    node->set_backward([self, pa, pb] {
+      // y = A·Bᵀ with A: MxD, B: NxD, g: MxN. dA = g·B, dB = gᵀ·A.
+      const Tensor& g = self->grad();
+      const Tensor& av = pa->value();
+      const Tensor& bv = pb->value();
+      const std::size_t m = av.rows();
+      const std::size_t d = av.cols();
+      const std::size_t n = bv.rows();
+      if (pa->requires_grad())
+        kernels::gemm_nn(g.flat(), bv.flat(), pa->grad_buffer().flat(), m, n,
+                         d, /*accumulate=*/true);
+      if (pb->requires_grad())
+        kernels::gemm_tn(g.flat(), av.flat(), pb->grad_buffer().flat(), n, m,
+                         d, /*accumulate=*/true);
     });
   }
   return node;
@@ -582,7 +619,8 @@ Var scaled_dot_product_attention(const Var& q, const Var& k, const Var& v) {
                                            << vv.shape_str());
   const float inv_sqrt_dk =
       1.0F / std::sqrt(static_cast<float>(qv.cols()));
-  Var scores = scale(matmul(q, transpose(k)), inv_sqrt_dk);
+  // Fused QKᵀ: no transpose node, no K copy.
+  Var scores = scale(matmul_nt(q, k), inv_sqrt_dk);
   Var weights = softmax_rows(scores);
   return matmul(weights, v);
 }

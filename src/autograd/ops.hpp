@@ -19,6 +19,11 @@ namespace cal::autograd {
 /// Matrix product of rank-2 vars: (MxK) * (KxN) -> (MxN).
 Var matmul(const Var& a, const Var& b);
 
+/// Fused a · bᵀ of rank-2 vars: (MxD) * (NxD)ᵀ -> (MxN). Equivalent to
+/// matmul(a, transpose(b)) but skips the transpose node and its copy in
+/// both the forward and backward pass (the attention score kernel).
+Var matmul_nt(const Var& a, const Var& b);
+
 /// Elementwise sum; shapes must match.
 Var add(const Var& a, const Var& b);
 

@@ -86,8 +86,10 @@ autograd::Var CallocModel::attention_distribution(const autograd::Var& x) {
   auto q = autograd::l2_normalize_rows(autograd::sub_rowwise(
       w_q_->forward(hyperspace_curriculum(x)), center));
   auto k = autograd::l2_normalize_rows(autograd::sub_rowwise(k_raw, center));
-  auto scores = autograd::scale_by(
-      autograd::matmul(q, autograd::transpose(k)), temperature_);
+  // Fused q·kᵀ keeps the M-anchor score matmul (the serving hot path) free
+  // of the per-call K-transpose copy.
+  auto scores =
+      autograd::scale_by(autograd::matmul_nt(q, k), temperature_);
   return autograd::softmax_rows(scores);
 }
 

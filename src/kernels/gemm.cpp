@@ -1,0 +1,232 @@
+#include "kernels/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "kernels/gemm_arch.hpp"
+
+namespace cal::kernels {
+namespace {
+
+constexpr std::size_t kMR = 6;  // row granule; must match the kernel body
+
+// Minimum 2·m·k·n before the thread pool is worth its synchronisation.
+constexpr double kParallelMinFlops = 4.0e6;
+
+// --- ISA dispatch ---------------------------------------------------------
+
+using GemmRowsFn = void (*)(CAL_GEMM_ROWS_ARGS);
+
+GemmRowsFn select_rows_fn() {
+#if defined(CALLOC_GEMM_HAVE_V3)
+  // Haswell-era x86-64-v3: everything the v3 TU may emit is implied by
+  // these three on real silicon.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+      __builtin_cpu_supports("bmi2"))
+    return &arch_v3::gemm_rows;
+#endif
+  return &arch_base::gemm_rows;
+}
+
+GemmRowsFn rows_fn() {
+  static const GemmRowsFn fn = select_rows_fn();
+  return fn;
+}
+
+// --- persistent thread pool (row-block fork/join) -------------------------
+
+class Pool {
+ public:
+  explicit Pool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      threads_.emplace_back(&Pool::loop, this);
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Run fn(0..tasks-1) across the pool; the caller participates too.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
+    {
+      std::lock_guard lk(mu_);
+      job_ = &fn;
+      next_.store(0, std::memory_order_relaxed);
+      end_ = tasks;
+      pending_ = threads_.size();
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    for (std::size_t t;
+         (t = next_.fetch_add(1, std::memory_order_relaxed)) < end_;)
+      fn(t);
+    std::unique_lock lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* job = nullptr;
+      std::size_t end = 0;
+      {
+        std::unique_lock lk(mu_);
+        cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+        end = end_;
+      }
+      for (std::size_t t;
+           (t = next_.fetch_add(1, std::memory_order_relaxed)) < end;)
+        (*job)(t);
+      {
+        std::lock_guard lk(mu_);
+        if (--pending_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> threads_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+  std::size_t end_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+Pool& pool() {
+  static Pool p(std::min<std::size_t>(
+      15, std::max<std::size_t>(1, std::thread::hardware_concurrency()) - 1));
+  return p;
+}
+
+std::atomic<std::size_t> g_max_threads{1};
+
+// --- dispatch -------------------------------------------------------------
+
+void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n, bool ta, bool tb,
+               bool accumulate) {
+  const GemmRowsFn rows = rows_fn();
+  const std::size_t mt = max_threads();
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                       static_cast<double>(n);
+  if (mt > 1 && flops >= kParallelMinFlops && m > kMR) {
+    // The fork/join pool state (job_/next_/end_/pending_) supports one
+    // running job; a second concurrent GEMM must not join it. try_lock
+    // keeps whichever caller loses the race on the serial path instead of
+    // blocking — results are bit-identical either way, and callers like
+    // multi-worker serving already parallelise above the kernel.
+    static std::mutex pool_gate;
+    std::unique_lock gate(pool_gate, std::try_to_lock);
+    if (!gate.owns_lock()) {
+      rows(a, b, c, m, k, n, ta, tb, accumulate, 0, m);
+      return;
+    }
+    const std::size_t want = std::min(mt, pool().workers() + 1);
+    // Split rows of C into at most `want` kMR-aligned chunks: one task per
+    // permitted thread, so set_max_threads(n) really caps concurrency (a
+    // finer split would let idle pool workers steal extra tasks). Each
+    // chunk is an independent sub-GEMM: the k reduction order per output
+    // element is untouched, so any split is bit-identical to serial.
+    const std::size_t blocks = (m + kMR - 1) / kMR;
+    const std::size_t chunk_blocks = (blocks + want - 1) / want;
+    const std::size_t chunk = chunk_blocks * kMR;
+    const std::size_t tasks = (m + chunk - 1) / chunk;
+    pool().run(tasks, [&](std::size_t t) {
+      const std::size_t i_begin = t * chunk;
+      const std::size_t i_end = std::min(m, i_begin + chunk);
+      rows(a, b, c, m, k, n, ta, tb, accumulate, i_begin, i_end);
+    });
+    return;
+  }
+  rows(a, b, c, m, k, n, ta, tb, accumulate, 0, m);
+}
+
+void check_args(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, std::size_t m, std::size_t k,
+                std::size_t n) {
+  CAL_ENSURE(m > 0 && k > 0 && n > 0,
+             "gemm dims must be positive: " << m << "x" << k << "x" << n);
+  CAL_ENSURE(a.size() == m * k, "gemm lhs span has " << a.size()
+                                                     << " floats, expected "
+                                                     << m * k);
+  CAL_ENSURE(b.size() == k * n, "gemm rhs span has " << b.size()
+                                                     << " floats, expected "
+                                                     << k * n);
+  CAL_ENSURE(c.size() == m * n, "gemm out span has " << c.size()
+                                                     << " floats, expected "
+                                                     << m * n);
+}
+
+}  // namespace
+
+void gemm_nn(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, std::size_t m, std::size_t k, std::size_t n,
+             bool accumulate) {
+  check_args(a, b, c, m, k, n);
+  gemm_impl(a.data(), b.data(), c.data(), m, k, n, false, false, accumulate);
+}
+
+void gemm_nt(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, std::size_t m, std::size_t k, std::size_t n,
+             bool accumulate) {
+  check_args(a, b, c, m, k, n);
+  gemm_impl(a.data(), b.data(), c.data(), m, k, n, false, true, accumulate);
+}
+
+void gemm_tn(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, std::size_t m, std::size_t k, std::size_t n,
+             bool accumulate) {
+  check_args(a, b, c, m, k, n);
+  gemm_impl(a.data(), b.data(), c.data(), m, k, n, true, false, accumulate);
+}
+
+void gemm_naive(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, std::size_t m, std::size_t k,
+                std::size_t n, bool accumulate) {
+  check_args(a, b, c, m, k, n);
+  if (!accumulate) std::fill(c.begin(), c.end(), 0.0F);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      // No zero-skip: 0·NaN and 0·Inf must propagate per IEEE 754.
+      const float av = arow[kk];
+      const float* brow = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void set_max_threads(std::size_t n) {
+  g_max_threads.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+std::size_t max_threads() {
+  return g_max_threads.load(std::memory_order_relaxed);
+}
+
+}  // namespace cal::kernels

@@ -1,0 +1,69 @@
+// cal_kernels: cache-blocked, register-tiled single-precision GEMM.
+//
+// Three transpose-fusion variants cover every matmul in the training and
+// serving hot paths without materialising a transposed copy first:
+//
+//   gemm_nn : C (+)= A · B     A is MxK,            B is KxN
+//   gemm_nt : C (+)= A · Bᵀ    A is MxK,            B is NxK (row-major)
+//   gemm_tn : C (+)= Aᵀ · B    A is KxM (row-major), B is KxN
+//
+// All matrices are dense row-major; the caller provides the output span,
+// so a kernel call never allocates (packing scratch lives in reusable
+// thread-local buffers). With `accumulate == true` the product is added
+// into C (the autograd backward accumulates straight into gradient
+// buffers); otherwise C is overwritten.
+//
+// Numerical contract, relied on by tests and by the adversarial-training
+// stack: each output element is an ascending-k sum of products with no
+// zero-skip branches, so 0·NaN and 0·Inf propagate per IEEE 754 exactly
+// as in the naive triple loop. k is processed in 256-wide cache blocks
+// whose partial sums combine in ascending order — the only reassociation
+// relative to the naive loop, bounded by k/256 extra roundings. Results
+// are bit-identical for any thread count (threads split rows of C, never
+// the k reduction) and deterministic on a given machine.
+//
+// The inner micro-kernel is a kMR x kNR register tile whose accumulators
+// are 8-wide vector lanes held across the whole k sweep (see
+// gemm_kernel_body.inc). The portable build compiles it twice — baseline
+// ISA plus x86-64-v3 (AVX2+FMA) — and picks per CPU at runtime;
+// -DCALLOC_ENABLE_NATIVE=ON instead compiles a single host-tuned
+// (-march=native) instantiation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace cal::kernels {
+
+/// C (+)= A·B. A: m x k, B: k x n, C: m x n (all row-major, exact sizes).
+void gemm_nn(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, std::size_t m, std::size_t k, std::size_t n,
+             bool accumulate = false);
+
+/// C (+)= A·Bᵀ. A: m x k, B: n x k, C: m x n. Fuses the transpose of B:
+/// reads B row-major directly, no temporary.
+void gemm_nt(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, std::size_t m, std::size_t k, std::size_t n,
+             bool accumulate = false);
+
+/// C (+)= Aᵀ·B. A: k x m, B: k x n, C: m x n. Fuses the transpose of A.
+void gemm_tn(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, std::size_t m, std::size_t k, std::size_t n,
+             bool accumulate = false);
+
+/// Reference i-k-j triple loop (the pre-kernel `Tensor::matmul` body).
+/// Used by tests and bench_kernels to validate and time the blocked path.
+void gemm_naive(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, std::size_t m, std::size_t k,
+                std::size_t n, bool accumulate = false);
+
+/// Upper bound on kernel threads (1 = serial, the default). Large GEMMs
+/// split their row blocks over a lazily started persistent pool; small
+/// ones stay on the calling thread regardless. The pool serves one GEMM at
+/// a time — concurrent callers (e.g. serving workers) transparently run
+/// serial instead of queueing. Results are bit-identical for every
+/// setting.
+void set_max_threads(std::size_t n);
+std::size_t max_threads();
+
+}  // namespace cal::kernels

@@ -1,0 +1,27 @@
+// Internal: per-ISA instantiations of the blocked GEMM driver.
+//
+// gemm_kernel_body.inc is compiled once per target ISA (arch_base at the
+// toolchain default, arch_v3 at -march=x86-64-v3 when the build adds it);
+// gemm.cpp picks an instantiation at runtime via __builtin_cpu_supports.
+// Not part of the public cal_kernels API — include kernels/gemm.hpp.
+#pragma once
+
+#include <cstddef>
+
+namespace cal::kernels {
+
+// Computes rows [i_begin, i_end) of C (+)= op(A)·op(B) where op transposes
+// when ta/tb is set; all matrices row-major with logical dims m x k x n.
+#define CAL_GEMM_ROWS_ARGS                                                  \
+  const float *a, const float *b, float *c, std::size_t m, std::size_t k,   \
+      std::size_t n, bool ta, bool tb, bool accumulate,                     \
+      std::size_t i_begin, std::size_t i_end
+
+namespace arch_base {
+void gemm_rows(CAL_GEMM_ROWS_ARGS);
+}
+namespace arch_v3 {
+void gemm_rows(CAL_GEMM_ROWS_ARGS);  // defined only when CMake adds the TU
+}
+
+}  // namespace cal::kernels

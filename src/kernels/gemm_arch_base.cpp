@@ -1,0 +1,4 @@
+// Baseline-ISA instantiation of the blocked GEMM driver (whatever -march
+// the toolchain defaults to, or -march=native under CALLOC_ENABLE_NATIVE).
+#define CAL_GEMM_ARCH_NS arch_base
+#include "gemm_kernel_body.inc"

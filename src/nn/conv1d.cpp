@@ -74,6 +74,8 @@ autograd::Var Conv1d::forward(const autograd::Var& x) {
                    << xv.shape_str());
   const std::size_t batch = xv.rows();
   Var cols = im2col1d(x, kernel_, stride_, out_len_);
+  // (B*out_len, kernel) x (kernel, filters): the im2col lowering rides the
+  // same blocked GEMM (and fused-transpose backward) as every dense layer.
   Var act = autograd::add_rowwise(autograd::matmul(cols, w_), b_);
   // (B*out_len, filters) rows are laid out b-major, so a flat reshape
   // yields the (B, out_len*filters) feature map without copying semantics.

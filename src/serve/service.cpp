@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/ensure.hpp"
@@ -84,6 +85,13 @@ std::future<ServeResult> LocalizationService::submit(
   CAL_ENSURE(fingerprint_normalized.size() == num_aps_,
              "fingerprint has " << fingerprint_normalized.size()
                                 << " APs, service expects " << num_aps_);
+  // Untrusted channel: a NaN/Inf fingerprint would poison the batched
+  // forward pass (the GEMM kernels propagate non-finites by contract) and
+  // feed std::lround garbage in the cache-key quantizer, so reject it at
+  // the door — same policy as the CSV loader.
+  for (std::size_t i = 0; i < fingerprint_normalized.size(); ++i)
+    CAL_ENSURE(std::isfinite(fingerprint_normalized[i]),
+               "fingerprint AP " << i << " is non-finite");
   Pending pending;
   pending.fingerprint = std::move(fingerprint_normalized);
   pending.enqueued_at = std::chrono::steady_clock::now();

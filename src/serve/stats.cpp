@@ -50,7 +50,14 @@ void StatsCollector::record_result(double latency_ms, Verdict verdict,
                                    bool audit_mismatch) {
   std::lock_guard lock(mu_);
   ++completed_;
-  latencies_ms_.push_back(latency_ms);
+  latency_sum_ms_ += latency_ms;
+  if (latencies_ms_.size() < kLatencyWindow) {
+    latencies_ms_.push_back(latency_ms);
+  } else {  // full: overwrite the oldest sample (order is irrelevant for
+            // percentiles, which sort a copy)
+    latencies_ms_[latency_wrap_] = latency_ms;
+    latency_wrap_ = (latency_wrap_ + 1) % kLatencyWindow;
+  }
   if (from_cache) ++cache_hits_;
   if (audited) ++cache_audits_;
   if (audit_mismatch) ++cache_audit_mismatches_;
@@ -74,7 +81,7 @@ ServiceStats StatsCollector::snapshot() const {
     s.mean_batch_size =
         static_cast<double>(batched_items_) / static_cast<double>(batches_);
   if (!latencies_ms_.empty()) {
-    s.latency_mean_ms = mean(latencies_ms_);
+    s.latency_mean_ms = latency_sum_ms_ / static_cast<double>(completed_);
     s.latency_p50_ms = percentile(latencies_ms_, 50.0);
     s.latency_p95_ms = percentile(latencies_ms_, 95.0);
     s.latency_p99_ms = percentile(latencies_ms_, 99.0);

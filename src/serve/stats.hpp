@@ -13,7 +13,9 @@ namespace cal::serve {
 
 /// Point-in-time snapshot of service health. Latencies are request
 /// latencies (submit -> result available), which include queueing delay —
-/// the figure a client actually experiences.
+/// the figure a client actually experiences. The mean is lifetime-exact;
+/// the percentiles cover the most recent StatsCollector::kLatencyWindow
+/// requests.
 struct ServiceStats {
   std::size_t submitted = 0;
   std::size_t completed = 0;        ///< fulfilled results, any verdict
@@ -37,8 +39,16 @@ struct ServiceStats {
 };
 
 /// Mutex-guarded accumulator shared by the worker pool.
+///
+/// Memory is bounded for arbitrarily long runs: the latency mean is exact
+/// over the whole lifetime (running sum), while the percentiles are over
+/// a sliding window of the most recent kLatencyWindow requests — the
+/// operator-relevant "current" tail behaviour, in O(1) memory.
 class StatsCollector {
  public:
+  /// Latency samples retained for the percentile window.
+  static constexpr std::size_t kLatencyWindow = 1U << 16;
+
   StatsCollector();
 
   void record_submitted();
@@ -53,7 +63,9 @@ class StatsCollector {
  private:
   mutable std::mutex mu_;
   std::chrono::steady_clock::time_point start_;
-  std::vector<double> latencies_ms_;
+  std::vector<double> latencies_ms_;  ///< ring buffer, <= kLatencyWindow
+  std::size_t latency_wrap_ = 0;      ///< next slot to overwrite when full
+  double latency_sum_ms_ = 0.0;       ///< lifetime sum (exact mean)
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;
   std::size_t cache_hits_ = 0;

@@ -1,10 +1,12 @@
 #include "tensor/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <sstream>
 
 #include "common/ensure.hpp"
+#include "kernels/gemm.hpp"
 
 namespace cal {
 namespace {
@@ -110,9 +112,7 @@ void Tensor::reshape(std::vector<std::size_t> new_shape) {
   shape_ = std::move(new_shape);
 }
 
-void Tensor::fill(float v) {
-  for (auto& x : data_) x = v;
-}
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 std::string Tensor::shape_str() const {
   std::ostringstream os;
@@ -121,11 +121,17 @@ std::string Tensor::shape_str() const {
   return os.str();
 }
 
+// Elementwise loops below run over local sized pointers rather than the
+// member vector so the compiler can prove the buffers distinct and emit
+// packed SIMD for the whole loop body.
 Tensor Tensor::operator+(const Tensor& rhs) const {
   CAL_ENSURE(same_shape(rhs), "shape mismatch in +: " << shape_str() << " vs "
                                                       << rhs.shape_str());
   Tensor out = *this;
-  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  const std::size_t n = data_.size();
+  float* o = out.data_.data();
+  const float* r = rhs.data_.data();
+  for (std::size_t i = 0; i < n; ++i) o[i] += r[i];
   return out;
 }
 
@@ -133,7 +139,10 @@ Tensor Tensor::operator-(const Tensor& rhs) const {
   CAL_ENSURE(same_shape(rhs), "shape mismatch in -: " << shape_str() << " vs "
                                                       << rhs.shape_str());
   Tensor out = *this;
-  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  const std::size_t n = data_.size();
+  float* o = out.data_.data();
+  const float* r = rhs.data_.data();
+  for (std::size_t i = 0; i < n; ++i) o[i] -= r[i];
   return out;
 }
 
@@ -141,19 +150,28 @@ Tensor Tensor::operator*(const Tensor& rhs) const {
   CAL_ENSURE(same_shape(rhs), "shape mismatch in *: " << shape_str() << " vs "
                                                       << rhs.shape_str());
   Tensor out = *this;
-  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= rhs.data_[i];
+  const std::size_t n = data_.size();
+  float* o = out.data_.data();
+  const float* r = rhs.data_.data();
+  for (std::size_t i = 0; i < n; ++i) o[i] *= r[i];
   return out;
 }
 
 Tensor& Tensor::operator+=(const Tensor& rhs) {
   CAL_ENSURE(same_shape(rhs), "shape mismatch in +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  const std::size_t n = data_.size();
+  float* o = data_.data();
+  const float* r = rhs.data_.data();
+  for (std::size_t i = 0; i < n; ++i) o[i] += r[i];
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& rhs) {
   CAL_ENSURE(same_shape(rhs), "shape mismatch in -=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  const std::size_t n = data_.size();
+  float* o = data_.data();
+  const float* r = rhs.data_.data();
+  for (std::size_t i = 0; i < n; ++i) o[i] -= r[i];
   return *this;
 }
 
@@ -184,19 +202,40 @@ Tensor Tensor::matmul(const Tensor& rhs) const {
   const std::size_t m = shape_[0];
   const std::size_t k = shape_[1];
   const std::size_t n = rhs.shape_[1];
+  // The blocked kernel keeps the naive loop's IEEE contract: no zero-skip,
+  // so 0·NaN and 0·Inf propagate (an adversarial perturbation that
+  // overflows has to surface, not be masked), and the ascending-k
+  // summation order per output element is preserved.
   Tensor out({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = &data_[i * k];
-    float* orow = &out.data_[i * n];
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      // No zero-skip here: 0·NaN and 0·Inf must propagate NaN per IEEE 754
-      // (an adversarial perturbation that overflows has to surface, not be
-      // masked), and a branch per element would stall the hot dense loop.
-      const float a = arow[kk];
-      const float* brow = &rhs.data_[kk * n];
-      for (std::size_t j = 0; j < n; ++j) orow[j] += a * brow[j];
-    }
-  }
+  kernels::gemm_nn(flat(), rhs.flat(), out.flat(), m, k, n);
+  return out;
+}
+
+Tensor Tensor::matmul_nt(const Tensor& rhs) const {
+  CAL_ENSURE(rank() == 2 && rhs.rank() == 2,
+             "matmul_nt requires rank-2 operands");
+  CAL_ENSURE(shape_[1] == rhs.shape_[1],
+             "matmul_nt shape mismatch: " << shape_str() << " * "
+                                          << rhs.shape_str() << "^T");
+  const std::size_t m = shape_[0];
+  const std::size_t k = shape_[1];
+  const std::size_t n = rhs.shape_[0];
+  Tensor out({m, n});
+  kernels::gemm_nt(flat(), rhs.flat(), out.flat(), m, k, n);
+  return out;
+}
+
+Tensor Tensor::matmul_tn(const Tensor& rhs) const {
+  CAL_ENSURE(rank() == 2 && rhs.rank() == 2,
+             "matmul_tn requires rank-2 operands");
+  CAL_ENSURE(shape_[0] == rhs.shape_[0],
+             "matmul_tn shape mismatch: " << shape_str() << "^T * "
+                                          << rhs.shape_str());
+  const std::size_t m = shape_[1];
+  const std::size_t k = shape_[0];
+  const std::size_t n = rhs.shape_[1];
+  Tensor out({m, n});
+  kernels::gemm_tn(flat(), rhs.flat(), out.flat(), m, k, n);
   return out;
 }
 
@@ -228,6 +267,19 @@ bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     const float x = a[i];
     const float y = b[i];
+    // NaN never satisfies a </> comparison, so the tolerance test below
+    // would silently pass NaN against anything; treat NaN as equal only
+    // to NaN (the kernels' NaN-propagation tests depend on this).
+    if (std::isnan(x) || std::isnan(y)) {
+      if (std::isnan(x) && std::isnan(y)) continue;
+      return false;
+    }
+    // An infinite y would blow the rtol term up to infinity and accept
+    // anything; infinities are close only to the identical infinity.
+    if (std::isinf(x) || std::isinf(y)) {
+      if (x == y) continue;
+      return false;
+    }
     if (std::fabs(x - y) > atol + rtol * std::fabs(y)) return false;
   }
   return true;

@@ -1,9 +1,10 @@
 // Float tensor used by the neural-network stack.
 //
-// Shapes are small (batch x features, at most a few hundred each), so the
-// implementation favours clarity and cache-friendly loops over SIMD
-// intrinsics; the blocked i-k-j matmul is the only hot kernel and is fast
-// enough for every bench in this repository.
+// Shape bookkeeping and elementwise ops live here; the matmul family
+// dispatches to the cache-blocked, register-tiled GEMM kernels in
+// src/kernels (gemm_nn/nt/tn), which also provide the fused-transpose
+// variants matmul_nt / matmul_tn so hot callers never materialise a
+// transposed copy.
 #pragma once
 
 #include <cstddef>
@@ -99,6 +100,12 @@ class Tensor {
   /// Matrix product (this: MxK, rhs: KxN -> MxN).
   Tensor matmul(const Tensor& rhs) const;
 
+  /// Fused this · rhsᵀ (this: MxK, rhs: NxK -> MxN); no transposed copy.
+  Tensor matmul_nt(const Tensor& rhs) const;
+
+  /// Fused thisᵀ · rhs (this: KxM, rhs: KxN -> MxN); no transposed copy.
+  Tensor matmul_tn(const Tensor& rhs) const;
+
   /// Transpose copy of a rank-2 tensor.
   Tensor transposed() const;
 
@@ -110,7 +117,8 @@ class Tensor {
   std::vector<float> data_;
 };
 
-/// Strict elementwise closeness check for tests.
+/// Strict elementwise closeness check for tests. NaN matches only NaN;
+/// mismatched infinities (or Inf vs finite) are never close.
 bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5F,
               float rtol = 1e-4F);
 

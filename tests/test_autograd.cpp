@@ -58,6 +58,30 @@ TEST(Autograd, MatmulGradientRhs) {
   });
 }
 
+TEST(Autograd, MatmulNtGradientLhs) {
+  const Tensor b = small_matrix(12, 4, 3);  // N x D
+  check_gradient(small_matrix(11, 2, 3), [&](const Var& x) {
+    return autograd::mean_all(autograd::matmul_nt(x, autograd::constant(b)));
+  });
+}
+
+TEST(Autograd, MatmulNtGradientRhs) {
+  const Tensor a = small_matrix(13, 2, 3);  // M x D
+  check_gradient(small_matrix(14, 4, 3), [&](const Var& x) {
+    return autograd::mean_all(autograd::matmul_nt(autograd::constant(a), x));
+  });
+}
+
+TEST(Autograd, MatmulNtMatchesTransposeComposition) {
+  const Tensor a = small_matrix(15, 3, 4);
+  const Tensor b = small_matrix(16, 5, 4);
+  const Var fused = autograd::matmul_nt(autograd::constant(a),
+                                        autograd::constant(b));
+  const Var composed = autograd::matmul(
+      autograd::constant(a), autograd::transpose(autograd::constant(b)));
+  EXPECT_TRUE(allclose(fused->value(), composed->value(), 1e-6F, 1e-6F));
+}
+
 TEST(Autograd, AddSubMulGradients) {
   const Tensor other = small_matrix(5, 2, 2);
   check_gradient(small_matrix(6, 2, 2), [&](const Var& x) {

@@ -1,0 +1,215 @@
+// cal_kernels correctness: the blocked/register-tiled gemm_nn/nt/tn must
+// match the naive triple-loop reference over odd and ragged shapes, honour
+// the accumulate flag, propagate NaN/Inf per IEEE 754 (no zero-skip), and
+// be bit-identical for every thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "kernels/gemm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace cal;
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+// Odd/ragged sweep: unit, primes, tall-skinny, wide-short, micro-tile
+// multiples and off-by-one around the kMR=6 / kNR=8|16 register tile.
+const std::vector<Shape> kShapes = {
+    {1, 1, 1},    {1, 7, 1},     {2, 3, 5},      {5, 3, 2},
+    {7, 11, 13},  {6, 16, 12},   {7, 17, 17},    {97, 3, 5},
+    {5, 3, 97},   {3, 128, 3},   {64, 64, 64},   {33, 37, 41},
+    {61, 1, 61},  {128, 130, 120}, {13, 256, 9}, {12, 300, 24},
+};
+
+Tensor random_mat(std::uint64_t seed, std::size_t r, std::size_t c) {
+  Rng rng(seed);
+  return Tensor::randn({r, c}, rng, 1.0F);
+}
+
+/// 1e-5 relative tolerance per the kernel-validation contract. The atol
+/// term is scaled to the result's magnitude: for k > 256 the blocked path
+/// combines 256-wide partial sums, so elements with heavy cancellation
+/// carry an absolute error proportional to the summand scale, not to the
+/// (tiny) final value.
+void expect_close(const Tensor& got, const Tensor& want, const Shape& s,
+                  const char* variant) {
+  const float atol = 1e-5F * std::max(1.0F, want.abs_max());
+  EXPECT_TRUE(allclose(got, want, atol, 1e-5F))
+      << variant << " mismatch at " << s.m << "x" << s.k << "x" << s.n;
+}
+
+TEST(Kernels, GemmNnMatchesNaiveAcrossShapes) {
+  for (const auto& s : kShapes) {
+    const Tensor a = random_mat(s.m * 1000 + s.k, s.m, s.k);
+    const Tensor b = random_mat(s.k * 1000 + s.n, s.k, s.n);
+    Tensor want({s.m, s.n});
+    kernels::gemm_naive(a.flat(), b.flat(), want.flat(), s.m, s.k, s.n);
+    Tensor got({s.m, s.n});
+    kernels::gemm_nn(a.flat(), b.flat(), got.flat(), s.m, s.k, s.n);
+    expect_close(got, want, s, "gemm_nn");
+  }
+}
+
+TEST(Kernels, GemmNtMatchesNaiveAcrossShapes) {
+  for (const auto& s : kShapes) {
+    const Tensor a = random_mat(s.m * 77 + s.k, s.m, s.k);
+    const Tensor b = random_mat(s.n * 77 + s.k, s.n, s.k);  // stored NxK
+    Tensor want({s.m, s.n});
+    const Tensor bt = b.transposed();
+    kernels::gemm_naive(a.flat(), bt.flat(), want.flat(), s.m, s.k, s.n);
+    Tensor got({s.m, s.n});
+    kernels::gemm_nt(a.flat(), b.flat(), got.flat(), s.m, s.k, s.n);
+    expect_close(got, want, s, "gemm_nt");
+  }
+}
+
+TEST(Kernels, GemmTnMatchesNaiveAcrossShapes) {
+  for (const auto& s : kShapes) {
+    const Tensor a = random_mat(s.k * 55 + s.m, s.k, s.m);  // stored KxM
+    const Tensor b = random_mat(s.k * 55 + s.n, s.k, s.n);
+    Tensor want({s.m, s.n});
+    const Tensor at = a.transposed();
+    kernels::gemm_naive(at.flat(), b.flat(), want.flat(), s.m, s.k, s.n);
+    Tensor got({s.m, s.n});
+    kernels::gemm_tn(a.flat(), b.flat(), got.flat(), s.m, s.k, s.n);
+    expect_close(got, want, s, "gemm_tn");
+  }
+}
+
+TEST(Kernels, AccumulateAddsOntoExistingOutput) {
+  const Shape s{13, 29, 21};
+  const Tensor a = random_mat(1, s.m, s.k);
+  const Tensor b = random_mat(2, s.k, s.n);
+  Tensor base = random_mat(3, s.m, s.n);
+
+  Tensor want = base;
+  kernels::gemm_naive(a.flat(), b.flat(), want.flat(), s.m, s.k, s.n,
+                      /*accumulate=*/true);
+  Tensor got = base;
+  kernels::gemm_nn(a.flat(), b.flat(), got.flat(), s.m, s.k, s.n,
+                   /*accumulate=*/true);
+  expect_close(got, want, s, "gemm_nn(accumulate)");
+  // And without the flag the prior contents must be overwritten.
+  Tensor fresh({s.m, s.n});
+  kernels::gemm_naive(a.flat(), b.flat(), fresh.flat(), s.m, s.k, s.n);
+  Tensor over = base;
+  kernels::gemm_nn(a.flat(), b.flat(), over.flat(), s.m, s.k, s.n);
+  expect_close(over, fresh, s, "gemm_nn(overwrite)");
+}
+
+// The contract carried over from Tensor::matmul: no zero-skip branch, so a
+// NaN (or Inf·0) anywhere in the k reduction poisons exactly the outputs it
+// feeds — an adversarial perturbation that overflowed must surface.
+TEST(Kernels, BlockedPathPropagatesNanAndInf) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::size_t m = 9, k = 20, n = 17;
+  Tensor a({m, k}, 1.0F);
+  Tensor b({k, n}, 0.0F);  // all-zero B: products are 1·0 except poisoned k
+  a.at(4, 7) = nan;
+  Tensor c({m, n});
+  kernels::gemm_nn(a.flat(), b.flat(), c.flat(), m, k, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_TRUE(std::isnan(c.at(4, j))) << "NaN row lost at col " << j;
+    EXPECT_EQ(c.at(3, j), 0.0F);
+  }
+
+  // Inf in A against an all-zero B row: Inf·0 must yield NaN, not 0.
+  Tensor a2({m, k}, 1.0F);
+  a2.at(2, 5) = inf;
+  Tensor c2({m, n});
+  kernels::gemm_nn(a2.flat(), b.flat(), c2.flat(), m, k, n);
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_TRUE(std::isnan(c2.at(2, j))) << "Inf·0 masked at col " << j;
+
+  // Inf against positive B propagates Inf through the row sums.
+  Tensor b3({k, n}, 1.0F);
+  Tensor c3({m, n});
+  kernels::gemm_nn(a2.flat(), b3.flat(), c3.flat(), m, k, n);
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_TRUE(std::isinf(c3.at(2, j))) << "Inf lost at col " << j;
+  EXPECT_FLOAT_EQ(c3.at(0, 0), static_cast<float>(k));
+
+  // Same propagation on the fused-transpose paths.
+  Tensor bt({n, k}, 0.0F);
+  Tensor cnt({m, n});
+  kernels::gemm_nt(a.flat(), bt.flat(), cnt.flat(), m, k, n);
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_TRUE(std::isnan(cnt.at(4, j)));
+  Tensor atn({k, m}, 1.0F);
+  atn.at(7, 4) = nan;
+  Tensor ctn({m, n});
+  kernels::gemm_tn(atn.flat(), b.flat(), ctn.flat(), m, k, n);
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_TRUE(std::isnan(ctn.at(4, j)));
+}
+
+TEST(Kernels, ThreadedSplitIsBitIdenticalToSerial) {
+  // Big enough to clear the parallel-dispatch FLOP threshold.
+  const Shape s{256, 320, 192};
+  const Tensor a = random_mat(11, s.m, s.k);
+  const Tensor b = random_mat(12, s.k, s.n);
+  Tensor serial({s.m, s.n});
+  ASSERT_EQ(kernels::max_threads(), 1u);
+  kernels::gemm_nn(a.flat(), b.flat(), serial.flat(), s.m, s.k, s.n);
+  kernels::set_max_threads(4);
+  Tensor threaded({s.m, s.n});
+  kernels::gemm_nn(a.flat(), b.flat(), threaded.flat(), s.m, s.k, s.n);
+  kernels::set_max_threads(1);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], threaded[i]) << "thread split changed bits at " << i;
+}
+
+TEST(Kernels, ConcurrentCallersWithThreadsEnabledStayCorrect) {
+  // Several threads issue pool-sized GEMMs at once: whoever does not win
+  // the pool gate must fall back to the (bit-identical) serial path, never
+  // join a foreign job or deadlock.
+  const Shape s{192, 256, 160};
+  const Tensor a = random_mat(21, s.m, s.k);
+  const Tensor b = random_mat(22, s.k, s.n);
+  Tensor want({s.m, s.n});
+  kernels::gemm_nn(a.flat(), b.flat(), want.flat(), s.m, s.k, s.n);
+  kernels::set_max_threads(4);
+  constexpr std::size_t kCallers = 4;
+  std::vector<Tensor> outs(kCallers, Tensor({s.m, s.n}));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t t = 0; t < kCallers; ++t)
+    callers.emplace_back([&, t] {
+      for (int rep = 0; rep < 10; ++rep)
+        kernels::gemm_nn(a.flat(), b.flat(), outs[t].flat(), s.m, s.k, s.n);
+    });
+  for (auto& c : callers) c.join();
+  kernels::set_max_threads(1);
+  for (std::size_t t = 0; t < kCallers; ++t)
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(outs[t][i], want[i])
+          << "concurrent caller " << t << " diverged at " << i;
+}
+
+TEST(Kernels, RejectsMissizedSpans) {
+  Tensor a({4, 3});
+  Tensor b({3, 5});
+  Tensor c({4, 5});
+  EXPECT_THROW(
+      kernels::gemm_nn(a.flat(), b.flat(), c.flat(), 4, 3, 6),
+      PreconditionError);
+  EXPECT_THROW(
+      kernels::gemm_nn(a.flat(), b.flat(), c.flat(), 5, 3, 5),
+      PreconditionError);
+  EXPECT_THROW(kernels::gemm_nn(a.flat(), b.flat(), c.flat(), 0, 3, 5),
+               PreconditionError);
+}
+
+}  // namespace

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <thread>
 
 #include "attacks/attack.hpp"
@@ -385,6 +386,16 @@ TEST(Service, ValidatesInputsAndShutdownIsFinal) {
   LocalizationService service(trained().model,
                               scenario().train.num_aps(), Tensor{}, cfg);
   EXPECT_THROW(service.submit(std::vector<float>{0.5F}), PreconditionError);
+  // Non-finite fingerprints from the untrusted channel are rejected at
+  // submit(): a NaN would poison the batched forward pass (the GEMM layer
+  // propagates it by contract) and garble the cache-key quantizer.
+  {
+    auto poisoned = row_of(scenario().train.normalized(), 0);
+    poisoned[1] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_THROW(service.submit(poisoned), PreconditionError);
+    poisoned[1] = std::numeric_limits<float>::infinity();
+    EXPECT_THROW(service.submit(poisoned), PreconditionError);
+  }
   service.shutdown();
   service.shutdown();  // idempotent
   const Tensor x = scenario().train.normalized();

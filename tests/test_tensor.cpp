@@ -76,6 +76,28 @@ TEST(Tensor, MatmulRejectsMismatch) {
   EXPECT_THROW(a.matmul(b), PreconditionError);
 }
 
+TEST(Tensor, MatmulNtMatchesExplicitTranspose) {
+  Rng rng(71);
+  auto a = Tensor::randn({5, 7}, rng);
+  auto b = Tensor::randn({9, 7}, rng);  // N x K: rhs of a · bᵀ
+  auto fused = a.matmul_nt(b);
+  auto copied = a.matmul(b.transposed());
+  EXPECT_TRUE(allclose(fused, copied, 1e-6F, 1e-6F));
+  Tensor wrong({9, 8});
+  EXPECT_THROW(a.matmul_nt(wrong), PreconditionError);
+}
+
+TEST(Tensor, MatmulTnMatchesExplicitTranspose) {
+  Rng rng(72);
+  auto a = Tensor::randn({7, 5}, rng);  // K x M: lhs of aᵀ · b
+  auto b = Tensor::randn({7, 9}, rng);
+  auto fused = a.matmul_tn(b);
+  auto copied = a.transposed().matmul(b);
+  EXPECT_TRUE(allclose(fused, copied, 1e-6F, 1e-6F));
+  Tensor wrong({8, 9});
+  EXPECT_THROW(a.matmul_tn(wrong), PreconditionError);
+}
+
 TEST(Tensor, TransposedSwapsIndices) {
   auto a = Tensor::from_rows({{1.0F, 2.0F, 3.0F}, {4.0F, 5.0F, 6.0F}});
   auto t = a.transposed();
@@ -132,6 +154,27 @@ TEST(Tensor, AllcloseDetectsDifference) {
   EXPECT_FALSE(allclose(a, c));
   Tensor d({2});
   EXPECT_FALSE(allclose(a, d));
+}
+
+// Regression: `fabs(NaN - y) > tol` is false for every y, so allclose once
+// reported NaN as "close" to anything — which would have let a broken GEMM
+// kernel full of NaNs pass its validation against the naive reference.
+TEST(Tensor, AllcloseTreatsNanAsMismatch) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  auto num = Tensor::from_rows({{1.0F, 2.0F}});
+  auto with_nan = Tensor::from_rows({{1.0F, nan}});
+  EXPECT_FALSE(allclose(num, with_nan));
+  EXPECT_FALSE(allclose(with_nan, num));
+  // Both-NaN positions agree (the propagation tests compare NaN patterns).
+  auto also_nan = Tensor::from_rows({{1.0F, nan}});
+  EXPECT_TRUE(allclose(with_nan, also_nan));
+  // Infinities: equal infinities match, anything else does not.
+  auto pos_inf = Tensor::from_rows({{inf, 2.0F}});
+  auto neg_inf = Tensor::from_rows({{-inf, 2.0F}});
+  EXPECT_TRUE(allclose(pos_inf, pos_inf));
+  EXPECT_FALSE(allclose(pos_inf, neg_inf));
+  EXPECT_FALSE(allclose(pos_inf, num));
 }
 
 TEST(Tensor, RowSpanViews) {
