@@ -1,0 +1,251 @@
+// Multi-tenant serving engine: routing, shard isolation, and the
+// screening-work scaling claim — per-request screening cost follows the
+// routed shard's anchor count, NOT the fleet-wide anchor total, so adding
+// venues to the process leaves each venue's per-request work unchanged.
+//
+// Tenants are KNN models (training-free, deterministic): the bench
+// measures the serving architecture, not the localizer. Venues are real
+// Table II buildings, so shard anchor databases have realistic sizes and
+// cluster structure.
+//
+// Emits BENCH_serve_multitenant.json for the CI perf-trajectory artifact.
+//
+// Run: ./build/bench/bench_serve_multitenant   (CALLOC_BENCH_FULL=1 for
+// all five Table II venues and the larger request count)
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/knn.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "serve/router.hpp"
+#include "sim/fleet.hpp"
+
+namespace {
+
+using namespace cal;
+using Clock = std::chrono::steady_clock;
+
+serve::ModelRegistry build_registry(std::span<const sim::Scenario> fleet) {
+  serve::ModelRegistry registry;
+  for (const auto& sc : fleet) {
+    serve::TenantSpec spec;
+    const data::FingerprintDataset& train = sc.train;
+    spec.factory = [&train] {
+      auto model = std::make_unique<baselines::Knn>(3);
+      model->fit(train);
+      return model;
+    };
+    spec.num_aps = train.num_aps();
+    spec.anchors = serve::anchor_database_from(train);
+    // Screen calibrated on the venue's clean online fleet capture.
+    spec.service.screening = serve::calibrate_thresholds(
+        spec.anchors, sim::merged_device_capture(sc).normalized(), 95.0,
+        3.0);
+    spec.service.num_workers = 2;
+    spec.service.max_batch = 16;
+    spec.service.queue_capacity = 512;
+    spec.service.cache_capacity = 0;  // measure screening, not the cache
+    registry.register_tenant({sc.building_spec.name, 0, "OP3"},
+                             std::move(spec));
+  }
+  registry.set_profile_fallbacks({"OP3"});
+  return registry;
+}
+
+/// Submit the stream (optionally restricted to one venue) and wait for
+/// every result. Returns the wall-clock seconds of the drive.
+double drive(serve::MultiTenantService& service,
+             std::span<const sim::Scenario> fleet,
+             std::span<const sim::FleetRequest> stream,
+             const std::vector<std::vector<Tensor>>& pools,
+             std::optional<std::size_t> only_venue = std::nullopt) {
+  std::vector<std::future<serve::ServeResult>> futs;
+  futs.reserve(stream.size());
+  const auto t0 = Clock::now();
+  for (const auto& req : stream) {
+    if (only_venue && req.venue != *only_venue) continue;
+    const auto fp = pools[req.venue][req.device].row(req.row);
+    auto sub = service.submit(
+        {fleet[req.venue].building_spec.name, 0, "OP3"},
+        {fp.begin(), fp.end()});
+    futs.push_back(std::move(sub.result));
+  }
+  for (auto& f : futs) f.get();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cal;
+  bench::banner(
+      "bench_serve_multitenant — routed, sharded serving",
+      "claim: per-request screening work scales with the routed shard's "
+      "anchor count, not the fleet-wide anchor total");
+
+  const std::vector<std::size_t> venues =
+      bench::full_mode() ? std::vector<std::size_t>{0, 1, 2, 3, 4}
+                         : std::vector<std::size_t>{0, 2, 3};
+  const std::size_t train_spr = bench::full_mode() ? 5 : 2;
+  const auto fleet = sim::make_table2_fleet(venues, 2024, train_spr, 1);
+  const std::size_t n_requests = bench::full_mode() ? 20000 : 3000;
+
+  // Pre-normalised request pools: pools[venue][device].
+  std::vector<std::vector<Tensor>> pools(fleet.size());
+  for (std::size_t v = 0; v < fleet.size(); ++v)
+    for (const auto& test : fleet[v].device_tests)
+      pools[v].push_back(test.normalized());
+
+  const auto stream =
+      sim::fleet_request_stream(fleet, n_requests, 31, /*repeat_prob=*/0.2);
+
+  // -- Run 1: the full multi-venue fleet -----------------------------------
+  serve::MultiTenantService service(build_registry(fleet));
+  const double wall = drive(service, fleet, stream, pools);
+  service.shutdown();
+  const auto stats = service.stats();
+
+  // -- Run 2: venue 0 alone, fed the IDENTICAL venue-0 requests ------------
+  // Same queries against a single-tenant deployment: if sharding works,
+  // venue 0's per-request screening work must be identical in both runs.
+  serve::MultiTenantService solo(
+      build_registry(std::span(fleet).first(1)));
+  drive(solo, fleet, stream, pools, /*only_venue=*/0);
+  solo.shutdown();
+  const auto solo_stats = solo.stats();
+
+  // -- Report --------------------------------------------------------------
+  // Resolve venue 0's shard through the router: shard ids are
+  // TenantKey-sorted, which need not match the fleet's venue order.
+  const serve::TenantKey venue0_key{fleet[0].building_spec.name, 0, "OP3"};
+  const auto& venue0 =
+      stats.per_tenant[service.router().route(venue0_key).shard].stats;
+  const auto& venue0_solo =
+      solo_stats.per_tenant[solo.router().route(venue0_key).shard].stats;
+
+  std::size_t total_anchors = 0;
+  for (std::size_t shard = 0; shard < service.num_shards(); ++shard)
+    total_anchors += service.lane(shard).screen().num_anchors();
+
+  TextTable table({"tenant", "anchors", "screened", "mean scanned",
+                   "pruned %", "flag+rej", "req/s"});
+  for (std::size_t shard = 0; shard < stats.per_tenant.size(); ++shard) {
+    const auto& t = stats.per_tenant[shard];
+    const double pruned_pct =
+        t.stats.anchors_scanned + t.stats.anchors_pruned > 0
+            ? 100.0 * static_cast<double>(t.stats.anchors_pruned) /
+                  static_cast<double>(t.stats.anchors_scanned +
+                                      t.stats.anchors_pruned)
+            : 0.0;
+    table.add_row(
+        {t.tenant.str(),
+         std::to_string(service.lane(shard).screen().num_anchors()),
+         std::to_string(t.stats.screened), fmt(t.stats.mean_anchors_scanned),
+         fmt(pruned_pct), std::to_string(t.stats.flagged + t.stats.rejected),
+         fmt(t.stats.throughput_rps)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("fleet: %zu venues, %zu anchors total, %zu requests in %.2f s "
+              "(%.0f req/s end-to-end)\n",
+              fleet.size(), total_anchors, stream.size(), wall,
+              static_cast<double>(stream.size()) / wall);
+  std::printf("venue-0 mean anchors scanned: %.3f in the %zu-venue fleet "
+              "vs %.3f alone\n\n",
+              venue0.mean_anchors_scanned, fleet.size(),
+              venue0_solo.mean_anchors_scanned);
+
+  // A misrouted client: unknown venue must reject deterministically.
+  serve::MultiTenantService reject_probe(
+      build_registry(std::span(fleet).first(1)));
+  const auto fp = pools[0][0].row(0);
+  auto stray =
+      reject_probe.submit({"no-such-venue", 0, "OP3"}, {fp.begin(), fp.end()});
+  const bool stray_rejected =
+      stray.decision.status == serve::RouteDecision::Status::Reject &&
+      !stray.result.get().localized;
+  auto fallback =
+      reject_probe.submit({fleet[0].building_spec.name, 0, "S7"},
+                          {fp.begin(), fp.end()});
+  const bool fallback_served =
+      fallback.decision.status == serve::RouteDecision::Status::Fallback &&
+      fallback.result.get().localized;
+  reject_probe.shutdown();
+
+  // Machine-readable trajectory for CI artifacts.
+  {
+    FILE* f = std::fopen("BENCH_serve_multitenant.json", "w");
+    if (f != nullptr) {
+      std::fprintf(f, "{\n  \"bench\": \"bench_serve_multitenant\",\n");
+      std::fprintf(f, "  \"mode\": \"%s\",\n",
+                   bench::full_mode() ? "full" : "quick");
+      std::fprintf(f, "  \"venues\": %zu,\n  \"total_anchors\": %zu,\n",
+                   fleet.size(), total_anchors);
+      std::fprintf(f, "  \"requests\": %zu,\n  \"fleet_rps\": %.1f,\n",
+                   stream.size(),
+                   static_cast<double>(stream.size()) / wall);
+      std::fprintf(f, "  \"shards\": [\n");
+      for (std::size_t shard = 0; shard < stats.per_tenant.size(); ++shard) {
+        const auto& t = stats.per_tenant[shard];
+        std::fprintf(
+            f,
+            "    {\"tenant\": \"%s\", \"anchors\": %zu, \"screened\": %zu,\n"
+            "     \"mean_anchors_scanned\": %.3f, \"anchors_pruned\": %zu,\n"
+            "     \"flagged\": %zu, \"rejected\": %zu, \"rps\": %.1f}%s\n",
+            t.tenant.str().c_str(),
+            service.lane(shard).screen().num_anchors(), t.stats.screened,
+            t.stats.mean_anchors_scanned, t.stats.anchors_pruned,
+            t.stats.flagged, t.stats.rejected, t.stats.throughput_rps,
+            shard + 1 < stats.per_tenant.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n");
+      std::fprintf(f, "  \"venue0_scanned_in_fleet\": %.3f,\n",
+                   venue0.mean_anchors_scanned);
+      std::fprintf(f, "  \"venue0_scanned_alone\": %.3f\n}\n",
+                   venue0_solo.mean_anchors_scanned);
+      std::fclose(f);
+      std::printf("wrote BENCH_serve_multitenant.json\n\n");
+    }
+  }
+
+  // -- Shape checks --------------------------------------------------------
+  bool ok = true;
+  for (std::size_t shard = 0; shard < stats.per_tenant.size(); ++shard) {
+    const auto& t = stats.per_tenant[shard];
+    const auto shard_anchors =
+        static_cast<double>(service.lane(shard).screen().num_anchors());
+    ok &= bench::shape_check(
+        t.stats.mean_anchors_scanned <= shard_anchors,
+        "shard " + t.tenant.str() + " screening work <= its " +
+            std::to_string(service.lane(shard).screen().num_anchors()) +
+            " anchors (got " + fmt(t.stats.mean_anchors_scanned) + ")");
+  }
+  ok &= bench::shape_check(
+      stats.aggregate.mean_anchors_scanned <
+          0.5 * static_cast<double>(total_anchors),
+      "mean screening work (" + fmt(stats.aggregate.mean_anchors_scanned) +
+          ") < half the fleet anchor total (" +
+          std::to_string(total_anchors) + ")");
+  // Identical venue-0 queries: the shard does exactly the same screening
+  // work whether it shares the process with 0 or N-1 other venues.
+  ok &= bench::shape_check(
+      venue0.mean_anchors_scanned == venue0_solo.mean_anchors_scanned,
+      "venue-0 per-request screening work is independent of fleet size");
+  ok &= bench::shape_check(stray_rejected,
+                           "unknown venue rejects deterministically");
+  ok &= bench::shape_check(fallback_served,
+                           "unknown device profile falls back to OP3 model");
+  return ok ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "core/calloc.hpp"
 #include "serve/service.hpp"
+#include "sim/fleet.hpp"
 
 namespace {
 
@@ -108,9 +109,7 @@ int main() {
   };
 
   // Request stream: every device's online capture, concatenated.
-  data::FingerprintDataset traffic = sc.device_tests.front();
-  for (std::size_t d = 1; d < sc.device_tests.size(); ++d)
-    traffic.merge(sc.device_tests[d]);
+  const data::FingerprintDataset traffic = sim::merged_device_capture(sc);
   const Tensor x = traffic.normalized();
   const std::size_t n_requests = bench::full_mode() ? 20000 : 2000;
   const std::size_t hw = std::max<std::size_t>(
@@ -196,6 +195,34 @@ int main() {
                    fmt(r.p50), fmt(r.p95), fmt(r.p99), fmt(r.mean_batch),
                    fmt(r.cache_hit_pct)});
   std::printf("%s\n\n", table.str().c_str());
+
+  // Machine-readable trajectory for CI artifacts (uploaded alongside
+  // BENCH_kernels.json so serving perf is tracked per commit too).
+  {
+    FILE* f = std::fopen("BENCH_serve.json", "w");
+    if (f != nullptr) {
+      std::fprintf(f, "{\n  \"bench\": \"bench_serve_throughput\",\n");
+      std::fprintf(f, "  \"mode\": \"%s\",\n",
+                   bench::full_mode() ? "full" : "quick");
+      std::fprintf(f, "  \"hw_threads\": %zu,\n  \"requests\": %zu,\n",
+                   hw, n_requests);
+      std::fprintf(f, "  \"modes\": [\n");
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        const ModeReport& r = reports[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"rps\": %.1f, \"speedup\": %.2f,\n"
+            "     \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f,\n"
+            "     \"mean_batch\": %.2f, \"cache_hit_pct\": %.1f}%s\n",
+            r.name.c_str(), r.rps, r.rps / base_rps, r.p50, r.p95, r.p99,
+            r.mean_batch, r.cache_hit_pct,
+            i + 1 < reports.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("wrote BENCH_serve.json\n\n");
+    }
+  }
 
   // 1.2x margin: the true ratios sit near 9-10x, so a genuine regression
   // still fails while shared-runner timing noise cannot flip a check.

@@ -1,8 +1,14 @@
-// Online-serving demo: a fleet of heterogeneous devices (the paper's
-// Table I protocol) sends localization traffic — some of it PGD-attacked
-// through a MITM channel — to a LocalizationService running a trained
-// CALLOC model. Shows micro-batching, the fingerprint cache, and the
-// anchor-distance screen in one end-to-end run.
+// Multi-venue online-serving demo: one MultiTenantService process guards
+// several buildings at once. An office runs a trained CALLOC model; a lab
+// runs a KNN tenant (the registry is model-agnostic). Fleet clients send
+// their real device name as their tenant profile — only the OP3 reference
+// model is registered per venue, so the profile fallback chain resolves
+// them — while two compromised office devices push PGD traffic through a
+// MITM channel, and a misconfigured client probes an unknown building.
+//
+// Shows: registry + fallback routing, per-shard screening thresholds,
+// shard-local caches and stats, drift-aware cache policy, deterministic
+// rejects, and the aggregate fleet view.
 //
 // Run: ./build/examples/serve_demo
 #include <cstdio>
@@ -11,124 +17,194 @@
 #include <thread>
 
 #include "attacks/attack.hpp"
+#include "baselines/knn.hpp"
 #include "common/table.hpp"
 #include "core/calloc.hpp"
-#include "serve/screening.hpp"
-#include "serve/service.hpp"
-#include "sim/collector.hpp"
+#include "serve/router.hpp"
+#include "sim/fleet.hpp"
 
 int main() {
   using namespace cal;
 
-  // -- Offline phase: survey the building and train CALLOC ----------------
-  sim::BuildingSpec spec;
-  spec.name = "serve-demo-office";
-  spec.num_aps = 28;
-  spec.path_length_m = 20;
-  spec.seed = 424;
-  const sim::Scenario sc = sim::make_scenario(spec, 77);
+  // -- Offline phase: survey two venues -----------------------------------
+  std::vector<sim::BuildingSpec> specs(2);
+  specs[0].name = "office";
+  specs[0].num_aps = 28;
+  specs[0].path_length_m = 20;
+  specs[0].seed = 424;
+  specs[1].name = "lab";
+  specs[1].num_aps = 20;
+  specs[1].path_length_m = 14;
+  specs[1].seed = 527;
+  const auto fleet = sim::make_fleet(specs, 21);
+  const sim::Scenario& office = fleet[0];
+  const sim::Scenario& lab = fleet[1];
 
+  // Train CALLOC for the office (the venue under attack).
   core::CallocConfig ccfg;
   ccfg.train.max_epochs_per_lesson = 8;
-  core::Calloc model(ccfg);
-  std::printf("training CALLOC on %zu fingerprints (%zu RPs, %zu APs)...\n",
-              sc.train.num_samples(), sc.train.num_rps(), sc.train.num_aps());
-  model.fit(sc.train);
-
+  core::Calloc office_model(ccfg);
+  std::printf("training CALLOC on %s: %zu fingerprints (%zu RPs, %zu APs)...\n",
+              office.building_spec.name.c_str(), office.train.num_samples(),
+              office.train.num_rps(), office.train.num_aps());
+  office_model.fit(office.train);
   const auto weights =
       (std::filesystem::temp_directory_path() / "serve_demo_weights.bin")
           .string();
-  model.save_weights(weights);
+  office_model.save_weights(weights);
 
-  // -- Deployment: screen calibrated on a clean fleet capture (the online
-  // distribution — survey-only calibration would flag legitimate drift),
-  // one model replica per worker.
-  const Tensor anchors = model.model().anchor_matrix();
-  data::FingerprintDataset fleet_capture = sc.device_tests.front();
-  for (std::size_t d = 1; d < sc.device_tests.size(); ++d)
-    fleet_capture.merge(sc.device_tests[d]);
-  serve::ServiceConfig cfg;
-  cfg.num_workers = 4;
-  cfg.max_batch = 16;
-  cfg.queue_capacity = 256;
-  cfg.cache_capacity = 128;
-  cfg.cache_audit_rate = 0.05;
-  cfg.screening = serve::calibrate_thresholds(
-      anchors, fleet_capture.normalized(), 95.0, 3.0);
-  std::printf("screen thresholds: flag > %.4f, reject > %.4f (RMS/AP)\n",
-              cfg.screening.flag_distance, cfg.screening.reject_distance);
+  // -- Deployment: registry of tenants, one shard lane each ---------------
+  // Screens calibrate on each venue's clean fleet capture (the online
+  // distribution — survey-only calibration would flag legitimate drift).
+  serve::ModelRegistry registry;
+  {
+    serve::TenantSpec spec;
+    spec.factory = [&] {
+      auto replica = std::make_unique<core::Calloc>(ccfg);
+      replica->load_weights(weights, office.train);
+      return replica;
+    };
+    spec.num_aps = office.train.num_aps();
+    spec.anchors = office_model.model().anchor_matrix();
+    spec.service.num_workers = 3;
+    spec.service.max_batch = 16;
+    spec.service.queue_capacity = 256;
+    spec.service.cache_capacity = 128;
+    spec.service.cache_audit_rate = 0.05;
+    spec.service.screening = serve::calibrate_thresholds(
+        spec.anchors, sim::merged_device_capture(office).normalized(), 95.0, 3.0);
+    // Sustained screening-distance drift flushes this shard's cache.
+    spec.service.drift.window = 256;
+    spec.service.drift.slope_factor = 2.0;
+    std::printf("office screen: flag > %.4f, reject > %.4f (RMS/AP)\n",
+                spec.service.screening.flag_distance,
+                spec.service.screening.reject_distance);
+    registry.register_tenant({"office", 0, "OP3"}, std::move(spec));
+  }
+  {
+    serve::TenantSpec spec;
+    spec.factory = [&] {
+      auto model = std::make_unique<baselines::Knn>(3);
+      model->fit(lab.train);
+      return model;
+    };
+    spec.num_aps = lab.train.num_aps();
+    spec.anchors = serve::anchor_database_from(lab.train);
+    spec.service.num_workers = 1;
+    spec.service.cache_capacity = 64;
+    spec.service.screening = serve::calibrate_thresholds(
+        spec.anchors, sim::merged_device_capture(lab).normalized(), 95.0, 3.0);
+    registry.register_tenant({"lab", 0, "OP3"}, std::move(spec));
+  }
+  registry.set_profile_fallbacks({"OP3"});
 
-  // -- Pre-craft the adversarial share of each device's traffic -----------
+  // -- Pre-craft the adversarial share of office traffic ------------------
   attacks::AttackConfig atk;
   atk.epsilon = 0.3;
   atk.phi_percent = 80.0;
   atk.num_steps = 8;
-  std::vector<Tensor> clean_traffic;
-  std::vector<Tensor> attacked_traffic;
-  for (const auto& test : sc.device_tests) {
-    clean_traffic.push_back(test.normalized());
-    attacked_traffic.push_back(attacks::pgd_attack(
-        *model.gradient_source(), clean_traffic.back(), test.labels(), atk));
+  std::vector<Tensor> office_clean;
+  std::vector<Tensor> office_attacked;
+  for (const auto& test : office.device_tests) {
+    office_clean.push_back(test.normalized());
+    office_attacked.push_back(
+        attacks::pgd_attack(*office_model.gradient_source(),
+                            office_clean.back(), test.labels(), atk));
   }
 
-  // -- Online phase: one client thread per device --------------------------
-  // The service starts only now, after attack crafting: its telemetry
-  // clock runs from construction, and idle pre-traffic time would dilute
-  // the reported throughput.
-  serve::LocalizationService service(
-      [&] {
-        auto replica = std::make_unique<core::Calloc>(ccfg);
-        replica->load_weights(weights, sc.train);
-        return replica;
-      },
-      sc.train.num_aps(), anchors, cfg);
+  // -- Online phase: the engine starts now (post-training, post-attack-
+  // crafting, so idle time does not dilute the telemetry clock).
+  serve::MultiTenantService service(std::move(registry));
 
-  constexpr std::size_t kRequestsPerDevice = 150;
+  constexpr std::size_t kRequestsPerDevice = 120;
   struct Sent {
     std::size_t true_rp;
     bool attacked;
-    std::future<serve::ServeResult> fut;
+    serve::RoutedSubmission sub;
   };
-  std::vector<std::vector<Sent>> logs(sc.device_tests.size());
-  std::vector<std::thread> clients;
-  // Distinct base seed from ServiceConfig::seed (2026): the client streams
-  // must not collide with the workers' fork(worker_index + 1) audit
-  // streams (see the Rng threading contract in common/rng.hpp).
+
+  // One client thread per (venue, device). Clients identify themselves by
+  // their actual device acronym; only OP3 tenants exist, so every
+  // non-OP3 profile resolves through the fallback chain.
+  struct Client {
+    const sim::Scenario* venue;
+    std::size_t device;
+    bool compromised;
+  };
+  std::vector<Client> clients;
+  for (std::size_t d = 0; d < office.device_tests.size(); ++d)
+    clients.push_back(
+        {&office, d, d >= office.device_tests.size() - 2});  // last two
+  for (std::size_t d = 0; d < lab.device_tests.size(); ++d)
+    clients.push_back({&lab, d, false});
+  // Pre-normalised request pools per client (clean, and PGD for the
+  // compromised office devices).
+  std::vector<const Tensor*> clean_pool(clients.size());
+  std::vector<const Tensor*> attack_pool(clients.size(), nullptr);
+  std::vector<Tensor> lab_clean;
+  for (const auto& test : lab.device_tests)
+    lab_clean.push_back(test.normalized());
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const Client& cl = clients[c];
+    if (cl.venue == &office) {
+      clean_pool[c] = &office_clean[cl.device];
+      attack_pool[c] = &office_attacked[cl.device];
+    } else {
+      clean_pool[c] = &lab_clean[cl.device];
+    }
+  }
+
+  std::vector<std::vector<Sent>> logs(clients.size());
+  std::vector<std::thread> threads;
+  // Distinct base seed from ServiceConfig::seed (2026): client streams
+  // must not collide with the workers' audit streams (rng.hpp contract).
   Rng fleet_rng(909);
-  for (std::size_t d = 0; d < sc.device_tests.size(); ++d) {
-    // Each client owns a private stream (Rng must not cross threads).
-    Rng rng = fleet_rng.fork(d + 1);
-    const bool compromised = d >= sc.device_tests.size() - 2;  // last two
-    clients.emplace_back([&, d, rng, compromised]() mutable {
-      const auto labels = sc.device_tests[d].labels();
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    Rng rng = fleet_rng.fork(c + 1);  // private per-thread stream
+    threads.emplace_back([&, c, rng]() mutable {
+      const Client& cl = clients[c];
+      const auto labels = cl.venue->device_tests[cl.device].labels();
+      const serve::TenantKey tenant{cl.venue->building_spec.name, 0,
+                                    cl.venue->device_names[cl.device]};
       std::size_t row = rng.uniform_index(labels.size());
       for (std::size_t i = 0; i < kRequestsPerDevice; ++i) {
         // A stationary device re-scans its spot more often than it moves.
         if (rng.uniform() < 0.4) row = rng.uniform_index(labels.size());
-        const bool attack = compromised && rng.bernoulli(0.4);
-        const Tensor& pool =
-            attack ? attacked_traffic[d] : clean_traffic[d];
+        const bool attack = cl.compromised && rng.bernoulli(0.4);
+        const Tensor& pool = attack ? *attack_pool[c] : *clean_pool[c];
         const auto fp = pool.row(row);
-        logs[d].push_back({labels[row], attack,
-                           service.submit({fp.begin(), fp.end()})});
+        logs[c].push_back({labels[row], attack,
+                           service.submit(tenant, {fp.begin(), fp.end()})});
       }
     });
   }
-  for (auto& c : clients) c.join();
+  for (auto& t : threads) t.join();
 
-  // -- Per-device report ----------------------------------------------------
-  TextTable table({"device", "traffic", "flagged", "rejected", "cache",
-                   "clean err(m)", "p@clean"});
-  for (std::size_t d = 0; d < sc.device_tests.size(); ++d) {
+  // A misconfigured client: unknown building, deterministic reject.
+  const auto fp0 = office_clean[0].row(0);
+  auto stray = service.submit({"warehouse", 0, "OP3"},
+                              {fp0.begin(), fp0.end()});
+  std::printf("\nstray request to unknown venue 'warehouse': route=%s, "
+              "localized=%s\n",
+              serve::to_string(stray.decision.status).c_str(),
+              stray.result.get().localized ? "yes" : "no");
+
+  // -- Per-client report ---------------------------------------------------
+  TextTable table({"venue", "device", "route", "traffic", "flagged",
+                   "rejected", "cache", "clean err(m)", "p@clean"});
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const Client& cl = clients[c];
     std::size_t flagged = 0;
     std::size_t rejected = 0;
     std::size_t cached = 0;
     std::size_t clean_n = 0;
     std::size_t clean_correct = 0;
     double clean_err = 0.0;
-    const auto& rps = sc.device_tests[d].rp_positions();
-    for (auto& s : logs[d]) {
-      const auto r = s.fut.get();
+    std::string route;
+    const auto& rps = cl.venue->device_tests[cl.device].rp_positions();
+    for (auto& s : logs[c]) {
+      route = serve::to_string(s.sub.decision.status);
+      const auto r = s.sub.result.get();
       if (r.verdict == serve::Verdict::Flag) ++flagged;
       if (r.verdict == serve::Verdict::Reject) ++rejected;
       if (r.from_cache) ++cached;
@@ -147,16 +223,18 @@ int main() {
                   clean_n > 0 ? 100.0 * static_cast<double>(clean_correct) /
                                     static_cast<double>(clean_n)
                               : 0.0);
-    table.add_row({sc.device_names[d],
-                   d >= sc.device_tests.size() - 2 ? "40% PGD" : "clean",
+    table.add_row({cl.venue->building_spec.name,
+                   cl.venue->device_names[cl.device], route,
+                   cl.compromised ? "40% PGD" : "clean",
                    std::to_string(flagged), std::to_string(rejected),
                    std::to_string(cached), err, acc});
   }
   service.shutdown();
-  std::printf("\nfleet of %zu devices x %zu requests (eps=%.1f, phi=%.0f%%)\n%s\n",
-              sc.device_tests.size(), kRequestsPerDevice, atk.epsilon,
+  std::printf("\n%zu clients x %zu requests across %zu venues (eps=%.1f, "
+              "phi=%.0f%%)\n%s\n",
+              clients.size(), kRequestsPerDevice, fleet.size(), atk.epsilon,
               atk.phi_percent, table.str().c_str());
-  std::printf("\nservice telemetry\n-----------------\n%s\n",
+  std::printf("\nfleet telemetry\n---------------\n%s\n",
               service.stats().str().c_str());
   std::remove(weights.c_str());
   return 0;

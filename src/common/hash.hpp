@@ -1,0 +1,32 @@
+// Shared non-cryptographic hashing primitives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cal {
+
+/// Incremental FNV-1a over raw bytes. Seed one state, mix every field,
+/// take the final value — the one implementation behind every keyed map
+/// in the repo (fingerprint cache keys, tenant keys, ...).
+struct Fnv1a {
+  std::uint64_t state = 0xCBF29CE484222325ULL;
+
+  void mix_bytes(const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state ^= bytes[i];
+      state *= 0x100000001B3ULL;
+    }
+  }
+
+  /// Mix a trivially-copyable value by its object representation.
+  template <typename T>
+  void mix(const T& value) {
+    mix_bytes(&value, sizeof(T));
+  }
+
+  std::size_t value() const { return static_cast<std::size_t>(state); }
+};
+
+}  // namespace cal

@@ -1,5 +1,7 @@
 #include "core/calloc_model.hpp"
 
+#include <algorithm>
+
 #include "autograd/ops.hpp"
 #include "common/ensure.hpp"
 
@@ -59,6 +61,7 @@ void CallocModel::set_anchors(const Tensor& anchor_x,
   }
   anchors_ = autograd::constant(anchor_x);
   anchor_onehot_ = autograd::constant(std::move(onehot));
+  anchor_labels_.assign(anchor_labels.begin(), anchor_labels.end());
 }
 
 autograd::Var CallocModel::hyperspace_curriculum(const autograd::Var& x) {
@@ -139,6 +142,25 @@ std::size_t CallocModel::num_anchors() const {
 const Tensor& CallocModel::anchor_matrix() const {
   CAL_ENSURE(anchors_ != nullptr, "no anchors installed");
   return anchors_->value();
+}
+
+std::span<const std::size_t> CallocModel::anchor_labels() const {
+  CAL_ENSURE(anchors_ != nullptr, "no anchors installed");
+  return anchor_labels_;
+}
+
+Tensor CallocModel::anchor_rows(std::span<const std::size_t> rows) const {
+  CAL_ENSURE(anchors_ != nullptr, "no anchors installed");
+  CAL_ENSURE(!rows.empty(), "anchor_rows needs at least one row");
+  const Tensor& all = anchors_->value();
+  Tensor out = Tensor::uninitialized({rows.size(), all.cols()});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    CAL_ENSURE(rows[i] < all.rows(),
+               "anchor row " << rows[i] << " out of " << all.rows());
+    const auto src = all.row(rows[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
 }
 
 namespace {

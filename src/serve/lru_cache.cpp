@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/ensure.hpp"
+#include "common/hash.hpp"
 
 namespace cal::serve {
 
@@ -51,6 +52,12 @@ void FingerprintCache::insert(const Key& key, std::size_t rp) {
   map_.emplace(key, order_.begin());
 }
 
+void FingerprintCache::clear() {
+  std::lock_guard lock(mu_);
+  map_.clear();
+  order_.clear();
+}
+
 std::size_t FingerprintCache::size() const {
   std::lock_guard lock(mu_);
   return order_.size();
@@ -68,15 +75,9 @@ std::size_t FingerprintCache::misses() const {
 
 std::size_t FingerprintCache::KeyHash::operator()(const Key& k) const {
   // FNV-1a over the quantized coordinates.
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const std::int32_t v : k) {
-    auto u = static_cast<std::uint32_t>(v);
-    for (int byte = 0; byte < 4; ++byte) {
-      h ^= (u >> (8 * byte)) & 0xFFU;
-      h *= 0x100000001B3ULL;
-    }
-  }
-  return static_cast<std::size_t>(h);
+  Fnv1a h;
+  for (const std::int32_t v : k) h.mix(v);
+  return h.value();
 }
 
 }  // namespace cal::serve

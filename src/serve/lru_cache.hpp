@@ -48,6 +48,11 @@ class FingerprintCache {
   /// entry when full.
   void insert(const Key& key, std::size_t rp);
 
+  /// Drop every entry (hit/miss counters survive). The serving layer calls
+  /// this when the screening-distance trend says the radio map has drifted
+  /// and the cached RPs describe yesterday's building.
+  void clear();
+
   std::size_t size() const;
   std::size_t hits() const;
   std::size_t misses() const;

@@ -1,0 +1,75 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+#include "common/hash.hpp"
+
+namespace cal::serve {
+
+std::string TenantKey::str() const {
+  std::string s = building;
+  s += '/';
+  s += std::to_string(floor);
+  s += ':';
+  s += device_profile.empty() ? "*" : device_profile;
+  return s;
+}
+
+std::size_t TenantKeyHash::operator()(const TenantKey& k) const {
+  // Collision quality is ample for a catalogue of venues.
+  Fnv1a h;
+  h.mix_bytes(k.building.data(), k.building.size());
+  h.mix(k.floor);
+  h.mix_bytes(k.device_profile.data(), k.device_profile.size());
+  return h.value();
+}
+
+void ModelRegistry::register_tenant(TenantKey key, TenantSpec spec) {
+  CAL_ENSURE(!key.building.empty(), "tenant key needs a building name");
+  CAL_ENSURE(spec.factory != nullptr,
+             "tenant " << key.str() << " needs a replica factory");
+  CAL_ENSURE(spec.num_aps > 0,
+             "tenant " << key.str() << " needs num_aps > 0");
+  if (!spec.anchors.empty())
+    CAL_ENSURE(spec.anchors.rank() == 2 &&
+                   spec.anchors.cols() == spec.num_aps,
+               "tenant " << key.str() << " anchor database must be (M, "
+                         << spec.num_aps << "), got "
+                         << spec.anchors.shape_str());
+  const bool inserted =
+      tenants_.emplace(std::move(key), std::move(spec)).second;
+  CAL_ENSURE(inserted, "tenant registered twice");
+}
+
+void ModelRegistry::set_profile_fallbacks(std::vector<std::string> chain) {
+  fallbacks_ = std::move(chain);
+}
+
+bool ModelRegistry::contains(const TenantKey& key) const {
+  return tenants_.find(key) != tenants_.end();
+}
+
+const TenantSpec* ModelRegistry::find(const TenantKey& key) const {
+  const auto it = tenants_.find(key);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+std::vector<TenantKey> ModelRegistry::keys() const {
+  std::vector<TenantKey> out;
+  out.reserve(tenants_.size());
+  for (const auto& [key, spec] : tenants_) out.push_back(key);
+  std::sort(out.begin(), out.end(),
+            [](const TenantKey& a, const TenantKey& b) {
+              return a.str() < b.str();
+            });
+  return out;
+}
+
+ModelRegistry::Resolution ModelRegistry::resolve(
+    const TenantKey& request) const {
+  return resolve_tenant(request, fallbacks_,
+                        [this](const TenantKey& k) { return contains(k); });
+}
+
+}  // namespace cal::serve

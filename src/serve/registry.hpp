@@ -1,0 +1,112 @@
+// Tenant → model registry for multi-venue serving.
+//
+// The ROADMAP north star is one process serving many venues and device
+// profiles. The registry is the deployment catalogue that makes that
+// possible: each tenant — a (building, floor, device_profile) triple —
+// owns a ReplicaFactory for its trained model, its shard-scoped anchor
+// database, and its shard-local lane configuration (thresholds, cache,
+// drift policy, worker count). The router (router.hpp) maps incoming
+// tenant metadata onto these entries; requests whose exact device profile
+// has no dedicated model walk a configurable profile fallback chain
+// (the heterogeneity study shows per-device error spread, so a dedicated
+// per-profile replica set is better when available — but a venue-generic
+// model beats a reject).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace cal::serve {
+
+/// Identity of one serving tenant. An empty device_profile means "the
+/// venue-generic entry" — the conventional end of a fallback chain.
+struct TenantKey {
+  std::string building;
+  std::size_t floor = 0;
+  std::string device_profile;
+
+  bool operator==(const TenantKey&) const = default;
+
+  /// "building/floor:profile" (profile "*" when empty) for reports.
+  std::string str() const;
+};
+
+struct TenantKeyHash {
+  std::size_t operator()(const TenantKey& k) const;
+};
+
+/// Everything needed to stand up one tenant's shard lane.
+struct TenantSpec {
+  /// Builds one trained replica per lane worker. Required.
+  ReplicaFactory factory;
+  /// Fingerprint width of this venue. Required (> 0).
+  std::size_t num_aps = 0;
+  /// Shard-scoped anchor database (M x num_aps, normalised); empty
+  /// disables screening for this shard.
+  Tensor anchors;
+  /// Shard-local lane configuration: workers, batching, cache, screening
+  /// thresholds, drift policy, seed.
+  ServiceConfig service;
+};
+
+/// Catalogue of trained models keyed by tenant. Mutable while a
+/// deployment is being assembled; the multi-tenant engine snapshots it at
+/// construction, so register everything first, then serve.
+class ModelRegistry {
+ public:
+  /// Register one tenant. Throws on a duplicate key, a null factory, a
+  /// zero num_aps, or an anchor matrix that does not match num_aps.
+  void register_tenant(TenantKey key, TenantSpec spec);
+
+  /// Device profiles tried, in order, when a request's exact profile has
+  /// no entry. Default: {""} — fall back to the venue-generic entry only.
+  void set_profile_fallbacks(std::vector<std::string> chain);
+  const std::vector<std::string>& profile_fallbacks() const {
+    return fallbacks_;
+  }
+
+  std::size_t size() const { return tenants_.size(); }
+  bool contains(const TenantKey& key) const;
+  const TenantSpec* find(const TenantKey& key) const;
+
+  /// Registered tenant keys in deterministic (str()-sorted) order — the
+  /// shard numbering every component agrees on.
+  std::vector<TenantKey> keys() const;
+
+  /// How a requested tenant maps onto the catalogue.
+  struct Resolution {
+    enum class Kind { Exact, Fallback, Miss };
+    Kind kind = Kind::Miss;
+    TenantKey resolved;  ///< valid unless kind == Miss
+  };
+  Resolution resolve(const TenantKey& request) const;
+
+ private:
+  std::unordered_map<TenantKey, TenantSpec, TenantKeyHash> tenants_;
+  std::vector<std::string> fallbacks_{std::string{}};
+};
+
+/// THE tenant-resolution policy — exact key, then the profile fallback
+/// chain, else miss — in one place, shared by ModelRegistry::resolve and
+/// ShardRouter::route (which runs it over its own key snapshot).
+/// `contains` answers membership over whichever key set the caller holds.
+template <typename ContainsFn>
+ModelRegistry::Resolution resolve_tenant(const TenantKey& request,
+                                         std::span<const std::string> fallbacks,
+                                         ContainsFn&& contains) {
+  using Kind = ModelRegistry::Resolution::Kind;
+  if (contains(request)) return {Kind::Exact, request};
+  for (const std::string& profile : fallbacks) {
+    if (profile == request.device_profile) continue;  // already tried
+    TenantKey candidate{request.building, request.floor, profile};
+    if (contains(candidate)) return {Kind::Fallback, std::move(candidate)};
+  }
+  return {Kind::Miss, {}};
+}
+
+}  // namespace cal::serve

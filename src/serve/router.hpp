@@ -1,0 +1,127 @@
+// Routed, sharded multi-tenant serving engine.
+//
+//   request {tenant key, fingerprint}
+//        │
+//        ▼
+//   ShardRouter ── exact / profile-fallback / reject ──▶ shard id
+//        │
+//        ▼
+//   per-shard LocalizationService lane
+//     (own replicas, anchor screen + shard index, LRU cache,
+//      drift monitor, stats)
+//
+// The router is a snapshot of the registry's key set and fallback chain:
+// two hash probes per request in the common case, no locks, no shared
+// mutable state. Lanes are fully independent — one venue's traffic burst,
+// cache flush, or screening storm cannot touch another venue's thresholds
+// or tail latency. Predictions are bit-identical to calling the resolved
+// tenant's own model sequentially, because each lane preserves the
+// single-tenant engine's replica guarantee (see service.hpp).
+//
+// Unknown tenants are rejected deterministically: submit() returns an
+// already-fulfilled future carrying Verdict::Reject and localized ==
+// false, so a misconfigured client sees an explicit, immediate answer
+// instead of traffic silently landing on the wrong venue's model.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "serve/registry.hpp"
+
+namespace cal::serve {
+
+/// Outcome of routing one request's tenant metadata.
+struct RouteDecision {
+  enum class Status { Exact, Fallback, Reject };
+  Status status = Status::Reject;
+  std::size_t shard = 0;  ///< lane index; valid unless status == Reject
+  TenantKey resolved;     ///< tenant actually serving; unless Reject
+};
+
+std::string to_string(RouteDecision::Status s);
+
+/// Immutable request → shard map, snapshotted from a ModelRegistry.
+/// Shard ids follow ModelRegistry::keys() order (str()-sorted), so the
+/// numbering is deterministic across runs and processes.
+class ShardRouter {
+ public:
+  explicit ShardRouter(const ModelRegistry& registry);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const TenantKey& shard_key(std::size_t shard) const;
+
+  RouteDecision route(const TenantKey& request) const;
+
+ private:
+  std::vector<TenantKey> shards_;
+  std::unordered_map<TenantKey, std::size_t, TenantKeyHash> by_key_;
+  std::vector<std::string> fallbacks_;
+};
+
+/// submit() outcome: the routing decision is known synchronously; the
+/// localization result arrives through the future (already fulfilled for
+/// rejected routes).
+struct RoutedSubmission {
+  RouteDecision decision;
+  std::future<ServeResult> result;
+};
+
+/// Per-tenant stats entry of a MultiTenantStats snapshot.
+struct TenantStats {
+  TenantKey tenant;
+  ServiceStats stats;
+};
+
+/// Fleet snapshot: every shard's stats, their aggregate, and the route
+/// mix seen by the front door.
+struct MultiTenantStats {
+  std::vector<TenantStats> per_tenant;  ///< shard order
+  ServiceStats aggregate;
+  std::size_t route_exact = 0;
+  std::size_t route_fallback = 0;
+  std::size_t route_rejected = 0;
+
+  std::string str() const;
+};
+
+/// The multi-venue serving engine: one lane per registered tenant.
+class MultiTenantService {
+ public:
+  /// Snapshots `registry` (register every tenant first). Builds all lanes
+  /// up front — replica factories run here, num_workers times per tenant.
+  explicit MultiTenantService(ModelRegistry registry);
+
+  MultiTenantService(const MultiTenantService&) = delete;
+  MultiTenantService& operator=(const MultiTenantService&) = delete;
+  ~MultiTenantService();
+
+  /// Route `tenant` and enqueue the fingerprint on its shard lane.
+  /// Unknown tenants get an immediately-fulfilled Reject result; known
+  /// ones block on the shard's bounded queue exactly like the
+  /// single-tenant engine.
+  RoutedSubmission submit(const TenantKey& tenant,
+                          std::vector<float> fingerprint_normalized);
+
+  /// Stop all lanes: drain queues, join workers. Idempotent.
+  void shutdown();
+
+  MultiTenantStats stats() const;
+
+  const ShardRouter& router() const { return router_; }
+  const ModelRegistry& registry() const { return registry_; }
+  std::size_t num_shards() const { return lanes_.size(); }
+  const LocalizationService& lane(std::size_t shard) const;
+
+ private:
+  ModelRegistry registry_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<LocalizationService>> lanes_;
+  std::atomic<std::size_t> route_exact_{0};
+  std::atomic<std::size_t> route_fallback_{0};
+  std::atomic<std::size_t> route_rejected_{0};
+};
+
+}  // namespace cal::serve

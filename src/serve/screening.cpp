@@ -52,26 +52,35 @@ ScreeningThresholds calibrate_thresholds(const Tensor& anchors,
   CAL_ENSURE(clean_x_normalized.rank() == 2 && clean_x_normalized.rows() > 0,
              "calibration needs a non-empty clean batch");
   std::vector<double> dists(clean_x_normalized.rows());
-  for (std::size_t i = 0; i < clean_x_normalized.rows(); ++i)
+  for (std::size_t i = 0; i < clean_x_normalized.rows(); ++i) {
     dists[i] = anchor_distance(anchors, clean_x_normalized.row(i));
+    // A non-finite clean sample would make the percentile (and hence both
+    // cutoffs) NaN, which silently disables the screen: thresholds must
+    // come out of calibration finite, always.
+    CAL_ENSURE(std::isfinite(dists[i]),
+               "calibration sample " << i << " has a non-finite anchor "
+                                     << "distance");
+  }
   ScreeningThresholds th;
   th.flag_distance = percentile(dists, flag_percentile);
   th.reject_distance = th.flag_distance * reject_factor;
+  CAL_INVARIANT(std::isfinite(th.flag_distance) &&
+                    std::isfinite(th.reject_distance),
+                "calibrated thresholds must be finite");
   return th;
 }
 
 AnchorScreen::AnchorScreen(Tensor anchors, ScreeningThresholds thresholds)
-    : anchors_(std::move(anchors)), thresholds_(thresholds) {
-  CAL_ENSURE(anchors_.rank() == 2 && anchors_.rows() > 0,
-             "AnchorScreen needs a non-empty anchor matrix");
+    : index_(std::move(anchors)), thresholds_(thresholds) {
   CAL_ENSURE(thresholds_.flag_distance >= 0.0 &&
                  thresholds_.reject_distance >= thresholds_.flag_distance,
              "screening thresholds must satisfy 0 <= flag <= reject");
 }
 
-double AnchorScreen::distance(std::span<const float> fingerprint) const {
+double AnchorScreen::distance(std::span<const float> fingerprint,
+                              ShardIndexProbe* probe) const {
   if (!enabled()) return 0.0;
-  return anchor_distance(anchors_, fingerprint);
+  return index_.nearest(fingerprint, probe);
 }
 
 Verdict AnchorScreen::classify(double distance) const {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "serve/shard_index.hpp"
 #include "tensor/tensor.hpp"
 
 namespace cal::serve {
@@ -59,8 +60,13 @@ ScreeningThresholds calibrate_thresholds(const Tensor& anchors,
                                          double flag_percentile = 95.0,
                                          double reject_factor = 2.0);
 
-/// Stateless screen bound to one anchor database. Immutable after
-/// construction, hence freely shared across worker threads.
+/// Stateless screen bound to one shard's anchor database. Immutable after
+/// construction, hence freely shared across worker threads. The nearest-
+/// anchor search runs through a ShardIndex, so per-request screening work
+/// is bounded by the shard's own anchor count, never the fleet-wide
+/// total (the centroid bound trims a further slice within the shard —
+/// ~9-19% on Table II venues; see shard_index.hpp and the multi-centroid
+/// follow-on in ROADMAP.md).
 class AnchorScreen {
  public:
   /// Default-constructed screens are disabled: distance 0, always Accept.
@@ -69,17 +75,21 @@ class AnchorScreen {
   /// `anchors`: (M x num_aps) normalised database; must be non-empty.
   AnchorScreen(Tensor anchors, ScreeningThresholds thresholds);
 
-  bool enabled() const { return !anchors_.empty(); }
+  bool enabled() const { return !index_.empty(); }
   const ScreeningThresholds& thresholds() const { return thresholds_; }
+  std::size_t num_anchors() const { return index_.num_anchors(); }
+  const Tensor& anchors() const { return index_.anchors(); }
 
   /// Distance of one fingerprint to the nearest anchor (0 when disabled).
-  double distance(std::span<const float> fingerprint) const;
+  /// `probe`, when given, reports the scan/prune work of this query.
+  double distance(std::span<const float> fingerprint,
+                  ShardIndexProbe* probe = nullptr) const;
 
   /// Threshold the distance into a verdict.
   Verdict classify(double distance) const;
 
  private:
-  Tensor anchors_;
+  ShardIndex index_;
   ScreeningThresholds thresholds_;
 };
 

@@ -26,6 +26,45 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
+DriftMonitor::DriftMonitor(DriftPolicy policy) : policy_(policy) {
+  CAL_ENSURE(policy_.slope_factor >= 1.0,
+             "drift slope factor must be >= 1, got " << policy_.slope_factor);
+  CAL_ENSURE(!(policy_.level < 0.0),
+             "drift level must be non-negative, got " << policy_.level);
+}
+
+bool DriftMonitor::record(double distance) {
+  if (!enabled()) return false;
+  std::lock_guard lock(mu_);
+  current_sum_ += distance;
+  if (++current_n_ < policy_.window) return false;
+  const double mean = current_sum_ / static_cast<double>(current_n_);
+  current_sum_ = 0.0;
+  current_n_ = 0;
+  if (baseline_mean_ < 0.0) {
+    // First window: establish the baseline. No flush even above the
+    // level — the lane just started, so the cache holds nothing stale.
+    baseline_mean_ = mean;
+    return false;
+  }
+  // The level fires on the CROSSING (baseline below, window above), not
+  // on the steady state: a persistent shift that settles above the level
+  // flushes once and then serves normally from the rebaselined map,
+  // matching the slope trigger's flush-once semantics.
+  const bool flush = mean > policy_.slope_factor * baseline_mean_ ||
+                     (mean > policy_.level &&
+                      !(baseline_mean_ > policy_.level));
+  // Rebaseline ONLY on flush: the drifted distribution is then the
+  // shard's new normal, so a persistent shift flushes once instead of on
+  // every window. Between flushes the baseline stays pinned — gradual
+  // drift that creeps below slope_factor per window still accumulates
+  // against the pinned baseline and flushes when the cache contents have
+  // drifted materially, rather than ratcheting the baseline up with it
+  // and never flushing at all.
+  if (flush) baseline_mean_ = mean;
+  return flush;
+}
+
 LocalizationService::LocalizationService(ReplicaFactory factory,
                                          std::size_t num_aps, Tensor anchors,
                                          ServiceConfig cfg)
@@ -46,12 +85,19 @@ LocalizationService::LocalizationService(ReplicaFactory factory,
       num_aps_(num_aps),
       screen_(make_screen(std::move(anchors), num_aps, cfg.screening)),
       cache_(cfg.cache_capacity, cfg.cache_quant_step),
+      drift_(cfg.drift),
       queue_(cfg.queue_capacity) {
   CAL_ENSURE(num_aps_ > 0, "service needs num_aps > 0");
   CAL_ENSURE(cfg_.num_workers > 0, "service needs >= 1 worker");
   CAL_ENSURE(cfg_.max_batch > 0, "service needs max_batch >= 1");
   CAL_ENSURE(cfg_.cache_audit_rate >= 0.0 && cfg_.cache_audit_rate <= 1.0,
              "cache audit rate out of [0,1]: " << cfg_.cache_audit_rate);
+  // Drift tracking feeds on screening distances; with screening disabled
+  // a configured DriftPolicy would be silently inert and stale cache
+  // entries would never flush — surface the misconfiguration instead.
+  CAL_ENSURE(!drift_.enabled() || screen_.enabled(),
+             "drift policy configured but screening is disabled (no anchor "
+             "database)");
   if (factory) {
     replicas_.reserve(cfg_.num_workers);
     for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
@@ -134,6 +180,7 @@ void LocalizationService::worker_loop(std::size_t worker_index) {
     Pending req;
     ServeResult res;
     FingerprintCache::Key key;
+    ShardIndexProbe probe;
     bool infer = false;
     bool audited = false;
     bool audit_mismatch = false;
@@ -159,9 +206,16 @@ void LocalizationService::worker_loop(std::size_t worker_index) {
       std::vector<std::size_t> infer_rows;
       for (std::size_t i = 0; i < slots.size(); ++i) {
         Slot& s = slots[i];
-        s.res.anchor_distance = screen_.distance(s.req.fingerprint);
+        s.res.anchor_distance = screen_.distance(s.req.fingerprint, &s.probe);
         s.res.verdict = screen_.classify(s.res.anchor_distance);
         if (s.res.verdict == Verdict::Reject) continue;  // never localised
+        // Drift tracking sees only non-rejected traffic: rejected
+        // fingerprints are off-manifold adversaries, not a moved radio
+        // map, and must not be able to poison the trend into flushing.
+        if (screen_.enabled() && drift_.record(s.res.anchor_distance)) {
+          cache_.clear();
+          stats_.record_drift_flush();
+        }
         if (cache_.enabled()) {
           s.key = cache_.make_key(s.req.fingerprint);
           if (const auto hit = cache_.lookup(s.key)) {
@@ -206,8 +260,16 @@ void LocalizationService::worker_loop(std::size_t worker_index) {
       // Phase 3 — fulfil promises and record telemetry.
       for (Slot& s : slots) {
         s.res.latency_ms = ms_since(s.req.enqueued_at);
-        stats_.record_result(s.res.latency_ms, s.res.verdict,
-                             s.res.from_cache, s.audited, s.audit_mismatch);
+        ResultRecord rec;
+        rec.latency_ms = s.res.latency_ms;
+        rec.verdict = s.res.verdict;
+        rec.from_cache = s.res.from_cache;
+        rec.audited = s.audited;
+        rec.audit_mismatch = s.audit_mismatch;
+        rec.screened = screen_.enabled();
+        rec.anchors_scanned = s.probe.scanned;
+        rec.anchors_pruned = s.probe.pruned;
+        stats_.record_result(rec);
         s.req.promise.set_value(s.res);
         s.fulfilled = true;
       }

@@ -1,14 +1,23 @@
-// Concurrent, batched online-localization serving engine.
+// Concurrent, batched online-localization shard lane.
 //
-// Turns any trained ILocalizer into a thread-safe localization service:
+// LocalizationService is ONE serving lane: a trained model (replicated or
+// shared), a bounded queue, a worker pool, a shard-local anchor screen,
+// LRU cache, drift monitor, and stats collector. Deployed standalone it
+// serves a single venue exactly as before; the multi-tenant engine
+// (router.hpp) runs one lane per registered tenant, so every shard keeps
+// its own thresholds, cache, and telemetry:
 //
 //   clients ──submit()──▶ bounded queue ──▶ worker pool ──▶ futures
 //                                           │ per worker:
 //                                           │  1. anchor-distance screen
-//                                           │     (rejects skip the rest)
+//                                           │     (shard-index pruned;
+//                                           │      rejects skip the rest)
 //                                           │  2. LRU cache probe
 //                                           │  3. coalesce survivors into
 //                                           │     ONE batched predict()
+//                                           │  4. drift trend check — a
+//                                           │     drifted shard flushes
+//                                           │     its own cache
 //
 // Concurrency model. Two deployment shapes are supported:
 //  * replica mode — a ReplicaFactory builds one independent model replica
@@ -57,6 +66,46 @@ struct ServeResult {
 using ReplicaFactory =
     std::function<std::unique_ptr<baselines::ILocalizer>()>;
 
+/// When to flush a shard's LRU because the radio map drifted away from
+/// the cached answers. The monitor windows screening distances
+/// (non-rejected traffic only): the first completed window pins the
+/// baseline; each later window's mean is compared against that baseline
+/// (slope) and against an absolute level. Crossing either flushes the
+/// cache and the drifted window becomes the new baseline, so a
+/// persistent shift flushes once and then serves normally from the new
+/// radio map — while the baseline stays pinned between flushes, so
+/// gradual drift that creeps below slope_factor per window still
+/// accumulates and eventually flushes.
+struct DriftPolicy {
+  /// Samples per window; 0 disables drift tracking.
+  std::size_t window = 0;
+  /// Flush when mean(current) > slope_factor * mean(baseline).
+  double slope_factor = 1.5;
+  /// Flush when mean(current) > level (absolute, RMS-per-AP scale).
+  double level = std::numeric_limits<double>::infinity();
+};
+
+/// Thread-safe windowed trend detector over screening distances.
+class DriftMonitor {
+ public:
+  DriftMonitor() = default;
+  explicit DriftMonitor(DriftPolicy policy);
+
+  bool enabled() const { return policy_.window > 0; }
+
+  /// Record one screening distance. Returns true when the windowed trend
+  /// crossed the policy — the caller should flush its cache. The drifted
+  /// window then becomes the new baseline.
+  bool record(double distance);
+
+ private:
+  DriftPolicy policy_;
+  std::mutex mu_;
+  double baseline_mean_ = -1.0;  ///< < 0 until the first window completes
+  double current_sum_ = 0.0;
+  std::size_t current_n_ = 0;
+};
+
 struct ServiceConfig {
   std::size_t num_workers = 2;
   /// Micro-batch coalescing cap B: a worker drains up to this many queued
@@ -73,11 +122,14 @@ struct ServiceConfig {
   double cache_audit_rate = 0.0;
   /// Accept/flag/reject cutoffs; defaults accept everything.
   ScreeningThresholds screening;
+  /// Drift-triggered cache invalidation; disabled by default.
+  DriftPolicy drift;
   /// Base seed for the per-worker Rng streams.
   std::uint64_t seed = 2026;
 };
 
-/// Thread-safe localization front door over a trained ILocalizer.
+/// Thread-safe localization front door over a trained ILocalizer — one
+/// shard lane of the serving engine.
 class LocalizationService {
  public:
   /// Replica mode. `anchors` is the normalised anchor database used for
@@ -105,6 +157,10 @@ class LocalizationService {
 
   ServiceStats stats() const { return stats_.snapshot(); }
 
+  /// Restart this lane's telemetry wall clock (see
+  /// StatsCollector::reset_clock). Counters are untouched.
+  void reset_telemetry_clock() { stats_.reset_clock(); }
+
   std::size_t num_aps() const { return num_aps_; }
   std::size_t num_workers() const { return cfg_.num_workers; }
   const FingerprintCache& cache() const { return cache_; }
@@ -129,6 +185,7 @@ class LocalizationService {
   std::size_t num_aps_;
   AnchorScreen screen_;
   FingerprintCache cache_;
+  DriftMonitor drift_;
   StatsCollector stats_;
   BoundedQueue<Pending> queue_;
 

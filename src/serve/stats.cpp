@@ -15,7 +15,12 @@ std::string ServiceStats::str() const {
   if (cache_audits > 0)
     os << " (" << cache_audits << " audited, " << cache_audit_mismatches
        << " mismatched)";
+  if (drift_flushes > 0) os << ", " << drift_flushes << " drift flushes";
   os << "\n";
+  if (screened > 0)
+    os << "screen:   " << screened << " screened, mean "
+       << mean_anchors_scanned << " anchors scanned ("
+       << anchors_pruned << " pruned total)\n";
   os << "batching: " << batches << " micro-batches, mean " << mean_batch_size
      << ", largest " << largest_batch << "\n";
   os << "latency:  mean " << latency_mean_ms << " ms, p50 " << latency_p50_ms
@@ -24,6 +29,57 @@ std::string ServiceStats::str() const {
   os << "rate:     " << throughput_rps << " req/s over " << wall_seconds
      << " s";
   return os.str();
+}
+
+ServiceStats aggregate_stats(std::span<const ServiceStats> shards) {
+  ServiceStats agg;
+  double weighted_mean = 0.0;
+  double weighted_p50 = 0.0;
+  double weighted_p95 = 0.0;
+  double weighted_p99 = 0.0;
+  for (const ServiceStats& s : shards) {
+    agg.submitted += s.submitted;
+    agg.completed += s.completed;
+    agg.cache_hits += s.cache_hits;
+    agg.cache_audits += s.cache_audits;
+    agg.cache_audit_mismatches += s.cache_audit_mismatches;
+    agg.flagged += s.flagged;
+    agg.rejected += s.rejected;
+    agg.screened += s.screened;
+    agg.anchors_scanned += s.anchors_scanned;
+    agg.anchors_pruned += s.anchors_pruned;
+    agg.drift_flushes += s.drift_flushes;
+    agg.batches += s.batches;
+    agg.largest_batch = std::max(agg.largest_batch, s.largest_batch);
+    agg.wall_seconds = std::max(agg.wall_seconds, s.wall_seconds);
+    const auto w = static_cast<double>(s.completed);
+    weighted_mean += w * s.latency_mean_ms;
+    weighted_p50 += w * s.latency_p50_ms;
+    weighted_p95 += w * s.latency_p95_ms;
+    weighted_p99 += w * s.latency_p99_ms;
+  }
+  if (agg.completed > 0) {
+    const auto n = static_cast<double>(agg.completed);
+    agg.latency_mean_ms = weighted_mean / n;
+    agg.latency_p50_ms = weighted_p50 / n;
+    agg.latency_p95_ms = weighted_p95 / n;
+    agg.latency_p99_ms = weighted_p99 / n;
+  }
+  if (agg.screened > 0)
+    agg.mean_anchors_scanned = static_cast<double>(agg.anchors_scanned) /
+                               static_cast<double>(agg.screened);
+  if (agg.batches > 0) {
+    // Recover summed batch items from each shard's mean to keep the
+    // aggregate mean exact.
+    double items = 0.0;
+    for (const ServiceStats& s : shards)
+      items += s.mean_batch_size * static_cast<double>(s.batches);
+    agg.mean_batch_size = items / static_cast<double>(agg.batches);
+  }
+  if (agg.wall_seconds > 0.0)
+    agg.throughput_rps =
+        static_cast<double>(agg.completed) / agg.wall_seconds;
+  return agg;
 }
 
 StatsCollector::StatsCollector() : start_(std::chrono::steady_clock::now()) {}
@@ -45,24 +101,37 @@ void StatsCollector::record_batch(std::size_t batch_size) {
   largest_batch_ = std::max(largest_batch_, batch_size);
 }
 
-void StatsCollector::record_result(double latency_ms, Verdict verdict,
-                                   bool from_cache, bool audited,
-                                   bool audit_mismatch) {
+void StatsCollector::record_result(const ResultRecord& r) {
   std::lock_guard lock(mu_);
   ++completed_;
-  latency_sum_ms_ += latency_ms;
+  latency_sum_ms_ += r.latency_ms;
   if (latencies_ms_.size() < kLatencyWindow) {
-    latencies_ms_.push_back(latency_ms);
+    latencies_ms_.push_back(r.latency_ms);
   } else {  // full: overwrite the oldest sample (order is irrelevant for
             // percentiles, which sort a copy)
-    latencies_ms_[latency_wrap_] = latency_ms;
+    latencies_ms_[latency_wrap_] = r.latency_ms;
     latency_wrap_ = (latency_wrap_ + 1) % kLatencyWindow;
   }
-  if (from_cache) ++cache_hits_;
-  if (audited) ++cache_audits_;
-  if (audit_mismatch) ++cache_audit_mismatches_;
-  if (verdict == Verdict::Flag) ++flagged_;
-  if (verdict == Verdict::Reject) ++rejected_;
+  if (r.from_cache) ++cache_hits_;
+  if (r.audited) ++cache_audits_;
+  if (r.audit_mismatch) ++cache_audit_mismatches_;
+  if (r.verdict == Verdict::Flag) ++flagged_;
+  if (r.verdict == Verdict::Reject) ++rejected_;
+  if (r.screened) {
+    ++screened_;
+    anchors_scanned_ += r.anchors_scanned;
+    anchors_pruned_ += r.anchors_pruned;
+  }
+}
+
+void StatsCollector::record_drift_flush() {
+  std::lock_guard lock(mu_);
+  ++drift_flushes_;
+}
+
+void StatsCollector::reset_clock() {
+  std::lock_guard lock(mu_);
+  start_ = std::chrono::steady_clock::now();
 }
 
 ServiceStats StatsCollector::snapshot() const {
@@ -75,6 +144,13 @@ ServiceStats StatsCollector::snapshot() const {
   s.cache_audit_mismatches = cache_audit_mismatches_;
   s.flagged = flagged_;
   s.rejected = rejected_;
+  s.screened = screened_;
+  s.anchors_scanned = anchors_scanned_;
+  s.anchors_pruned = anchors_pruned_;
+  if (screened_ > 0)
+    s.mean_anchors_scanned = static_cast<double>(anchors_scanned_) /
+                             static_cast<double>(screened_);
+  s.drift_flushes = drift_flushes_;
   s.batches = batches_;
   s.largest_batch = largest_batch_;
   if (batches_ > 0)

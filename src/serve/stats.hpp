@@ -1,9 +1,14 @@
 // Serving telemetry: the numbers an operator watches on a dashboard.
+//
+// One StatsCollector per shard lane — every counter is shard-local, so a
+// multi-tenant deployment reads per-tenant health directly and combines
+// shards with aggregate_stats() for the fleet-wide view.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -11,11 +16,11 @@
 
 namespace cal::serve {
 
-/// Point-in-time snapshot of service health. Latencies are request
-/// latencies (submit -> result available), which include queueing delay —
-/// the figure a client actually experiences. The mean is lifetime-exact;
-/// the percentiles cover the most recent StatsCollector::kLatencyWindow
-/// requests.
+/// Point-in-time snapshot of one shard lane's health. Latencies are
+/// request latencies (submit -> result available), which include queueing
+/// delay — the figure a client actually experiences. The mean is
+/// lifetime-exact; the percentiles cover the most recent
+/// StatsCollector::kLatencyWindow requests.
 struct ServiceStats {
   std::size_t submitted = 0;
   std::size_t completed = 0;        ///< fulfilled results, any verdict
@@ -24,6 +29,11 @@ struct ServiceStats {
   std::size_t cache_audit_mismatches = 0;
   std::size_t flagged = 0;
   std::size_t rejected = 0;
+  std::size_t screened = 0;         ///< requests that ran the anchor screen
+  std::size_t anchors_scanned = 0;  ///< full distance computations, total
+  std::size_t anchors_pruned = 0;   ///< anchors skipped by the shard index
+  double mean_anchors_scanned = 0.0;///< anchors_scanned / screened
+  std::size_t drift_flushes = 0;    ///< cache flushes forced by drift trend
   std::size_t batches = 0;          ///< micro-batches drained by workers
   std::size_t largest_batch = 0;
   double mean_batch_size = 0.0;
@@ -38,7 +48,26 @@ struct ServiceStats {
   std::string str() const;
 };
 
-/// Mutex-guarded accumulator shared by the worker pool.
+/// Fleet-wide roll-up of per-shard snapshots: counters are summed, the
+/// latency mean and percentiles are completed-weighted averages of the
+/// shard figures (exact for the mean; an approximation for the tails,
+/// which are only defined per shard), wall_seconds is the longest-running
+/// shard, and throughput is total completed over that wall clock.
+ServiceStats aggregate_stats(std::span<const ServiceStats> shards);
+
+/// Everything StatsCollector needs to know about one fulfilled request.
+struct ResultRecord {
+  double latency_ms = 0.0;
+  Verdict verdict = Verdict::Accept;
+  bool from_cache = false;
+  bool audited = false;
+  bool audit_mismatch = false;
+  bool screened = false;
+  std::size_t anchors_scanned = 0;
+  std::size_t anchors_pruned = 0;
+};
+
+/// Mutex-guarded accumulator shared by one shard lane's worker pool.
 ///
 /// Memory is bounded for arbitrarily long runs: the latency mean is exact
 /// over the whole lifetime (running sum), while the percentiles are over
@@ -55,8 +84,14 @@ class StatsCollector {
   /// Roll back a record_submitted() whose push was refused (shutdown).
   void record_submit_rejected();
   void record_batch(std::size_t batch_size);
-  void record_result(double latency_ms, Verdict verdict, bool from_cache,
-                     bool audited, bool audit_mismatch);
+  void record_result(const ResultRecord& r);
+  void record_drift_flush();
+
+  /// Restart the wall clock behind wall_seconds/throughput_rps. The
+  /// multi-tenant engine calls this once every lane is up, so shards
+  /// built early don't count the rest of the fleet's construction time
+  /// (replica factories are arbitrarily slow) as serving time.
+  void reset_clock();
 
   ServiceStats snapshot() const;
 
@@ -73,6 +108,10 @@ class StatsCollector {
   std::size_t cache_audit_mismatches_ = 0;
   std::size_t flagged_ = 0;
   std::size_t rejected_ = 0;
+  std::size_t screened_ = 0;
+  std::size_t anchors_scanned_ = 0;
+  std::size_t anchors_pruned_ = 0;
+  std::size_t drift_flushes_ = 0;
   std::size_t batches_ = 0;
   std::size_t largest_batch_ = 0;
   std::size_t batched_items_ = 0;

@@ -1,0 +1,86 @@
+#include "sim/fleet.hpp"
+
+#include "common/ensure.hpp"
+#include "sim/building.hpp"
+
+namespace cal::sim {
+
+std::vector<Scenario> make_fleet(std::span<const BuildingSpec> specs,
+                                 std::uint64_t seed,
+                                 std::size_t train_samples_per_rp,
+                                 std::size_t test_samples_per_rp) {
+  CAL_ENSURE(!specs.empty(), "fleet needs >= 1 building");
+  std::vector<Scenario> fleet;
+  fleet.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    // Distinct per-venue campaign seeds: venue i's survey must not replay
+    // venue j's measurement noise.
+    fleet.push_back(make_scenario(specs[i], seed + 7919 * (i + 1),
+                                  train_samples_per_rp,
+                                  test_samples_per_rp));
+  }
+  return fleet;
+}
+
+std::vector<Scenario> make_table2_fleet(
+    std::span<const std::size_t> building_indices, std::uint64_t seed,
+    std::size_t train_samples_per_rp, std::size_t test_samples_per_rp) {
+  const auto all = table2_buildings();
+  std::vector<BuildingSpec> specs;
+  specs.reserve(building_indices.size());
+  for (const std::size_t idx : building_indices) {
+    CAL_ENSURE(idx < all.size(),
+               "building index " << idx << " out of " << all.size());
+    specs.push_back(all[idx]);
+  }
+  return make_fleet(specs, seed, train_samples_per_rp, test_samples_per_rp);
+}
+
+data::FingerprintDataset merged_device_capture(const Scenario& scenario) {
+  CAL_ENSURE(!scenario.device_tests.empty(),
+             "venue " << scenario.building_spec.name
+                      << " has no test captures");
+  data::FingerprintDataset merged = scenario.device_tests.front();
+  for (std::size_t d = 1; d < scenario.device_tests.size(); ++d)
+    merged.merge(scenario.device_tests[d]);
+  return merged;
+}
+
+std::vector<FleetRequest> fleet_request_stream(
+    std::span<const Scenario> fleet, std::size_t n_requests,
+    std::uint64_t seed, double repeat_prob) {
+  CAL_ENSURE(!fleet.empty(), "request stream needs >= 1 venue");
+  CAL_ENSURE(repeat_prob >= 0.0 && repeat_prob <= 1.0,
+             "repeat_prob out of [0,1]: " << repeat_prob);
+  for (const Scenario& sc : fleet) {
+    CAL_ENSURE(!sc.device_tests.empty(),
+               "venue " << sc.building_spec.name << " has no test captures");
+    for (const auto& test : sc.device_tests)
+      CAL_ENSURE(test.num_samples() > 0,
+                 "venue " << sc.building_spec.name
+                          << " has an empty test capture");
+  }
+  Rng rng(seed);
+  std::vector<FleetRequest> stream;
+  stream.reserve(n_requests);
+  // Last request per venue, for stationary-device repeats.
+  std::vector<FleetRequest> last(fleet.size());
+  std::vector<bool> seen(fleet.size(), false);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    FleetRequest req;
+    req.venue = rng.uniform_index(fleet.size());
+    if (seen[req.venue] && rng.bernoulli(repeat_prob)) {
+      req = last[req.venue];
+    } else {
+      const Scenario& sc = fleet[req.venue];
+      req.device = rng.uniform_index(sc.device_tests.size());
+      req.row = rng.uniform_index(sc.device_tests[req.device].num_samples());
+      last[req.venue] = req;
+      seen[req.venue] = true;
+    }
+    stream.push_back(req);
+  }
+  return stream;
+}
+
+}  // namespace cal::sim

@@ -31,6 +31,19 @@ Tensor::Tensor(std::vector<std::size_t> shape, float fill)
   this->fill(fill);
 }
 
+Tensor Tensor::uninitialized(std::vector<std::size_t> shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  CAL_ENSURE(!t.shape_.empty(), "tensor rank must be >= 1");
+  for (std::size_t d : t.shape_)
+    CAL_ENSURE(d > 0,
+               "tensor dims must be positive (" << t.shape_str() << ")");
+  // resize() with the default-init allocator leaves the floats
+  // unconstructed — no zero-fill pass over memory the caller overwrites.
+  t.data_.resize(shape_product(t.shape_));
+  return t;
+}
+
 Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
   return Tensor({rows, cols});
 }
@@ -206,7 +219,7 @@ Tensor Tensor::matmul(const Tensor& rhs) const {
   // so 0·NaN and 0·Inf propagate (an adversarial perturbation that
   // overflows has to surface, not be masked), and the ascending-k
   // summation order per output element is preserved.
-  Tensor out({m, n});
+  Tensor out = Tensor::uninitialized({m, n});
   kernels::gemm_nn(flat(), rhs.flat(), out.flat(), m, k, n);
   return out;
 }
@@ -220,7 +233,7 @@ Tensor Tensor::matmul_nt(const Tensor& rhs) const {
   const std::size_t m = shape_[0];
   const std::size_t k = shape_[1];
   const std::size_t n = rhs.shape_[0];
-  Tensor out({m, n});
+  Tensor out = Tensor::uninitialized({m, n});
   kernels::gemm_nt(flat(), rhs.flat(), out.flat(), m, k, n);
   return out;
 }
@@ -234,7 +247,7 @@ Tensor Tensor::matmul_tn(const Tensor& rhs) const {
   const std::size_t m = shape_[1];
   const std::size_t k = shape_[0];
   const std::size_t n = rhs.shape_[1];
-  Tensor out({m, n});
+  Tensor out = Tensor::uninitialized({m, n});
   kernels::gemm_tn(flat(), rhs.flat(), out.flat(), m, k, n);
   return out;
 }

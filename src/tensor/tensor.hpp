@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -16,6 +17,29 @@
 #include "common/rng.hpp"
 
 namespace cal {
+
+namespace detail {
+
+/// std::allocator variant whose value-less construct() default-initializes
+/// instead of value-initializing: resize() on a vector of floats then leaves
+/// the new elements uninitialized. This is what lets Tensor::uninitialized
+/// skip the zero-fill for outputs a kernel fully overwrites.
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0)
+      ::new (static_cast<void*>(p)) U;
+    else
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
 
 /// Dense row-major float tensor (rank 1 or 2 in practice; rank-N storage).
 class Tensor {
@@ -27,6 +51,12 @@ class Tensor {
 
   /// Constant-filled tensor.
   Tensor(std::vector<std::size_t> shape, float fill);
+
+  /// Tensor whose storage is allocated but NOT zero-filled. Only for
+  /// outputs the caller overwrites in full before any read (the GEMM
+  /// kernels with accumulate == false do); reading an element before
+  /// writing it is undefined.
+  static Tensor uninitialized(std::vector<std::size_t> shape);
 
   /// 2-D convenience factory.
   static Tensor zeros(std::size_t rows, std::size_t cols);
@@ -114,7 +144,9 @@ class Tensor {
 
  private:
   std::vector<std::size_t> shape_;
-  std::vector<float> data_;
+  /// Default-init allocator so uninitialized() can resize without the
+  /// zero-fill; every other factory still fills explicitly.
+  std::vector<float, detail::DefaultInitAllocator<float>> data_;
 };
 
 /// Strict elementwise closeness check for tests. NaN matches only NaN;

@@ -1,9 +1,12 @@
-// Serving-engine tests: queue semantics, cache behaviour, screening, and
-// the headline guarantee — concurrent batched serving is bit-identical to
-// sequential predict() on the same trained model.
+// Serving-engine tests: queue semantics, cache behaviour, screening,
+// drift-triggered cache invalidation, the registry/router/shard stack,
+// and the headline guarantees — concurrent batched serving is
+// bit-identical to sequential predict() on the same trained model, per
+// tenant, and unknown tenants are rejected deterministically.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -11,13 +14,17 @@
 #include <thread>
 
 #include "attacks/attack.hpp"
+#include "baselines/knn.hpp"
 #include "common/ensure.hpp"
 #include "core/calloc.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/queue.hpp"
+#include "serve/registry.hpp"
+#include "serve/router.hpp"
 #include "serve/screening.hpp"
 #include "serve/service.hpp"
-#include "sim/collector.hpp"
+#include "serve/shard_index.hpp"
+#include "sim/fleet.hpp"
 
 namespace {
 
@@ -405,6 +412,510 @@ TEST(Service, ValidatesInputsAndShutdownIsFinal) {
   bad.num_workers = 0;
   EXPECT_THROW(LocalizationService(trained().model, 24, Tensor{}, bad),
                PreconditionError);
+
+  // A drift policy without an anchor screen would be silently inert
+  // (drift feeds on screening distances) — rejected at construction.
+  ServiceConfig inert_drift;
+  inert_drift.drift.window = 8;
+  EXPECT_THROW(
+      LocalizationService(trained().model, 24, Tensor{}, inert_drift),
+      PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// ShardIndex
+// ---------------------------------------------------------------------------
+
+TEST(ShardIndex, PrunedNearestMatchesFullScanBitForBit) {
+  // Clustered anchors (the shape real per-RP fingerprints have): the
+  // centroid bound must prune without ever changing the returned minimum.
+  Rng rng(17);
+  const std::size_t dim = 12;
+  const std::size_t per_cluster = 20;
+  Tensor anchors({3 * per_cluster, dim});
+  const float centers[3] = {0.2F, 0.5F, 0.8F};
+  for (std::size_t c = 0; c < 3; ++c)
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      auto row = anchors.row(c * per_cluster + i);
+      for (auto& v : row)
+        v = centers[c] + static_cast<float>(rng.normal(0.0, 0.02));
+    }
+  const ShardIndex index(anchors);
+  ASSERT_EQ(index.num_anchors(), 3 * per_cluster);
+
+  std::size_t scanned_total = 0;
+  const std::size_t kQueries = 200;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    std::vector<float> fp(dim);
+    for (auto& v : fp) v = static_cast<float>(rng.uniform(0.0, 1.0));
+    ShardIndexProbe probe;
+    const double got = index.nearest(fp, &probe);
+    const double want = anchor_distance(anchors, fp);
+    EXPECT_DOUBLE_EQ(got, want) << "query " << q;
+    EXPECT_EQ(probe.scanned + probe.pruned, index.num_anchors());
+    EXPECT_GE(probe.scanned, 1u);
+    scanned_total += probe.scanned;
+  }
+  EXPECT_LT(scanned_total, kQueries * index.num_anchors())
+      << "the centroid bound should prune at least some anchors";
+}
+
+TEST(ShardIndex, EdgeCasesAndValidation) {
+  const ShardIndex disabled;
+  EXPECT_TRUE(disabled.empty());
+  EXPECT_EQ(disabled.num_anchors(), 0u);
+  EXPECT_THROW(disabled.nearest(std::vector<float>{0.5F}),
+               PreconditionError);
+
+  const Tensor one = Tensor::from_rows({{0.25F, 0.75F}});
+  const ShardIndex single(one);
+  ShardIndexProbe probe;
+  EXPECT_DOUBLE_EQ(single.nearest(std::vector<float>{0.25F, 0.75F}, &probe),
+                   0.0);
+  EXPECT_EQ(probe.scanned, 1u);
+  EXPECT_EQ(probe.pruned, 0u);
+  EXPECT_THROW(single.nearest(std::vector<float>{0.25F}), PreconditionError);
+  EXPECT_THROW(ShardIndex(Tensor{}), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Screening calibration edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Screening, CalibrationRejectsEmptyCapture) {
+  const Tensor anchors = Tensor::from_rows({{0.5F, 0.5F}, {0.2F, 0.8F}});
+  EXPECT_THROW(calibrate_thresholds(anchors, Tensor{}), PreconditionError);
+}
+
+TEST(Screening, CalibrationSingleSampleIsSane) {
+  const Tensor anchors = Tensor::from_rows({{0.5F, 0.5F}, {0.2F, 0.8F}});
+  const Tensor one = Tensor::from_rows({{0.6F, 0.5F}});
+  const auto th = calibrate_thresholds(anchors, one, 95.0, 2.0);
+  EXPECT_TRUE(std::isfinite(th.flag_distance));
+  EXPECT_TRUE(std::isfinite(th.reject_distance));
+  // The only clean distance IS every percentile of the distribution.
+  EXPECT_NEAR(th.flag_distance, anchor_distance(anchors, one.row(0)), 1e-12);
+  EXPECT_NEAR(th.reject_distance, 2.0 * th.flag_distance, 1e-12);
+  EXPECT_NO_THROW(AnchorScreen(anchors, th));
+}
+
+TEST(Screening, CalibrationAllIdenticalDistancesIsSane) {
+  const Tensor anchors = Tensor::from_rows({{0.5F, 0.5F}, {0.2F, 0.8F}});
+  Tensor same({6, 2});
+  for (std::size_t i = 0; i < same.rows(); ++i) {
+    same.at(i, 0) = 0.6F;
+    same.at(i, 1) = 0.5F;
+  }
+  const auto th = calibrate_thresholds(anchors, same, 95.0, 2.0);
+  const double d = anchor_distance(anchors, same.row(0));
+  EXPECT_TRUE(std::isfinite(th.flag_distance));
+  EXPECT_NEAR(th.flag_distance, d, 1e-12);
+  EXPECT_NEAR(th.reject_distance, 2.0 * d, 1e-12);
+}
+
+TEST(Screening, CalibrationOnAnchorsYieldsZeroThresholds) {
+  // Clean capture sitting exactly on the anchors: all distances are 0, so
+  // both cutoffs collapse to 0 — still a valid screen (0 <= flag <=
+  // reject, no NaN) that accepts on-anchor traffic and rejects the rest.
+  const Tensor anchors = Tensor::from_rows({{0.5F, 0.5F}, {0.2F, 0.8F}});
+  const auto th = calibrate_thresholds(anchors, anchors, 95.0, 2.0);
+  EXPECT_EQ(th.flag_distance, 0.0);
+  EXPECT_EQ(th.reject_distance, 0.0);
+  const AnchorScreen screen(anchors, th);
+  EXPECT_EQ(screen.classify(screen.distance(std::vector<float>{0.2F, 0.8F})),
+            Verdict::Accept);
+  EXPECT_EQ(screen.classify(screen.distance(std::vector<float>{0.3F, 0.8F})),
+            Verdict::Reject);
+}
+
+TEST(Screening, CalibrationRejectsNonFiniteSamples) {
+  const Tensor anchors = Tensor::from_rows({{0.5F, 0.5F}});
+  Tensor bad({2, 2});
+  bad.at(0, 0) = 0.5F;
+  bad.at(0, 1) = 0.5F;
+  bad.at(1, 0) = std::numeric_limits<float>::quiet_NaN();
+  bad.at(1, 1) = 0.5F;
+  EXPECT_THROW(calibrate_thresholds(anchors, bad), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Drift-triggered cache invalidation
+// ---------------------------------------------------------------------------
+
+TEST(DriftMonitor, SlopeTrendSignalsOnceThenRebaselines) {
+  DriftPolicy p;
+  p.window = 4;
+  p.slope_factor = 1.5;
+  DriftMonitor m(p);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(m.record(0.01));  // baseline
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(m.record(0.012));  // 1.2x: ok
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(m.record(0.05));
+  EXPECT_TRUE(m.record(0.05));  // window completes 4.2x above baseline
+  // The drifted window became the new baseline: a persistent shift
+  // flushes once, not forever.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(m.record(0.05));
+}
+
+TEST(DriftMonitor, GradualCreepAccumulatesAgainstPinnedBaseline) {
+  // Drift ramping below slope_factor per window must not ratchet the
+  // baseline up with it: the pinned baseline catches the cumulative
+  // shift once it crosses the factor.
+  DriftPolicy p;
+  p.window = 4;
+  p.slope_factor = 1.5;
+  DriftMonitor m(p);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(m.record(0.01));   // baseline
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(m.record(0.013));  // 1.3x: ok
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(m.record(0.017));
+  EXPECT_TRUE(m.record(0.017))
+      << "1.7x the PINNED baseline must flush even though each step was "
+         "below slope_factor relative to its predecessor";
+}
+
+TEST(DriftMonitor, AbsoluteLevelAndValidation) {
+  DriftPolicy p;
+  p.window = 2;
+  p.slope_factor = 1e9;  // slope can never trigger
+  p.level = 0.03;
+  DriftMonitor m(p);
+  EXPECT_FALSE(m.record(0.01));
+  EXPECT_FALSE(m.record(0.01));  // baseline window, below level
+  EXPECT_FALSE(m.record(0.05));
+  EXPECT_TRUE(m.record(0.05));  // window mean 0.05 crosses the level
+  // A persistent shift that SETTLES above the level flushes once — the
+  // rebaselined map is the new normal, not a flush-every-window storm.
+  for (int i = 0; i < 6; ++i) EXPECT_FALSE(m.record(0.05));
+
+  DriftMonitor off;  // window == 0 disables
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.record(1e9));
+
+  DriftPolicy bad;
+  bad.window = 4;
+  bad.slope_factor = 0.5;
+  EXPECT_THROW(DriftMonitor{bad}, PreconditionError);
+}
+
+TEST(Service, DriftTrendFlushesShardCache) {
+  const auto& train = scenario().train;
+  const Tensor x = train.normalized();
+  baselines::Knn knn(3);
+  knn.fit(train);
+
+  ServiceConfig cfg;
+  cfg.num_workers = 1;  // deterministic window ordering
+  cfg.max_batch = 1;
+  cfg.cache_capacity = 32;
+  cfg.drift.window = 8;
+  cfg.drift.slope_factor = 1.5;
+  // Screen enabled with accept-everything thresholds: we want distances
+  // recorded, not verdicts issued.
+  LocalizationService service(knn, train.num_aps(),
+                              anchor_database_from(train), cfg);
+
+  const auto fp = row_of(x, 0);
+  // Two windows of stable traffic: establishes the baseline and fills
+  // the cache (the repeats must come from it).
+  bool saw_cache_hit = false;
+  for (int i = 0; i < 16; ++i)
+    saw_cache_hit |= service.submit(fp).get().from_cache;
+  EXPECT_TRUE(saw_cache_hit);
+  EXPECT_GT(service.cache().size(), 0u);
+  EXPECT_EQ(service.stats().drift_flushes, 0u);
+
+  // Synthetic drift: the whole radio map shifts by 5 dB (+0.05 on the
+  // normalised scale) — distances grow well past 1.5x baseline.
+  auto drifted = fp;
+  for (auto& v : drifted) v += 0.05F;
+  for (int i = 0; i < 8; ++i) service.submit(drifted).get();
+  EXPECT_EQ(service.stats().drift_flushes, 1u)
+      << "completing a drifted window must flush exactly once";
+
+  // The pre-drift entry is gone: the same fingerprint misses the cache.
+  EXPECT_FALSE(service.submit(fp).get().from_cache)
+      << "drift flush must evict the stale pre-drift cache entry";
+  service.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry / ShardRouter
+// ---------------------------------------------------------------------------
+
+ReplicaFactory dummy_factory() {
+  return [] { return std::make_unique<baselines::Knn>(1); };
+}
+
+TenantSpec dummy_spec(std::size_t num_aps = 8) {
+  TenantSpec spec;
+  spec.factory = dummy_factory();
+  spec.num_aps = num_aps;
+  return spec;
+}
+
+TEST(Registry, ResolvesExactFallbackAndMiss) {
+  ModelRegistry reg;
+  reg.register_tenant({"A", 0, "OP3"}, dummy_spec());
+  reg.register_tenant({"A", 1, "OP3"}, dummy_spec());
+  reg.register_tenant({"B", 0, ""}, dummy_spec());
+  reg.set_profile_fallbacks({"OP3", ""});
+  EXPECT_EQ(reg.size(), 3u);
+
+  const auto exact = reg.resolve({"A", 0, "OP3"});
+  EXPECT_EQ(exact.kind, ModelRegistry::Resolution::Kind::Exact);
+  EXPECT_EQ(exact.resolved, (TenantKey{"A", 0, "OP3"}));
+
+  // Unknown profile walks the chain to the venue's OP3 model...
+  const auto fb = reg.resolve({"A", 0, "S7"});
+  EXPECT_EQ(fb.kind, ModelRegistry::Resolution::Kind::Fallback);
+  EXPECT_EQ(fb.resolved, (TenantKey{"A", 0, "OP3"}));
+  // ...or to the venue-generic entry when there is no OP3 model.
+  const auto generic = reg.resolve({"B", 0, "S7"});
+  EXPECT_EQ(generic.kind, ModelRegistry::Resolution::Kind::Fallback);
+  EXPECT_EQ(generic.resolved, (TenantKey{"B", 0, ""}));
+
+  // Unknown building and unknown floor are misses, not guesses.
+  EXPECT_EQ(reg.resolve({"C", 0, "OP3"}).kind,
+            ModelRegistry::Resolution::Kind::Miss);
+  EXPECT_EQ(reg.resolve({"A", 7, "OP3"}).kind,
+            ModelRegistry::Resolution::Kind::Miss);
+}
+
+TEST(Registry, ValidatesSpecsAndRejectsDuplicates) {
+  ModelRegistry reg;
+  reg.register_tenant({"A", 0, "OP3"}, dummy_spec());
+  EXPECT_THROW(reg.register_tenant({"A", 0, "OP3"}, dummy_spec()),
+               PreconditionError);
+  EXPECT_THROW(reg.register_tenant({"", 0, "OP3"}, dummy_spec()),
+               PreconditionError);
+
+  TenantSpec no_factory = dummy_spec();
+  no_factory.factory = nullptr;
+  EXPECT_THROW(reg.register_tenant({"B", 0, ""}, std::move(no_factory)),
+               PreconditionError);
+
+  TenantSpec no_aps = dummy_spec(0);
+  EXPECT_THROW(reg.register_tenant({"B", 0, ""}, std::move(no_aps)),
+               PreconditionError);
+
+  TenantSpec bad_anchors = dummy_spec(8);
+  bad_anchors.anchors = Tensor({2, 5});  // 5 != num_aps
+  EXPECT_THROW(reg.register_tenant({"B", 0, ""}, std::move(bad_anchors)),
+               PreconditionError);
+}
+
+TEST(Router, DeterministicShardsAndRouting) {
+  ModelRegistry reg;
+  reg.register_tenant({"B", 0, "OP3"}, dummy_spec());
+  reg.register_tenant({"A", 0, "OP3"}, dummy_spec());
+  reg.register_tenant({"A", 0, ""}, dummy_spec());
+  reg.set_profile_fallbacks({"OP3", ""});
+
+  const ShardRouter router(reg);
+  ASSERT_EQ(router.num_shards(), 3u);
+  // str()-sorted shard order: "A/0:*" < "A/0:OP3" < "B/0:OP3".
+  EXPECT_EQ(router.shard_key(0), (TenantKey{"A", 0, ""}));
+  EXPECT_EQ(router.shard_key(1), (TenantKey{"A", 0, "OP3"}));
+  EXPECT_EQ(router.shard_key(2), (TenantKey{"B", 0, "OP3"}));
+  EXPECT_THROW(router.shard_key(3), PreconditionError);
+
+  const auto exact = router.route({"B", 0, "OP3"});
+  EXPECT_EQ(exact.status, RouteDecision::Status::Exact);
+  EXPECT_EQ(exact.shard, 2u);
+
+  const auto fb = router.route({"A", 0, "S7"});
+  EXPECT_EQ(fb.status, RouteDecision::Status::Fallback);
+  EXPECT_EQ(fb.shard, 1u);  // chain prefers OP3 over venue-generic
+
+  // No venue-generic entry for B, but the chain still finds B's OP3
+  // model for a profile-less request.
+  const auto generic = router.route({"B", 0, ""});
+  EXPECT_EQ(generic.status, RouteDecision::Status::Fallback);
+  EXPECT_EQ(generic.shard, 2u);
+
+  EXPECT_EQ(router.route({"Z", 0, "OP3"}).status,
+            RouteDecision::Status::Reject);
+
+  EXPECT_THROW(ShardRouter{ModelRegistry{}}, PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// MultiTenantService
+// ---------------------------------------------------------------------------
+
+/// Three small venues with distinct geometries and AP counts. Tenants are
+/// KNN models (cheap, deterministic) — the registry is model-agnostic.
+const std::vector<sim::Scenario>& small_fleet() {
+  static const std::vector<sim::Scenario> fleet = [] {
+    std::vector<sim::BuildingSpec> specs(3);
+    specs[0].name = "venue-a";
+    specs[0].num_aps = 20;
+    specs[0].path_length_m = 14;
+    specs[0].seed = 111;
+    specs[1].name = "venue-b";
+    specs[1].num_aps = 26;
+    specs[1].path_length_m = 18;
+    specs[1].seed = 222;
+    specs[2].name = "venue-c";
+    specs[2].num_aps = 32;
+    specs[2].path_length_m = 22;
+    specs[2].seed = 333;
+    return sim::make_fleet(specs, 4242);
+  }();
+  return fleet;
+}
+
+ReplicaFactory knn_factory(const data::FingerprintDataset& train) {
+  return [&train] {
+    auto model = std::make_unique<baselines::Knn>(3);
+    model->fit(train);
+    return model;
+  };
+}
+
+ModelRegistry small_fleet_registry(std::size_t workers_per_lane = 2) {
+  ModelRegistry reg;
+  for (const auto& sc : small_fleet()) {
+    TenantSpec spec;
+    spec.factory = knn_factory(sc.train);
+    spec.num_aps = sc.train.num_aps();
+    spec.anchors = anchor_database_from(sc.train);
+    spec.service.num_workers = workers_per_lane;
+    spec.service.max_batch = 8;
+    spec.service.queue_capacity = 64;
+    reg.register_tenant({sc.building_spec.name, 0, "OP3"}, std::move(spec));
+  }
+  reg.set_profile_fallbacks({"OP3"});
+  return reg;
+}
+
+TEST(MultiTenant, RoutedBitIdenticalToSequentialPerTenant) {
+  const auto& fleet = small_fleet();
+  // Sequential ground truth: each venue's own model on its own traffic.
+  std::vector<std::vector<std::vector<std::size_t>>> expected(fleet.size());
+  for (std::size_t v = 0; v < fleet.size(); ++v) {
+    baselines::Knn knn(3);
+    knn.fit(fleet[v].train);
+    for (const auto& test : fleet[v].device_tests)
+      expected[v].push_back(knn.predict(test.normalized()));
+  }
+
+  MultiTenantService service(small_fleet_registry());
+  ASSERT_EQ(service.num_shards(), 3u);
+
+  const auto stream = sim::fleet_request_stream(fleet, 300, 99, 0.25);
+  struct Sent {
+    sim::FleetRequest req;
+    RoutedSubmission sub;
+  };
+  std::vector<Sent> sent;
+  sent.reserve(stream.size());
+  for (const auto& req : stream) {
+    const auto& sc = fleet[req.venue];
+    const Tensor x = sc.device_tests[req.device].normalized();
+    sent.push_back(
+        {req, service.submit({sc.building_spec.name, 0, "OP3"},
+                             row_of(x, req.row))});
+  }
+  for (auto& s : sent) {
+    EXPECT_EQ(s.sub.decision.status, RouteDecision::Status::Exact);
+    const ServeResult r = s.sub.result.get();
+    EXPECT_TRUE(r.localized);
+    EXPECT_EQ(r.rp, expected[s.req.venue][s.req.device][s.req.row])
+        << "venue " << s.req.venue << " device " << s.req.device << " row "
+        << s.req.row;
+  }
+  service.shutdown();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.route_exact, stream.size());
+  EXPECT_EQ(stats.route_fallback, 0u);
+  EXPECT_EQ(stats.route_rejected, 0u);
+  EXPECT_EQ(stats.aggregate.completed, stream.size());
+  ASSERT_EQ(stats.per_tenant.size(), 3u);
+  std::size_t completed_sum = 0;
+  for (std::size_t shard = 0; shard < stats.per_tenant.size(); ++shard) {
+    const auto& t = stats.per_tenant[shard];
+    completed_sum += t.stats.completed;
+    // Screening work is bounded by the shard's own anchor count — the
+    // whole point of sharding the anchor database.
+    const std::size_t shard_anchors =
+        service.lane(shard).screen().num_anchors();
+    EXPECT_GT(shard_anchors, 0u);
+    EXPECT_EQ(t.stats.screened, t.stats.completed);
+    EXPECT_LE(t.stats.anchors_scanned, t.stats.screened * shard_anchors);
+  }
+  EXPECT_EQ(completed_sum, stream.size());
+}
+
+TEST(MultiTenant, FallbackChainAndExplicitReject) {
+  const auto& fleet = small_fleet();
+  MultiTenantService service(small_fleet_registry(1));
+  const Tensor x = fleet[0].device_tests[0].normalized();
+
+  // Unknown device profile falls back to the venue's OP3 tenant.
+  auto fb = service.submit({"venue-a", 0, "S7"}, row_of(x, 0));
+  EXPECT_EQ(fb.decision.status, RouteDecision::Status::Fallback);
+  EXPECT_EQ(fb.decision.resolved, (TenantKey{"venue-a", 0, "OP3"}));
+  EXPECT_TRUE(fb.result.get().localized);
+
+  // Unknown building / floor: deterministic explicit reject with an
+  // already-fulfilled future — never another venue's model.
+  for (const TenantKey& bad :
+       {TenantKey{"venue-z", 0, "OP3"}, TenantKey{"venue-a", 3, "OP3"}}) {
+    auto rej = service.submit(bad, row_of(x, 0));
+    EXPECT_EQ(rej.decision.status, RouteDecision::Status::Reject);
+    ASSERT_EQ(rej.result.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const ServeResult r = rej.result.get();
+    EXPECT_FALSE(r.localized);
+    EXPECT_EQ(r.verdict, Verdict::Reject);
+  }
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.route_fallback, 1u);
+  EXPECT_EQ(stats.route_rejected, 2u);
+  // Rejected routes never reach a lane.
+  EXPECT_EQ(stats.aggregate.submitted, 1u);
+  service.shutdown();
+}
+
+TEST(MultiTenant, ShardLocalThresholdsAndStatsIsolation) {
+  const auto& fleet = small_fleet();
+  ModelRegistry reg;
+  for (std::size_t v = 0; v < 2; ++v) {
+    const auto& sc = fleet[v];
+    TenantSpec spec;
+    spec.factory = knn_factory(sc.train);
+    spec.num_aps = sc.train.num_aps();
+    spec.anchors = anchor_database_from(sc.train);
+    spec.service.num_workers = 1;
+    if (v == 0) {
+      // Shard-local zero thresholds: venue-a rejects everything off the
+      // exact anchor manifold while venue-b keeps accepting.
+      spec.service.screening.flag_distance = 0.0;
+      spec.service.screening.reject_distance = 0.0;
+    }
+    reg.register_tenant({sc.building_spec.name, 0, "OP3"}, std::move(spec));
+  }
+  MultiTenantService service(std::move(reg));
+
+  const Tensor xa = fleet[0].device_tests[0].normalized();
+  const Tensor xb = fleet[1].device_tests[0].normalized();
+  for (std::size_t i = 0; i < 10; ++i) {
+    auto ra = service.submit({"venue-a", 0, "OP3"}, row_of(xa, i));
+    auto rb = service.submit({"venue-b", 0, "OP3"}, row_of(xb, i));
+    EXPECT_FALSE(ra.result.get().localized) << "venue-a rejects all";
+    EXPECT_TRUE(rb.result.get().localized) << "venue-b accepts";
+  }
+  service.shutdown();
+
+  const auto stats = service.stats();
+  ASSERT_EQ(stats.per_tenant.size(), 2u);
+  // Shard order is str()-sorted: venue-a before venue-b.
+  EXPECT_EQ(stats.per_tenant[0].tenant.building, "venue-a");
+  EXPECT_EQ(stats.per_tenant[0].stats.rejected, 10u);
+  EXPECT_EQ(stats.per_tenant[1].stats.rejected, 0u);
+  EXPECT_EQ(stats.aggregate.rejected, 10u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "common/ensure.hpp"
 #include "sim/collector.hpp"
+#include "sim/fleet.hpp"
 
 namespace {
 
@@ -216,5 +217,83 @@ TEST_P(MaterialSweep, EveryTable2BuildingProducesLearnableData) {
 
 INSTANTIATE_TEST_SUITE_P(AllBuildings, MaterialSweep,
                          ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+// ---------------------------------------------------------------------------
+// Multi-building fleet campaigns
+// ---------------------------------------------------------------------------
+
+std::vector<BuildingSpec> two_tiny_specs() {
+  BuildingSpec a = tiny_spec();
+  a.name = "fleet-a";
+  BuildingSpec b = tiny_spec();
+  b.name = "fleet-b";
+  b.num_aps = 16;
+  b.path_length_m = 13;
+  b.seed = 88;
+  return {a, b};
+}
+
+TEST(Fleet, SurveysEveryVenueIndependently) {
+  const auto specs = two_tiny_specs();
+  const auto fleet = make_fleet(specs, 7, 2, 1);
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[0].building_spec.name, "fleet-a");
+  EXPECT_EQ(fleet[1].building_spec.name, "fleet-b");
+  EXPECT_EQ(fleet[0].train.num_aps(), 12u);
+  EXPECT_EQ(fleet[1].train.num_aps(), 16u);
+  EXPECT_EQ(fleet[1].train.num_rps(), 14u);
+  // Determinism: the same seed replays the same campaign.
+  const auto again = make_fleet(specs, 7, 2, 1);
+  EXPECT_EQ(fleet[0].train.normalized().flat()[0],
+            again[0].train.normalized().flat()[0]);
+  EXPECT_THROW(make_fleet({}, 7), PreconditionError);
+}
+
+TEST(Fleet, Table2FleetSelectsByIndex) {
+  // Shrunk survey (1 sample/RP) keeps this fast while still touching the
+  // real Table II specs.
+  const std::vector<std::size_t> idx{2, 0};
+  const auto fleet = make_table2_fleet(idx, 5, 1, 1);
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[0].building_spec.name, "Building 3");
+  EXPECT_EQ(fleet[1].building_spec.name, "Building 1");
+  EXPECT_EQ(fleet[0].train.num_aps(), 78u);
+  const std::vector<std::size_t> bad{9};
+  EXPECT_THROW(make_table2_fleet(bad, 5), PreconditionError);
+}
+
+TEST(Fleet, RequestStreamIsDeterministicAndInBounds) {
+  const auto fleet = make_fleet(two_tiny_specs(), 7, 2, 1);
+  const auto stream = fleet_request_stream(fleet, 200, 11, 0.3);
+  ASSERT_EQ(stream.size(), 200u);
+  for (const auto& req : stream) {
+    ASSERT_LT(req.venue, fleet.size());
+    ASSERT_LT(req.device, fleet[req.venue].device_tests.size());
+    ASSERT_LT(req.row,
+              fleet[req.venue].device_tests[req.device].num_samples());
+  }
+  const auto replay = fleet_request_stream(fleet, 200, 11, 0.3);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].venue, replay[i].venue);
+    EXPECT_EQ(stream[i].device, replay[i].device);
+    EXPECT_EQ(stream[i].row, replay[i].row);
+  }
+  EXPECT_THROW(fleet_request_stream(fleet, 10, 11, 1.5), PreconditionError);
+}
+
+TEST(Fleet, FullRepeatProbPinsEachVenueToOneSpot) {
+  const auto fleet = make_fleet(two_tiny_specs(), 7, 2, 1);
+  const auto stream = fleet_request_stream(fleet, 100, 13, 1.0);
+  // With repeat_prob == 1 every venue re-issues its first request forever.
+  std::vector<const FleetRequest*> first(fleet.size(), nullptr);
+  for (const auto& req : stream) {
+    if (first[req.venue] == nullptr) {
+      first[req.venue] = &req;
+      continue;
+    }
+    EXPECT_EQ(req.device, first[req.venue]->device);
+    EXPECT_EQ(req.row, first[req.venue]->row);
+  }
+}
 
 }  // namespace

@@ -186,4 +186,36 @@ TEST(Tensor, RowSpanViews) {
   EXPECT_EQ(a.at(1, 0), 9.0F);
 }
 
+TEST(Tensor, UninitializedFactoryShapeAndWriteRead) {
+  // Storage is allocated but deliberately not zero-filled (the GEMM
+  // output-buffer fast path); only written elements may be read.
+  Tensor t = Tensor::uninitialized({3, 4});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  EXPECT_EQ(t.at(2, 3), 11.0F);
+  t.fill(0.5F);
+  EXPECT_EQ(t.at(0, 0), 0.5F);
+  EXPECT_THROW(Tensor::uninitialized({}), PreconditionError);
+  EXPECT_THROW(Tensor::uninitialized({2, 0}), PreconditionError);
+}
+
+TEST(Tensor, MatmulIntoUninitializedOutputMatchesNaive) {
+  // The matmul family writes into uninitialized storage; every element
+  // must still come out exactly as the naive reference computes it.
+  Rng rng(5);
+  const Tensor a = Tensor::rand_uniform({7, 9}, rng, -2.0F, 2.0F);
+  const Tensor b = Tensor::rand_uniform({9, 5}, rng, -2.0F, 2.0F);
+  const Tensor got = a.matmul(b);
+  for (std::size_t i = 0; i < got.rows(); ++i)
+    for (std::size_t j = 0; j < got.cols(); ++j) {
+      float want = 0.0F;
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        want += a.at(i, k) * b.at(k, j);
+      EXPECT_NEAR(got.at(i, j), want, 1e-4F);
+    }
+}
+
 }  // namespace
