@@ -1,6 +1,6 @@
 // Serving-engine throughput: sequential one-at-a-time inference vs the
-// batched / multi-threaded LocalizationService, plus the effect of the
-// fingerprint cache on stationary-device traffic.
+// batched / shared-pool ServeEngine, plus the effect of the fingerprint
+// cache on stationary-device traffic.
 //
 // Run: ./build/bench/bench_serve_throughput   (CALLOC_BENCH_FULL=1 for the
 // larger request count and paper-scale building)
@@ -13,7 +13,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/calloc.hpp"
-#include "serve/service.hpp"
+#include "serve/engine.hpp"
 #include "sim/fleet.hpp"
 
 namespace {
@@ -35,9 +35,34 @@ struct ModeReport {
   double cache_hit_pct = 0.0;
 };
 
-/// Drive `n_requests` through a running service from one producer thread;
+const serve::TenantKey& tenant() {
+  static const serve::TenantKey key{"bench", 0, ""};
+  return key;
+}
+
+/// One single-tenant engine deployment: `slots` replicas on a pool of
+/// `pool` threads.
+serve::ServeEngine make_engine(const serve::ReplicaFactory& factory,
+                               std::size_t num_aps, std::size_t pool,
+                               std::size_t slots, std::size_t max_batch,
+                               std::size_t cache_capacity) {
+  serve::ModelRegistry registry;
+  serve::TenantSpec spec;
+  spec.factory = factory;
+  spec.num_aps = num_aps;
+  spec.service.num_workers = slots;
+  spec.service.max_batch = max_batch;
+  spec.service.queue_capacity = 512;
+  spec.service.cache_capacity = cache_capacity;
+  registry.register_tenant(tenant(), std::move(spec));
+  serve::EngineConfig cfg;
+  cfg.pool_size = pool;
+  return {registry.publish(), cfg};
+}
+
+/// Drive `n_requests` through a running engine from one producer thread;
 /// `repeat_prob` models stationary devices re-sending their last scan.
-ModeReport drive(std::string name, serve::LocalizationService& service,
+ModeReport drive(std::string name, serve::ServeEngine& engine,
                  const Tensor& x, std::size_t n_requests, double repeat_prob,
                  Rng rng) {
   std::vector<std::future<serve::ServeResult>> futs;
@@ -47,12 +72,14 @@ ModeReport drive(std::string name, serve::LocalizationService& service,
   for (std::size_t i = 0; i < n_requests; ++i) {
     if (i == 0 || !rng.bernoulli(repeat_prob)) row = rng.uniform_index(x.rows());
     const auto fp = x.row(row);
-    futs.push_back(service.submit({fp.begin(), fp.end()}));
+    // Bounded queue: the engine's wrapper retries typed QueueFull denials.
+    futs.push_back(
+        engine.submit_blocking(tenant(), {fp.begin(), fp.end()}).result);
   }
   for (auto& f : futs) f.get();
   const double wall = seconds_since(t0);
-  service.shutdown();
-  const auto stats = service.stats();
+  engine.shutdown();
+  const auto stats = engine.stats().per_tenant.front().stats;
   ModeReport r;
   r.name = std::move(name);
   r.rps = static_cast<double>(n_requests) / wall;
@@ -77,7 +104,7 @@ std::string fmt(double v) {
 int main() {
   using namespace cal;
   bench::banner("bench_serve_throughput — online serving engine",
-                "claim: micro-batching (and worker parallelism on multi-core) "
+                "claim: micro-batching (and pool parallelism on multi-core) "
                 "raises served requests/second over sequential predict()");
 
   // A trained model to serve.
@@ -102,7 +129,7 @@ int main() {
   model.fit(sc.train);
   const auto weights = std::string("/tmp/bench_serve_weights.bin");
   model.save_weights(weights);
-  const auto factory = [&] {
+  const serve::ReplicaFactory factory = [&] {
     auto replica = std::make_unique<core::Calloc>(ccfg);
     replica->load_weights(weights, sc.train);
     return replica;
@@ -119,7 +146,7 @@ int main() {
 
   std::vector<ModeReport> reports;
 
-  // 1. Sequential baseline: one predict() per request, no service at all.
+  // 1. Sequential baseline: one predict() per request, no engine at all.
   {
     Rng rng(1);
     std::vector<double> lat;
@@ -145,45 +172,28 @@ int main() {
   }
 
   const std::size_t num_aps = traffic.num_aps();
-  // 2. Service, one worker, no coalescing: queue/future overhead exposed.
+  // 2. Engine, one worker, no coalescing: queue/future overhead exposed.
   {
-    serve::ServiceConfig cfg;
-    cfg.num_workers = 1;
-    cfg.max_batch = 1;
-    cfg.queue_capacity = 512;
-    serve::LocalizationService service(factory, num_aps, Tensor{}, cfg);
+    auto engine = make_engine(factory, num_aps, 1, 1, 1, 0);
     reports.push_back(
-        drive("service 1w batch=1", service, x, n_requests, 0.0, Rng(2)));
+        drive("engine 1w batch=1", engine, x, n_requests, 0.0, Rng(2)));
   }
-  // 3. Service, one worker, micro-batching on.
+  // 3. Engine, one worker, micro-batching on.
   {
-    serve::ServiceConfig cfg;
-    cfg.num_workers = 1;
-    cfg.max_batch = 32;
-    cfg.queue_capacity = 512;
-    serve::LocalizationService service(factory, num_aps, Tensor{}, cfg);
+    auto engine = make_engine(factory, num_aps, 1, 1, 32, 0);
     reports.push_back(
-        drive("service 1w batch=32", service, x, n_requests, 0.0, Rng(3)));
+        drive("engine 1w batch=32", engine, x, n_requests, 0.0, Rng(3)));
   }
-  // 4. Replica per hardware thread + batching.
+  // 4. Pool of hw threads, one replica slot per thread, batching on.
   {
-    serve::ServiceConfig cfg;
-    cfg.num_workers = hw;
-    cfg.max_batch = 32;
-    cfg.queue_capacity = 512;
-    serve::LocalizationService service(factory, num_aps, Tensor{}, cfg);
-    reports.push_back(drive("service " + std::to_string(hw) + "w batch=32",
-                            service, x, n_requests, 0.0, Rng(4)));
+    auto engine = make_engine(factory, num_aps, hw, hw, 32, 0);
+    reports.push_back(drive("engine " + std::to_string(hw) + "w batch=32",
+                            engine, x, n_requests, 0.0, Rng(4)));
   }
   // 5. Stationary-fleet traffic (70% repeats) with the LRU cache on.
   {
-    serve::ServiceConfig cfg;
-    cfg.num_workers = hw;
-    cfg.max_batch = 32;
-    cfg.queue_capacity = 512;
-    cfg.cache_capacity = 1024;
-    serve::LocalizationService service(factory, num_aps, Tensor{}, cfg);
-    reports.push_back(drive("service +cache (70% repeat)", service, x,
+    auto engine = make_engine(factory, num_aps, hw, hw, 32, 1024);
+    reports.push_back(drive("engine +cache (70% repeat)", engine, x,
                             n_requests, 0.7, Rng(5)));
   }
 
@@ -202,6 +212,7 @@ int main() {
     FILE* f = std::fopen("BENCH_serve.json", "w");
     if (f != nullptr) {
       std::fprintf(f, "{\n  \"bench\": \"bench_serve_throughput\",\n");
+      std::fprintf(f, "  \"api\": \"ServeEngine\",\n");
       std::fprintf(f, "  \"mode\": \"%s\",\n",
                    bench::full_mode() ? "full" : "quick");
       std::fprintf(f, "  \"hw_threads\": %zu,\n  \"requests\": %zu,\n",
@@ -231,9 +242,9 @@ int main() {
   ok &= bench::shape_check(reports[2].rps > kMargin * reports[0].rps,
                            "micro-batching beats sequential predict()");
   ok &= bench::shape_check(reports[2].rps > kMargin * reports[1].rps,
-                           "coalescing beats the unbatched service path");
+                           "coalescing beats the unbatched engine path");
   ok &= bench::shape_check(reports[3].rps > kMargin * reports[0].rps,
-                           "multi-worker batched serving beats sequential");
+                           "pooled batched serving beats sequential");
   ok &= bench::shape_check(reports[4].cache_hit_pct > 10.0,
                            "LRU cache absorbs stationary-device repeats");
   std::remove(weights.c_str());

@@ -1,14 +1,17 @@
-// Multi-venue online-serving demo: one MultiTenantService process guards
-// several buildings at once. An office runs a trained CALLOC model; a lab
-// runs a KNN tenant (the registry is model-agnostic). Fleet clients send
-// their real device name as their tenant profile — only the OP3 reference
-// model is registered per venue, so the profile fallback chain resolves
-// them — while two compromised office devices push PGD traffic through a
-// MITM channel, and a misconfigured client probes an unknown building.
+// Multi-venue online-serving demo: one ServeEngine process guards several
+// buildings on ONE shared worker pool. An office runs a trained CALLOC
+// model; a lab runs a KNN tenant (the registry is model-agnostic). Fleet
+// clients send their real device name as their tenant profile — only the
+// OP3 reference model is registered per venue, so the profile fallback
+// chain resolves them — while two compromised office devices push PGD
+// traffic through a MITM channel, a misconfigured client probes an
+// unknown building, and the office model is HOT-RELOADED mid-demo
+// (publish + RCU deploy) without dropping a request.
 //
-// Shows: registry + fallback routing, per-shard screening thresholds,
-// shard-local caches and stats, drift-aware cache policy, deterministic
-// rejects, and the aggregate fleet view.
+// Shows: registry + fallback routing, typed admission (quota shedding),
+// per-shard screening thresholds and ShardIndex probe counters, tenant-
+// local caches, drift trend telemetry, deterministic rejects, hot reload
+// that flushes only the reloaded tenant, and the aggregate fleet view.
 //
 // Run: ./build/examples/serve_demo
 #include <cstdio>
@@ -20,8 +23,23 @@
 #include "baselines/knn.hpp"
 #include "common/table.hpp"
 #include "core/calloc.hpp"
-#include "serve/router.hpp"
+#include "serve/engine.hpp"
 #include "sim/fleet.hpp"
+
+namespace {
+
+using namespace cal;
+
+/// Blocking submit via the engine's wrapper; the per-client denial count
+/// makes the quota's shedding visible in the report.
+serve::EngineSubmission submit_blocking(serve::ServeEngine& engine,
+                                        const serve::TenantKey& key,
+                                        const std::vector<float>& fp,
+                                        std::size_t* denials) {
+  return engine.submit_blocking(key, fp, denials);
+}
+
+}  // namespace
 
 int main() {
   using namespace cal;
@@ -53,11 +71,13 @@ int main() {
           .string();
   office_model.save_weights(weights);
 
-  // -- Deployment: registry of tenants, one shard lane each ---------------
+  // -- Deployment: registry of tenants, published onto ONE shared pool ----
   // Screens calibrate on each venue's clean fleet capture (the online
   // distribution — survey-only calibration would flag legitimate drift).
+  const serve::TenantKey office_key{"office", 0, "OP3"};
+  const serve::TenantKey lab_key{"lab", 0, "OP3"};
   serve::ModelRegistry registry;
-  {
+  auto office_spec = [&] {
     serve::TenantSpec spec;
     spec.factory = [&] {
       auto replica = std::make_unique<core::Calloc>(ccfg);
@@ -66,20 +86,31 @@ int main() {
     };
     spec.num_aps = office.train.num_aps();
     spec.anchors = office_model.model().anchor_matrix();
-    spec.service.num_workers = 3;
+    spec.service.num_workers = 3;  // replica slots on the shared pool
     spec.service.max_batch = 16;
     spec.service.queue_capacity = 256;
     spec.service.cache_capacity = 128;
     spec.service.cache_audit_rate = 0.05;
     spec.service.screening = serve::calibrate_thresholds(
-        spec.anchors, sim::merged_device_capture(office).normalized(), 95.0, 3.0);
+        spec.anchors, sim::merged_device_capture(office).normalized(), 95.0,
+        3.0);
     // Sustained screening-distance drift flushes this shard's cache.
     spec.service.drift.window = 256;
     spec.service.drift.slope_factor = 2.0;
-    std::printf("office screen: flag > %.4f, reject > %.4f (RMS/AP)\n",
+    // Admission quota: a compromised burst is shed at the door instead of
+    // starving the lab's share of the pool.
+    spec.service.quota.rate_per_s = 5000.0;
+    spec.service.quota.burst = 512.0;
+    return spec;
+  };
+  {
+    serve::TenantSpec spec = office_spec();
+    std::printf("office screen: flag > %.4f, reject > %.4f (RMS/AP); "
+                "quota %.0f req/s (burst %.0f)\n",
                 spec.service.screening.flag_distance,
-                spec.service.screening.reject_distance);
-    registry.register_tenant({"office", 0, "OP3"}, std::move(spec));
+                spec.service.screening.reject_distance,
+                spec.service.quota.rate_per_s, spec.service.quota.burst);
+    registry.register_tenant(office_key, std::move(spec));
   }
   {
     serve::TenantSpec spec;
@@ -94,7 +125,7 @@ int main() {
     spec.service.cache_capacity = 64;
     spec.service.screening = serve::calibrate_thresholds(
         spec.anchors, sim::merged_device_capture(lab).normalized(), 95.0, 3.0);
-    registry.register_tenant({"lab", 0, "OP3"}, std::move(spec));
+    registry.register_tenant(lab_key, std::move(spec));
   }
   registry.set_profile_fallbacks({"OP3"});
 
@@ -114,13 +145,20 @@ int main() {
 
   // -- Online phase: the engine starts now (post-training, post-attack-
   // crafting, so idle time does not dilute the telemetry clock).
-  serve::MultiTenantService service(std::move(registry));
+  serve::EngineConfig engine_cfg;
+  engine_cfg.pool_size = 4;  // for the WHOLE fleet, not per tenant
+  serve::ServeEngine engine(registry.publish(), engine_cfg);
+  engine.reset_telemetry_clocks();
+  std::printf("engine up: %zu tenants share a pool of %zu threads "
+              "(epoch %llu)\n",
+              engine.num_tenants(), engine.pool_size(),
+              static_cast<unsigned long long>(engine.snapshot()->epoch()));
 
   constexpr std::size_t kRequestsPerDevice = 120;
   struct Sent {
     std::size_t true_rp;
     bool attacked;
-    serve::RoutedSubmission sub;
+    serve::EngineSubmission sub;
   };
 
   // One client thread per (venue, device). Clients identify themselves by
@@ -155,8 +193,9 @@ int main() {
   }
 
   std::vector<std::vector<Sent>> logs(clients.size());
+  std::vector<std::size_t> denials(clients.size(), 0);
   std::vector<std::thread> threads;
-  // Distinct base seed from ServiceConfig::seed (2026): client streams
+  // Distinct base seed from EngineConfig::seed (2026): client streams
   // must not collide with the workers' audit streams (rng.hpp contract).
   Rng fleet_rng(909);
   for (std::size_t c = 0; c < clients.size(); ++c) {
@@ -173,25 +212,54 @@ int main() {
         const bool attack = cl.compromised && rng.bernoulli(0.4);
         const Tensor& pool = attack ? *attack_pool[c] : *clean_pool[c];
         const auto fp = pool.row(row);
-        logs[c].push_back({labels[row], attack,
-                           service.submit(tenant, {fp.begin(), fp.end()})});
+        logs[c].push_back(
+            {labels[row], attack,
+             submit_blocking(engine, tenant, {fp.begin(), fp.end()},
+                             &denials[c])});
       }
     });
   }
   for (auto& t : threads) t.join();
 
-  // A misconfigured client: unknown building, deterministic reject.
+  // A misconfigured client: unknown building, deterministic typed reject.
   const auto fp0 = office_clean[0].row(0);
-  auto stray = service.submit({"warehouse", 0, "OP3"},
-                              {fp0.begin(), fp0.end()});
-  std::printf("\nstray request to unknown venue 'warehouse': route=%s, "
-              "localized=%s\n",
+  auto stray = engine.submit({"warehouse", 0, "OP3"},
+                             {fp0.begin(), fp0.end()});
+  std::printf("\nstray request to unknown venue 'warehouse': admission=%s, "
+              "route=%s, localized=%s\n",
+              serve::to_string(stray.admission).c_str(),
               serve::to_string(stray.decision.status).c_str(),
               stray.result.get().localized ? "yes" : "no");
 
+  // -- Hot reload mid-traffic ---------------------------------------------
+  // The office model is "retrained" (same weights artefact here) and goes
+  // live with a publish + RCU deploy: no drain, no dropped requests, and
+  // ONLY the office cache/drift baseline is flushed — the lab keeps
+  // serving from its warm cache.
+  const std::size_t lab_cache_before = engine.tenant_cache(lab_key).size();
+  registry.reload_tenant(office_key, office_spec());
+  engine.deploy(registry.publish());
+  std::printf("\nhot reload: office model redeployed mid-traffic (epoch "
+              "%llu); office cache flushed to %zu entries, lab cache kept "
+              "%zu/%zu\n",
+              static_cast<unsigned long long>(engine.snapshot()->epoch()),
+              engine.tenant_cache(office_key).size(),
+              engine.tenant_cache(lab_key).size(), lab_cache_before);
+  // A short post-reload wave: the fresh deployment serves immediately.
+  std::size_t post_reload_ok = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto fp = office_clean[0].row(i % office_clean[0].rows());
+    auto sub = submit_blocking(engine, office_key,
+                               {fp.begin(), fp.end()}, nullptr);
+    if (sub.result.get().localized) ++post_reload_ok;
+  }
+  std::printf("post-reload wave: %zu/32 office requests localized on the "
+              "new deployment\n",
+              post_reload_ok);
+
   // -- Per-client report ---------------------------------------------------
   TextTable table({"venue", "device", "route", "traffic", "flagged",
-                   "rejected", "cache", "clean err(m)", "p@clean"});
+                   "rejected", "cache", "denied", "clean err(m)", "p@clean"});
   for (std::size_t c = 0; c < clients.size(); ++c) {
     const Client& cl = clients[c];
     std::size_t flagged = 0;
@@ -227,15 +295,42 @@ int main() {
                    cl.venue->device_names[cl.device], route,
                    cl.compromised ? "40% PGD" : "clean",
                    std::to_string(flagged), std::to_string(rejected),
-                   std::to_string(cached), err, acc});
+                   std::to_string(cached), std::to_string(denials[c]), err,
+                   acc});
   }
-  service.shutdown();
+  const auto stats = engine.stats();
+  engine.shutdown();
   std::printf("\n%zu clients x %zu requests across %zu venues (eps=%.1f, "
               "phi=%.0f%%)\n%s\n",
               clients.size(), kRequestsPerDevice, fleet.size(), atk.epsilon,
               atk.phi_percent, table.str().c_str());
+
+  // -- Per-tenant screening-work telemetry (ShardIndex probe counters) ----
+  TextTable probes({"tenant", "anchors", "screened", "scanned", "pruned",
+                    "mean scanned", "pruned %"});
+  for (const auto& t : stats.per_tenant) {
+    const std::size_t total = t.stats.anchors_scanned + t.stats.anchors_pruned;
+    char mean[32];
+    char pct[32];
+    std::snprintf(mean, sizeof(mean), "%.1f", t.stats.mean_anchors_scanned);
+    std::snprintf(pct, sizeof(pct), "%.1f%%",
+                  total > 0 ? 100.0 *
+                                  static_cast<double>(t.stats.anchors_pruned) /
+                                  static_cast<double>(total)
+                            : 0.0);
+    probes.add_row(
+        {t.tenant.str(),
+         std::to_string(engine.tenant_screen(t.tenant).num_anchors()),
+         std::to_string(t.stats.screened),
+         std::to_string(t.stats.anchors_scanned),
+         std::to_string(t.stats.anchors_pruned), mean, pct});
+  }
+  std::printf("per-tenant shard-index probes (screening work stays on the "
+              "routed shard)\n%s\n",
+              probes.str().c_str());
+
   std::printf("\nfleet telemetry\n---------------\n%s\n",
-              service.stats().str().c_str());
+              stats.str().c_str());
   std::remove(weights.c_str());
   return 0;
 }

@@ -1,0 +1,646 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace cal::serve {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+/// Ready future for a denied submission: never localized; routing misses
+/// additionally carry Verdict::Reject (the request was refused, not
+/// screened), admission denials keep Verdict::Accept — the Admission enum
+/// is the authoritative "why".
+std::future<ServeResult> ready_denial(Verdict verdict) {
+  std::promise<ServeResult> promise;
+  ServeResult res;
+  res.localized = false;
+  res.verdict = verdict;
+  promise.set_value(res);
+  return promise.get_future();
+}
+
+}  // namespace
+
+std::string to_string(Admission a) {
+  switch (a) {
+    case Admission::Accepted: return "accepted";
+    case Admission::OverQuota: return "over-quota";
+    case Admission::QueueFull: return "queue-full";
+    case Admission::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// TokenBucket
+// ---------------------------------------------------------------------------
+
+TokenBucket::TokenBucket(QuotaPolicy policy) { reconfigure(policy); }
+
+bool TokenBucket::unlimited() const {
+  std::lock_guard lock(mu_);
+  return policy_.rate_per_s <= 0.0;
+}
+
+void TokenBucket::reconfigure(QuotaPolicy policy) {
+  CAL_ENSURE(policy.rate_per_s >= 0.0 && policy.burst >= 0.0,
+             "quota must be non-negative: rate " << policy.rate_per_s
+                                                 << ", burst "
+                                                 << policy.burst);
+  std::lock_guard lock(mu_);
+  policy_ = policy;
+  if (policy_.rate_per_s > 0.0) {
+    if (policy_.burst <= 0.0) policy_.burst = policy_.rate_per_s;
+    // A bucket that can never hold one whole token (rate or burst below
+    // 1) would deny EVERY request forever; clamp so sub-1/s rates mean
+    // "one request per 1/rate seconds", not "no requests ever".
+    policy_.burst = std::max(policy_.burst, 1.0);
+  }
+  tokens_ = policy_.burst;
+  primed_ = false;
+}
+
+void TokenBucket::refund() {
+  std::lock_guard lock(mu_);
+  if (policy_.rate_per_s <= 0.0) return;
+  tokens_ = std::min(policy_.burst, tokens_ + 1.0);
+}
+
+bool TokenBucket::try_acquire(std::chrono::steady_clock::time_point now) {
+  std::lock_guard lock(mu_);
+  if (policy_.rate_per_s <= 0.0) return true;
+  if (!primed_) {
+    // First acquire after (re)configuration: the bucket starts full.
+    primed_ = true;
+    tokens_ = policy_.burst;
+    last_ = now;
+  } else if (now > last_) {
+    const double dt = std::chrono::duration<double>(now - last_).count();
+    tokens_ = std::min(policy_.burst, tokens_ + dt * policy_.rate_per_s);
+    last_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MultiTenantStats
+// ---------------------------------------------------------------------------
+
+std::string MultiTenantStats::str() const {
+  std::ostringstream os;
+  os << "deployment: epoch " << snapshot_epoch << ", " << deploys
+     << " deploys, " << reload_flushes << " reload flushes\n";
+  os << "routing:  " << route_exact << " exact, " << route_fallback
+     << " fallback, " << route_rejected << " rejected\n";
+  for (const TenantStats& t : per_tenant) {
+    os << "-- tenant " << t.tenant.str() << " --\n" << t.stats.str() << "\n";
+    if (t.drift.enabled) {
+      os << "drift:    baseline ";
+      if (t.drift.baseline_mean < 0.0) {
+        os << "(pinning)";
+      } else {
+        os << t.drift.baseline_mean;
+      }
+      if (t.drift.last_window_mean >= 0.0)
+        os << ", last window " << t.drift.last_window_mean;
+      os << ", building " << t.drift.partial_mean << " ("
+         << t.drift.partial_n << "/" << t.drift.window << ")\n";
+    }
+  }
+  os << "-- aggregate (" << per_tenant.size() << " tenants) --\n"
+     << aggregate.str();
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ServeEngine
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<ServeEngine::TenantState> ServeEngine::make_state(
+    const TenantDeployment& dep) {
+  auto state = std::make_shared<TenantState>(dep.lane.queue_capacity);
+  state->key = dep.key;
+  configure_state(*state, dep);
+  return state;
+}
+
+void ServeEngine::configure_state(TenantState& st,
+                                  const TenantDeployment& dep) {
+  st.version = dep.version;
+  st.num_aps = dep.num_aps;
+  st.lane = dep.lane;
+  // RCU-replace the cache and drift monitor rather than mutating them: a
+  // worker mid-batch on the retiring deployment holds shared_ptr copies
+  // and finishes against those, while all new traffic sees the fresh
+  // (empty, baseline-less) instances.
+  st.cache = std::make_shared<FingerprintCache>(dep.lane.cache_capacity,
+                                                dep.lane.cache_quant_step);
+  st.drift = std::make_shared<DriftMonitor>(dep.lane.drift);
+  st.bucket.reconfigure(dep.lane.quota);
+  // Applies to future pushes only: requests already queued beyond a
+  // shrunken capacity stay and drain normally.
+  st.q.set_capacity(dep.lane.queue_capacity);
+}
+
+ServeEngine::ServeEngine(std::shared_ptr<const DeploymentSnapshot> snapshot,
+                         EngineConfig cfg)
+    : cfg_(cfg) {
+  CAL_ENSURE(snapshot != nullptr, "engine needs a deployment snapshot");
+  CAL_ENSURE(cfg_.pool_size > 0, "engine needs pool_size >= 1");
+  snapshot_ = std::move(snapshot);
+  order_.reserve(snapshot_->num_tenants());
+  for (std::size_t i = 0; i < snapshot_->num_tenants(); ++i) {
+    auto state = make_state(snapshot_->tenant(i));
+    states_.emplace(state->key, state);
+    order_.push_back(std::move(state));
+  }
+  workers_.reserve(cfg_.pool_size);
+  try {
+    for (std::size_t i = 0; i < cfg_.pool_size; ++i)
+      workers_.emplace_back(&ServeEngine::worker_loop, this, i);
+  } catch (...) {
+    // Thread spawn can fail (EAGAIN under resource exhaustion). Unwinding
+    // with joinable threads would std::terminate, so stop the ones that
+    // started before rethrowing.
+    {
+      std::lock_guard lock(work_mu_);
+      stopped_ = true;
+      ++work_gen_;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_)
+      if (w.joinable()) w.join();
+    throw;
+  }
+}
+
+ServeEngine::~ServeEngine() { shutdown(); }
+
+EngineSubmission ServeEngine::submit(
+    const TenantKey& tenant, std::vector<float> fingerprint_normalized) {
+  CAL_ENSURE(accepting_.load(std::memory_order_acquire),
+             "submit() after engine shutdown");
+  EngineSubmission out;
+  std::shared_lock lock(mu_);
+  out.decision = snapshot_->route(tenant);
+  if (out.decision.status == RouteDecision::Status::Reject) {
+    route_rejected_.fetch_add(1, std::memory_order_relaxed);
+    // Deterministic explicit reject: never guess a venue.
+    out.admission = Admission::Rejected;
+    out.result = ready_denial(Verdict::Reject);
+    return out;
+  }
+  const auto state_it = states_.find(out.decision.resolved);
+  CAL_INVARIANT(state_it != states_.end(),
+                "snapshot tenant missing engine state");
+  TenantState& state = *state_it->second;
+  CAL_ENSURE(fingerprint_normalized.size() == state.num_aps,
+             "fingerprint has " << fingerprint_normalized.size()
+                                << " APs, tenant " << state.key.str()
+                                << " expects " << state.num_aps);
+  // Untrusted channel: a NaN/Inf fingerprint would poison the batched
+  // forward pass (the GEMM kernels propagate non-finites by contract) and
+  // feed std::lround garbage in the cache-key quantizer, so reject it at
+  // the door — same policy as the CSV loader.
+  for (std::size_t i = 0; i < fingerprint_normalized.size(); ++i)
+    CAL_ENSURE(std::isfinite(fingerprint_normalized[i]),
+               "fingerprint AP " << i << " is non-finite");
+  if (!state.bucket.try_acquire(std::chrono::steady_clock::now())) {
+    state.stats.record_over_quota();
+    out.admission = Admission::OverQuota;
+    out.result = ready_denial(Verdict::Accept);
+    return out;
+  }
+  // Count before the push: a worker may complete the request the instant
+  // it lands, and `completed` must never be observed above `submitted`.
+  state.stats.record_submitted();
+  {
+    // Pool bookkeeping BEFORE the push: once an item is visible in a
+    // queue, pending_ already covers it, so a draining pool can never
+    // observe "all served" while a just-pushed request is stranded.
+    std::lock_guard wlock(work_mu_);
+    ++pending_;
+  }
+  Pending pending;
+  pending.fingerprint = std::move(fingerprint_normalized);
+  // The admission timestamp, taken post-quota: latency_ms bills queueing
+  // + inference, never the time a client spent being denied
+  // (OverQuota/QueueFull) before this accept.
+  pending.admitted_at = std::chrono::steady_clock::now();
+  out.result = pending.promise.get_future();
+  if (!state.q.try_push(std::move(pending))) {
+    state.stats.record_submit_rejected();
+    // The consumed token must not bill a request that was never
+    // admitted — QueueFull shedding is not quota usage.
+    state.bucket.refund();
+    {
+      std::lock_guard wlock(work_mu_);
+      --pending_;
+      ++work_gen_;  // a parked drain may be waiting on pending_ to settle
+    }
+    work_cv_.notify_all();
+    // try_push fails for a full queue or a closed one; the queues close
+    // only inside shutdown() (after accepting_ flips), so re-reading the
+    // flag disambiguates. shutdown() closes under the queue's own mutex,
+    // making this read well-ordered after the close it lost to.
+    CAL_ENSURE(accepting_.load(std::memory_order_acquire),
+               "submit() after engine shutdown");
+    state.stats.record_queue_full();
+    out.admission = Admission::QueueFull;
+    out.result = ready_denial(Verdict::Accept);
+    return out;
+  }
+  {
+    std::lock_guard wlock(work_mu_);
+    ++work_gen_;
+  }
+  work_cv_.notify_one();
+  (out.decision.status == RouteDecision::Status::Exact ? route_exact_
+                                                       : route_fallback_)
+      .fetch_add(1, std::memory_order_relaxed);
+  out.admission = Admission::Accepted;
+  return out;
+}
+
+EngineSubmission ServeEngine::submit_blocking(
+    const TenantKey& tenant, std::vector<float> fingerprint_normalized,
+    std::size_t* denials) {
+  // Exponential backoff (100us -> ~6.4ms) keeps a producer blocked on a
+  // saturated tenant from spinning the admission path hot; precise
+  // condvar backpressure is deliberately NOT rebuilt here — this wrapper
+  // exists for the deprecated shims and drive loops, and overload-aware
+  // callers should handle the typed denials themselves.
+  auto backoff = std::chrono::microseconds(100);
+  constexpr auto kMaxBackoff = std::chrono::microseconds(6400);
+  for (;;) {
+    // Copy per attempt: submit() consumes the vector only on Accepted.
+    EngineSubmission sub = submit(tenant, fingerprint_normalized);
+    if (sub.admission == Admission::OverQuota ||
+        sub.admission == Admission::QueueFull) {
+      if (denials != nullptr) ++*denials;
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, kMaxBackoff);
+      continue;
+    }
+    return sub;
+  }
+}
+
+std::size_t ServeEngine::drop_queue(TenantState& st) {
+  std::size_t n = 0;
+  for (;;) {
+    auto batch = st.q.try_pop_batch(64);
+    if (batch.empty()) return n;
+    for (Pending& p : batch) {
+      // The tenant vanished (or changed width) under the request: fail
+      // it explicitly, and roll its admission back out of `submitted` —
+      // it was never served.
+      ServeResult res;
+      res.localized = false;
+      res.verdict = Verdict::Reject;
+      p.promise.set_value(res);
+      st.stats.record_submit_rejected();
+      ++n;
+    }
+  }
+}
+
+void ServeEngine::deploy(std::shared_ptr<const DeploymentSnapshot> snapshot) {
+  CAL_ENSURE(snapshot != nullptr, "deploy() needs a snapshot");
+  CAL_ENSURE(accepting_.load(std::memory_order_acquire),
+             "deploy() after engine shutdown");
+  std::size_t dropped = 0;
+  {
+    std::unique_lock lock(mu_);
+    // Re-check under the exclusive lock: a concurrent shutdown() closes
+    // every queue under a SHARED lock, so once we hold the exclusive one
+    // either its sweep already covered the current states (and this
+    // throw fires) or it will run after us and cover the new ones.
+    CAL_ENSURE(accepting_.load(std::memory_order_acquire),
+               "deploy() after engine shutdown");
+    std::unordered_map<TenantKey, std::shared_ptr<TenantState>, TenantKeyHash>
+        next_states;
+    std::vector<std::shared_ptr<TenantState>> next_order;
+    next_states.reserve(snapshot->num_tenants());
+    next_order.reserve(snapshot->num_tenants());
+    for (std::size_t i = 0; i < snapshot->num_tenants(); ++i) {
+      const TenantDeployment& dep = snapshot->tenant(i);
+      std::shared_ptr<TenantState> state;
+      if (const auto it = states_.find(dep.key); it != states_.end()) {
+        state = it->second;
+        if (state->version != dep.version) {
+          // Hot reload of THIS tenant: its cached answers and drift
+          // baseline describe the retired model's radio map. Queued
+          // requests survive (they re-run on the new replicas) unless
+          // the fingerprint width changed under them.
+          if (state->num_aps != dep.num_aps) dropped += drop_queue(*state);
+          configure_state(*state, dep);
+          reload_flushes_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Version unchanged — an identical republish — is a no-op:
+        // cache, drift baseline, bucket, and queue all carry over.
+      } else {
+        state = make_state(dep);
+      }
+      next_states.emplace(dep.key, state);
+      next_order.push_back(std::move(state));
+    }
+    for (auto& [key, state] : states_)
+      if (next_states.find(key) == next_states.end())
+        dropped += drop_queue(*state);
+    states_ = std::move(next_states);
+    order_ = std::move(next_order);
+    snapshot_ = std::move(snapshot);
+  }
+  deploys_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard wlock(work_mu_);
+    pending_ -= static_cast<std::int64_t>(dropped);
+    ++work_gen_;
+  }
+  work_cv_.notify_all();
+}
+
+void ServeEngine::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    accepting_.store(false, std::memory_order_release);
+    {
+      // Close every sub-queue. close() serializes on the queue's own
+      // mutex, so after this sweep every in-flight submit has either
+      // pushed (the drain below will serve it) or will see try_push
+      // fail and — accepting_ being false by now — throw.
+      std::shared_lock lock(mu_);
+      for (const auto& state : order_) state->q.close();
+    }
+    {
+      std::lock_guard wlock(work_mu_);
+      stopped_ = true;
+      ++work_gen_;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_)
+      if (w.joinable()) w.join();
+  });
+}
+
+bool ServeEngine::try_claim(std::size_t& cursor, Claim& out) {
+  std::shared_lock lock(mu_);
+  const std::size_t n = order_.size();
+  if (n == 0) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (cursor + i) % n;
+    const std::shared_ptr<TenantState>& state = order_[idx];
+    if (state->q.size() == 0) continue;
+    // order_ is rebuilt to snapshot order on every deploy, under the
+    // same exclusive lock — index alignment is an invariant.
+    const TenantDeployment& dep = snapshot_->tenant(idx);
+    CAL_INVARIANT(dep.key == state->key, "engine state order out of sync");
+    const int slot = dep.try_checkout();
+    if (slot < 0) continue;  // this tenant is already at max concurrency
+    std::vector<Pending> batch = state->q.try_pop_batch(dep.lane.max_batch);
+    if (batch.empty()) {  // another worker drained it between the checks
+      dep.release(static_cast<std::size_t>(slot));
+      continue;
+    }
+    {
+      std::lock_guard wlock(work_mu_);
+      pending_ -= static_cast<std::int64_t>(batch.size());
+    }
+    out.snap = snapshot_;
+    out.state = state;
+    out.dep = &dep;
+    out.slot = static_cast<std::size_t>(slot);
+    out.batch = std::move(batch);
+    out.cache = state->cache;
+    out.drift = state->drift;
+    cursor = (idx + 1) % n;
+    return true;
+  }
+  return false;
+}
+
+void ServeEngine::signal_work() {
+  {
+    std::lock_guard lock(work_mu_);
+    ++work_gen_;
+  }
+  work_cv_.notify_all();
+}
+
+void ServeEngine::worker_loop(std::size_t worker_index) {
+  // Private randomness stream for this worker (Rng is not shareable
+  // across threads): deterministic in (cfg.seed, worker_index).
+  Rng rng = Rng(cfg_.seed).fork(worker_index + 1);
+  // Staggered start so idle workers don't all pile on tenant 0.
+  std::size_t cursor = worker_index;
+  for (;;) {
+    std::uint64_t gen = 0;
+    {
+      std::lock_guard lock(work_mu_);
+      if (stopped_ && pending_ <= 0) return;
+      gen = work_gen_;
+    }
+    Claim claim;
+    if (try_claim(cursor, claim)) {
+      process(claim, rng);
+      claim.dep->release(claim.slot);
+      // The released slot may unblock a sibling that skipped this tenant.
+      signal_work();
+      continue;
+    }
+    std::unique_lock lock(work_mu_);
+    work_cv_.wait(lock, [&] {
+      return work_gen_ != gen || (stopped_ && pending_ <= 0);
+    });
+    if (stopped_ && pending_ <= 0) return;
+  }
+}
+
+void ServeEngine::process(Claim& claim, Rng& rng) {
+  const TenantDeployment& dep = *claim.dep;
+  const ServiceConfig& lane = dep.lane;  // immutable snapshot copy
+  const AnchorScreen& screen = dep.screen;
+  const std::shared_ptr<FingerprintCache>& cache = claim.cache;
+  const std::shared_ptr<DriftMonitor>& drift = claim.drift;
+  StatsCollector& stats = claim.state->stats;
+  stats.record_batch(claim.batch.size());
+
+  struct Slot {
+    Pending req;
+    ServeResult res;
+    FingerprintCache::Key key;
+    ShardIndexProbe probe;
+    bool infer = false;
+    bool audited = false;
+    bool audit_mismatch = false;
+    std::size_t cached_rp = 0;
+    bool fulfilled = false;
+  };
+
+  std::vector<Slot> slots;
+  slots.reserve(claim.batch.size());
+  for (auto& pending : claim.batch) {
+    Slot s;
+    s.req = std::move(pending);
+    slots.push_back(std::move(s));
+  }
+
+  try {
+    // Phase 1 — per-request screening and cache probe.
+    std::vector<std::size_t> infer_rows;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& s = slots[i];
+      s.res.anchor_distance = screen.distance(s.req.fingerprint, &s.probe);
+      s.res.verdict = screen.classify(s.res.anchor_distance);
+      if (s.res.verdict == Verdict::Reject) continue;  // never localised
+      // Drift tracking sees only non-rejected traffic: rejected
+      // fingerprints are off-manifold adversaries, not a moved radio
+      // map, and must not be able to poison the trend into flushing.
+      if (screen.enabled() && drift->record(s.res.anchor_distance)) {
+        cache->clear();
+        stats.record_drift_flush();
+      }
+      if (cache->enabled()) {
+        s.key = cache->make_key(s.req.fingerprint);
+        if (const auto hit = cache->lookup(s.key)) {
+          if (lane.cache_audit_rate > 0.0 &&
+              rng.bernoulli(lane.cache_audit_rate)) {
+            s.audited = true;
+            s.cached_rp = *hit;
+            s.infer = true;  // re-infer to verify the cached answer
+            infer_rows.push_back(i);
+          } else {
+            s.res.rp = *hit;
+            s.res.localized = true;
+            s.res.from_cache = true;
+          }
+          continue;
+        }
+      }
+      s.infer = true;
+      infer_rows.push_back(i);
+    }
+
+    // Phase 2 — one batched forward pass for every surviving request,
+    // on this claim's checked-out replica.
+    if (!infer_rows.empty()) {
+      Tensor xb({infer_rows.size(), dep.num_aps});
+      for (std::size_t k = 0; k < infer_rows.size(); ++k) {
+        const auto& fp = slots[infer_rows[k]].req.fingerprint;
+        std::copy(fp.begin(), fp.end(), xb.data() + k * dep.num_aps);
+      }
+      const auto rps = [&] {
+        if (std::mutex* mu = dep.shared_serialization(); mu != nullptr) {
+          // Borrowed model: predict() is not required to be thread-safe,
+          // and a reload can briefly put two deployments of the same
+          // model in flight — the registry-issued per-model mutex
+          // serializes across all of them.
+          std::lock_guard lock(*mu);
+          return dep.replica(claim.slot).predict(xb);
+        }
+        return dep.replica(claim.slot).predict(xb);
+      }();
+      CAL_INVARIANT(rps.size() == infer_rows.size(),
+                    "predict returned " << rps.size() << " labels for "
+                                        << infer_rows.size() << " rows");
+      for (std::size_t k = 0; k < infer_rows.size(); ++k) {
+        Slot& s = slots[infer_rows[k]];
+        s.res.rp = rps[k];
+        s.res.localized = true;
+        if (s.audited) s.audit_mismatch = (s.cached_rp != rps[k]);
+        if (cache->enabled()) cache->insert(s.key, rps[k]);
+      }
+    }
+
+    // Phase 3 — fulfil promises and record telemetry.
+    for (Slot& s : slots) {
+      s.res.latency_ms = ms_since(s.req.admitted_at);
+      ResultRecord rec;
+      rec.latency_ms = s.res.latency_ms;
+      rec.verdict = s.res.verdict;
+      rec.from_cache = s.res.from_cache;
+      rec.audited = s.audited;
+      rec.audit_mismatch = s.audit_mismatch;
+      rec.screened = screen.enabled();
+      rec.anchors_scanned = s.probe.scanned;
+      rec.anchors_pruned = s.probe.pruned;
+      stats.record_result(rec);
+      s.req.promise.set_value(s.res);
+      s.fulfilled = true;
+    }
+  } catch (...) {
+    // A model/bookkeeping failure must not strand waiting clients.
+    for (Slot& s : slots)
+      if (!s.fulfilled) s.req.promise.set_exception(std::current_exception());
+  }
+}
+
+MultiTenantStats ServeEngine::stats() const {
+  MultiTenantStats out;
+  std::shared_lock lock(mu_);
+  out.per_tenant.reserve(order_.size());
+  std::vector<ServiceStats> snapshots;
+  snapshots.reserve(order_.size());
+  for (const auto& state : order_) {
+    snapshots.push_back(state->stats.snapshot());
+    out.per_tenant.push_back(
+        {state->key, snapshots.back(), state->drift->snapshot()});
+  }
+  out.aggregate = aggregate_stats(snapshots);
+  out.route_exact = route_exact_.load(std::memory_order_relaxed);
+  out.route_fallback = route_fallback_.load(std::memory_order_relaxed);
+  out.route_rejected = route_rejected_.load(std::memory_order_relaxed);
+  out.snapshot_epoch = snapshot_->epoch();
+  out.deploys = deploys_.load(std::memory_order_relaxed);
+  out.reload_flushes = reload_flushes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ServeEngine::reset_telemetry_clocks() {
+  std::shared_lock lock(mu_);
+  for (const auto& state : order_) state->stats.reset_clock();
+}
+
+std::size_t ServeEngine::num_tenants() const {
+  std::shared_lock lock(mu_);
+  return order_.size();
+}
+
+std::shared_ptr<const DeploymentSnapshot> ServeEngine::snapshot() const {
+  std::shared_lock lock(mu_);
+  return snapshot_;
+}
+
+const FingerprintCache& ServeEngine::tenant_cache(const TenantKey& key) const {
+  std::shared_lock lock(mu_);
+  const auto it = states_.find(key);
+  CAL_ENSURE(it != states_.end(), "unknown tenant " << key.str());
+  return *it->second->cache;
+}
+
+const AnchorScreen& ServeEngine::tenant_screen(const TenantKey& key) const {
+  std::shared_lock lock(mu_);
+  const TenantDeployment* dep = snapshot_->find(key);
+  CAL_ENSURE(dep != nullptr, "unknown tenant " << key.str());
+  return dep->screen;
+}
+
+DriftTrend ServeEngine::tenant_drift(const TenantKey& key) const {
+  std::shared_lock lock(mu_);
+  const auto it = states_.find(key);
+  CAL_ENSURE(it != states_.end(), "unknown tenant " << key.str());
+  return it->second->drift->snapshot();
+}
+
+}  // namespace cal::serve

@@ -1,0 +1,277 @@
+// ServeEngine: hot-reloadable, quota-governed serving on a shared pool.
+//
+//   request {tenant key, fingerprint}
+//        │ submit()  — never blocks; returns a typed Admission
+//        ▼
+//   DeploymentSnapshot::route ── exact / fallback ──▶ tenant
+//        │                            └─ miss ──▶ Rejected (ready future)
+//        ▼
+//   token bucket ──▶ OverQuota │ bounded sub-queue ──▶ QueueFull
+//        │ Accepted (admission timestamp taken here, post-quota)
+//        ▼
+//   per-tenant sub-queue ◀── shared worker pool (pool_size threads,
+//                             independent of tenant count) claims
+//                             micro-batches round-robin across tenants:
+//                             1. checkout a replica slot (per-tenant
+//                                concurrency = its slot count)
+//                             2. screen → LRU probe → ONE batched
+//                                predict() → drift check
+//                             3. fulfil futures, release the slot
+//
+// This replaces the PR 4 thread-per-lane model: N tenants × K workers
+// threads became ONE pool of pool_size threads for the whole fleet, with
+// two isolation mechanisms the shared pool needs — bounded per-tenant
+// sub-queues (a burst cannot occupy more than its queue) and token-bucket
+// admission quotas (a burst beyond rate_per_s is shed at the door with
+// Admission::OverQuota, before it costs the pool anything). Round-robin
+// claiming then bounds how long a quiet tenant's batch waits behind a
+// saturated one: at most one in-flight batch per pool worker.
+//
+// Hot reload (RCU over DeploymentSnapshot): deploy() swaps the snapshot
+// pointer mid-traffic. In-flight batches finish on the replicas they
+// checked out from the old snapshot (kept alive by their shared_ptr);
+// queued and new requests run on the new one. Per-tenant mutable state —
+// cache, drift baseline, stats, quota bucket, sub-queue — persists across
+// deploys; only tenants whose registry spec VERSION changed get their LRU
+// flushed and drift baseline reset (so re-publishing an identical
+// catalogue is a no-op flush-wise, and reloading venue T never cold-
+// starts venue U). Predictions stay bit-identical to sequential
+// per-tenant predict() across a reload of unchanged weights, because
+// replicas are bit-identical and the forward math is row-independent.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/queue.hpp"
+#include "serve/snapshot.hpp"
+
+namespace cal::serve {
+
+/// Typed outcome of ServeEngine::submit — the engine never blocks the
+/// caller; every denial is explicit.
+enum class Admission {
+  Accepted,   ///< enqueued; the future resolves when a worker serves it
+  OverQuota,  ///< tenant's token bucket is empty (ready future)
+  QueueFull,  ///< tenant's bounded sub-queue is at capacity (ready future)
+  Rejected,   ///< tenant resolved nowhere — routing miss (ready future)
+};
+
+std::string to_string(Admission a);
+
+/// Monotonic-clock token bucket (see QuotaPolicy). try_acquire takes the
+/// current time explicitly so tests can drive synthetic clocks.
+class TokenBucket {
+ public:
+  TokenBucket() = default;  ///< unlimited
+  explicit TokenBucket(QuotaPolicy policy);
+
+  bool unlimited() const;
+
+  /// Take one token if available. Refills rate_per_s per second up to
+  /// the burst cap, computed lazily from the elapsed monotonic time.
+  bool try_acquire(std::chrono::steady_clock::time_point now);
+  bool try_acquire() { return try_acquire(std::chrono::steady_clock::now()); }
+
+  /// Return one token (capped at the burst). The engine refunds a token
+  /// when a quota-admitted request is then refused by the sub-queue —
+  /// QueueFull denials must not drain the tenant's admission budget.
+  void refund();
+
+  /// Swap the policy in place (engine hot reload); the bucket restarts
+  /// full so a freshly reloaded tenant is not instantly throttled.
+  void reconfigure(QuotaPolicy policy);
+
+ private:
+  mutable std::mutex mu_;
+  QuotaPolicy policy_{};
+  double tokens_ = 0.0;
+  bool primed_ = false;  ///< until first acquire, bucket starts full
+  std::chrono::steady_clock::time_point last_{};
+};
+
+struct EngineConfig {
+  /// Shared worker threads for the WHOLE fleet — the engine's OS thread
+  /// count, independent of how many tenants are deployed.
+  std::size_t pool_size = 2;
+  /// Base seed for the per-worker Rng streams (cache-hit audits).
+  std::uint64_t seed = 2026;
+};
+
+/// submit() outcome: admission and routing are known synchronously; the
+/// localization result arrives through the future (already fulfilled,
+/// with localized == false, for anything but Accepted).
+struct EngineSubmission {
+  Admission admission = Admission::Rejected;
+  RouteDecision decision;
+  std::future<ServeResult> result;
+};
+
+/// Per-tenant entry of a MultiTenantStats snapshot.
+struct TenantStats {
+  TenantKey tenant;
+  ServiceStats stats;
+  /// The drift trend itself (window means + pinned baseline), so
+  /// operators see drift building before the flush.
+  DriftTrend drift;
+};
+
+/// Fleet snapshot: every tenant's stats, their aggregate, the route mix,
+/// and the deployment epoch the engine is serving from.
+struct MultiTenantStats {
+  std::vector<TenantStats> per_tenant;  ///< shard (snapshot) order
+  ServiceStats aggregate;
+  std::size_t route_exact = 0;
+  std::size_t route_fallback = 0;
+  std::size_t route_rejected = 0;
+  std::uint64_t snapshot_epoch = 0;  ///< epoch of the live snapshot
+  std::size_t deploys = 0;           ///< deploy() calls since construction
+  std::size_t reload_flushes = 0;    ///< tenants flushed by version change
+
+  std::string str() const;
+};
+
+/// The serving engine. Construct from a published snapshot; deploy()
+/// newer snapshots at any time without draining traffic.
+class ServeEngine {
+ public:
+  ServeEngine(std::shared_ptr<const DeploymentSnapshot> snapshot,
+              EngineConfig cfg);
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+  ~ServeEngine();
+
+  /// Route, quota-check, and enqueue one normalised fingerprint. Never
+  /// blocks: the outcome is a typed Admission (plus a ready future for
+  /// every denial). Throws PreconditionError on a malformed fingerprint
+  /// (wrong width for the resolved tenant, non-finite values) and after
+  /// shutdown().
+  EngineSubmission submit(const TenantKey& tenant,
+                          std::vector<float> fingerprint_normalized);
+
+  /// Blocking convenience wrapper for legacy-style producers (and the
+  /// deprecated shims): retries OverQuota / QueueFull denials with a
+  /// short poll until the request is Accepted or Rejected. `denials`,
+  /// when given, counts the retried attempts.
+  EngineSubmission submit_blocking(const TenantKey& tenant,
+                                   std::vector<float> fingerprint_normalized,
+                                   std::size_t* denials = nullptr);
+
+  /// RCU snapshot swap — see the file comment. Queued requests of
+  /// tenants absent from (or width-incompatible with) the new snapshot
+  /// are failed immediately with localized == false.
+  void deploy(std::shared_ptr<const DeploymentSnapshot> snapshot);
+
+  /// Stop accepting requests, drain every sub-queue, join the pool.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  MultiTenantStats stats() const;
+
+  /// Restart every tenant's telemetry wall clock (counters untouched) —
+  /// call once a freshly constructed fleet is ready to take traffic.
+  void reset_telemetry_clocks();
+
+  std::size_t pool_size() const { return cfg_.pool_size; }
+  std::size_t num_tenants() const;
+  std::shared_ptr<const DeploymentSnapshot> snapshot() const;
+
+  /// Per-tenant introspection (exact deployed key, no fallback). The
+  /// screen reference is valid until the next deploy().
+  const FingerprintCache& tenant_cache(const TenantKey& key) const;
+  const AnchorScreen& tenant_screen(const TenantKey& key) const;
+  DriftTrend tenant_drift(const TenantKey& key) const;
+
+ private:
+  struct Pending {
+    std::vector<float> fingerprint;
+    std::promise<ServeResult> promise;
+    /// Post-quota admission on the monotonic clock — latency_ms bills
+    /// queueing + inference, never pre-admission stalls.
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  /// Mutable per-tenant lane state; persists across deploy() for
+  /// version-unchanged tenants.
+  struct TenantState {
+    explicit TenantState(std::size_t queue_capacity) : q(queue_capacity) {}
+
+    TenantKey key;
+    std::uint64_t version = 0;
+    std::size_t num_aps = 0;
+    ServiceConfig lane;
+    /// RCU-replaced (never mutated in place) on hot reload — see Claim.
+    std::shared_ptr<FingerprintCache> cache;
+    std::shared_ptr<DriftMonitor> drift;
+    TokenBucket bucket;
+    StatsCollector stats;
+    /// Bounded sub-queue; try_push keeps submit() non-blocking.
+    BoundedQueue<Pending> q;
+  };
+
+  struct Claim {
+    std::shared_ptr<const DeploymentSnapshot> snap;
+    std::shared_ptr<TenantState> state;
+    const TenantDeployment* dep = nullptr;  ///< points into `snap`
+    std::size_t slot = 0;
+    std::vector<Pending> batch;
+    /// Copies taken at claim time: a concurrent hot reload swaps the
+    /// tenant's cache/drift for fresh instances, while this batch keeps
+    /// finishing against the ones its deployment was claimed with.
+    std::shared_ptr<FingerprintCache> cache;
+    std::shared_ptr<DriftMonitor> drift;
+  };
+
+  static std::shared_ptr<TenantState> make_state(const TenantDeployment& dep);
+  static void configure_state(TenantState& st, const TenantDeployment& dep);
+  /// Fail every queued request of `st` (tenant removed / incompatible).
+  /// Returns how many were dropped.
+  std::size_t drop_queue(TenantState& st);
+
+  void worker_loop(std::size_t worker_index);
+  bool try_claim(std::size_t& cursor, Claim& out);
+  void process(Claim& claim, Rng& rng);
+  void signal_work();
+
+  EngineConfig cfg_;
+
+  /// Guards snapshot_ / states_ / order_ as one consistent unit: submit
+  /// and workers take it shared, deploy/shutdown take it unique.
+  mutable std::shared_mutex mu_;
+  std::shared_ptr<const DeploymentSnapshot> snapshot_;
+  std::unordered_map<TenantKey, std::shared_ptr<TenantState>, TenantKeyHash>
+      states_;
+  std::vector<std::shared_ptr<TenantState>> order_;  ///< snapshot order
+
+  std::atomic<bool> accepting_{true};
+
+  /// Pool wake-up state. work_gen_ bumps on every event a parked worker
+  /// might care about (push, slot release, deploy, shutdown); waiting on
+  /// a generation makes lost wakeups impossible.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::uint64_t work_gen_ = 0;
+  /// Queued-but-unclaimed requests, fleet-wide. Signed: push/claim
+  /// bookkeeping from different threads may transiently interleave.
+  std::int64_t pending_ = 0;
+  bool stopped_ = false;
+
+  std::atomic<std::size_t> route_exact_{0};
+  std::atomic<std::size_t> route_fallback_{0};
+  std::atomic<std::size_t> route_rejected_{0};
+  std::atomic<std::size_t> deploys_{0};
+  std::atomic<std::size_t> reload_flushes_{0};
+
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace cal::serve

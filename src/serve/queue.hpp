@@ -3,10 +3,13 @@
 // The serving front door pushes one request at a time from arbitrarily many
 // client threads; worker threads drain up to `max_items` requests in one
 // pop so the inference layer sees micro-batches instead of single
-// fingerprints. The queue is the service's backpressure mechanism: when
-// `capacity` requests are already waiting, producers block instead of
-// growing an unbounded backlog (a overload surge from a compromised fleet
-// must not exhaust server memory).
+// fingerprints. The queue is the overload valve: when `capacity` requests
+// are already waiting, push() blocks the producer (legacy backpressure)
+// while try_push() refuses immediately — ServeEngine uses one BoundedQueue
+// per tenant with the try_ flavour, turning overload into the typed
+// Admission::QueueFull outcome instead of a blocked client thread (a
+// surge from a compromised fleet must not exhaust server memory either
+// way).
 #pragma once
 
 #include <condition_variable>
@@ -43,6 +46,21 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push: returns false immediately — leaving `item`
+  /// untouched — when the queue is full or closed, instead of waiting
+  /// for a slot. This is the admission-control flavour the serving
+  /// engine's typed submit() uses: overload is reported to the caller as
+  /// Admission::QueueFull rather than absorbed as producer back-pressure.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Dequeue up to `max_items` items in arrival order. Blocks until at
   /// least one item is available or the queue is closed; an empty result
   /// means closed-and-drained (the consumer should exit).
@@ -62,6 +80,38 @@ class BoundedQueue {
     // every waiting consumer so the pool can exit.
     not_full_.notify_all();
     return batch;
+  }
+
+  /// Non-blocking drain: up to `max_items` items if any are queued,
+  /// empty otherwise — never waits. Used by pool workers that scan many
+  /// queues and must not park on an empty one.
+  std::vector<T> try_pop_batch(std::size_t max_items) {
+    CAL_ENSURE(max_items > 0, "try_pop_batch needs max_items > 0");
+    std::vector<T> batch;
+    {
+      std::lock_guard lock(mu_);
+      const std::size_t n = std::min(max_items, items_.size());
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (!batch.empty()) not_full_.notify_all();
+    return batch;
+  }
+
+  /// Resize the capacity in place (ServeEngine applies a hot-reloaded
+  /// tenant's queue_capacity this way). Only future pushes are affected:
+  /// items already queued beyond a shrunken capacity stay and drain
+  /// normally — admitted requests are never dropped by a resize.
+  void set_capacity(std::size_t capacity) {
+    CAL_ENSURE(capacity > 0, "queue capacity must be positive");
+    {
+      std::lock_guard lock(mu_);
+      capacity_ = capacity;
+    }
+    not_full_.notify_all();  // a grown queue may unblock producers
   }
 
   /// Close the queue: future pushes fail, consumers drain then stop.

@@ -1,20 +1,10 @@
 #include "serve/router.hpp"
 
-#include <sstream>
 #include <utility>
 
 #include "common/ensure.hpp"
 
 namespace cal::serve {
-
-std::string to_string(RouteDecision::Status s) {
-  switch (s) {
-    case RouteDecision::Status::Exact: return "exact";
-    case RouteDecision::Status::Fallback: return "fallback";
-    case RouteDecision::Status::Reject: return "reject";
-  }
-  return "?";
-}
 
 ShardRouter::ShardRouter(const ModelRegistry& registry)
     : shards_(registry.keys()), fallbacks_(registry.profile_fallbacks()) {
@@ -43,90 +33,41 @@ RouteDecision ShardRouter::route(const TenantKey& request) const {
           by_key_.at(res.resolved), res.resolved};
 }
 
-std::string MultiTenantStats::str() const {
-  std::ostringstream os;
-  os << "routing:  " << route_exact << " exact, " << route_fallback
-     << " fallback, " << route_rejected << " rejected\n";
-  for (const TenantStats& t : per_tenant) {
-    os << "-- tenant " << t.tenant.str() << " --\n" << t.stats.str() << "\n";
-  }
-  os << "-- aggregate (" << per_tenant.size() << " shards) --\n"
-     << aggregate.str();
-  return os.str();
-}
-
 MultiTenantService::MultiTenantService(ModelRegistry registry)
     : registry_(std::move(registry)), router_(registry_) {
-  lanes_.reserve(router_.num_shards());
-  for (std::size_t shard = 0; shard < router_.num_shards(); ++shard) {
-    const TenantKey& key = router_.shard_key(shard);
-    const TenantSpec* spec = registry_.find(key);
-    CAL_INVARIANT(spec != nullptr, "router shard key missing from registry");
-    // Tensor copy: the registry keeps its catalogue intact for later
-    // inspection while each lane owns its shard's anchor database.
-    lanes_.push_back(std::make_unique<LocalizationService>(
-        spec->factory, spec->num_aps, spec->anchors, spec->service));
-  }
-  // Lanes were built sequentially, each running its replica factory
-  // num_workers times; align every shard's telemetry clock to "fleet
-  // ready" so early shards don't report the rest of the construction as
-  // serving wall time.
-  for (auto& lane : lanes_) lane->reset_telemetry_clock();
+  // Thread-count parity with the retired per-lane model: each tenant's
+  // num_workers now contributes replica slots AND pool threads, so the
+  // shim behaves like the old fleet while new code sizes the two
+  // independently through ServeEngine.
+  std::size_t pool = 0;
+  for (const TenantKey& key : registry_.keys())
+    pool += registry_.find(key)->service.num_workers;
+  EngineConfig cfg;
+  cfg.pool_size = std::max<std::size_t>(pool, 1);
+  engine_ = std::make_unique<ServeEngine>(registry_.publish(), cfg);
+  // Replica factories are arbitrarily slow; align every tenant's
+  // telemetry clock to "fleet ready" so shards built early don't count
+  // the rest of the construction as serving time.
+  engine_->reset_telemetry_clocks();
 }
 
 MultiTenantService::~MultiTenantService() { shutdown(); }
 
 RoutedSubmission MultiTenantService::submit(
     const TenantKey& tenant, std::vector<float> fingerprint_normalized) {
-  RoutedSubmission out;
-  out.decision = router_.route(tenant);
-  if (out.decision.status == RouteDecision::Status::Reject) {
-    route_rejected_.fetch_add(1, std::memory_order_relaxed);
-    // Deterministic explicit reject: never guess a venue. The future is
-    // fulfilled before it is returned.
-    std::promise<ServeResult> promise;
-    ServeResult res;
-    res.localized = false;
-    res.verdict = Verdict::Reject;
-    promise.set_value(res);
-    out.result = promise.get_future();
-    return out;
-  }
-  out.result =
-      lanes_[out.decision.shard]->submit(std::move(fingerprint_normalized));
-  // Count only after the lane accepted the request (submit throws after
-  // shutdown and on invalid fingerprints): the route mix must never
-  // exceed what the lanes actually enqueued.
-  (out.decision.status == RouteDecision::Status::Exact ? route_exact_
-                                                       : route_fallback_)
-      .fetch_add(1, std::memory_order_relaxed);
-  return out;
+  // The legacy API blocked the producer on a saturated shard;
+  // submit_blocking emulates that backpressure by retrying admission.
+  EngineSubmission sub =
+      engine_->submit_blocking(tenant, std::move(fingerprint_normalized));
+  return {sub.decision, std::move(sub.result)};
 }
 
-void MultiTenantService::shutdown() {
-  for (auto& lane : lanes_) lane->shutdown();
-}
+void MultiTenantService::shutdown() { engine_->shutdown(); }
 
-const LocalizationService& MultiTenantService::lane(std::size_t shard) const {
-  CAL_ENSURE(shard < lanes_.size(),
-             "shard " << shard << " out of " << lanes_.size());
-  return *lanes_[shard];
-}
+MultiTenantStats MultiTenantService::stats() const { return engine_->stats(); }
 
-MultiTenantStats MultiTenantService::stats() const {
-  MultiTenantStats out;
-  out.per_tenant.reserve(lanes_.size());
-  std::vector<ServiceStats> snapshots;
-  snapshots.reserve(lanes_.size());
-  for (std::size_t shard = 0; shard < lanes_.size(); ++shard) {
-    snapshots.push_back(lanes_[shard]->stats());
-    out.per_tenant.push_back({router_.shard_key(shard), snapshots.back()});
-  }
-  out.aggregate = aggregate_stats(snapshots);
-  out.route_exact = route_exact_.load(std::memory_order_relaxed);
-  out.route_fallback = route_fallback_.load(std::memory_order_relaxed);
-  out.route_rejected = route_rejected_.load(std::memory_order_relaxed);
-  return out;
+std::size_t MultiTenantService::num_shards() const {
+  return engine_->num_tenants();
 }
 
 }  // namespace cal::serve

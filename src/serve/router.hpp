@@ -1,51 +1,34 @@
-// Routed, sharded multi-tenant serving engine.
+// Registry-side routing view, and the multi-tenant compatibility shim.
 //
-//   request {tenant key, fingerprint}
-//        │
-//        ▼
-//   ShardRouter ── exact / profile-fallback / reject ──▶ shard id
-//        │
-//        ▼
-//   per-shard LocalizationService lane
-//     (own replicas, anchor screen + shard index, LRU cache,
-//      drift monitor, stats)
+// Routing itself — exact key → profile fallback chain → deterministic
+// reject — is one policy (resolve_tenant, registry.hpp) evaluated over
+// three key sets: ModelRegistry::resolve for catalogue queries,
+// ShardRouter below for a frozen pre-publish view, and
+// DeploymentSnapshot::route (snapshot.hpp) for the live engine, which
+// re-snapshots the key set on every hot reload.
 //
-// The router is a snapshot of the registry's key set and fallback chain:
-// two hash probes per request in the common case, no locks, no shared
-// mutable state. Lanes are fully independent — one venue's traffic burst,
-// cache flush, or screening storm cannot touch another venue's thresholds
-// or tail latency. Predictions are bit-identical to calling the resolved
-// tenant's own model sequentially, because each lane preserves the
-// single-tenant engine's replica guarantee (see service.hpp).
-//
-// Unknown tenants are rejected deterministically: submit() returns an
-// already-fulfilled future carrying Verdict::Reject and localized ==
-// false, so a misconfigured client sees an explicit, immediate answer
-// instead of traffic silently landing on the wrong venue's model.
+// MultiTenantService is the PR 4 thread-per-lane front door, kept for one
+// more PR as a thin DEPRECATED shim over ServeEngine (engine.hpp): it
+// publishes its registry once, sizes the shared pool like the old
+// per-lane worker pools (sum of num_workers), and emulates the historical
+// blocking submit() by retrying non-blocking admission. New code should
+// talk to ServeEngine directly — it adds typed admission, per-tenant
+// quotas, and mid-traffic hot reload, none of which this shim surfaces.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
 
-#include "serve/registry.hpp"
+#include "serve/engine.hpp"
 
 namespace cal::serve {
 
-/// Outcome of routing one request's tenant metadata.
-struct RouteDecision {
-  enum class Status { Exact, Fallback, Reject };
-  Status status = Status::Reject;
-  std::size_t shard = 0;  ///< lane index; valid unless status == Reject
-  TenantKey resolved;     ///< tenant actually serving; unless Reject
-};
-
-std::string to_string(RouteDecision::Status s);
-
 /// Immutable request → shard map, snapshotted from a ModelRegistry.
 /// Shard ids follow ModelRegistry::keys() order (str()-sorted), so the
-/// numbering is deterministic across runs and processes.
+/// numbering is deterministic across runs and processes — and matches
+/// the tenant order of a DeploymentSnapshot published from the same
+/// catalogue.
 class ShardRouter {
  public:
   explicit ShardRouter(const ModelRegistry& registry);
@@ -69,59 +52,43 @@ struct RoutedSubmission {
   std::future<ServeResult> result;
 };
 
-/// Per-tenant stats entry of a MultiTenantStats snapshot.
-struct TenantStats {
-  TenantKey tenant;
-  ServiceStats stats;
-};
-
-/// Fleet snapshot: every shard's stats, their aggregate, and the route
-/// mix seen by the front door.
-struct MultiTenantStats {
-  std::vector<TenantStats> per_tenant;  ///< shard order
-  ServiceStats aggregate;
-  std::size_t route_exact = 0;
-  std::size_t route_fallback = 0;
-  std::size_t route_rejected = 0;
-
-  std::string str() const;
-};
-
-/// The multi-venue serving engine: one lane per registered tenant.
+/// DEPRECATED multi-tenant shim over ServeEngine — kept for one PR so
+/// downstream code migrates gradually.
 class MultiTenantService {
  public:
-  /// Snapshots `registry` (register every tenant first). Builds all lanes
-  /// up front — replica factories run here, num_workers times per tenant.
+  /// Publishes `registry` once and deploys it on a private engine whose
+  /// pool has as many threads as the old per-lane model would have
+  /// spawned (sum of every tenant's num_workers).
   explicit MultiTenantService(ModelRegistry registry);
 
   MultiTenantService(const MultiTenantService&) = delete;
   MultiTenantService& operator=(const MultiTenantService&) = delete;
   ~MultiTenantService();
 
-  /// Route `tenant` and enqueue the fingerprint on its shard lane.
+  /// Route `tenant` and enqueue the fingerprint on its sub-queue.
   /// Unknown tenants get an immediately-fulfilled Reject result; known
-  /// ones block on the shard's bounded queue exactly like the
-  /// single-tenant engine.
+  /// ones block (retrying admission) while the sub-queue is at capacity,
+  /// exactly like the old bounded-queue backpressure.
   RoutedSubmission submit(const TenantKey& tenant,
                           std::vector<float> fingerprint_normalized);
 
-  /// Stop all lanes: drain queues, join workers. Idempotent.
+  /// Stop the engine: drain queues, join the pool. Idempotent.
   void shutdown();
 
   MultiTenantStats stats() const;
 
   const ShardRouter& router() const { return router_; }
   const ModelRegistry& registry() const { return registry_; }
-  std::size_t num_shards() const { return lanes_.size(); }
-  const LocalizationService& lane(std::size_t shard) const;
+  std::size_t num_shards() const;
+
+  /// The engine behind the shim — the migration escape hatch.
+  ServeEngine& engine() { return *engine_; }
+  const ServeEngine& engine() const { return *engine_; }
 
  private:
   ModelRegistry registry_;
   ShardRouter router_;
-  std::vector<std::unique_ptr<LocalizationService>> lanes_;
-  std::atomic<std::size_t> route_exact_{0};
-  std::atomic<std::size_t> route_fallback_{0};
-  std::atomic<std::size_t> route_rejected_{0};
+  std::unique_ptr<ServeEngine> engine_;
 };
 
 }  // namespace cal::serve

@@ -1,30 +1,24 @@
 #include "serve/service.hpp"
 
-#include <chrono>
-#include <cmath>
 #include <utility>
 
 #include "common/ensure.hpp"
-#include "common/rng.hpp"
+#include "serve/engine.hpp"
 
 namespace cal::serve {
 namespace {
 
-AnchorScreen make_screen(Tensor anchors, std::size_t num_aps,
-                         const ScreeningThresholds& thresholds) {
-  if (anchors.empty()) return AnchorScreen{};
-  CAL_ENSURE(anchors.rank() == 2 && anchors.cols() == num_aps,
-             "anchor database must be (M, " << num_aps << "), got "
-                                            << anchors.shape_str());
-  return AnchorScreen(std::move(anchors), thresholds);
-}
-
-double ms_since(std::chrono::steady_clock::time_point t0) {
-  const auto dt = std::chrono::steady_clock::now() - t0;
-  return std::chrono::duration<double, std::milli>(dt).count();
+/// The one tenant the single-tenant shim registers on its private engine.
+const TenantKey& shim_key() {
+  static const TenantKey key{"default", 0, std::string{}};
+  return key;
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// DriftMonitor
+// ---------------------------------------------------------------------------
 
 DriftMonitor::DriftMonitor(DriftPolicy policy) : policy_(policy) {
   CAL_ENSURE(policy_.slope_factor >= 1.0,
@@ -41,6 +35,8 @@ bool DriftMonitor::record(double distance) {
   const double mean = current_sum_ / static_cast<double>(current_n_);
   current_sum_ = 0.0;
   current_n_ = 0;
+  last_window_mean_ = mean;
+  ++windows_completed_;
   if (baseline_mean_ < 0.0) {
     // First window: establish the baseline. No flush even above the
     // level — the lane just started, so the cache holds nothing stale.
@@ -65,6 +61,33 @@ bool DriftMonitor::record(double distance) {
   return flush;
 }
 
+void DriftMonitor::reset() {
+  std::lock_guard lock(mu_);
+  baseline_mean_ = -1.0;
+  last_window_mean_ = -1.0;
+  windows_completed_ = 0;
+  current_sum_ = 0.0;
+  current_n_ = 0;
+}
+
+DriftTrend DriftMonitor::snapshot() const {
+  std::lock_guard lock(mu_);
+  DriftTrend t;
+  t.enabled = policy_.window > 0;
+  t.window = policy_.window;
+  t.baseline_mean = baseline_mean_;
+  t.last_window_mean = last_window_mean_;
+  t.partial_n = current_n_;
+  t.partial_mean =
+      current_n_ > 0 ? current_sum_ / static_cast<double>(current_n_) : 0.0;
+  t.windows_completed = windows_completed_;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// LocalizationService — DEPRECATED single-tenant shim over ServeEngine
+// ---------------------------------------------------------------------------
+
 LocalizationService::LocalizationService(ReplicaFactory factory,
                                          std::size_t num_aps, Tensor anchors,
                                          ServiceConfig cfg)
@@ -81,204 +104,55 @@ LocalizationService::LocalizationService(ReplicaFactory factory,
                                          baselines::ILocalizer* shared_model,
                                          std::size_t num_aps, Tensor anchors,
                                          ServiceConfig cfg)
-    : cfg_(cfg),
-      num_aps_(num_aps),
-      screen_(make_screen(std::move(anchors), num_aps, cfg.screening)),
-      cache_(cfg.cache_capacity, cfg.cache_quant_step),
-      drift_(cfg.drift),
-      queue_(cfg.queue_capacity) {
-  CAL_ENSURE(num_aps_ > 0, "service needs num_aps > 0");
-  CAL_ENSURE(cfg_.num_workers > 0, "service needs >= 1 worker");
-  CAL_ENSURE(cfg_.max_batch > 0, "service needs max_batch >= 1");
-  CAL_ENSURE(cfg_.cache_audit_rate >= 0.0 && cfg_.cache_audit_rate <= 1.0,
-             "cache audit rate out of [0,1]: " << cfg_.cache_audit_rate);
-  // Drift tracking feeds on screening distances; with screening disabled
-  // a configured DriftPolicy would be silently inert and stale cache
-  // entries would never flush — surface the misconfiguration instead.
-  CAL_ENSURE(!drift_.enabled() || screen_.enabled(),
-             "drift policy configured but screening is disabled (no anchor "
-             "database)");
-  if (factory) {
-    replicas_.reserve(cfg_.num_workers);
-    for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
-      replicas_.push_back(factory());
-      CAL_ENSURE(replicas_.back() != nullptr,
-                 "replica factory returned nullptr for worker " << i);
-    }
-  } else {
-    shared_model_ = shared_model;
-    CAL_ENSURE(shared_model_ != nullptr, "service needs a model");
-  }
-  workers_.reserve(cfg_.num_workers);
-  try {
-    for (std::size_t i = 0; i < cfg_.num_workers; ++i)
-      workers_.emplace_back(&LocalizationService::worker_loop, this, i);
-  } catch (...) {
-    // Thread spawn can fail (EAGAIN under resource exhaustion). Unwinding
-    // with joinable threads would std::terminate, so stop the ones that
-    // started before rethrowing.
-    queue_.close();
-    for (auto& w : workers_)
-      if (w.joinable()) w.join();
-    throw;
-  }
+    : cfg_(cfg), num_aps_(num_aps) {
+  ModelRegistry registry;
+  TenantSpec spec;
+  spec.factory = std::move(factory);
+  spec.shared_model = shared_model;
+  spec.num_aps = num_aps;
+  spec.anchors = std::move(anchors);
+  spec.service = cfg;
+  registry.register_tenant(shim_key(), std::move(spec));
+  EngineConfig engine_cfg;
+  // The historical contract: num_workers private threads for this lane.
+  engine_cfg.pool_size = cfg.num_workers;
+  engine_cfg.seed = cfg.seed;
+  engine_ = std::make_unique<ServeEngine>(registry.publish(), engine_cfg);
 }
 
 LocalizationService::~LocalizationService() { shutdown(); }
 
 std::future<ServeResult> LocalizationService::submit(
     std::vector<float> fingerprint_normalized) {
-  CAL_ENSURE(fingerprint_normalized.size() == num_aps_,
-             "fingerprint has " << fingerprint_normalized.size()
-                                << " APs, service expects " << num_aps_);
-  // Untrusted channel: a NaN/Inf fingerprint would poison the batched
-  // forward pass (the GEMM kernels propagate non-finites by contract) and
-  // feed std::lround garbage in the cache-key quantizer, so reject it at
-  // the door — same policy as the CSV loader.
-  for (std::size_t i = 0; i < fingerprint_normalized.size(); ++i)
-    CAL_ENSURE(std::isfinite(fingerprint_normalized[i]),
-               "fingerprint AP " << i << " is non-finite");
-  Pending pending;
-  pending.fingerprint = std::move(fingerprint_normalized);
-  pending.enqueued_at = std::chrono::steady_clock::now();
-  auto future = pending.promise.get_future();
-  // Count before the push: a worker may complete the request the instant
-  // it lands, and `completed` must never be observed above `submitted`.
-  stats_.record_submitted();
-  const bool accepted = queue_.push(std::move(pending));
-  if (!accepted) {
-    stats_.record_submit_rejected();
-    CAL_ENSURE(accepted, "submit() after service shutdown");
-  }
-  return future;
+  // The legacy API blocked the producer while the lane was saturated;
+  // submit_blocking emulates that backpressure by retrying admission.
+  EngineSubmission sub = engine_->submit_blocking(
+      shim_key(), std::move(fingerprint_normalized));
+  CAL_INVARIANT(sub.admission == Admission::Accepted,
+                "single-tenant shim route rejected");
+  return std::move(sub.result);
 }
 
-void LocalizationService::shutdown() {
-  std::call_once(shutdown_once_, [this] {
-    queue_.close();
-    for (auto& w : workers_)
-      if (w.joinable()) w.join();
-  });
+void LocalizationService::shutdown() { engine_->shutdown(); }
+
+ServiceStats LocalizationService::stats() const {
+  return engine_->stats().per_tenant.front().stats;
 }
 
-std::vector<std::size_t> LocalizationService::run_inference(
-    std::size_t worker_index, const Tensor& batch) {
-  if (shared_model_ != nullptr) {
-    // ILocalizer::predict is not required to be thread-safe; serialize.
-    std::lock_guard lock(shared_model_mu_);
-    return shared_model_->predict(batch);
-  }
-  return replicas_[worker_index]->predict(batch);
+void LocalizationService::reset_telemetry_clock() {
+  engine_->reset_telemetry_clocks();
 }
 
-void LocalizationService::worker_loop(std::size_t worker_index) {
-  // Private randomness stream for this worker (Rng is not shareable
-  // across threads): deterministic in (cfg.seed, worker_index).
-  Rng rng = Rng(cfg_.seed).fork(worker_index + 1);
+const FingerprintCache& LocalizationService::cache() const {
+  return engine_->tenant_cache(shim_key());
+}
 
-  struct Slot {
-    Pending req;
-    ServeResult res;
-    FingerprintCache::Key key;
-    ShardIndexProbe probe;
-    bool infer = false;
-    bool audited = false;
-    bool audit_mismatch = false;
-    std::size_t cached_rp = 0;
-    bool fulfilled = false;
-  };
+const AnchorScreen& LocalizationService::screen() const {
+  return engine_->tenant_screen(shim_key());
+}
 
-  while (true) {
-    auto batch = queue_.pop_batch(cfg_.max_batch);
-    if (batch.empty()) return;  // closed and drained
-    stats_.record_batch(batch.size());
-
-    std::vector<Slot> slots;
-    slots.reserve(batch.size());
-    for (auto& pending : batch) {
-      Slot s;
-      s.req = std::move(pending);
-      slots.push_back(std::move(s));
-    }
-
-    try {
-      // Phase 1 — per-request screening and cache probe.
-      std::vector<std::size_t> infer_rows;
-      for (std::size_t i = 0; i < slots.size(); ++i) {
-        Slot& s = slots[i];
-        s.res.anchor_distance = screen_.distance(s.req.fingerprint, &s.probe);
-        s.res.verdict = screen_.classify(s.res.anchor_distance);
-        if (s.res.verdict == Verdict::Reject) continue;  // never localised
-        // Drift tracking sees only non-rejected traffic: rejected
-        // fingerprints are off-manifold adversaries, not a moved radio
-        // map, and must not be able to poison the trend into flushing.
-        if (screen_.enabled() && drift_.record(s.res.anchor_distance)) {
-          cache_.clear();
-          stats_.record_drift_flush();
-        }
-        if (cache_.enabled()) {
-          s.key = cache_.make_key(s.req.fingerprint);
-          if (const auto hit = cache_.lookup(s.key)) {
-            if (cfg_.cache_audit_rate > 0.0 &&
-                rng.bernoulli(cfg_.cache_audit_rate)) {
-              s.audited = true;
-              s.cached_rp = *hit;
-              s.infer = true;  // re-infer to verify the cached answer
-              infer_rows.push_back(i);
-            } else {
-              s.res.rp = *hit;
-              s.res.localized = true;
-              s.res.from_cache = true;
-            }
-            continue;
-          }
-        }
-        s.infer = true;
-        infer_rows.push_back(i);
-      }
-
-      // Phase 2 — one batched forward pass for every surviving request.
-      if (!infer_rows.empty()) {
-        Tensor xb({infer_rows.size(), num_aps_});
-        for (std::size_t k = 0; k < infer_rows.size(); ++k) {
-          const auto& fp = slots[infer_rows[k]].req.fingerprint;
-          std::copy(fp.begin(), fp.end(), xb.data() + k * num_aps_);
-        }
-        const auto rps = run_inference(worker_index, xb);
-        CAL_INVARIANT(rps.size() == infer_rows.size(),
-                      "predict returned " << rps.size() << " labels for "
-                                          << infer_rows.size() << " rows");
-        for (std::size_t k = 0; k < infer_rows.size(); ++k) {
-          Slot& s = slots[infer_rows[k]];
-          s.res.rp = rps[k];
-          s.res.localized = true;
-          if (s.audited) s.audit_mismatch = (s.cached_rp != rps[k]);
-          if (cache_.enabled()) cache_.insert(s.key, rps[k]);
-        }
-      }
-
-      // Phase 3 — fulfil promises and record telemetry.
-      for (Slot& s : slots) {
-        s.res.latency_ms = ms_since(s.req.enqueued_at);
-        ResultRecord rec;
-        rec.latency_ms = s.res.latency_ms;
-        rec.verdict = s.res.verdict;
-        rec.from_cache = s.res.from_cache;
-        rec.audited = s.audited;
-        rec.audit_mismatch = s.audit_mismatch;
-        rec.screened = screen_.enabled();
-        rec.anchors_scanned = s.probe.scanned;
-        rec.anchors_pruned = s.probe.pruned;
-        stats_.record_result(rec);
-        s.req.promise.set_value(s.res);
-        s.fulfilled = true;
-      }
-    } catch (...) {
-      // A model/bookkeeping failure must not strand waiting clients.
-      for (Slot& s : slots)
-        if (!s.fulfilled) s.req.promise.set_exception(std::current_exception());
-    }
-  }
+DriftTrend LocalizationService::drift_trend() const {
+  return engine_->tenant_drift(shim_key());
 }
 
 }  // namespace cal::serve

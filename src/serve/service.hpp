@@ -1,56 +1,37 @@
-// Concurrent, batched online-localization shard lane.
+// Serving-lane primitives, and the single-tenant compatibility shim.
 //
-// LocalizationService is ONE serving lane: a trained model (replicated or
-// shared), a bounded queue, a worker pool, a shard-local anchor screen,
-// LRU cache, drift monitor, and stats collector. Deployed standalone it
-// serves a single venue exactly as before; the multi-tenant engine
-// (router.hpp) runs one lane per registered tenant, so every shard keeps
-// its own thresholds, cache, and telemetry:
+// This header defines the vocabulary every layer of the serving stack
+// shares: ServeResult (what a request resolves to), ReplicaFactory (how a
+// trained model is deployed), ServiceConfig (per-tenant lane tuning:
+// batching, cache, screening thresholds, drift policy, admission quota),
+// and the DriftMonitor that watches a tenant's screening-distance trend.
 //
-//   clients ──submit()──▶ bounded queue ──▶ worker pool ──▶ futures
-//                                           │ per worker:
-//                                           │  1. anchor-distance screen
-//                                           │     (shard-index pruned;
-//                                           │      rejects skip the rest)
-//                                           │  2. LRU cache probe
-//                                           │  3. coalesce survivors into
-//                                           │     ONE batched predict()
-//                                           │  4. drift trend check — a
-//                                           │     drifted shard flushes
-//                                           │     its own cache
-//
-// Concurrency model. Two deployment shapes are supported:
-//  * replica mode — a ReplicaFactory builds one independent model replica
-//    per worker (e.g. Calloc::load_weights from one trained artefact).
-//    Workers never share mutable model state, so inference runs fully in
-//    parallel. Because every replica carries bit-identical weights and the
-//    forward math is row-independent, batched concurrent serving returns
-//    bit-identical predictions to sequential predict() calls.
-//  * shared mode — a single borrowed ILocalizer guarded by an internal
-//    mutex. Inference is serialized (ILocalizer::predict is not required
-//    to be thread-safe), but micro-batching still amortizes per-call graph
-//    setup: B coalesced fingerprints are one matmul-sized forward pass
-//    instead of B scalar loops.
-//
-// Every worker owns a private cal::Rng stream forked from ServiceConfig::
-// seed (Rng instances must not be shared across threads — see rng.hpp);
-// it drives the randomized cache-hit audit.
+// Execution lives in ServeEngine (engine.hpp): ONE shared worker pool
+// runs micro-batches for every registered tenant, with per-tenant bounded
+// sub-queues and token-bucket admission. LocalizationService below is the
+// PR 2-era single-tenant front door, kept for one more PR as a thin
+// DEPRECATED shim: it registers exactly one tenant on a private engine
+// and emulates the old blocking submit() by retrying non-blocking
+// admission. New code should build a ModelRegistry, publish() a
+// DeploymentSnapshot, and talk to ServeEngine directly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <limits>
 #include <memory>
-#include <thread>
+#include <mutex>
 #include <vector>
 
 #include "baselines/localizer.hpp"
 #include "serve/lru_cache.hpp"
-#include "serve/queue.hpp"
 #include "serve/screening.hpp"
 #include "serve/stats.hpp"
 
 namespace cal::serve {
+
+class ServeEngine;  // engine.hpp — execution layer behind the shim
 
 /// Outcome of one localization request.
 struct ServeResult {
@@ -59,7 +40,10 @@ struct ServeResult {
   Verdict verdict = Verdict::Accept;
   double anchor_distance = 0.0;  ///< screening score (0 if screening off)
   bool from_cache = false;
-  double latency_ms = 0.0;  ///< submit -> fulfillment, queueing included
+  /// Admission (post-quota enqueue) -> fulfillment on the monotonic
+  /// clock: queueing and inference, but never time the client spent
+  /// stalled at the quota/backpressure door before being admitted.
+  double latency_ms = 0.0;
 };
 
 /// Builds one independent, already-trained model replica per call.
@@ -85,6 +69,22 @@ struct DriftPolicy {
   double level = std::numeric_limits<double>::infinity();
 };
 
+/// Operator-facing view of a DriftMonitor: the windowed trend itself, not
+/// just the flush count, so drift is visible while it is still building
+/// (the ROADMAP follow-on to drift-triggered invalidation). Exported per
+/// tenant through TenantStats (engine.hpp).
+struct DriftTrend {
+  bool enabled = false;
+  std::size_t window = 0;            ///< samples per window
+  /// Pinned baseline window mean; < 0 until the first window completes.
+  double baseline_mean = -1.0;
+  /// Most recent completed window's mean; < 0 until one completes.
+  double last_window_mean = -1.0;
+  double partial_mean = 0.0;         ///< mean of the in-progress window
+  std::size_t partial_n = 0;         ///< samples in the in-progress window
+  std::size_t windows_completed = 0;
+};
+
 /// Thread-safe windowed trend detector over screening distances.
 class DriftMonitor {
  public:
@@ -98,20 +98,49 @@ class DriftMonitor {
   /// window then becomes the new baseline.
   bool record(double distance);
 
+  /// Forget the baseline and the in-progress window — the engine calls
+  /// this when a tenant is hot-reloaded: the new radio map's distance
+  /// distribution must pin a fresh baseline, not be judged against the
+  /// retired deployment's.
+  void reset();
+
+  /// Point-in-time copy of the trend for telemetry.
+  DriftTrend snapshot() const;
+
  private:
   DriftPolicy policy_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   double baseline_mean_ = -1.0;  ///< < 0 until the first window completes
+  double last_window_mean_ = -1.0;
+  std::size_t windows_completed_ = 0;
   double current_sum_ = 0.0;
   std::size_t current_n_ = 0;
 };
 
+/// Per-tenant token-bucket admission quota. A tenant's submissions drain
+/// tokens; the bucket refills at `rate_per_s` up to `burst`. Once empty,
+/// submit() returns Admission::OverQuota instead of enqueueing — one
+/// venue's traffic burst is shed at the door rather than starving the
+/// shared worker pool (Sec5GLoc's per-tenant isolation under attack
+/// traffic). rate_per_s == 0 disables the quota.
+struct QuotaPolicy {
+  double rate_per_s = 0.0;  ///< sustained admitted requests/second; 0 = off
+  /// Bucket capacity (instantaneous burst allowance); 0 means rate_per_s.
+  double burst = 0.0;
+};
+
 struct ServiceConfig {
+  /// Engine: replica slots for this tenant — the max number of pool
+  /// workers that can run this tenant's batches concurrently (the
+  /// factory builds one replica per slot). Legacy shim: also the size of
+  /// the private worker pool.
   std::size_t num_workers = 2;
   /// Micro-batch coalescing cap B: a worker drains up to this many queued
   /// requests and runs them through one batched predict() call.
   std::size_t max_batch = 16;
-  /// Bounded queue capacity; submit() blocks (backpressure) when full.
+  /// Bounded per-tenant sub-queue capacity; the engine's submit() returns
+  /// Admission::QueueFull when reached (the legacy shim retries instead,
+  /// emulating the old blocking backpressure).
   std::size_t queue_capacity = 256;
   /// LRU entries; 0 disables caching.
   std::size_t cache_capacity = 0;
@@ -124,12 +153,19 @@ struct ServiceConfig {
   ScreeningThresholds screening;
   /// Drift-triggered cache invalidation; disabled by default.
   DriftPolicy drift;
+  /// Token-bucket admission quota; unlimited by default.
+  QuotaPolicy quota;
   /// Base seed for the per-worker Rng streams.
   std::uint64_t seed = 2026;
 };
 
-/// Thread-safe localization front door over a trained ILocalizer — one
-/// shard lane of the serving engine.
+/// DEPRECATED single-tenant shim over ServeEngine — kept for one PR so
+/// downstream code migrates gradually. It registers one tenant
+/// ("default/0:*") on a private engine whose pool has num_workers
+/// threads, and emulates the historical blocking submit() by retrying
+/// OverQuota / QueueFull admissions with a short sleep. Semantics match
+/// the old lane: bit-identical batched predictions, shard-local screen /
+/// cache / drift / stats.
 class LocalizationService {
  public:
   /// Replica mode. `anchors` is the normalised anchor database used for
@@ -138,8 +174,8 @@ class LocalizationService {
   LocalizationService(ReplicaFactory factory, std::size_t num_aps,
                       Tensor anchors, ServiceConfig cfg);
 
-  /// Shared mode: borrows `model` (caller keeps it alive); model access
-  /// is serialized through an internal mutex.
+  /// Shared mode: borrows `model` (caller keeps it alive); the engine
+  /// serializes access by giving the tenant a single replica slot.
   LocalizationService(baselines::ILocalizer& model, std::size_t num_aps,
                       Tensor anchors, ServiceConfig cfg);
 
@@ -147,54 +183,39 @@ class LocalizationService {
   LocalizationService& operator=(const LocalizationService&) = delete;
   ~LocalizationService();
 
-  /// Enqueue one normalised fingerprint (size == num_aps). Blocks while
-  /// the queue is at capacity. Throws PreconditionError after shutdown().
+  /// Enqueue one normalised fingerprint (size == num_aps). Blocks
+  /// (retrying admission) while the sub-queue is at capacity or the
+  /// quota is exhausted. Throws PreconditionError after shutdown().
   std::future<ServeResult> submit(std::vector<float> fingerprint_normalized);
 
   /// Stop accepting requests, drain the queue, join the workers.
   /// Idempotent; also run by the destructor.
   void shutdown();
 
-  ServiceStats stats() const { return stats_.snapshot(); }
+  ServiceStats stats() const;
 
   /// Restart this lane's telemetry wall clock (see
   /// StatsCollector::reset_clock). Counters are untouched.
-  void reset_telemetry_clock() { stats_.reset_clock(); }
+  void reset_telemetry_clock();
 
   std::size_t num_aps() const { return num_aps_; }
   std::size_t num_workers() const { return cfg_.num_workers; }
-  const FingerprintCache& cache() const { return cache_; }
-  const AnchorScreen& screen() const { return screen_; }
+  const FingerprintCache& cache() const;
+  const AnchorScreen& screen() const;
+  DriftTrend drift_trend() const;
+
+  /// The engine behind the shim — the migration escape hatch.
+  ServeEngine& engine() { return *engine_; }
+  const ServeEngine& engine() const { return *engine_; }
 
  private:
-  struct Pending {
-    std::vector<float> fingerprint;
-    std::promise<ServeResult> promise;
-    std::chrono::steady_clock::time_point enqueued_at;
-  };
-
   LocalizationService(ReplicaFactory factory,
                       baselines::ILocalizer* shared_model,
                       std::size_t num_aps, Tensor anchors, ServiceConfig cfg);
 
-  void worker_loop(std::size_t worker_index);
-  std::vector<std::size_t> run_inference(std::size_t worker_index,
-                                         const Tensor& batch);
-
   ServiceConfig cfg_;
   std::size_t num_aps_;
-  AnchorScreen screen_;
-  FingerprintCache cache_;
-  DriftMonitor drift_;
-  StatsCollector stats_;
-  BoundedQueue<Pending> queue_;
-
-  baselines::ILocalizer* shared_model_ = nullptr;  // shared mode
-  std::mutex shared_model_mu_;
-  std::vector<std::unique_ptr<baselines::ILocalizer>> replicas_;
-
-  std::vector<std::thread> workers_;
-  std::once_flag shutdown_once_;
+  std::unique_ptr<ServeEngine> engine_;
 };
 
 }  // namespace cal::serve

@@ -1,0 +1,54 @@
+#include "serve/snapshot.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal::serve {
+
+std::string to_string(RouteDecision::Status s) {
+  switch (s) {
+    case RouteDecision::Status::Exact: return "exact";
+    case RouteDecision::Status::Fallback: return "fallback";
+    case RouteDecision::Status::Reject: return "reject";
+  }
+  return "?";
+}
+
+int TenantDeployment::try_checkout() const {
+  std::lock_guard lock(slot_mu_);
+  if (free_slots_.empty()) return -1;
+  const std::size_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return static_cast<int>(slot);
+}
+
+void TenantDeployment::release(std::size_t slot) const {
+  std::lock_guard lock(slot_mu_);
+  CAL_INVARIANT(slot < replicas_.size(),
+                "released slot " << slot << " out of " << replicas_.size());
+  free_slots_.push_back(slot);
+}
+
+const TenantDeployment& DeploymentSnapshot::tenant(std::size_t shard) const {
+  CAL_ENSURE(shard < tenants_.size(),
+             "tenant " << shard << " out of " << tenants_.size());
+  return *tenants_[shard];
+}
+
+const TenantDeployment* DeploymentSnapshot::find(const TenantKey& key) const {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : tenants_[it->second].get();
+}
+
+RouteDecision DeploymentSnapshot::route(const TenantKey& request) const {
+  const auto res =
+      resolve_tenant(request, fallbacks_, [this](const TenantKey& k) {
+        return by_key_.find(k) != by_key_.end();
+      });
+  if (res.kind == ModelRegistry::Resolution::Kind::Miss) return {};
+  return {res.kind == ModelRegistry::Resolution::Kind::Exact
+              ? RouteDecision::Status::Exact
+              : RouteDecision::Status::Fallback,
+          by_key_.at(res.resolved), res.resolved};
+}
+
+}  // namespace cal::serve

@@ -11,6 +11,9 @@ std::string ServiceStats::str() const {
   std::ostringstream os;
   os << "requests: " << completed << "/" << submitted << " completed, "
      << flagged << " flagged, " << rejected << " rejected\n";
+  if (over_quota + queue_full > 0)
+    os << "admission: " << over_quota << " over quota, " << queue_full
+       << " queue-full\n";
   os << "cache:    " << cache_hits << " hits";
   if (cache_audits > 0)
     os << " (" << cache_audits << " audited, " << cache_audit_mismatches
@@ -40,6 +43,8 @@ ServiceStats aggregate_stats(std::span<const ServiceStats> shards) {
   for (const ServiceStats& s : shards) {
     agg.submitted += s.submitted;
     agg.completed += s.completed;
+    agg.over_quota += s.over_quota;
+    agg.queue_full += s.queue_full;
     agg.cache_hits += s.cache_hits;
     agg.cache_audits += s.cache_audits;
     agg.cache_audit_mismatches += s.cache_audit_mismatches;
@@ -94,6 +99,16 @@ void StatsCollector::record_submit_rejected() {
   --submitted_;
 }
 
+void StatsCollector::record_over_quota() {
+  std::lock_guard lock(mu_);
+  ++over_quota_;
+}
+
+void StatsCollector::record_queue_full() {
+  std::lock_guard lock(mu_);
+  ++queue_full_;
+}
+
 void StatsCollector::record_batch(std::size_t batch_size) {
   std::lock_guard lock(mu_);
   ++batches_;
@@ -139,6 +154,8 @@ ServiceStats StatsCollector::snapshot() const {
   ServiceStats s;
   s.submitted = submitted_;
   s.completed = completed_;
+  s.over_quota = over_quota_;
+  s.queue_full = queue_full_;
   s.cache_hits = cache_hits_;
   s.cache_audits = cache_audits_;
   s.cache_audit_mismatches = cache_audit_mismatches_;

@@ -24,6 +24,8 @@ namespace cal::serve {
 struct ServiceStats {
   std::size_t submitted = 0;
   std::size_t completed = 0;        ///< fulfilled results, any verdict
+  std::size_t over_quota = 0;       ///< submissions denied by the token bucket
+  std::size_t queue_full = 0;       ///< submissions denied by a full sub-queue
   std::size_t cache_hits = 0;
   std::size_t cache_audits = 0;     ///< hits re-inferred for verification
   std::size_t cache_audit_mismatches = 0;
@@ -83,6 +85,10 @@ class StatsCollector {
   void record_submitted();
   /// Roll back a record_submitted() whose push was refused (shutdown).
   void record_submit_rejected();
+  /// Admission denials (engine front door): the request never entered a
+  /// queue, so neither `submitted` nor `completed` moves.
+  void record_over_quota();
+  void record_queue_full();
   void record_batch(std::size_t batch_size);
   void record_result(const ResultRecord& r);
   void record_drift_flush();
@@ -103,6 +109,8 @@ class StatsCollector {
   double latency_sum_ms_ = 0.0;       ///< lifetime sum (exact mean)
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;
+  std::size_t over_quota_ = 0;
+  std::size_t queue_full_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t cache_audits_ = 0;
   std::size_t cache_audit_mismatches_ = 0;

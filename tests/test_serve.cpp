@@ -17,10 +17,12 @@
 #include "baselines/knn.hpp"
 #include "common/ensure.hpp"
 #include "core/calloc.hpp"
+#include "serve/engine.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
 #include "serve/router.hpp"
+#include "serve/snapshot.hpp"
 #include "serve/screening.hpp"
 #include "serve/service.hpp"
 #include "serve/shard_index.hpp"
@@ -133,6 +135,24 @@ TEST(BoundedQueue, FullQueueBlocksUntilDrained) {
 
 TEST(BoundedQueue, RejectsZeroCapacity) {
   EXPECT_THROW(BoundedQueue<int>(0), PreconditionError);
+}
+
+TEST(BoundedQueue, TryPushAndTryPopNeverBlock) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_pop_batch(4).empty());  // empty: returns, not blocks
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  int spilled = 3;
+  EXPECT_FALSE(q.try_push(std::move(spilled)));  // full: refuse, not block
+  EXPECT_EQ(spilled, 3);                         // refused item untouched
+  const auto batch = q.try_pop_batch(1);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 1);
+  EXPECT_TRUE(q.try_push(3));  // slot freed
+  q.close();
+  EXPECT_FALSE(q.try_push(4));            // closed: refuse
+  EXPECT_EQ(q.try_pop_batch(8).size(), 2u);  // drain survivors
+  EXPECT_TRUE(q.try_pop_batch(8).empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -596,6 +616,43 @@ TEST(DriftMonitor, AbsoluteLevelAndValidation) {
   EXPECT_THROW(DriftMonitor{bad}, PreconditionError);
 }
 
+TEST(DriftMonitor, TrendSnapshotShowsDriftBuildingBeforeTheFlush) {
+  DriftPolicy p;
+  p.window = 4;
+  p.slope_factor = 1.5;
+  DriftMonitor m(p);
+
+  const DriftTrend fresh = m.snapshot();
+  EXPECT_TRUE(fresh.enabled);
+  EXPECT_EQ(fresh.window, 4u);
+  EXPECT_LT(fresh.baseline_mean, 0.0);  // no window completed yet
+  EXPECT_LT(fresh.last_window_mean, 0.0);
+  EXPECT_EQ(fresh.partial_n, 0u);
+  EXPECT_EQ(fresh.windows_completed, 0u);
+
+  for (int i = 0; i < 4; ++i) m.record(0.01);  // baseline window
+  // Drift building: two samples into the next window, well above the
+  // baseline but not yet a completed window — exactly what an operator
+  // must be able to see BEFORE the flush fires.
+  m.record(0.02);
+  m.record(0.02);
+  const DriftTrend building = m.snapshot();
+  EXPECT_NEAR(building.baseline_mean, 0.01, 1e-12);
+  EXPECT_NEAR(building.last_window_mean, 0.01, 1e-12);
+  EXPECT_EQ(building.partial_n, 2u);
+  EXPECT_NEAR(building.partial_mean, 0.02, 1e-12);
+  EXPECT_EQ(building.windows_completed, 1u);
+
+  m.reset();  // hot reload forgets the retired deployment's distribution
+  const DriftTrend after = m.snapshot();
+  EXPECT_LT(after.baseline_mean, 0.0);
+  EXPECT_EQ(after.partial_n, 0u);
+  EXPECT_EQ(after.windows_completed, 0u);
+
+  const DriftTrend disabled = DriftMonitor{}.snapshot();
+  EXPECT_FALSE(disabled.enabled);
+}
+
 TEST(Service, DriftTrendFlushesShardCache) {
   const auto& train = scenario().train;
   const Tensor x = train.normalized();
@@ -739,7 +796,53 @@ TEST(Router, DeterministicShardsAndRouting) {
 }
 
 // ---------------------------------------------------------------------------
-// MultiTenantService
+// TokenBucket
+// ---------------------------------------------------------------------------
+
+TEST(TokenBucket, RefillAndBurstSemantics) {
+  using namespace std::chrono;
+  const auto t0 = steady_clock::now();
+  TokenBucket bucket(QuotaPolicy{2.0, 2.0});
+  EXPECT_FALSE(bucket.unlimited());
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_FALSE(bucket.try_acquire(t0));  // burst exhausted
+  EXPECT_TRUE(bucket.try_acquire(t0 + milliseconds(500)));  // +1 token
+  EXPECT_FALSE(bucket.try_acquire(t0 + milliseconds(500)));
+  // Idle refill is capped at the burst, never unbounded.
+  EXPECT_TRUE(bucket.try_acquire(t0 + seconds(60)));
+  EXPECT_TRUE(bucket.try_acquire(t0 + seconds(60)));
+  EXPECT_FALSE(bucket.try_acquire(t0 + seconds(60)));
+
+  // burst == 0 with a rate defaults the bucket depth to one second.
+  TokenBucket rate_only(QuotaPolicy{3.0, 0.0});
+  EXPECT_TRUE(rate_only.try_acquire(t0));
+  EXPECT_TRUE(rate_only.try_acquire(t0));
+  EXPECT_TRUE(rate_only.try_acquire(t0));
+  EXPECT_FALSE(rate_only.try_acquire(t0));
+
+  // Sub-1/s rates mean "one request per 1/rate seconds" — the effective
+  // burst clamps to one whole token, never a permanent lockout.
+  TokenBucket slow(QuotaPolicy{0.5, 0.0});
+  EXPECT_TRUE(slow.try_acquire(t0));
+  EXPECT_FALSE(slow.try_acquire(t0 + seconds(1)));  // only half a token
+  EXPECT_TRUE(slow.try_acquire(t0 + seconds(2)));
+
+  TokenBucket unlimited;
+  EXPECT_TRUE(unlimited.unlimited());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(unlimited.try_acquire(t0));
+
+  TokenBucket reconfigured(QuotaPolicy{1.0, 1.0});
+  EXPECT_TRUE(reconfigured.try_acquire(t0));
+  EXPECT_FALSE(reconfigured.try_acquire(t0));
+  reconfigured.reconfigure(QuotaPolicy{1.0, 1.0});  // restarts full
+  EXPECT_TRUE(reconfigured.try_acquire(t0));
+
+  EXPECT_THROW(TokenBucket(QuotaPolicy{-1.0, 0.0}), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// ServeEngine
 // ---------------------------------------------------------------------------
 
 /// Three small venues with distinct geometries and AP counts. Tenants are
@@ -772,23 +875,90 @@ ReplicaFactory knn_factory(const data::FingerprintDataset& train) {
   };
 }
 
-ModelRegistry small_fleet_registry(std::size_t workers_per_lane = 2) {
+TenantSpec venue_spec(const sim::Scenario& sc, std::size_t slots = 2) {
+  TenantSpec spec;
+  spec.factory = knn_factory(sc.train);
+  spec.num_aps = sc.train.num_aps();
+  spec.anchors = anchor_database_from(sc.train);
+  spec.service.num_workers = slots;
+  spec.service.max_batch = 8;
+  spec.service.queue_capacity = 64;
+  return spec;
+}
+
+ModelRegistry small_fleet_registry(std::size_t slots_per_tenant = 2) {
   ModelRegistry reg;
-  for (const auto& sc : small_fleet()) {
-    TenantSpec spec;
-    spec.factory = knn_factory(sc.train);
-    spec.num_aps = sc.train.num_aps();
-    spec.anchors = anchor_database_from(sc.train);
-    spec.service.num_workers = workers_per_lane;
-    spec.service.max_batch = 8;
-    spec.service.queue_capacity = 64;
-    reg.register_tenant({sc.building_spec.name, 0, "OP3"}, std::move(spec));
-  }
+  for (const auto& sc : small_fleet())
+    reg.register_tenant({sc.building_spec.name, 0, "OP3"},
+                        venue_spec(sc, slots_per_tenant));
   reg.set_profile_fallbacks({"OP3"});
   return reg;
 }
 
-TEST(MultiTenant, RoutedBitIdenticalToSequentialPerTenant) {
+/// Shorthand for the engine's own blocking wrapper (tests that exercise
+/// the typed outcomes call engine.submit directly instead).
+EngineSubmission submit_blocking(ServeEngine& engine, const TenantKey& key,
+                                 const std::vector<float>& fp) {
+  return engine.submit_blocking(key, fp);
+}
+
+/// ILocalizer returning a constant label — makes it observable WHICH
+/// deployment served a request across a hot reload.
+class ConstLocalizer : public baselines::ILocalizer {
+ public:
+  explicit ConstLocalizer(std::size_t label) : label_(label) {}
+  void fit(const data::FingerprintDataset&) override {}
+  std::vector<std::size_t> predict(const Tensor& x) override {
+    return std::vector<std::size_t>(x.rows(), label_);
+  }
+  std::string name() const override { return "Const"; }
+
+ private:
+  std::size_t label_;
+};
+
+/// predict() blocks until the shared gate opens — freezes the pool on
+/// demand so queue depth and admission timing are deterministic. The
+/// optional `entered` promise fires when the first predict() call starts,
+/// so a test can establish "the worker has claimed a batch" before acting.
+class GateLocalizer : public baselines::ILocalizer {
+ public:
+  GateLocalizer(std::shared_future<void> gate, std::size_t label,
+                std::promise<void>* entered = nullptr)
+      : gate_(std::move(gate)), label_(label), entered_(entered) {}
+  void fit(const data::FingerprintDataset&) override {}
+  std::vector<std::size_t> predict(const Tensor& x) override {
+    if (entered_ != nullptr && !entered_fired_.exchange(true))
+      entered_->set_value();
+    gate_.wait();
+    return std::vector<std::size_t>(x.rows(), label_);
+  }
+  std::string name() const override { return "Gate"; }
+
+ private:
+  std::shared_future<void> gate_;
+  std::size_t label_;
+  std::promise<void>* entered_;
+  std::atomic<bool> entered_fired_{false};
+};
+
+constexpr std::size_t kTinyAps = 4;
+const std::vector<float>& tiny_fp() {
+  static const std::vector<float> fp{0.1F, 0.2F, 0.3F, 0.4F};
+  return fp;
+}
+
+TenantSpec const_spec(std::size_t label, std::size_t slots = 1) {
+  TenantSpec spec;
+  spec.factory = [label] { return std::make_unique<ConstLocalizer>(label); };
+  spec.num_aps = kTinyAps;
+  spec.service.num_workers = slots;
+  spec.service.max_batch = 4;
+  spec.service.queue_capacity = 8;
+  return spec;
+}
+
+TEST(Engine, RoutedBitIdenticalToSequentialAcrossHotReload) {
   const auto& fleet = small_fleet();
   // Sequential ground truth: each venue's own model on its own traffic.
   std::vector<std::vector<std::vector<std::size_t>>> expected(fleet.size());
@@ -799,24 +969,38 @@ TEST(MultiTenant, RoutedBitIdenticalToSequentialPerTenant) {
       expected[v].push_back(knn.predict(test.normalized()));
   }
 
-  MultiTenantService service(small_fleet_registry());
-  ASSERT_EQ(service.num_shards(), 3u);
+  ModelRegistry reg = small_fleet_registry();
+  EngineConfig cfg;
+  cfg.pool_size = 4;  // shared across all three tenants
+  ServeEngine engine(reg.publish(), cfg);
+  ASSERT_EQ(engine.num_tenants(), 3u);
+  EXPECT_EQ(engine.pool_size(), 4u);
 
   const auto stream = sim::fleet_request_stream(fleet, 300, 99, 0.25);
   struct Sent {
     sim::FleetRequest req;
-    RoutedSubmission sub;
+    EngineSubmission sub;
   };
   std::vector<Sent> sent;
   sent.reserve(stream.size());
-  for (const auto& req : stream) {
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (i == stream.size() / 2) {
+      // Mid-stream hot reload of venue-a (same training data, bit-
+      // identical weights): in-flight and queued requests must keep
+      // resolving to the same predictions as sequential per-tenant
+      // predict() — the RCU swap is invisible in the outputs.
+      reg.reload_tenant({"venue-a", 0, "OP3"}, venue_spec(fleet[0]));
+      engine.deploy(reg.publish());
+    }
+    const auto& req = stream[i];
     const auto& sc = fleet[req.venue];
     const Tensor x = sc.device_tests[req.device].normalized();
-    sent.push_back(
-        {req, service.submit({sc.building_spec.name, 0, "OP3"},
-                             row_of(x, req.row))});
+    sent.push_back({req, submit_blocking(engine,
+                                         {sc.building_spec.name, 0, "OP3"},
+                                         row_of(x, req.row))});
   }
   for (auto& s : sent) {
+    EXPECT_EQ(s.sub.admission, Admission::Accepted);
     EXPECT_EQ(s.sub.decision.status, RouteDecision::Status::Exact);
     const ServeResult r = s.sub.result.get();
     EXPECT_TRUE(r.localized);
@@ -824,12 +1008,15 @@ TEST(MultiTenant, RoutedBitIdenticalToSequentialPerTenant) {
         << "venue " << s.req.venue << " device " << s.req.device << " row "
         << s.req.row;
   }
-  service.shutdown();
+  engine.shutdown();
 
-  const auto stats = service.stats();
+  const auto stats = engine.stats();
   EXPECT_EQ(stats.route_exact, stream.size());
   EXPECT_EQ(stats.route_fallback, 0u);
   EXPECT_EQ(stats.route_rejected, 0u);
+  EXPECT_EQ(stats.deploys, 1u);
+  EXPECT_EQ(stats.reload_flushes, 1u);
+  EXPECT_EQ(stats.snapshot_epoch, 2u);
   EXPECT_EQ(stats.aggregate.completed, stream.size());
   ASSERT_EQ(stats.per_tenant.size(), 3u);
   std::size_t completed_sum = 0;
@@ -839,7 +1026,7 @@ TEST(MultiTenant, RoutedBitIdenticalToSequentialPerTenant) {
     // Screening work is bounded by the shard's own anchor count — the
     // whole point of sharding the anchor database.
     const std::size_t shard_anchors =
-        service.lane(shard).screen().num_anchors();
+        engine.tenant_screen(t.tenant).num_anchors();
     EXPECT_GT(shard_anchors, 0u);
     EXPECT_EQ(t.stats.screened, t.stats.completed);
     EXPECT_LE(t.stats.anchors_scanned, t.stats.screened * shard_anchors);
@@ -847,22 +1034,25 @@ TEST(MultiTenant, RoutedBitIdenticalToSequentialPerTenant) {
   EXPECT_EQ(completed_sum, stream.size());
 }
 
-TEST(MultiTenant, FallbackChainAndExplicitReject) {
+TEST(Engine, FallbackChainAndTypedReject) {
   const auto& fleet = small_fleet();
-  MultiTenantService service(small_fleet_registry(1));
+  ModelRegistry reg = small_fleet_registry(1);
+  ServeEngine engine(reg.publish(), EngineConfig{});
   const Tensor x = fleet[0].device_tests[0].normalized();
 
   // Unknown device profile falls back to the venue's OP3 tenant.
-  auto fb = service.submit({"venue-a", 0, "S7"}, row_of(x, 0));
+  auto fb = engine.submit({"venue-a", 0, "S7"}, row_of(x, 0));
+  EXPECT_EQ(fb.admission, Admission::Accepted);
   EXPECT_EQ(fb.decision.status, RouteDecision::Status::Fallback);
   EXPECT_EQ(fb.decision.resolved, (TenantKey{"venue-a", 0, "OP3"}));
   EXPECT_TRUE(fb.result.get().localized);
 
-  // Unknown building / floor: deterministic explicit reject with an
+  // Unknown building / floor: deterministic typed reject with an
   // already-fulfilled future — never another venue's model.
   for (const TenantKey& bad :
        {TenantKey{"venue-z", 0, "OP3"}, TenantKey{"venue-a", 3, "OP3"}}) {
-    auto rej = service.submit(bad, row_of(x, 0));
+    auto rej = engine.submit(bad, row_of(x, 0));
+    EXPECT_EQ(rej.admission, Admission::Rejected);
     EXPECT_EQ(rej.decision.status, RouteDecision::Status::Reject);
     ASSERT_EQ(rej.result.wait_for(std::chrono::seconds(0)),
               std::future_status::ready);
@@ -871,51 +1061,362 @@ TEST(MultiTenant, FallbackChainAndExplicitReject) {
     EXPECT_EQ(r.verdict, Verdict::Reject);
   }
 
-  const auto stats = service.stats();
+  const auto stats = engine.stats();
   EXPECT_EQ(stats.route_fallback, 1u);
   EXPECT_EQ(stats.route_rejected, 2u);
-  // Rejected routes never reach a lane.
+  // Rejected routes never reach a queue.
   EXPECT_EQ(stats.aggregate.submitted, 1u);
-  service.shutdown();
+  engine.shutdown();
 }
 
-TEST(MultiTenant, ShardLocalThresholdsAndStatsIsolation) {
+TEST(Engine, TenantLocalThresholdsAndStatsIsolation) {
   const auto& fleet = small_fleet();
   ModelRegistry reg;
   for (std::size_t v = 0; v < 2; ++v) {
-    const auto& sc = fleet[v];
-    TenantSpec spec;
-    spec.factory = knn_factory(sc.train);
-    spec.num_aps = sc.train.num_aps();
-    spec.anchors = anchor_database_from(sc.train);
-    spec.service.num_workers = 1;
+    TenantSpec spec = venue_spec(fleet[v], 1);
     if (v == 0) {
-      // Shard-local zero thresholds: venue-a rejects everything off the
+      // Tenant-local zero thresholds: venue-a rejects everything off the
       // exact anchor manifold while venue-b keeps accepting.
       spec.service.screening.flag_distance = 0.0;
       spec.service.screening.reject_distance = 0.0;
     }
-    reg.register_tenant({sc.building_spec.name, 0, "OP3"}, std::move(spec));
+    reg.register_tenant({fleet[v].building_spec.name, 0, "OP3"},
+                        std::move(spec));
   }
-  MultiTenantService service(std::move(reg));
+  ServeEngine engine(reg.publish(), EngineConfig{});
 
   const Tensor xa = fleet[0].device_tests[0].normalized();
   const Tensor xb = fleet[1].device_tests[0].normalized();
   for (std::size_t i = 0; i < 10; ++i) {
-    auto ra = service.submit({"venue-a", 0, "OP3"}, row_of(xa, i));
-    auto rb = service.submit({"venue-b", 0, "OP3"}, row_of(xb, i));
+    auto ra = submit_blocking(engine, {"venue-a", 0, "OP3"}, row_of(xa, i));
+    auto rb = submit_blocking(engine, {"venue-b", 0, "OP3"}, row_of(xb, i));
     EXPECT_FALSE(ra.result.get().localized) << "venue-a rejects all";
     EXPECT_TRUE(rb.result.get().localized) << "venue-b accepts";
   }
-  service.shutdown();
+  engine.shutdown();
 
-  const auto stats = service.stats();
+  const auto stats = engine.stats();
   ASSERT_EQ(stats.per_tenant.size(), 2u);
-  // Shard order is str()-sorted: venue-a before venue-b.
+  // Tenant order is str()-sorted: venue-a before venue-b.
   EXPECT_EQ(stats.per_tenant[0].tenant.building, "venue-a");
   EXPECT_EQ(stats.per_tenant[0].stats.rejected, 10u);
   EXPECT_EQ(stats.per_tenant[1].stats.rejected, 0u);
   EXPECT_EQ(stats.aggregate.rejected, 10u);
+}
+
+TEST(Engine, OverQuotaIsTypedAndCounted) {
+  ModelRegistry reg;
+  TenantSpec spec = const_spec(7);
+  spec.service.quota.rate_per_s = 0.001;  // effectively no refill in-test
+  spec.service.quota.burst = 2.0;
+  reg.register_tenant({"venue", 0, ""}, std::move(spec));
+  EngineConfig cfg;
+  cfg.pool_size = 1;
+  ServeEngine engine(reg.publish(), cfg);
+  const TenantKey key{"venue", 0, ""};
+
+  EXPECT_EQ(engine.submit(key, tiny_fp()).admission, Admission::Accepted);
+  EXPECT_EQ(engine.submit(key, tiny_fp()).admission, Admission::Accepted);
+  auto denied = engine.submit(key, tiny_fp());
+  EXPECT_EQ(denied.admission, Admission::OverQuota);
+  // The routing still resolved — the denial is admission, not a miss.
+  EXPECT_EQ(denied.decision.status, RouteDecision::Status::Exact);
+  ASSERT_EQ(denied.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_FALSE(denied.result.get().localized);
+  engine.shutdown();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.per_tenant[0].stats.over_quota, 1u);
+  EXPECT_EQ(stats.per_tenant[0].stats.submitted, 2u);
+  EXPECT_EQ(stats.aggregate.over_quota, 1u);
+}
+
+TEST(Engine, QueueFullIsTypedAndQuotaStallsAreNotBilledAsLatency) {
+  std::promise<void> open_gate;
+  GateLocalizer gate(open_gate.get_future().share(), 7);
+
+  ModelRegistry reg;
+  TenantSpec spec;
+  spec.shared_model = &gate;
+  spec.num_aps = kTinyAps;
+  spec.service.num_workers = 1;  // one slot, engine serializes on it
+  spec.service.max_batch = 1;
+  spec.service.queue_capacity = 1;
+  // Tiny refill with a 3-token burst: enough for R1..R3's admissions,
+  // but only if QueueFull denials REFUND their token (see below).
+  spec.service.quota.rate_per_s = 0.001;
+  spec.service.quota.burst = 3.0;
+  reg.register_tenant({"venue", 0, ""}, std::move(spec));
+  EngineConfig cfg;
+  cfg.pool_size = 1;
+  ServeEngine engine(reg.publish(), cfg);
+  const TenantKey key{"venue", 0, ""};
+
+  // R1 admitted and claimed by the (now gate-blocked) worker.
+  auto r1 = engine.submit(key, tiny_fp());
+  ASSERT_EQ(r1.admission, Admission::Accepted);
+  // R2 admitted once R1 leaves the queue; it then occupies the single
+  // queue slot for as long as the gate is closed.
+  EngineSubmission r2 = submit_blocking(engine, key, tiny_fp());
+  ASSERT_EQ(r2.admission, Admission::Accepted);
+
+  // R3 is refused, typed, with a ready future — submit() never blocks.
+  auto r3_denied = engine.submit(key, tiny_fp());
+  EXPECT_EQ(r3_denied.admission, Admission::QueueFull);
+  ASSERT_EQ(r3_denied.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_FALSE(r3_denied.result.get().localized);
+  // QueueFull must not drain the quota: every denial refunds its token,
+  // so repeated refusals stay QueueFull instead of decaying into
+  // OverQuota (the bucket has no meaningful refill in this test).
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(engine.submit(key, tiny_fp()).admission, Admission::QueueFull);
+
+  // The client stalls at the door (denied admission) for a while...
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  open_gate.set_value();
+  // ...and is eventually admitted. Its latency clock starts at THIS
+  // admission, not at the first refused attempt.
+  EngineSubmission r3 = submit_blocking(engine, key, tiny_fp());
+  ASSERT_EQ(r3.admission, Admission::Accepted);
+
+  const ServeResult res1 = r1.result.get();
+  const ServeResult res3 = r3.result.get();
+  // R1 was admitted before the stall and served after the gate opened:
+  // queueing + inference time IS billed.
+  EXPECT_GE(res1.latency_ms, 120.0);
+  // R3's pre-admission stall is NOT billed — with the gate open it is
+  // served in milliseconds.
+  EXPECT_LE(res3.latency_ms, 60.0);
+  EXPECT_LT(res3.latency_ms, res1.latency_ms);
+  engine.shutdown();
+  EXPECT_GE(engine.stats().per_tenant[0].stats.queue_full, 1u);
+}
+
+TEST(Engine, PublishWhileQueueNonEmptyServesQueuedOnNewSnapshot) {
+  std::promise<void> open_gate;
+  std::promise<void> entered;
+  GateLocalizer gate(open_gate.get_future().share(), 7, &entered);
+
+  ModelRegistry reg;
+  TenantSpec spec;
+  spec.shared_model = &gate;
+  spec.num_aps = kTinyAps;
+  spec.service.num_workers = 1;
+  spec.service.max_batch = 1;
+  spec.service.queue_capacity = 8;
+  reg.register_tenant({"venue", 0, ""}, std::move(spec));
+  EngineConfig cfg;
+  cfg.pool_size = 1;
+  ServeEngine engine(reg.publish(), cfg);
+  const TenantKey key{"venue", 0, ""};
+
+  auto r1 = engine.submit(key, tiny_fp());
+  ASSERT_EQ(r1.admission, Admission::Accepted);
+  // Wait until the worker has actually claimed R1 (it is blocked inside
+  // predict), so R2/R3 are demonstrably QUEUED, not in flight.
+  entered.get_future().wait();
+  auto r2 = engine.submit(key, tiny_fp());
+  ASSERT_EQ(r2.admission, Admission::Accepted);
+  auto r3 = engine.submit(key, tiny_fp());
+  ASSERT_EQ(r3.admission, Admission::Accepted);
+
+  // Hot reload while the tenant's queue is non-empty: replicas become
+  // ConstLocalizer(42).
+  reg.reload_tenant(key, const_spec(42));
+  engine.deploy(reg.publish());
+
+  open_gate.set_value();
+  // In-flight work finishes on the OLD deployment...
+  EXPECT_EQ(r1.result.get().rp, 7u);
+  // ...queued requests are claimed after the swap and run on the NEW one.
+  EXPECT_EQ(r2.result.get().rp, 42u);
+  EXPECT_EQ(r3.result.get().rp, 42u);
+  engine.shutdown();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.deploys, 1u);
+  EXPECT_EQ(stats.reload_flushes, 1u);
+  EXPECT_EQ(stats.per_tenant[0].stats.completed, 3u);
+}
+
+TEST(Engine, IdenticalRepublishIsNoOpFlushWise) {
+  const auto& sc = small_fleet()[0];
+  ModelRegistry reg;
+  TenantSpec spec = venue_spec(sc, 1);
+  spec.service.cache_capacity = 32;
+  spec.service.drift.window = 4;
+  reg.register_tenant({"venue-a", 0, "OP3"}, std::move(spec));
+  ServeEngine engine(reg.publish(), EngineConfig{});
+  const TenantKey key{"venue-a", 0, "OP3"};
+  const Tensor x = sc.device_tests[0].normalized();
+
+  // Warm the cache and complete a drift window to pin a baseline.
+  for (int i = 0; i < 6; ++i)
+    submit_blocking(engine, key, row_of(x, 0)).result.get();
+  EXPECT_GT(engine.tenant_cache(key).size(), 0u);
+  const DriftTrend before = engine.tenant_drift(key);
+  EXPECT_GE(before.windows_completed, 1u);
+  EXPECT_GE(before.baseline_mean, 0.0);
+
+  // Double-publish of an identical catalogue: MUST be a no-op flush-wise.
+  engine.deploy(reg.publish());
+  EXPECT_TRUE(
+      submit_blocking(engine, key, row_of(x, 0)).result.get().from_cache)
+      << "identical republish must not flush the tenant cache";
+  const DriftTrend after = engine.tenant_drift(key);
+  EXPECT_EQ(after.baseline_mean, before.baseline_mean)
+      << "identical republish must not reset the drift baseline";
+  engine.shutdown();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.deploys, 1u);
+  EXPECT_EQ(stats.reload_flushes, 0u);
+  EXPECT_EQ(stats.snapshot_epoch, 2u);  // fresh epoch, zero flushes
+  // The trend is exported per tenant for operators.
+  EXPECT_TRUE(stats.per_tenant[0].drift.enabled);
+  EXPECT_EQ(stats.per_tenant[0].drift.baseline_mean, before.baseline_mean);
+}
+
+TEST(Engine, ReloadFlushesOnlyTheReloadedTenant) {
+  const auto& fleet = small_fleet();
+  ModelRegistry reg;
+  for (std::size_t v = 0; v < 2; ++v) {
+    TenantSpec spec = venue_spec(fleet[v], 1);
+    spec.service.cache_capacity = 32;
+    reg.register_tenant({fleet[v].building_spec.name, 0, "OP3"},
+                        std::move(spec));
+  }
+  ServeEngine engine(reg.publish(), EngineConfig{});
+  const TenantKey ka{"venue-a", 0, "OP3"};
+  const TenantKey kb{"venue-b", 0, "OP3"};
+  const Tensor xa = fleet[0].device_tests[0].normalized();
+  const Tensor xb = fleet[1].device_tests[0].normalized();
+
+  for (int i = 0; i < 2; ++i) {
+    submit_blocking(engine, ka, row_of(xa, 0)).result.get();
+    submit_blocking(engine, kb, row_of(xb, 0)).result.get();
+  }
+  EXPECT_GT(engine.tenant_cache(ka).size(), 0u);
+  EXPECT_GT(engine.tenant_cache(kb).size(), 0u);
+
+  // Retrain-and-reload venue-a only.
+  TenantSpec reloaded = venue_spec(fleet[0], 1);
+  reloaded.service.cache_capacity = 32;
+  reg.reload_tenant(ka, std::move(reloaded));
+  engine.deploy(reg.publish());
+
+  EXPECT_FALSE(
+      submit_blocking(engine, ka, row_of(xa, 0)).result.get().from_cache)
+      << "reloaded tenant must serve from its flushed (empty) cache";
+  EXPECT_TRUE(
+      submit_blocking(engine, kb, row_of(xb, 0)).result.get().from_cache)
+      << "unreloaded tenant's cache must survive the deploy";
+  engine.shutdown();
+  EXPECT_EQ(engine.stats().reload_flushes, 1u);
+}
+
+TEST(Engine, ReloadOfFallbackTargetMidChain) {
+  ModelRegistry reg;
+  reg.register_tenant({"venue", 0, "OP3"}, const_spec(7));
+  reg.set_profile_fallbacks({"OP3"});
+  ServeEngine engine(reg.publish(), EngineConfig{});
+  // "S7" has no dedicated model: resolves through the chain to OP3.
+  const TenantKey s7{"venue", 0, "S7"};
+
+  auto before = engine.submit(s7, tiny_fp());
+  EXPECT_EQ(before.decision.status, RouteDecision::Status::Fallback);
+  EXPECT_EQ(before.result.get().rp, 7u);
+
+  // Reload the tenant the chain lands on, mid-fallback: the chain keeps
+  // resolving and the NEW model serves.
+  reg.reload_tenant({"venue", 0, "OP3"}, const_spec(42));
+  engine.deploy(reg.publish());
+
+  auto after = engine.submit(s7, tiny_fp());
+  EXPECT_EQ(after.decision.status, RouteDecision::Status::Fallback);
+  EXPECT_EQ(after.decision.resolved, (TenantKey{"venue", 0, "OP3"}));
+  EXPECT_EQ(after.result.get().rp, 42u);
+  engine.shutdown();
+}
+
+TEST(Engine, RemovedTenantFailsQueuedAndRejectsNew) {
+  std::promise<void> open_gate;
+  std::promise<void> entered;
+  GateLocalizer gate(open_gate.get_future().share(), 7, &entered);
+
+  ModelRegistry reg;
+  TenantSpec doomed;
+  doomed.shared_model = &gate;
+  doomed.num_aps = kTinyAps;
+  doomed.service.num_workers = 1;
+  doomed.service.max_batch = 1;
+  doomed.service.queue_capacity = 8;
+  reg.register_tenant({"doomed", 0, ""}, std::move(doomed));
+  reg.register_tenant({"kept", 0, ""}, const_spec(9));
+  EngineConfig cfg;
+  cfg.pool_size = 1;
+  ServeEngine engine(reg.publish(), cfg);
+  const TenantKey key{"doomed", 0, ""};
+
+  auto r1 = engine.submit(key, tiny_fp());
+  ASSERT_EQ(r1.admission, Admission::Accepted);
+  entered.get_future().wait();  // R1 is in flight, not queued
+  auto r2 = engine.submit(key, tiny_fp());  // queued behind the gate
+  ASSERT_EQ(r2.admission, Admission::Accepted);
+
+  reg.remove_tenant(key);
+  engine.deploy(reg.publish());
+
+  // The queued request fails deterministically at the deploy...
+  ASSERT_EQ(r2.result.wait_for(std::chrono::seconds(2)),
+            std::future_status::ready);
+  EXPECT_FALSE(r2.result.get().localized);
+  // ...new submissions are routing misses...
+  EXPECT_EQ(engine.submit(key, tiny_fp()).admission, Admission::Rejected);
+  // ...and the in-flight batch still completes on the old deployment.
+  open_gate.set_value();
+  EXPECT_EQ(r1.result.get().rp, 7u);
+
+  const auto stats = engine.stats();
+  ASSERT_EQ(stats.per_tenant.size(), 1u);
+  EXPECT_EQ(stats.per_tenant[0].tenant, (TenantKey{"kept", 0, ""}));
+  engine.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// MultiTenantService — deprecated shim over ServeEngine
+// ---------------------------------------------------------------------------
+
+TEST(MultiTenantShim, LegacySurfaceStillServes) {
+  const auto& fleet = small_fleet();
+  MultiTenantService service(small_fleet_registry(1));
+  EXPECT_EQ(service.num_shards(), 3u);
+  const Tensor x = fleet[0].device_tests[0].normalized();
+
+  auto exact = service.submit({"venue-a", 0, "OP3"}, row_of(x, 0));
+  EXPECT_EQ(exact.decision.status, RouteDecision::Status::Exact);
+  EXPECT_TRUE(exact.result.get().localized);
+
+  auto fb = service.submit({"venue-a", 0, "S7"}, row_of(x, 1));
+  EXPECT_EQ(fb.decision.status, RouteDecision::Status::Fallback);
+  EXPECT_TRUE(fb.result.get().localized);
+
+  auto rej = service.submit({"venue-z", 0, "OP3"}, row_of(x, 0));
+  EXPECT_EQ(rej.decision.status, RouteDecision::Status::Reject);
+  EXPECT_FALSE(rej.result.get().localized);
+
+  // The registry-level router snapshot agrees with the live engine.
+  EXPECT_EQ(service.router().route({"venue-a", 0, "S7"}).status,
+            RouteDecision::Status::Fallback);
+  EXPECT_EQ(service.engine().pool_size(), 3u);  // sum of per-lane workers
+
+  service.shutdown();
+  service.shutdown();  // idempotent
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.route_exact, 1u);
+  EXPECT_EQ(stats.route_fallback, 1u);
+  EXPECT_EQ(stats.route_rejected, 1u);
+  EXPECT_EQ(stats.aggregate.completed, 2u);
 }
 
 }  // namespace
