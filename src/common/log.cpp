@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace cal {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
-std::mutex g_mutex;
+/// Serializes std::cerr line assembly across threads (the stream
+/// itself is data-race-free per [iostream.objects], but interleaved
+/// partial lines are not a readable log).
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,7 +32,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << "[cal:" << level_name(level) << "] " << msg << '\n';
 }
 

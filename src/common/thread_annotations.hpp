@@ -1,0 +1,200 @@
+#pragma once
+
+// Clang Thread Safety Analysis surface for CALLOC.
+//
+// Locking discipline in this codebase is machine-checked: every
+// mutex-protected field carries CAL_GUARDED_BY, every function that
+// expects a lock to be held carries CAL_REQUIRES, and the Clang-only
+// CALLOC_THREAD_SAFETY build turns violations into compile errors
+// (-Wthread-safety -Wthread-safety-beta -Werror; see CMakeLists.txt and
+// the thread-safety CI job). On other compilers every macro expands to
+// nothing and the wrappers below behave exactly like the std types they
+// wrap.
+//
+// Conventions for new code:
+//  - Use cal::Mutex / cal::SharedMutex, never bare std::mutex, for any
+//    lock the analysis should track (std types carry no attributes).
+//  - Take locks through the scoped guards (MutexLock, ReaderMutexLock,
+//    WriterMutexLock) rather than std::lock_guard/std::unique_lock —
+//    the analysis only understands annotated RAII types.
+//  - Condition waits go through cal::CondVar::wait(mu) inside an
+//    explicit `while (!predicate)` loop in the function that holds the
+//    lock. Predicate-lambda overloads are deliberately not provided:
+//    Clang analyzes a lambda body as a separate function that does not
+//    inherit the caller's lock set, so a guarded read inside the
+//    predicate would be (falsely) diagnosed.
+//  - Private helpers that assume a held lock are suffixed _locked() and
+//    annotated CAL_REQUIRES(mu_).
+
+#if defined(__clang__)
+#define CAL_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define CAL_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define CAL_CAPABILITY(x) CAL_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define CAL_SCOPED_CAPABILITY \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define CAL_GUARDED_BY(x) CAL_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define CAL_PT_GUARDED_BY(x) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define CAL_REQUIRES(...) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define CAL_REQUIRES_SHARED(...) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define CAL_ACQUIRE(...) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define CAL_ACQUIRE_SHARED(...) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define CAL_RELEASE(...) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define CAL_RELEASE_SHARED(...) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define CAL_RELEASE_GENERIC(...) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+#define CAL_TRY_ACQUIRE(...) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define CAL_TRY_ACQUIRE_SHARED(...) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define CAL_EXCLUDES(...) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define CAL_ASSERT_CAPABILITY(x) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define CAL_RETURN_CAPABILITY(x) \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define CAL_NO_THREAD_SAFETY_ANALYSIS \
+  CAL_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace cal {
+
+/// std::mutex with capability attributes so the analysis can track it.
+/// Zero overhead: all members forward directly.
+class CAL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CAL_ACQUIRE() { mu_.lock(); }
+  void unlock() CAL_RELEASE() { mu_.unlock(); }
+  bool try_lock() CAL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Escape hatch for interop (e.g. CondVar); callers own the
+  /// responsibility of keeping the analysis informed.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with capability attributes (reader/writer lock).
+class CAL_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CAL_ACQUIRE() { mu_.lock(); }
+  void unlock() CAL_RELEASE() { mu_.unlock(); }
+  bool try_lock() CAL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() CAL_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() CAL_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() CAL_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over cal::Mutex (std::lock_guard equivalent).
+class CAL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CAL_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CAL_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over cal::SharedMutex.
+class CAL_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) CAL_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() CAL_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over cal::SharedMutex.
+class CAL_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) CAL_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() CAL_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with cal::Mutex. Wraps the plain
+/// std::condition_variable (not _any): wait() temporarily adopts the
+/// caller's held lock into a std::unique_lock and releases it back on
+/// wake, so the fast futex path is preserved and the analysis sees the
+/// lock held across the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold mu; the lock is released while blocked and
+  /// re-acquired before returning (standard condvar contract).
+  void wait(Mutex& mu) CAL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership returns to the caller's guard
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cal

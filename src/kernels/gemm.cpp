@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "common/ensure.hpp"
+#include "common/thread_annotations.hpp"
 #include "kernels/gemm_arch.hpp"
 
 namespace cal::kernels {
@@ -52,7 +52,7 @@ class Pool {
 
   ~Pool() {
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       stop_ = true;
     }
     cv_work_.notify_all();
@@ -62,9 +62,14 @@ class Pool {
   std::size_t workers() const { return threads_.size(); }
 
   /// Run fn(0..tasks-1) across the pool; the caller participates too.
-  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn)
+      CAL_EXCLUDES(mu_) {
+    // Local copy of the task bound: the caller's claim loop below runs
+    // outside the lock, and end_ is guarded state owned by the job the
+    // workers see.
+    const std::size_t end = tasks;
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       job_ = &fn;
       next_.store(0, std::memory_order_relaxed);
       end_ = tasks;
@@ -73,22 +78,22 @@ class Pool {
     }
     cv_work_.notify_all();
     for (std::size_t t;
-         (t = next_.fetch_add(1, std::memory_order_relaxed)) < end_;)
+         (t = next_.fetch_add(1, std::memory_order_relaxed)) < end;)
       fn(t);
-    std::unique_lock lk(mu_);
-    cv_done_.wait(lk, [&] { return pending_ == 0; });
+    MutexLock lk(mu_);
+    while (pending_ != 0) cv_done_.wait(mu_);
     job_ = nullptr;
   }
 
  private:
-  void loop() {
+  void loop() CAL_EXCLUDES(mu_) {
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(std::size_t)>* job = nullptr;
       std::size_t end = 0;
       {
-        std::unique_lock lk(mu_);
-        cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        MutexLock lk(mu_);
+        while (!stop_ && generation_ == seen) cv_work_.wait(mu_);
         if (stop_) return;
         seen = generation_;
         job = job_;
@@ -98,22 +103,22 @@ class Pool {
            (t = next_.fetch_add(1, std::memory_order_relaxed)) < end;)
         (*job)(t);
       {
-        std::lock_guard lk(mu_);
+        MutexLock lk(mu_);
         if (--pending_ == 0) cv_done_.notify_one();
       }
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
+  Mutex mu_;
+  CondVar cv_work_;
+  CondVar cv_done_;
   std::vector<std::thread> threads_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  const std::function<void(std::size_t)>* job_ CAL_GUARDED_BY(mu_) = nullptr;
   std::atomic<std::size_t> next_{0};
-  std::size_t end_ = 0;
-  std::size_t pending_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  std::size_t end_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t pending_ CAL_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ CAL_GUARDED_BY(mu_) = 0;
+  bool stop_ CAL_GUARDED_BY(mu_) = false;
 };
 
 Pool& pool() {
@@ -139,6 +144,12 @@ void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
     // keeps whichever caller loses the race on the serial path instead of
     // blocking — results are bit-identical either way, and callers like
     // multi-worker serving already parallelise above the kernel.
+    //
+    // Deliberately a plain std::mutex, outside the thread-safety
+    // analysis: the gate guards no data (Pool's own cal::Mutex does
+    // that), only which caller gets to run a pool job, and a
+    // conditionally-held RAII try-lock is a shape the analysis cannot
+    // express without NO_THREAD_SAFETY_ANALYSIS escapes.
     static std::mutex pool_gate;
     std::unique_lock gate(pool_gate, std::try_to_lock);
     if (!gate.owns_lock()) {

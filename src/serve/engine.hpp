@@ -42,14 +42,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
+#include <future>
 #include <memory>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
+#include "serve/lru_cache.hpp"
 #include "serve/queue.hpp"
 #include "serve/snapshot.hpp"
 
@@ -73,28 +74,30 @@ class TokenBucket {
   TokenBucket() = default;  ///< unlimited
   explicit TokenBucket(QuotaPolicy policy);
 
-  bool unlimited() const;
+  bool unlimited() const CAL_EXCLUDES(mu_);
 
   /// Take one token if available. Refills rate_per_s per second up to
   /// the burst cap, computed lazily from the elapsed monotonic time.
-  bool try_acquire(std::chrono::steady_clock::time_point now);
+  bool try_acquire(std::chrono::steady_clock::time_point now)
+      CAL_EXCLUDES(mu_);
   bool try_acquire() { return try_acquire(std::chrono::steady_clock::now()); }
 
   /// Return one token (capped at the burst). The engine refunds a token
   /// when a quota-admitted request is then refused by the sub-queue —
   /// QueueFull denials must not drain the tenant's admission budget.
-  void refund();
+  void refund() CAL_EXCLUDES(mu_);
 
   /// Swap the policy in place (engine hot reload); the bucket restarts
   /// full so a freshly reloaded tenant is not instantly throttled.
-  void reconfigure(QuotaPolicy policy);
+  void reconfigure(QuotaPolicy policy) CAL_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  QuotaPolicy policy_{};
-  double tokens_ = 0.0;
-  bool primed_ = false;  ///< until first acquire, bucket starts full
-  std::chrono::steady_clock::time_point last_{};
+  mutable Mutex mu_;
+  QuotaPolicy policy_ CAL_GUARDED_BY(mu_){};
+  double tokens_ CAL_GUARDED_BY(mu_) = 0.0;
+  /// Until first acquire, bucket starts full.
+  bool primed_ CAL_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point last_ CAL_GUARDED_BY(mu_){};
 };
 
 struct EngineConfig {
@@ -233,36 +236,39 @@ class ServeEngine {
   static std::shared_ptr<TenantState> make_state(const TenantDeployment& dep);
   static void configure_state(TenantState& st, const TenantDeployment& dep);
   /// Fail every queued request of `st` (tenant removed / incompatible).
-  /// Returns how many were dropped.
-  std::size_t drop_queue(TenantState& st);
+  /// Returns how many were dropped. Caller holds mu_ exclusively: the
+  /// queue must be invisible to submit() while it is being failed.
+  std::size_t drop_queue(TenantState& st) CAL_REQUIRES(mu_);
 
-  void worker_loop(std::size_t worker_index);
-  bool try_claim(std::size_t& cursor, Claim& out);
+  void worker_loop(std::size_t worker_index) CAL_EXCLUDES(mu_, work_mu_);
+  bool try_claim(std::size_t& cursor, Claim& out)
+      CAL_EXCLUDES(mu_, work_mu_);
   void process(Claim& claim, Rng& rng);
-  void signal_work();
+  void signal_work() CAL_EXCLUDES(work_mu_);
 
   EngineConfig cfg_;
 
   /// Guards snapshot_ / states_ / order_ as one consistent unit: submit
   /// and workers take it shared, deploy/shutdown take it unique.
-  mutable std::shared_mutex mu_;
-  std::shared_ptr<const DeploymentSnapshot> snapshot_;
+  mutable SharedMutex mu_;
+  std::shared_ptr<const DeploymentSnapshot> snapshot_ CAL_GUARDED_BY(mu_);
   std::unordered_map<TenantKey, std::shared_ptr<TenantState>, TenantKeyHash>
-      states_;
-  std::vector<std::shared_ptr<TenantState>> order_;  ///< snapshot order
+      states_ CAL_GUARDED_BY(mu_);
+  /// Snapshot order.
+  std::vector<std::shared_ptr<TenantState>> order_ CAL_GUARDED_BY(mu_);
 
   std::atomic<bool> accepting_{true};
 
   /// Pool wake-up state. work_gen_ bumps on every event a parked worker
   /// might care about (push, slot release, deploy, shutdown); waiting on
   /// a generation makes lost wakeups impossible.
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;
-  std::uint64_t work_gen_ = 0;
+  Mutex work_mu_;
+  CondVar work_cv_;
+  std::uint64_t work_gen_ CAL_GUARDED_BY(work_mu_) = 0;
   /// Queued-but-unclaimed requests, fleet-wide. Signed: push/claim
   /// bookkeeping from different threads may transiently interleave.
-  std::int64_t pending_ = 0;
-  bool stopped_ = false;
+  std::int64_t pending_ CAL_GUARDED_BY(work_mu_) = 0;
+  bool stopped_ CAL_GUARDED_BY(work_mu_) = false;
 
   std::atomic<std::size_t> route_exact_{0};
   std::atomic<std::size_t> route_fallback_{0};

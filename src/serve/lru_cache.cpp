@@ -24,7 +24,7 @@ FingerprintCache::Key FingerprintCache::make_key(
 
 std::optional<std::size_t> FingerprintCache::lookup(const Key& key) {
   if (!enabled()) return std::nullopt;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
@@ -37,7 +37,7 @@ std::optional<std::size_t> FingerprintCache::lookup(const Key& key) {
 
 void FingerprintCache::insert(const Key& key, std::size_t rp) {
   if (!enabled()) return;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->second = rp;
@@ -53,23 +53,23 @@ void FingerprintCache::insert(const Key& key, std::size_t rp) {
 }
 
 void FingerprintCache::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   map_.clear();
   order_.clear();
 }
 
 std::size_t FingerprintCache::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return order_.size();
 }
 
 std::size_t FingerprintCache::hits() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 std::size_t FingerprintCache::misses() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

@@ -15,12 +15,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace cal::serve {
 
@@ -42,20 +43,20 @@ class FingerprintCache {
 
   /// Cached RP for this key, bumping it to most-recently-used. Counts a
   /// hit or a miss.
-  std::optional<std::size_t> lookup(const Key& key);
+  std::optional<std::size_t> lookup(const Key& key) CAL_EXCLUDES(mu_);
 
   /// Insert (or refresh) a prediction, evicting the least-recently-used
   /// entry when full.
-  void insert(const Key& key, std::size_t rp);
+  void insert(const Key& key, std::size_t rp) CAL_EXCLUDES(mu_);
 
   /// Drop every entry (hit/miss counters survive). The serving layer calls
   /// this when the screening-distance trend says the radio map has drifted
   /// and the cached RPs describe yesterday's building.
-  void clear();
+  void clear() CAL_EXCLUDES(mu_);
 
-  std::size_t size() const;
-  std::size_t hits() const;
-  std::size_t misses() const;
+  std::size_t size() const CAL_EXCLUDES(mu_);
+  std::size_t hits() const CAL_EXCLUDES(mu_);
+  std::size_t misses() const CAL_EXCLUDES(mu_);
 
  private:
   struct KeyHash {
@@ -65,11 +66,12 @@ class FingerprintCache {
 
   std::size_t capacity_;
   float quant_step_;
-  mutable std::mutex mu_;
-  std::list<Entry> order_;  // front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  mutable Mutex mu_;
+  std::list<Entry> order_ CAL_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_
+      CAL_GUARDED_BY(mu_);
+  std::size_t hits_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ CAL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cal::serve

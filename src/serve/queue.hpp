@@ -12,13 +12,12 @@
 // way).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "common/ensure.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace cal::serve {
 
@@ -35,13 +34,13 @@ class BoundedQueue {
   /// Enqueue one item (moves from `item`). Blocks while the queue is at
   /// capacity. Returns false (leaving `item` untouched by the queue) when
   /// the queue has been closed.
-  bool push(T&& item) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
+  bool push(T&& item) CAL_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.wait(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -51,9 +50,9 @@ class BoundedQueue {
   /// for a slot. This is the admission-control flavour the serving
   /// engine's typed submit() uses: overload is reported to the caller as
   /// Admission::QueueFull rather than absorbed as producer back-pressure.
-  bool try_push(T&& item) {
+  bool try_push(T&& item) CAL_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -64,18 +63,19 @@ class BoundedQueue {
   /// Dequeue up to `max_items` items in arrival order. Blocks until at
   /// least one item is available or the queue is closed; an empty result
   /// means closed-and-drained (the consumer should exit).
-  std::vector<T> pop_batch(std::size_t max_items) {
+  std::vector<T> pop_batch(std::size_t max_items) CAL_EXCLUDES(mu_) {
     CAL_ENSURE(max_items > 0, "pop_batch needs max_items > 0");
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
     std::vector<T> batch;
-    const std::size_t n = std::min(max_items, items_.size());
-    batch.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      batch.push_back(std::move(items_.front()));
-      items_.pop_front();
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.wait(mu_);
+      const std::size_t n = std::min(max_items, items_.size());
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
     }
-    lock.unlock();
     // Draining may have unblocked several producers; closing must wake
     // every waiting consumer so the pool can exit.
     not_full_.notify_all();
@@ -85,11 +85,11 @@ class BoundedQueue {
   /// Non-blocking drain: up to `max_items` items if any are queued,
   /// empty otherwise — never waits. Used by pool workers that scan many
   /// queues and must not park on an empty one.
-  std::vector<T> try_pop_batch(std::size_t max_items) {
+  std::vector<T> try_pop_batch(std::size_t max_items) CAL_EXCLUDES(mu_) {
     CAL_ENSURE(max_items > 0, "try_pop_batch needs max_items > 0");
     std::vector<T> batch;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       const std::size_t n = std::min(max_items, items_.size());
       batch.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
@@ -105,42 +105,42 @@ class BoundedQueue {
   /// tenant's queue_capacity this way). Only future pushes are affected:
   /// items already queued beyond a shrunken capacity stay and drain
   /// normally — admitted requests are never dropped by a resize.
-  void set_capacity(std::size_t capacity) {
+  void set_capacity(std::size_t capacity) CAL_EXCLUDES(mu_) {
     CAL_ENSURE(capacity > 0, "queue capacity must be positive");
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       capacity_ = capacity;
     }
     not_full_.notify_all();  // a grown queue may unblock producers
   }
 
   /// Close the queue: future pushes fail, consumers drain then stop.
-  void close() {
+  void close() CAL_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard lock(mu_);
+  bool closed() const CAL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mu_);
+  std::size_t size() const CAL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ CAL_GUARDED_BY(mu_);
+  std::size_t capacity_ CAL_GUARDED_BY(mu_);
+  bool closed_ CAL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cal::serve

@@ -193,7 +193,7 @@ std::shared_ptr<const DeploymentSnapshot> ModelRegistry::publish() {
       auto& weak = shared_locks_[spec.shared_model];
       auto lock = weak.lock();
       if (lock == nullptr) {
-        lock = std::make_shared<std::mutex>();
+        lock = std::make_shared<Mutex>();
         weak = lock;
       }
       dep->shared_mu_ = std::move(lock);
@@ -208,9 +208,15 @@ std::shared_ptr<const DeploymentSnapshot> ModelRegistry::publish() {
         dep->replicas_.push_back(dep->owned_.back().get());
       }
     }
-    dep->free_slots_.reserve(dep->replicas_.size());
-    for (std::size_t i = dep->replicas_.size(); i-- > 0;)
-      dep->free_slots_.push_back(i);
+    {
+      // The deployment is not shared yet, but free_slots_ is guarded by
+      // slot_mu_ and the analysis (rightly) has no notion of "not yet
+      // published" — take the uncontended lock.
+      MutexLock lock(dep->slot_mu_);
+      dep->free_slots_.reserve(dep->replicas_.size());
+      for (std::size_t i = dep->replicas_.size(); i-- > 0;)
+        dep->free_slots_.push_back(i);
+    }
     published_[key] = dep;
     snap->by_key_[key] = snap->tenants_.size();
     snap->tenants_.push_back(std::move(dep));

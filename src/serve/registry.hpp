@@ -24,12 +24,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "serve/service.hpp"
 
 namespace cal::serve {
@@ -153,7 +153,7 @@ class ModelRegistry {
   /// snapshot) keeps it alive, and mints a fresh one only after every
   /// holder is gone — so two live deployments can never hold different
   /// mutexes for the same model.
-  std::unordered_map<baselines::ILocalizer*, std::weak_ptr<std::mutex>>
+  std::unordered_map<baselines::ILocalizer*, std::weak_ptr<Mutex>>
       shared_locks_;
   std::vector<std::string> fallbacks_{std::string{}};
   std::uint64_t next_epoch_ = 0;

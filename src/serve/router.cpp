@@ -33,41 +33,4 @@ RouteDecision ShardRouter::route(const TenantKey& request) const {
           by_key_.at(res.resolved), res.resolved};
 }
 
-MultiTenantService::MultiTenantService(ModelRegistry registry)
-    : registry_(std::move(registry)), router_(registry_) {
-  // Thread-count parity with the retired per-lane model: each tenant's
-  // num_workers now contributes replica slots AND pool threads, so the
-  // shim behaves like the old fleet while new code sizes the two
-  // independently through ServeEngine.
-  std::size_t pool = 0;
-  for (const TenantKey& key : registry_.keys())
-    pool += registry_.find(key)->service.num_workers;
-  EngineConfig cfg;
-  cfg.pool_size = std::max<std::size_t>(pool, 1);
-  engine_ = std::make_unique<ServeEngine>(registry_.publish(), cfg);
-  // Replica factories are arbitrarily slow; align every tenant's
-  // telemetry clock to "fleet ready" so shards built early don't count
-  // the rest of the construction as serving time.
-  engine_->reset_telemetry_clocks();
-}
-
-MultiTenantService::~MultiTenantService() { shutdown(); }
-
-RoutedSubmission MultiTenantService::submit(
-    const TenantKey& tenant, std::vector<float> fingerprint_normalized) {
-  // The legacy API blocked the producer on a saturated shard;
-  // submit_blocking emulates that backpressure by retrying admission.
-  EngineSubmission sub =
-      engine_->submit_blocking(tenant, std::move(fingerprint_normalized));
-  return {sub.decision, std::move(sub.result)};
-}
-
-void MultiTenantService::shutdown() { engine_->shutdown(); }
-
-MultiTenantStats MultiTenantService::stats() const { return engine_->stats(); }
-
-std::size_t MultiTenantService::num_shards() const {
-  return engine_->num_tenants();
-}
-
 }  // namespace cal::serve

@@ -1,26 +1,21 @@
-// Registry-side routing view, and the multi-tenant compatibility shim.
+// Registry-side routing view.
 //
 // Routing itself — exact key → profile fallback chain → deterministic
 // reject — is one policy (resolve_tenant, registry.hpp) evaluated over
 // three key sets: ModelRegistry::resolve for catalogue queries,
 // ShardRouter below for a frozen pre-publish view, and
 // DeploymentSnapshot::route (snapshot.hpp) for the live engine, which
-// re-snapshots the key set on every hot reload.
-//
-// MultiTenantService is the PR 4 thread-per-lane front door, kept for one
-// more PR as a thin DEPRECATED shim over ServeEngine (engine.hpp): it
-// publishes its registry once, sizes the shared pool like the old
-// per-lane worker pools (sum of num_workers), and emulates the historical
-// blocking submit() by retrying non-blocking admission. New code should
-// talk to ServeEngine directly — it adds typed admission, per-tenant
-// quotas, and mid-traffic hot reload, none of which this shim surfaces.
+// re-snapshots the key set on every hot reload. (The PR 4-era
+// MultiTenantService shim over ServeEngine reached the end of its
+// declared one-PR lifetime and is gone; talk to ServeEngine directly.)
 #pragma once
 
 #include <cstddef>
-#include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
-#include "serve/engine.hpp"
+#include "serve/snapshot.hpp"
 
 namespace cal::serve {
 
@@ -42,53 +37,6 @@ class ShardRouter {
   std::vector<TenantKey> shards_;
   std::unordered_map<TenantKey, std::size_t, TenantKeyHash> by_key_;
   std::vector<std::string> fallbacks_;
-};
-
-/// submit() outcome: the routing decision is known synchronously; the
-/// localization result arrives through the future (already fulfilled for
-/// rejected routes).
-struct RoutedSubmission {
-  RouteDecision decision;
-  std::future<ServeResult> result;
-};
-
-/// DEPRECATED multi-tenant shim over ServeEngine — kept for one PR so
-/// downstream code migrates gradually.
-class MultiTenantService {
- public:
-  /// Publishes `registry` once and deploys it on a private engine whose
-  /// pool has as many threads as the old per-lane model would have
-  /// spawned (sum of every tenant's num_workers).
-  explicit MultiTenantService(ModelRegistry registry);
-
-  MultiTenantService(const MultiTenantService&) = delete;
-  MultiTenantService& operator=(const MultiTenantService&) = delete;
-  ~MultiTenantService();
-
-  /// Route `tenant` and enqueue the fingerprint on its sub-queue.
-  /// Unknown tenants get an immediately-fulfilled Reject result; known
-  /// ones block (retrying admission) while the sub-queue is at capacity,
-  /// exactly like the old bounded-queue backpressure.
-  RoutedSubmission submit(const TenantKey& tenant,
-                          std::vector<float> fingerprint_normalized);
-
-  /// Stop the engine: drain queues, join the pool. Idempotent.
-  void shutdown();
-
-  MultiTenantStats stats() const;
-
-  const ShardRouter& router() const { return router_; }
-  const ModelRegistry& registry() const { return registry_; }
-  std::size_t num_shards() const;
-
-  /// The engine behind the shim — the migration escape hatch.
-  ServeEngine& engine() { return *engine_; }
-  const ServeEngine& engine() const { return *engine_; }
-
- private:
-  ModelRegistry registry_;
-  ShardRouter router_;
-  std::unique_ptr<ServeEngine> engine_;
 };
 
 }  // namespace cal::serve

@@ -1,20 +1,8 @@
 #include "serve/service.hpp"
 
-#include <utility>
-
 #include "common/ensure.hpp"
-#include "serve/engine.hpp"
 
 namespace cal::serve {
-namespace {
-
-/// The one tenant the single-tenant shim registers on its private engine.
-const TenantKey& shim_key() {
-  static const TenantKey key{"default", 0, std::string{}};
-  return key;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // DriftMonitor
@@ -29,7 +17,7 @@ DriftMonitor::DriftMonitor(DriftPolicy policy) : policy_(policy) {
 
 bool DriftMonitor::record(double distance) {
   if (!enabled()) return false;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   current_sum_ += distance;
   if (++current_n_ < policy_.window) return false;
   const double mean = current_sum_ / static_cast<double>(current_n_);
@@ -62,7 +50,7 @@ bool DriftMonitor::record(double distance) {
 }
 
 void DriftMonitor::reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   baseline_mean_ = -1.0;
   last_window_mean_ = -1.0;
   windows_completed_ = 0;
@@ -71,7 +59,7 @@ void DriftMonitor::reset() {
 }
 
 DriftTrend DriftMonitor::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   DriftTrend t;
   t.enabled = policy_.window > 0;
   t.window = policy_.window;
@@ -82,77 +70,6 @@ DriftTrend DriftMonitor::snapshot() const {
       current_n_ > 0 ? current_sum_ / static_cast<double>(current_n_) : 0.0;
   t.windows_completed = windows_completed_;
   return t;
-}
-
-// ---------------------------------------------------------------------------
-// LocalizationService — DEPRECATED single-tenant shim over ServeEngine
-// ---------------------------------------------------------------------------
-
-LocalizationService::LocalizationService(ReplicaFactory factory,
-                                         std::size_t num_aps, Tensor anchors,
-                                         ServiceConfig cfg)
-    : LocalizationService(std::move(factory), nullptr, num_aps,
-                          std::move(anchors), cfg) {}
-
-LocalizationService::LocalizationService(baselines::ILocalizer& model,
-                                         std::size_t num_aps, Tensor anchors,
-                                         ServiceConfig cfg)
-    : LocalizationService(ReplicaFactory{}, &model, num_aps,
-                          std::move(anchors), cfg) {}
-
-LocalizationService::LocalizationService(ReplicaFactory factory,
-                                         baselines::ILocalizer* shared_model,
-                                         std::size_t num_aps, Tensor anchors,
-                                         ServiceConfig cfg)
-    : cfg_(cfg), num_aps_(num_aps) {
-  ModelRegistry registry;
-  TenantSpec spec;
-  spec.factory = std::move(factory);
-  spec.shared_model = shared_model;
-  spec.num_aps = num_aps;
-  spec.anchors = std::move(anchors);
-  spec.service = cfg;
-  registry.register_tenant(shim_key(), std::move(spec));
-  EngineConfig engine_cfg;
-  // The historical contract: num_workers private threads for this lane.
-  engine_cfg.pool_size = cfg.num_workers;
-  engine_cfg.seed = cfg.seed;
-  engine_ = std::make_unique<ServeEngine>(registry.publish(), engine_cfg);
-}
-
-LocalizationService::~LocalizationService() { shutdown(); }
-
-std::future<ServeResult> LocalizationService::submit(
-    std::vector<float> fingerprint_normalized) {
-  // The legacy API blocked the producer while the lane was saturated;
-  // submit_blocking emulates that backpressure by retrying admission.
-  EngineSubmission sub = engine_->submit_blocking(
-      shim_key(), std::move(fingerprint_normalized));
-  CAL_INVARIANT(sub.admission == Admission::Accepted,
-                "single-tenant shim route rejected");
-  return std::move(sub.result);
-}
-
-void LocalizationService::shutdown() { engine_->shutdown(); }
-
-ServiceStats LocalizationService::stats() const {
-  return engine_->stats().per_tenant.front().stats;
-}
-
-void LocalizationService::reset_telemetry_clock() {
-  engine_->reset_telemetry_clocks();
-}
-
-const FingerprintCache& LocalizationService::cache() const {
-  return engine_->tenant_cache(shim_key());
-}
-
-const AnchorScreen& LocalizationService::screen() const {
-  return engine_->tenant_screen(shim_key());
-}
-
-DriftTrend LocalizationService::drift_trend() const {
-  return engine_->tenant_drift(shim_key());
 }
 
 }  // namespace cal::serve

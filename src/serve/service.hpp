@@ -1,4 +1,4 @@
-// Serving-lane primitives, and the single-tenant compatibility shim.
+// Serving-lane primitives.
 //
 // This header defines the vocabulary every layer of the serving stack
 // shares: ServeResult (what a request resolves to), ReplicaFactory (how a
@@ -8,30 +8,24 @@
 //
 // Execution lives in ServeEngine (engine.hpp): ONE shared worker pool
 // runs micro-batches for every registered tenant, with per-tenant bounded
-// sub-queues and token-bucket admission. LocalizationService below is the
-// PR 2-era single-tenant front door, kept for one more PR as a thin
-// DEPRECATED shim: it registers exactly one tenant on a private engine
-// and emulates the old blocking submit() by retrying non-blocking
-// admission. New code should build a ModelRegistry, publish() a
-// DeploymentSnapshot, and talk to ServeEngine directly.
+// sub-queues and token-bucket admission. Build a ModelRegistry,
+// publish() a DeploymentSnapshot, and talk to ServeEngine directly. (The
+// PR 2-era LocalizationService / MultiTenantService shims reached the
+// end of their declared one-PR lifetime and are gone.)
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <future>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "baselines/localizer.hpp"
-#include "serve/lru_cache.hpp"
+#include "common/thread_annotations.hpp"
 #include "serve/screening.hpp"
 #include "serve/stats.hpp"
 
 namespace cal::serve {
-
-class ServeEngine;  // engine.hpp — execution layer behind the shim
 
 /// Outcome of one localization request.
 struct ServeResult {
@@ -96,25 +90,26 @@ class DriftMonitor {
   /// Record one screening distance. Returns true when the windowed trend
   /// crossed the policy — the caller should flush its cache. The drifted
   /// window then becomes the new baseline.
-  bool record(double distance);
+  bool record(double distance) CAL_EXCLUDES(mu_);
 
   /// Forget the baseline and the in-progress window — the engine calls
   /// this when a tenant is hot-reloaded: the new radio map's distance
   /// distribution must pin a fresh baseline, not be judged against the
   /// retired deployment's.
-  void reset();
+  void reset() CAL_EXCLUDES(mu_);
 
   /// Point-in-time copy of the trend for telemetry.
-  DriftTrend snapshot() const;
+  DriftTrend snapshot() const CAL_EXCLUDES(mu_);
 
  private:
-  DriftPolicy policy_;
-  mutable std::mutex mu_;
-  double baseline_mean_ = -1.0;  ///< < 0 until the first window completes
-  double last_window_mean_ = -1.0;
-  std::size_t windows_completed_ = 0;
-  double current_sum_ = 0.0;
-  std::size_t current_n_ = 0;
+  DriftPolicy policy_;  ///< immutable after construction
+  mutable Mutex mu_;
+  /// < 0 until the first window completes.
+  double baseline_mean_ CAL_GUARDED_BY(mu_) = -1.0;
+  double last_window_mean_ CAL_GUARDED_BY(mu_) = -1.0;
+  std::size_t windows_completed_ CAL_GUARDED_BY(mu_) = 0;
+  double current_sum_ CAL_GUARDED_BY(mu_) = 0.0;
+  std::size_t current_n_ CAL_GUARDED_BY(mu_) = 0;
 };
 
 /// Per-tenant token-bucket admission quota. A tenant's submissions drain
@@ -132,15 +127,14 @@ struct QuotaPolicy {
 struct ServiceConfig {
   /// Engine: replica slots for this tenant — the max number of pool
   /// workers that can run this tenant's batches concurrently (the
-  /// factory builds one replica per slot). Legacy shim: also the size of
-  /// the private worker pool.
+  /// factory builds one replica per slot).
   std::size_t num_workers = 2;
   /// Micro-batch coalescing cap B: a worker drains up to this many queued
   /// requests and runs them through one batched predict() call.
   std::size_t max_batch = 16;
   /// Bounded per-tenant sub-queue capacity; the engine's submit() returns
-  /// Admission::QueueFull when reached (the legacy shim retries instead,
-  /// emulating the old blocking backpressure).
+  /// Admission::QueueFull when reached (submit_blocking retries instead,
+  /// for producers that want the old blocking backpressure).
   std::size_t queue_capacity = 256;
   /// LRU entries; 0 disables caching.
   std::size_t cache_capacity = 0;
@@ -157,65 +151,6 @@ struct ServiceConfig {
   QuotaPolicy quota;
   /// Base seed for the per-worker Rng streams.
   std::uint64_t seed = 2026;
-};
-
-/// DEPRECATED single-tenant shim over ServeEngine — kept for one PR so
-/// downstream code migrates gradually. It registers one tenant
-/// ("default/0:*") on a private engine whose pool has num_workers
-/// threads, and emulates the historical blocking submit() by retrying
-/// OverQuota / QueueFull admissions with a short sleep. Semantics match
-/// the old lane: bit-identical batched predictions, shard-local screen /
-/// cache / drift / stats.
-class LocalizationService {
- public:
-  /// Replica mode. `anchors` is the normalised anchor database used for
-  /// screening (pass an empty Tensor to disable screening regardless of
-  /// thresholds). The factory is invoked num_workers times, up front.
-  LocalizationService(ReplicaFactory factory, std::size_t num_aps,
-                      Tensor anchors, ServiceConfig cfg);
-
-  /// Shared mode: borrows `model` (caller keeps it alive); the engine
-  /// serializes access by giving the tenant a single replica slot.
-  LocalizationService(baselines::ILocalizer& model, std::size_t num_aps,
-                      Tensor anchors, ServiceConfig cfg);
-
-  LocalizationService(const LocalizationService&) = delete;
-  LocalizationService& operator=(const LocalizationService&) = delete;
-  ~LocalizationService();
-
-  /// Enqueue one normalised fingerprint (size == num_aps). Blocks
-  /// (retrying admission) while the sub-queue is at capacity or the
-  /// quota is exhausted. Throws PreconditionError after shutdown().
-  std::future<ServeResult> submit(std::vector<float> fingerprint_normalized);
-
-  /// Stop accepting requests, drain the queue, join the workers.
-  /// Idempotent; also run by the destructor.
-  void shutdown();
-
-  ServiceStats stats() const;
-
-  /// Restart this lane's telemetry wall clock (see
-  /// StatsCollector::reset_clock). Counters are untouched.
-  void reset_telemetry_clock();
-
-  std::size_t num_aps() const { return num_aps_; }
-  std::size_t num_workers() const { return cfg_.num_workers; }
-  const FingerprintCache& cache() const;
-  const AnchorScreen& screen() const;
-  DriftTrend drift_trend() const;
-
-  /// The engine behind the shim — the migration escape hatch.
-  ServeEngine& engine() { return *engine_; }
-  const ServeEngine& engine() const { return *engine_; }
-
- private:
-  LocalizationService(ReplicaFactory factory,
-                      baselines::ILocalizer* shared_model,
-                      std::size_t num_aps, Tensor anchors, ServiceConfig cfg);
-
-  ServiceConfig cfg_;
-  std::size_t num_aps_;
-  std::unique_ptr<ServeEngine> engine_;
 };
 
 }  // namespace cal::serve

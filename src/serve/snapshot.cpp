@@ -14,7 +14,7 @@ std::string to_string(RouteDecision::Status s) {
 }
 
 int TenantDeployment::try_checkout() const {
-  std::lock_guard lock(slot_mu_);
+  MutexLock lock(slot_mu_);
   if (free_slots_.empty()) return -1;
   const std::size_t slot = free_slots_.back();
   free_slots_.pop_back();
@@ -22,7 +22,7 @@ int TenantDeployment::try_checkout() const {
 }
 
 void TenantDeployment::release(std::size_t slot) const {
-  std::lock_guard lock(slot_mu_);
+  MutexLock lock(slot_mu_);
   CAL_INVARIANT(slot < replicas_.size(),
                 "released slot " << slot << " out of " << replicas_.size());
   free_slots_.push_back(slot);

@@ -16,10 +16,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "serve/registry.hpp"
 
 namespace cal::serve {
@@ -53,9 +53,9 @@ class TenantDeployment {
   /// Checkout one replica slot, or -1 when every slot is busy (the
   /// engine then leaves this tenant's queue for a later pass — at most
   /// `slots()` pool workers run one tenant concurrently). Thread-safe.
-  int try_checkout() const;
+  int try_checkout() const CAL_EXCLUDES(slot_mu_);
   /// Return a slot obtained from try_checkout().
-  void release(std::size_t slot) const;
+  void release(std::size_t slot) const CAL_EXCLUDES(slot_mu_);
 
   std::size_t slots() const { return replicas_.size(); }
   baselines::ILocalizer& replica(std::size_t slot) const {
@@ -67,7 +67,7 @@ class TenantDeployment {
   /// stays serialized even when two snapshots of a reloaded tenant are
   /// briefly in flight at once (slot checkout alone only serializes
   /// within one deployment).
-  std::mutex* shared_serialization() const { return shared_mu_.get(); }
+  Mutex* shared_serialization() const { return shared_mu_.get(); }
 
  private:
   friend class ModelRegistry;
@@ -77,9 +77,9 @@ class TenantDeployment {
   /// and the checkout discipline serializes inference on it).
   std::vector<baselines::ILocalizer*> replicas_;
   std::vector<std::unique_ptr<baselines::ILocalizer>> owned_;
-  std::shared_ptr<std::mutex> shared_mu_;  ///< set iff borrowed model
-  mutable std::mutex slot_mu_;
-  mutable std::vector<std::size_t> free_slots_;
+  std::shared_ptr<Mutex> shared_mu_;  ///< set iff borrowed model
+  mutable Mutex slot_mu_;
+  mutable std::vector<std::size_t> free_slots_ CAL_GUARDED_BY(slot_mu_);
 };
 
 /// The immutable publish() product: tenants in shard order plus routing.

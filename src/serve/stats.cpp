@@ -90,34 +90,34 @@ ServiceStats aggregate_stats(std::span<const ServiceStats> shards) {
 StatsCollector::StatsCollector() : start_(std::chrono::steady_clock::now()) {}
 
 void StatsCollector::record_submitted() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++submitted_;
 }
 
 void StatsCollector::record_submit_rejected() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   --submitted_;
 }
 
 void StatsCollector::record_over_quota() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++over_quota_;
 }
 
 void StatsCollector::record_queue_full() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++queue_full_;
 }
 
 void StatsCollector::record_batch(std::size_t batch_size) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++batches_;
   batched_items_ += batch_size;
   largest_batch_ = std::max(largest_batch_, batch_size);
 }
 
 void StatsCollector::record_result(const ResultRecord& r) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++completed_;
   latency_sum_ms_ += r.latency_ms;
   if (latencies_ms_.size() < kLatencyWindow) {
@@ -140,17 +140,17 @@ void StatsCollector::record_result(const ResultRecord& r) {
 }
 
 void StatsCollector::record_drift_flush() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++drift_flushes_;
 }
 
 void StatsCollector::reset_clock() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   start_ = std::chrono::steady_clock::now();
 }
 
 ServiceStats StatsCollector::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ServiceStats s;
   s.submitted = submitted_;
   s.completed = completed_;

@@ -7,11 +7,11 @@
 
 #include <chrono>
 #include <cstddef>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "serve/screening.hpp"
 
 namespace cal::serve {
@@ -82,47 +82,50 @@ class StatsCollector {
 
   StatsCollector();
 
-  void record_submitted();
+  void record_submitted() CAL_EXCLUDES(mu_);
   /// Roll back a record_submitted() whose push was refused (shutdown).
-  void record_submit_rejected();
+  void record_submit_rejected() CAL_EXCLUDES(mu_);
   /// Admission denials (engine front door): the request never entered a
   /// queue, so neither `submitted` nor `completed` moves.
-  void record_over_quota();
-  void record_queue_full();
-  void record_batch(std::size_t batch_size);
-  void record_result(const ResultRecord& r);
-  void record_drift_flush();
+  void record_over_quota() CAL_EXCLUDES(mu_);
+  void record_queue_full() CAL_EXCLUDES(mu_);
+  void record_batch(std::size_t batch_size) CAL_EXCLUDES(mu_);
+  void record_result(const ResultRecord& r) CAL_EXCLUDES(mu_);
+  void record_drift_flush() CAL_EXCLUDES(mu_);
 
   /// Restart the wall clock behind wall_seconds/throughput_rps. The
   /// multi-tenant engine calls this once every lane is up, so shards
   /// built early don't count the rest of the fleet's construction time
   /// (replica factories are arbitrarily slow) as serving time.
-  void reset_clock();
+  void reset_clock() CAL_EXCLUDES(mu_);
 
-  ServiceStats snapshot() const;
+  ServiceStats snapshot() const CAL_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::chrono::steady_clock::time_point start_;
-  std::vector<double> latencies_ms_;  ///< ring buffer, <= kLatencyWindow
-  std::size_t latency_wrap_ = 0;      ///< next slot to overwrite when full
-  double latency_sum_ms_ = 0.0;       ///< lifetime sum (exact mean)
-  std::size_t submitted_ = 0;
-  std::size_t completed_ = 0;
-  std::size_t over_quota_ = 0;
-  std::size_t queue_full_ = 0;
-  std::size_t cache_hits_ = 0;
-  std::size_t cache_audits_ = 0;
-  std::size_t cache_audit_mismatches_ = 0;
-  std::size_t flagged_ = 0;
-  std::size_t rejected_ = 0;
-  std::size_t screened_ = 0;
-  std::size_t anchors_scanned_ = 0;
-  std::size_t anchors_pruned_ = 0;
-  std::size_t drift_flushes_ = 0;
-  std::size_t batches_ = 0;
-  std::size_t largest_batch_ = 0;
-  std::size_t batched_items_ = 0;
+  mutable Mutex mu_;
+  std::chrono::steady_clock::time_point start_ CAL_GUARDED_BY(mu_);
+  /// Ring buffer, <= kLatencyWindow entries.
+  std::vector<double> latencies_ms_ CAL_GUARDED_BY(mu_);
+  /// Next slot to overwrite when full.
+  std::size_t latency_wrap_ CAL_GUARDED_BY(mu_) = 0;
+  /// Lifetime sum (exact mean).
+  double latency_sum_ms_ CAL_GUARDED_BY(mu_) = 0.0;
+  std::size_t submitted_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t completed_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t over_quota_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t queue_full_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t cache_hits_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t cache_audits_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t cache_audit_mismatches_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t flagged_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t rejected_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t screened_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t anchors_scanned_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t anchors_pruned_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t drift_flushes_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t batches_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t largest_batch_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t batched_items_ CAL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cal::serve

@@ -1,0 +1,46 @@
+// Negative-compile seed for the thread-safety gate. NOT part of any
+// CMake target: CI compiles this TU directly with
+//
+//   clang++ -std=c++20 -Isrc -Wthread-safety -Wthread-safety-beta \
+//           -Werror -fsyntax-only tests/static/thread_safety_violation.cpp
+//
+// and requires the compile to FAIL. If it ever succeeds, the analysis
+// has been wired out (macros expanding to nothing under Clang, the
+// warning flag dropped, -Werror lost) and the gate is dead — each
+// violation below is exactly the bug class the annotations exist to
+// reject at compile time.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // VIOLATION 1: reads a guarded field without holding its mutex.
+  int unguarded_read() const { return balance_; }
+
+  // VIOLATION 2: writes a guarded field under no lock.
+  void unguarded_write(int amount) { balance_ += amount; }
+
+  // VIOLATION 3: declares the requirement but releases before the write.
+  void late_write(int amount) {
+    mu_.lock();
+    mu_.unlock();
+    balance_ = amount;
+  }
+
+ private:
+  mutable cal::Mutex mu_;
+  int balance_ CAL_GUARDED_BY(mu_) = 0;
+};
+
+// Force the member functions to be instantiated and analyzed.
+int touch() {
+  Account a;
+  a.unguarded_write(1);
+  a.late_write(2);
+  return a.unguarded_read();
+}
+
+}  // namespace
+
+int main() { return touch(); }

@@ -10,8 +10,11 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <limits>
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "attacks/attack.hpp"
 #include "baselines/knn.hpp"
@@ -155,6 +158,59 @@ TEST(BoundedQueue, TryPushAndTryPopNeverBlock) {
   EXPECT_TRUE(q.try_pop_batch(8).empty());
 }
 
+TEST(BoundedQueue, TryOpsUnderProducerConsumerContention) {
+  // Several producers spin on try_push against a deliberately tiny
+  // capacity while consumers spin on try_pop_batch: every item must come
+  // out exactly once, in spite of constant full/empty refusals. This is
+  // the test the ThreadSanitizer CI job leans on for the queue's
+  // non-blocking surface (the blocking paths are exercised above).
+  BoundedQueue<int> q(16);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 2000;
+
+  std::atomic<long long> pushed_sum{0};
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  std::atomic<bool> producers_done{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, &pushed_sum, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = p * kPerProducer + i;
+        while (!q.try_push(int{v})) std::this_thread::yield();
+        pushed_sum += v;
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const auto batch = q.try_pop_batch(8);
+        for (const int v : batch) {
+          popped_sum += v;
+          ++popped_count;
+        }
+        if (batch.empty()) {
+          // Producers joined before the flag flips, so done + empty
+          // means empty forever.
+          if (producers_done.load() && q.size() == 0) return;
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  producers_done = true;
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  EXPECT_EQ(popped_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+  EXPECT_EQ(q.size(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // FingerprintCache
 // ---------------------------------------------------------------------------
@@ -239,8 +295,62 @@ TEST(Screening, CalibrationBoundsCleanData) {
 }
 
 // ---------------------------------------------------------------------------
-// LocalizationService
+// Single-tenant serving (a ServeEngine whose fleet is one tenant)
 // ---------------------------------------------------------------------------
+
+/// Test-local harness: the retired SingleTenantHarness shim, reduced to
+/// the surface these tests exercise. Registers ONE tenant ("default")
+/// and forwards the blocking single-queue calls to a private ServeEngine
+/// — the production API is the engine itself.
+class SingleTenantHarness {
+ public:
+  SingleTenantHarness(ReplicaFactory factory, std::size_t num_aps,
+                      Tensor anchors, const ServiceConfig& cfg) {
+    TenantSpec spec;
+    spec.factory = std::move(factory);
+    spec.num_aps = num_aps;
+    spec.anchors = std::move(anchors);
+    spec.service = cfg;
+    init(std::move(spec), cfg);
+  }
+
+  /// Shared mode: one caller-owned model, a single replica slot.
+  SingleTenantHarness(baselines::ILocalizer& shared_model,
+                      std::size_t num_aps, Tensor anchors,
+                      const ServiceConfig& cfg) {
+    TenantSpec spec;
+    spec.shared_model = &shared_model;
+    spec.num_aps = num_aps;
+    spec.anchors = std::move(anchors);
+    spec.service = cfg;
+    init(std::move(spec), cfg);
+  }
+
+  std::future<ServeResult> submit(std::vector<float> fingerprint) {
+    return engine_->submit_blocking(key_, std::move(fingerprint)).result;
+  }
+
+  ServiceStats stats() const {
+    return engine_->stats().per_tenant.front().stats;
+  }
+  const FingerprintCache& cache() const {
+    return engine_->tenant_cache(key_);
+  }
+  void shutdown() { engine_->shutdown(); }
+
+ private:
+  void init(TenantSpec spec, const ServiceConfig& cfg) {
+    ModelRegistry reg;
+    reg.register_tenant(key_, std::move(spec));
+    EngineConfig engine_cfg;
+    engine_cfg.pool_size = cfg.num_workers;
+    engine_cfg.seed = cfg.seed;
+    engine_ = std::make_unique<ServeEngine>(reg.publish(), engine_cfg);
+  }
+
+  const TenantKey key_{"default", 0, ""};
+  std::unique_ptr<ServeEngine> engine_;
+};
 
 TEST(Service, ConcurrentBatchedMatchesSequentialBitIdentical) {
   const auto& test = scenario().device_tests.back();
@@ -252,7 +362,7 @@ TEST(Service, ConcurrentBatchedMatchesSequentialBitIdentical) {
   cfg.max_batch = 8;
   cfg.queue_capacity = 64;
   cfg.cache_capacity = 0;  // every request must hit the model
-  LocalizationService service(calloc_factory(), test.num_aps(), Tensor{},
+  SingleTenantHarness service(calloc_factory(), test.num_aps(), Tensor{},
                               cfg);
 
   constexpr std::size_t kClients = 4;
@@ -300,7 +410,7 @@ TEST(Service, SharedModeSerializesOneModel) {
   ServiceConfig cfg;
   cfg.num_workers = 2;
   cfg.max_batch = 4;
-  LocalizationService service(trained().model, test.num_aps(), Tensor{},
+  SingleTenantHarness service(trained().model, test.num_aps(), Tensor{},
                               cfg);
   std::vector<std::future<ServeResult>> futs;
   for (std::size_t i = 0; i < x.rows(); ++i)
@@ -316,7 +426,7 @@ TEST(Service, MicroBatchingCoalescesBacklog) {
   cfg.num_workers = 1;  // single worker => backlog must coalesce
   cfg.max_batch = 16;
   cfg.queue_capacity = 128;
-  LocalizationService service(calloc_factory(), test.num_aps(), Tensor{},
+  SingleTenantHarness service(calloc_factory(), test.num_aps(), Tensor{},
                               cfg);
   std::vector<std::future<ServeResult>> futs;
   for (std::size_t i = 0; i < 64; ++i)
@@ -336,7 +446,7 @@ TEST(Service, CacheServesRepeatTrafficAndAuditAgrees) {
   cfg.num_workers = 2;
   cfg.cache_capacity = 32;
   cfg.cache_audit_rate = 0.5;  // audit half the hits against the model
-  LocalizationService service(calloc_factory(), test.num_aps(), Tensor{},
+  SingleTenantHarness service(calloc_factory(), test.num_aps(), Tensor{},
                               cfg);
 
   const auto fp = row_of(x, 0);
@@ -381,7 +491,7 @@ TEST(Service, ScreeningFlagsPgdTrafficMoreThanClean) {
   cfg.num_workers = 2;
   cfg.screening =
       calibrate_thresholds(anchors, fleet.normalized(), 95.0, 3.0);
-  LocalizationService service(calloc_factory(), test.num_aps(), anchors,
+  SingleTenantHarness service(calloc_factory(), test.num_aps(), anchors,
                               cfg);
 
   auto suspicious_rate = [&](const Tensor& batch) {
@@ -410,7 +520,7 @@ TEST(Service, ScreeningFlagsPgdTrafficMoreThanClean) {
 TEST(Service, ValidatesInputsAndShutdownIsFinal) {
   ServiceConfig cfg;
   cfg.num_workers = 1;
-  LocalizationService service(trained().model,
+  SingleTenantHarness service(trained().model,
                               scenario().train.num_aps(), Tensor{}, cfg);
   EXPECT_THROW(service.submit(std::vector<float>{0.5F}), PreconditionError);
   // Non-finite fingerprints from the untrusted channel are rejected at
@@ -430,7 +540,7 @@ TEST(Service, ValidatesInputsAndShutdownIsFinal) {
 
   ServiceConfig bad;
   bad.num_workers = 0;
-  EXPECT_THROW(LocalizationService(trained().model, 24, Tensor{}, bad),
+  EXPECT_THROW(SingleTenantHarness(trained().model, 24, Tensor{}, bad),
                PreconditionError);
 
   // A drift policy without an anchor screen would be silently inert
@@ -438,7 +548,7 @@ TEST(Service, ValidatesInputsAndShutdownIsFinal) {
   ServiceConfig inert_drift;
   inert_drift.drift.window = 8;
   EXPECT_THROW(
-      LocalizationService(trained().model, 24, Tensor{}, inert_drift),
+      SingleTenantHarness(trained().model, 24, Tensor{}, inert_drift),
       PreconditionError);
 }
 
@@ -667,7 +777,7 @@ TEST(Service, DriftTrendFlushesShardCache) {
   cfg.drift.slope_factor = 1.5;
   // Screen enabled with accept-everything thresholds: we want distances
   // recorded, not verdicts issued.
-  LocalizationService service(knn, train.num_aps(),
+  SingleTenantHarness service(knn, train.num_aps(),
                               anchor_database_from(train), cfg);
 
   const auto fp = row_of(x, 0);
@@ -839,6 +949,45 @@ TEST(TokenBucket, RefillAndBurstSemantics) {
   EXPECT_TRUE(reconfigured.try_acquire(t0));
 
   EXPECT_THROW(TokenBucket(QuotaPolicy{-1.0, 0.0}), PreconditionError);
+}
+
+TEST(TokenBucket, ContendedAcquireNeverOversellsTheBurst) {
+  // Threads race try_acquire at a FROZEN timestamp (no refill can ever
+  // land), so the burst is the hard ceiling on total grants no matter
+  // how the acquisitions interleave. The ThreadSanitizer CI job runs
+  // this to exercise the bucket's internal locking under contention.
+  using namespace std::chrono;
+  const auto t0 = steady_clock::now();
+  constexpr int kBurst = 8;
+  TokenBucket bucket(QuotaPolicy{0.001, static_cast<double>(kBurst)});
+
+  std::atomic<int> granted{0};
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+      threads.emplace_back([&bucket, &granted, t0] {
+        for (int i = 0; i < 1000; ++i)
+          if (bucket.try_acquire(t0)) ++granted;
+      });
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_EQ(granted.load(), kBurst) << "a frozen clock must sell exactly "
+                                       "the burst, never a token more";
+
+  // Concurrent refunds (the QueueFull give-back path) restore capacity
+  // but cap at the burst: 16 refunds refill at most kBurst tokens.
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+      threads.emplace_back([&bucket] {
+        for (int i = 0; i < 4; ++i) bucket.refund();
+      });
+    for (auto& th : threads) th.join();
+  }
+  int regained = 0;
+  for (int i = 0; i < 4 * kBurst; ++i)
+    if (bucket.try_acquire(t0)) ++regained;
+  EXPECT_EQ(regained, kBurst) << "refunds must cap at the burst";
 }
 
 // ---------------------------------------------------------------------------
@@ -1384,35 +1533,39 @@ TEST(Engine, RemovedTenantFailsQueuedAndRejectsNew) {
 }
 
 // ---------------------------------------------------------------------------
-// MultiTenantService — deprecated shim over ServeEngine
+// Engine vs. registry-level router agreement
 // ---------------------------------------------------------------------------
 
-TEST(MultiTenantShim, LegacySurfaceStillServes) {
+TEST(Engine, RouteStatusesAgreeWithRegistryRouter) {
   const auto& fleet = small_fleet();
-  MultiTenantService service(small_fleet_registry(1));
-  EXPECT_EQ(service.num_shards(), 3u);
+  ModelRegistry reg = small_fleet_registry(1);
+  const ShardRouter router(reg);
+  EngineConfig cfg;
+  cfg.pool_size = 3;
+  ServeEngine engine(reg.publish(), cfg);
+  EXPECT_EQ(engine.num_tenants(), 3u);
   const Tensor x = fleet[0].device_tests[0].normalized();
 
-  auto exact = service.submit({"venue-a", 0, "OP3"}, row_of(x, 0));
+  auto exact = submit_blocking(engine, {"venue-a", 0, "OP3"}, row_of(x, 0));
   EXPECT_EQ(exact.decision.status, RouteDecision::Status::Exact);
   EXPECT_TRUE(exact.result.get().localized);
 
-  auto fb = service.submit({"venue-a", 0, "S7"}, row_of(x, 1));
+  auto fb = submit_blocking(engine, {"venue-a", 0, "S7"}, row_of(x, 1));
   EXPECT_EQ(fb.decision.status, RouteDecision::Status::Fallback);
   EXPECT_TRUE(fb.result.get().localized);
 
-  auto rej = service.submit({"venue-z", 0, "OP3"}, row_of(x, 0));
+  auto rej = submit_blocking(engine, {"venue-z", 0, "OP3"}, row_of(x, 0));
   EXPECT_EQ(rej.decision.status, RouteDecision::Status::Reject);
   EXPECT_FALSE(rej.result.get().localized);
 
-  // The registry-level router snapshot agrees with the live engine.
-  EXPECT_EQ(service.router().route({"venue-a", 0, "S7"}).status,
+  // The offline ShardRouter snapshot agrees with the live engine's
+  // routing, decision for decision.
+  EXPECT_EQ(router.route({"venue-a", 0, "S7"}).status,
             RouteDecision::Status::Fallback);
-  EXPECT_EQ(service.engine().pool_size(), 3u);  // sum of per-lane workers
 
-  service.shutdown();
-  service.shutdown();  // idempotent
-  const auto stats = service.stats();
+  engine.shutdown();
+  engine.shutdown();  // idempotent
+  const auto stats = engine.stats();
   EXPECT_EQ(stats.route_exact, 1u);
   EXPECT_EQ(stats.route_fallback, 1u);
   EXPECT_EQ(stats.route_rejected, 1u);
