@@ -281,6 +281,9 @@ int main() {
       drive(service, &registry, fleet, stream, pools, expected);
   const auto stats = service.stats();
   service.shutdown();
+  // Full fleet metrics registry — per-tenant counters, latency
+  // histograms, deploy epoch — for the CI observability artifact.
+  bench::append_obs_metrics("bench_serve_multitenant", service.metrics());
 
   // -- Run 2: venue 0 alone, fed the IDENTICAL venue-0 requests ------------
   // Same queries against a single-tenant deployment on the SAME pool

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/collector.hpp"
 
 namespace cal::bench {
@@ -52,6 +53,21 @@ inline std::vector<double> phi_grid() {
 inline bool shape_check(bool ok, const std::string& claim) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
   return ok;
+}
+
+/// Append one bench's metrics registry to BENCH_obs.json as one JSON
+/// line: {"bench": <name>, "metrics": <registry JSON>}. Append mode (and
+/// one-object-per-line) because the serve benches run back-to-back in CI
+/// and share the artifact — consumers parse it as JSON Lines.
+inline void append_obs_metrics(const std::string& bench_name,
+                               const obs::MetricsRegistry& registry) {
+  FILE* f = std::fopen("BENCH_obs.json", "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"bench\": \"%s\", \"metrics\": %s}\n",
+               bench_name.c_str(), registry.json().c_str());
+  std::fclose(f);
+  std::printf("appended %s metrics registry to BENCH_obs.json\n",
+              bench_name.c_str());
 }
 
 /// Standard bench banner.

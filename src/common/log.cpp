@@ -1,6 +1,7 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 
 #include "common/thread_annotations.hpp"
@@ -34,6 +35,71 @@ void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) return;
   MutexLock lock(g_mutex);
   std::cerr << "[cal:" << level_name(level) << "] " << msg << '\n';
+}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  value = buf;
+}
+
+namespace {
+
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (const char c : v)
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20)
+      return true;
+  return false;
+}
+
+void append_value(std::string& out, std::string_view v) {
+  if (!needs_quoting(v)) {
+    out += v;
+    return;
+  }
+  out += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string format_log_fields(std::span<const LogField> fields) {
+  std::string out;
+  for (const LogField& f : fields) {
+    if (!out.empty()) out += ' ';
+    out += f.key;
+    out += '=';
+    append_value(out, f.value);
+  }
+  return out;
+}
+
+void log_structured(LogLevel level, std::string_view event,
+                    std::span<const LogField> fields) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  std::string line = "event=";
+  append_value(line, event);
+  if (!fields.empty()) {
+    line += ' ';
+    line += format_log_fields(fields);
+  }
+  log_message(level, line);
+}
+
+void log_structured(LogLevel level, std::string_view event,
+                    std::initializer_list<LogField> fields) {
+  log_structured(level, event,
+                 std::span<const LogField>(fields.begin(), fields.size()));
 }
 
 }  // namespace cal

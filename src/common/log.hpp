@@ -3,10 +3,21 @@
 // Benches and examples print their artefacts on stdout; diagnostic progress
 // goes through this logger on stderr so artefact output stays clean and
 // parseable. Verbosity is a process-wide setting (default: Info).
+//
+// Two emission shapes:
+//   - CAL_INFO(...) et al.: free-text ostream lines for humans.
+//   - log_structured(level, event, {fields}): one `event=<name> k=v ...`
+//     logfmt line per call, so anomaly reports and flight-recorder dumps
+//     are machine-parseable (values are quoted/escaped only when needed,
+//     keys are emitted in argument order).
 #pragma once
 
+#include <concepts>
+#include <initializer_list>
+#include <span>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace cal {
 
@@ -20,6 +31,38 @@ LogLevel log_level();
 
 /// Emit one line at `level` (no-op if below the configured level).
 void log_message(LogLevel level, const std::string& msg);
+
+/// One key=value pair of a structured log line. Values are stored
+/// pre-rendered; the constructors cover the types telemetry code emits.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, std::string_view v)
+      : key(std::move(k)), value(v) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false") {}
+  template <std::integral T>
+    requires(!std::same_as<T, bool>)
+  LogField(std::string k, T v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+};
+
+/// Render fields as logfmt: `k=v k2="two words"`. Values containing
+/// spaces, quotes, '=', or control characters are double-quoted with
+/// backslash escapes; everything else is emitted bare. Exposed separately
+/// so tests (and dump writers) can round-trip the encoding.
+std::string format_log_fields(std::span<const LogField> fields);
+
+/// Emit one structured line: `event=<event> <fields>` at `level`.
+void log_structured(LogLevel level, std::string_view event,
+                    std::span<const LogField> fields);
+void log_structured(LogLevel level, std::string_view event,
+                    std::initializer_list<LogField> fields);
 
 }  // namespace cal
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -129,6 +130,24 @@ Pool& pool() {
 
 std::atomic<std::size_t> g_max_threads{1};
 
+// --- pool telemetry -------------------------------------------------------
+
+// One mutexed accumulator for the whole pool. Only the parallel path
+// touches it (a handful of lock hops per >=4 MFlop GEMM); the serial path
+// — including every small serving matmul — records nothing.
+struct PoolMetricsState {
+  mutable Mutex mu;
+  std::size_t parallel_gemms CAL_GUARDED_BY(mu) = 0;
+  std::size_t serial_fallbacks CAL_GUARDED_BY(mu) = 0;
+  std::size_t tasks CAL_GUARDED_BY(mu) = 0;
+  obs::Histogram task_ms CAL_GUARDED_BY(mu);
+};
+
+PoolMetricsState& pool_metrics_state() {
+  static PoolMetricsState s;
+  return s;
+}
+
 // --- dispatch -------------------------------------------------------------
 
 void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
@@ -153,6 +172,11 @@ void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
     static std::mutex pool_gate;
     std::unique_lock gate(pool_gate, std::try_to_lock);
     if (!gate.owns_lock()) {
+      {
+        PoolMetricsState& pm = pool_metrics_state();
+        MutexLock lk(pm.mu);
+        ++pm.serial_fallbacks;
+      }
       rows(a, b, c, m, k, n, ta, tb, accumulate, 0, m);
       return;
     }
@@ -166,10 +190,23 @@ void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
     const std::size_t chunk_blocks = (blocks + want - 1) / want;
     const std::size_t chunk = chunk_blocks * kMR;
     const std::size_t tasks = (m + chunk - 1) / chunk;
+    {
+      PoolMetricsState& pm = pool_metrics_state();
+      MutexLock lk(pm.mu);
+      ++pm.parallel_gemms;
+    }
     pool().run(tasks, [&](std::size_t t) {
+      const auto t0 = std::chrono::steady_clock::now();
       const std::size_t i_begin = t * chunk;
       const std::size_t i_end = std::min(m, i_begin + chunk);
       rows(a, b, c, m, k, n, ta, tb, accumulate, i_begin, i_end);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      PoolMetricsState& pm = pool_metrics_state();
+      MutexLock lk(pm.mu);
+      ++pm.tasks;
+      pm.task_ms.record(ms);
     });
     return;
   }
@@ -238,6 +275,17 @@ void set_max_threads(std::size_t n) {
 
 std::size_t max_threads() {
   return g_max_threads.load(std::memory_order_relaxed);
+}
+
+PoolMetrics pool_metrics() {
+  const PoolMetricsState& s = pool_metrics_state();
+  MutexLock lk(s.mu);
+  PoolMetrics out;
+  out.parallel_gemms = s.parallel_gemms;
+  out.serial_fallbacks = s.serial_fallbacks;
+  out.tasks = s.tasks;
+  out.task_ms = s.task_ms;
+  return out;
 }
 
 }  // namespace cal::kernels

@@ -33,6 +33,8 @@
 #include <cstddef>
 #include <span>
 
+#include "obs/histogram.hpp"
+
 namespace cal::kernels {
 
 /// C (+)= A·B. A: m x k, B: k x n, C: m x n (all row-major, exact sizes).
@@ -65,5 +67,19 @@ void gemm_naive(std::span<const float> a, std::span<const float> b,
 /// setting.
 void set_max_threads(std::size_t n);
 std::size_t max_threads();
+
+/// Lifetime telemetry of the kernel thread pool (process-wide, like the
+/// pool itself). Task timing covers only pool-dispatched GEMMs — the
+/// serial path stays uninstrumented, so small matmuls pay nothing.
+struct PoolMetrics {
+  std::size_t parallel_gemms = 0;   ///< GEMMs run through the pool
+  std::size_t serial_fallbacks = 0; ///< pool busy: ran serial instead
+  std::size_t tasks = 0;            ///< row-block tasks executed
+  obs::Histogram task_ms;           ///< per-task wall time, milliseconds
+};
+
+/// Snapshot of the pool counters above (ServeEngine::metrics() exports
+/// them as cal_gemm_* families).
+PoolMetrics pool_metrics();
 
 }  // namespace cal::kernels

@@ -1,0 +1,121 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace cal::obs {
+namespace {
+
+// Tracked octaves: frexp exponents in [kMinExp, kMaxExp] cover values in
+// [2^(kMinExp-1), 2^kMaxExp). For latencies in milliseconds that is
+// ~0.5 µs to ~9.3 hours; anything outside clamps to an edge bucket.
+constexpr int kMinExp = -10;
+constexpr int kMaxExp = 25;
+constexpr std::size_t kOctaves =
+    static_cast<std::size_t>(kMaxExp - kMinExp + 1);
+constexpr std::size_t kBuckets = kOctaves * Histogram::kSubBuckets;
+
+}  // namespace
+
+double Histogram::min_tracked() { return std::ldexp(1.0, kMinExp - 1); }
+
+double Histogram::max_tracked() { return std::ldexp(1.0, kMaxExp); }
+
+std::size_t Histogram::bucket_index(double v) {
+  if (v < min_tracked()) return 0;
+  if (v >= max_tracked()) return kBuckets - 1;
+  int e = 0;
+  const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  const auto sub = static_cast<std::size_t>(
+      (m - 0.5) * 2.0 * static_cast<double>(kSubBuckets));
+  const auto octave = static_cast<std::size_t>(e - kMinExp);
+  return octave * kSubBuckets + std::min(sub, kSubBuckets - 1);
+}
+
+double Histogram::bucket_lower(std::size_t idx) {
+  const std::size_t octave = idx / kSubBuckets;
+  const std::size_t sub = idx % kSubBuckets;
+  const double base =
+      std::ldexp(1.0, kMinExp + static_cast<int>(octave) - 1);
+  return base * (1.0 + static_cast<double>(sub) /
+                           static_cast<double>(kSubBuckets));
+}
+
+double Histogram::bucket_upper(std::size_t idx) {
+  const std::size_t octave = idx / kSubBuckets;
+  const std::size_t sub = idx % kSubBuckets;
+  const double base =
+      std::ldexp(1.0, kMinExp + static_cast<int>(octave) - 1);
+  return base * (1.0 + static_cast<double>(sub + 1) /
+                           static_cast<double>(kSubBuckets));
+}
+
+void Histogram::record(double v) {
+  if (std::isnan(v)) {
+    ++nan_count_;
+    return;
+  }
+  if (buckets_.empty()) buckets_.assign(kBuckets, 0);
+  ++buckets_[bucket_index(v)];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ > 0) {
+    if (buckets_.empty()) buckets_.assign(kBuckets, 0);
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      buckets_[i] += other.buckets_[i];
+    min_ = count_ > 0 ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ > 0 ? std::max(max_, other.max_) : other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+  nan_count_ += other.nan_count_;
+}
+
+double Histogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  CAL_ENSURE(q >= 0.0 && q <= 1.0, "quantile wants q in [0,1], got " << q);
+  if (count_ == 0) return 0.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * n), with q = 0 mapped to the first order statistic.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  // The first and last order statistics are tracked exactly; returning
+  // them beats any bucket midpoint, and keeps quantile(0)/quantile(1)
+  // honest even for values clamped into the edge buckets.
+  if (rank == 1) return min_;
+  if (rank == count_) return max_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const double mid = 0.5 * (bucket_lower(i) + bucket_upper(i));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;  // unreachable while counters are consistent
+}
+
+std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    if (buckets_[i] > 0) out.push_back({bucket_upper(i), buckets_[i]});
+  return out;
+}
+
+}  // namespace cal::obs

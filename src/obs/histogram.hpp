@@ -1,0 +1,98 @@
+// Log-bucketed mergeable histogram with bounded relative error.
+//
+// HDR-style layout: the positive axis is split into octaves [2^e, 2^(e+1))
+// and each octave into kSubBuckets linear sub-buckets, so a bucket's width
+// over its lower bound never exceeds 1/kSubBuckets. Quantiles return the
+// midpoint of the bucket holding the requested order statistic (clamped to
+// the exact observed min/max), which bounds the relative error of any
+// quantile by kRelativeError — independent of how many values were
+// recorded or how they are distributed.
+//
+// This replaces the sorted-sample percentile window that ServiceStats used
+// through PR 6. The trade: percentiles are now LIFETIME (not
+// recent-window) figures with bounded relative error instead of exact
+// order statistics over the last 64k requests — in exchange, memory is a
+// fixed ~9 KB per histogram regardless of traffic volume, recording is
+// O(1) with no per-sample allocation, and two histograms MERGE exactly
+// (bucket-wise add), so per-tenant tails combine into fleet tails without
+// the completed-weighted-average approximation aggregate_stats() used to
+// make. Merge is associative and commutative: snapshots taken anywhere can
+// be combined in any order and agree bucket-for-bucket.
+//
+// The class is a plain value type with no internal locking — hold it
+// under the owning collector's mutex (StatsCollector does) or confine it
+// to one thread. Copies are cheap-ish (one vector of counters) and
+// independent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cal::obs {
+
+class Histogram {
+ public:
+  /// Linear sub-buckets per octave. 32 bounds every quantile's relative
+  /// error by 1/32 (the midpoint representative actually achieves 1/64).
+  static constexpr std::size_t kSubBuckets = 32;
+  /// Documented worst-case |quantile(q) - exact order statistic| /
+  /// exact, for exact values inside the tracked range.
+  static constexpr double kRelativeError = 1.0 / kSubBuckets;
+
+  Histogram() = default;
+
+  /// Record one value. Values below kMinTracked collapse into the first
+  /// bucket and values above kMaxTracked into the last (their exact
+  /// magnitude is preserved only through min()/max()/sum()); NaN is
+  /// counted in nan_count() and otherwise ignored.
+  void record(double v);
+
+  /// Bucket-wise sum — exact, associative, commutative.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t nan_count() const { return nan_count_; }
+  double sum() const { return sum_; }
+  /// Lifetime-exact mean (sum over count); 0 when empty.
+  double mean() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Value at quantile q in [0, 1] by the nearest-rank rule: the
+  /// representative of the bucket containing order statistic
+  /// ceil(q * count) (1-based), clamped to [min(), max()]; the first and
+  /// last order statistics (q = 0 / q = 1) are returned exactly. Returns
+  /// 0 on an empty histogram. Relative error vs the exact order statistic
+  /// is bounded by kRelativeError for values inside the tracked range.
+  double quantile(double q) const;
+
+  /// Non-empty buckets in ascending order, for metric export. `upper` is
+  /// the bucket's exclusive upper bound; `count` is this bucket alone
+  /// (not cumulative — Prometheus encoding accumulates at export).
+  struct Bucket {
+    double upper = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> nonzero_buckets() const;
+
+  /// Smallest / largest values that land in a dedicated bucket; outside
+  /// values clamp to the edge buckets.
+  static double min_tracked();
+  static double max_tracked();
+
+ private:
+  static std::size_t bucket_index(double v);
+  static double bucket_lower(std::size_t idx);
+  static double bucket_upper(std::size_t idx);
+
+  /// Allocated on first record; empty vector == all-zero counts.
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t nan_count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cal::obs

@@ -1,0 +1,86 @@
+// MetricsRegistry: the export surface between internal telemetry and the
+// outside world (Prometheus scrapes, bench JSON artifacts, dashboards).
+//
+// The registry is a point-in-time value, not a live store: a producer
+// (ServeEngine::metrics(), the benches) builds one per scrape from its
+// own consistent counters, then encodes it as Prometheus text exposition
+// (format 0.0.4: # HELP / # TYPE / samples, histograms as cumulative
+// le-buckets + _sum + _count) or as JSON (same families, with convenience
+// p50/p95/p99 added to histogram samples). Building per scrape keeps the
+// hot path free of registry bookkeeping and makes every export internally
+// consistent — all samples in one registry were read under the producer's
+// own locking.
+//
+// Families are keyed by metric name; re-adding a name appends a sample
+// (different label sets) and must agree on type and help text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace cal::obs {
+
+enum class MetricType { Counter, Gauge, Histogram };
+
+const char* to_string(MetricType t);
+
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+
+struct MetricSample {
+  std::vector<MetricLabel> labels;
+  /// Counter / gauge value (unused for histogram samples).
+  double value = 0.0;
+  /// Histogram payload (empty for counter/gauge samples).
+  class Histogram hist;
+};
+
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::Counter;
+  std::vector<MetricSample> samples;
+};
+
+class MetricsRegistry {
+ public:
+  /// Append one sample; creates the family on first use. Metric names
+  /// must match [a-zA-Z_:][a-zA-Z0-9_:]* and label keys
+  /// [a-zA-Z_][a-zA-Z0-9_]*; a name reused with a different type or help
+  /// throws.
+  void add_counter(const std::string& name, const std::string& help,
+                   std::vector<MetricLabel> labels, double value);
+  void add_gauge(const std::string& name, const std::string& help,
+                 std::vector<MetricLabel> labels, double value);
+  void add_histogram(const std::string& name, const std::string& help,
+                     std::vector<MetricLabel> labels,
+                     const Histogram& hist);
+
+  const std::vector<MetricFamily>& families() const { return families_; }
+
+  /// Lookup for tests and assertions: the sample of `name` whose labels
+  /// contain every pair in `labels` (subset match). nullptr when absent.
+  const MetricSample* find(const std::string& name,
+                           const std::vector<MetricLabel>& labels = {}) const;
+
+  /// Prometheus text exposition format 0.0.4.
+  std::string prometheus_text() const;
+
+  /// The same families as one JSON object:
+  /// {"families":[{name,type,help,samples:[{labels:{...},value}|
+  ///   {labels, count, sum, p50, p95, p99, buckets:[{le,count}]}]}]}.
+  std::string json() const;
+
+ private:
+  MetricFamily& family(const std::string& name, const std::string& help,
+                       MetricType type);
+
+  std::vector<MetricFamily> families_;
+};
+
+}  // namespace cal::obs

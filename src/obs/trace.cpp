@@ -1,0 +1,148 @@
+#include "obs/trace.hpp"
+
+#include <bit>
+
+namespace cal::obs {
+namespace {
+
+constexpr std::uint64_t kTsMask = (std::uint64_t{1} << 56) - 1;
+
+thread_local std::shared_ptr<void> tl_ring;  // keeps this thread's Ring alive
+
+}  // namespace
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::Admit: return "admit";
+    case EventType::Deny: return "deny";
+    case EventType::Enqueue: return "enqueue";
+    case EventType::BatchClaim: return "batch_claim";
+    case EventType::ReplicaCheckout: return "replica_checkout";
+    case EventType::Screen: return "screen";
+    case EventType::CacheHit: return "cache_hit";
+    case EventType::Predict: return "predict";
+    case EventType::Complete: return "complete";
+    case EventType::DriftFlush: return "drift_flush";
+    case EventType::Deploy: return "deploy";
+    case EventType::Anomaly: return "anomaly";
+  }
+  return "?";
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+}
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  if (tl_ring == nullptr) {
+    MutexLock lock(reg_mu_);
+    auto ring = std::make_shared<Ring>(next_thread_id_++);
+    rings_.push_back(ring);
+    tl_ring = std::move(ring);
+  }
+  return *static_cast<Ring*>(tl_ring.get());
+}
+
+void Tracer::record(EventType type, std::uint64_t tenant,
+                    std::uint64_t epoch, std::uint64_t batch, double value) {
+  Ring& ring = ring_for_this_thread();
+  const std::uint64_t ts =
+      (now_ns() & kTsMask) |
+      (static_cast<std::uint64_t>(type) << 56);
+  const std::uint64_t idx = ring.head.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[idx % kRingCapacity];
+  // Per-slot seqlock, single writer (this thread). The odd store is
+  // release-fenced BEFORE the payload so a reader can never pair a stale
+  // even sequence with fresh payload words; the even store releases the
+  // payload. Every access is an atomic — no UB, TSan-clean.
+  slot.seq.store(idx * 2 + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.word[0].store(ts, std::memory_order_relaxed);
+  slot.word[1].store(tenant, std::memory_order_relaxed);
+  slot.word[2].store(epoch, std::memory_order_relaxed);
+  slot.word[3].store(batch, std::memory_order_relaxed);
+  slot.word[4].store(std::bit_cast<std::uint64_t>(value),
+                     std::memory_order_relaxed);
+  slot.seq.store(idx * 2 + 2, std::memory_order_release);
+  ring.head.store(idx + 1, std::memory_order_release);
+}
+
+void Tracer::read_ring(const Ring& ring, std::size_t last_n,
+                       ThreadTrace& out) {
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  out.thread_id = ring.thread_id;
+  out.recorded = head;
+  out.dropped = head > kRingCapacity ? head - kRingCapacity : 0;
+  std::uint64_t lo = out.dropped;  // oldest event index still in the ring
+  if (last_n > 0 && head - lo > last_n) lo = head - last_n;
+  out.events.reserve(static_cast<std::size_t>(head - lo));
+  for (std::uint64_t idx = lo; idx < head; ++idx) {
+    const Slot& slot = ring.slots[idx % kRingCapacity];
+    const std::uint64_t want = idx * 2 + 2;
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    // A concurrent writer lapped this slot (or is inside it): the event
+    // is gone — count it dropped rather than retrying into a spin.
+    if (s1 != want) {
+      ++out.dropped;
+      continue;
+    }
+    std::array<std::uint64_t, 5> w{};
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w[i] = slot.word[i].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) {
+      ++out.dropped;
+      continue;
+    }
+    TraceEvent ev;
+    ev.ts_ns = w[0] & kTsMask;
+    ev.type = static_cast<EventType>(w[0] >> 56);
+    ev.tenant = w[1];
+    ev.epoch = w[2];
+    ev.batch = w[3];
+    ev.value = std::bit_cast<double>(w[4]);
+    out.events.push_back(ev);
+  }
+}
+
+std::vector<ThreadTrace> Tracer::snapshot(std::size_t last_n) const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    MutexLock lock(reg_mu_);
+    rings = rings_;
+  }
+  std::vector<ThreadTrace> out;
+  out.reserve(rings.size());
+  for (const auto& ring : rings) {
+    ThreadTrace t;
+    read_ring(*ring, last_n, t);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Tracer::Totals Tracer::totals() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    MutexLock lock(reg_mu_);
+    rings = rings_;
+  }
+  Totals t;
+  t.threads = rings.size();
+  for (const auto& ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    t.recorded += head;
+    t.dropped += head > kRingCapacity ? head - kRingCapacity : 0;
+  }
+  return t;
+}
+
+}  // namespace cal::obs

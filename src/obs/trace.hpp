@@ -1,0 +1,173 @@
+// Flight-recorder tracing: lock-free per-thread ring buffers of typed
+// span events across the request lifecycle.
+//
+//   submit ──▶ Admit / Deny ──▶ Enqueue ──▶ BatchClaim ──▶
+//   ReplicaCheckout ──▶ Screen / CacheHit ──▶ Predict ──▶ Complete
+//
+// Every event is stamped with monotonic time (ns since tracer start), the
+// tenant key hash, the deployment epoch it executed under, and the
+// micro-batch id, so a dump reconstructs per-request timelines across
+// threads and across a mid-stream deploy().
+//
+// Concurrency model: each thread records into its OWN fixed-size ring —
+// recording takes no lock and allocates nothing after the thread's first
+// event (one registry insertion). A ring slot is a per-slot seqlock over
+// relaxed-atomic words: the writer brackets its payload stores between an
+// odd and an even sequence store (release-fenced), and a snapshotting
+// reader accepts a slot only when the sequence reads identically even on
+// both sides of its payload loads — torn events are impossible to
+// observe, and every access is an atomic, so the scheme is exactly as
+// clean under ThreadSanitizer as it is in the C++ memory model. Rings
+// overwrite oldest-first; dropped counts are reported, never hidden.
+//
+// Kill switch: the CAL_TRACE_EVENT macro is the ONLY sanctioned record
+// entry point in instrumented code. Compiled with CALLOC_TRACING_DISABLED
+// (CMake -DCALLOC_TRACING=OFF) it expands to nothing — its arguments are
+// never evaluated, proven by a negative-compile CI check — and with
+// tracing compiled in, a false Tracer::set_enabled() reduces each site to
+// one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace cal::obs {
+
+/// Typed span events of the request lifecycle, plus the control-plane
+/// events (deploy, drift, anomaly) a flight recorder needs for context.
+enum class EventType : std::uint8_t {
+  Admit = 0,        ///< submit() accepted; value = route status
+  Deny,             ///< submit() denied; value = admission outcome code
+  Enqueue,          ///< pushed to the tenant sub-queue; value = unused
+  BatchClaim,       ///< worker claimed a micro-batch; value = batch size
+  ReplicaCheckout,  ///< replica slot checked out; value = slot index
+  Screen,           ///< anchor screen ran; value = anchor distance
+  CacheHit,         ///< served from the LRU; value = 1 audit, 0 plain
+  Predict,          ///< batched forward pass; value = rows inferred
+  Complete,         ///< promise fulfilled; value = latency_ms
+  DriftFlush,       ///< drift trend tripped a cache flush; value = unused
+  Deploy,           ///< snapshot swap; value = requests dropped by it
+  Anomaly,          ///< flight-recorder trip marker; value = unused
+};
+
+const char* to_string(EventType t);
+
+/// One decoded ring entry.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;   ///< monotonic, since Tracer construction
+  EventType type = EventType::Admit;
+  std::uint64_t tenant = 0;  ///< TenantKeyHash of the resolved tenant
+  std::uint64_t epoch = 0;   ///< deployment epoch the event ran under
+  std::uint64_t batch = 0;   ///< micro-batch id; 0 = not in a batch
+  double value = 0.0;        ///< type-specific payload (see EventType)
+};
+
+/// One thread's ring contents at snapshot time.
+struct ThreadTrace {
+  std::uint64_t thread_id = 0;  ///< tracer-assigned, stable per thread
+  std::uint64_t recorded = 0;   ///< events this thread ever recorded
+  std::uint64_t dropped = 0;    ///< overwritten before this snapshot
+  std::vector<TraceEvent> events;  ///< oldest -> newest, never torn
+};
+
+#if defined(CALLOC_TRACING_DISABLED)
+inline constexpr bool kTracingCompiledIn = false;
+#else
+inline constexpr bool kTracingCompiledIn = true;
+#endif
+
+/// Process-wide tracer. One instance: per-thread rings are thread_local
+/// and a ring must outlive both its thread (so the flight recorder can
+/// dump a finished worker's last events) and any engine instance.
+class Tracer {
+ public:
+  /// Events retained per thread (power of two). ~48 KB per ring.
+  static constexpr std::size_t kRingCapacity = 1024;
+
+  static Tracer& instance();
+
+  /// Runtime kill switch (default on). When off, CAL_TRACE_EVENT costs
+  /// one relaxed atomic load per site.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record one event into the calling thread's ring. Lock-free and
+  /// allocation-free after the thread's first call. Prefer the
+  /// CAL_TRACE_EVENT macro, which compiles out entirely.
+  void record(EventType type, std::uint64_t tenant, std::uint64_t epoch,
+              std::uint64_t batch, double value);
+
+  /// Copy every registered thread's ring: at most the newest `last_n`
+  /// events per thread (0 = the whole ring). Safe to call concurrently
+  /// with writers; slots mid-overwrite are skipped, not torn.
+  std::vector<ThreadTrace> snapshot(std::size_t last_n = 0) const
+      CAL_EXCLUDES(reg_mu_);
+
+  struct Totals {
+    std::uint64_t threads = 0;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+  };
+  Totals totals() const CAL_EXCLUDES(reg_mu_);
+
+  /// Monotonic nanoseconds on the tracer clock (event timestamp domain).
+  std::uint64_t now_ns() const;
+
+ private:
+  struct Slot {
+    /// Stable value for the slot last written by event #i is 2i+2 (0 =
+    /// never written); odd while the writer is inside. Payload words:
+    /// [ts | type<<56, tenant, epoch, batch, bit_cast(value)].
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, 5> word{};
+  };
+
+  struct Ring {
+    explicit Ring(std::uint64_t id) : thread_id(id) {}
+    std::uint64_t thread_id;
+    std::atomic<std::uint64_t> head{0};  ///< events ever recorded
+    std::array<Slot, kRingCapacity> slots{};
+  };
+
+  Tracer() : t0_(std::chrono::steady_clock::now()) {}
+
+  Ring& ring_for_this_thread() CAL_EXCLUDES(reg_mu_);
+  static void read_ring(const Ring& ring, std::size_t last_n,
+                        ThreadTrace& out);
+
+  const std::chrono::steady_clock::time_point t0_;
+  std::atomic<bool> enabled_{true};
+  mutable Mutex reg_mu_;
+  /// Rings of every thread that ever recorded; shared_ptrs keep rings of
+  /// finished threads alive for dumping.
+  std::vector<std::shared_ptr<Ring>> rings_ CAL_GUARDED_BY(reg_mu_);
+  std::uint64_t next_thread_id_ CAL_GUARDED_BY(reg_mu_) = 0;
+};
+
+}  // namespace cal::obs
+
+// The sanctioned instrumentation entry point: compiles to NOTHING (the
+// arguments are not evaluated) under CALLOC_TRACING_DISABLED, and to a
+// single relaxed load when tracing is compiled in but runtime-disabled.
+#if defined(CALLOC_TRACING_DISABLED)
+#define CAL_TRACE_EVENT(type, tenant, epoch, batch, value) \
+  do {                                                     \
+  } while (false)
+#else
+#define CAL_TRACE_EVENT(type, tenant, epoch, batch, value)             \
+  do {                                                                 \
+    ::cal::obs::Tracer& cal_trace_tracer =                             \
+        ::cal::obs::Tracer::instance();                                \
+    if (cal_trace_tracer.enabled())                                    \
+      cal_trace_tracer.record((type), (tenant), (epoch), (batch),      \
+                              (value));                                \
+  } while (false)
+#endif

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/ensure.hpp"
+#include "kernels/gemm.hpp"
 
 namespace cal::serve {
 namespace {
@@ -13,6 +14,11 @@ namespace {
 double ms_since(std::chrono::steady_clock::time_point t0) {
   const auto dt = std::chrono::steady_clock::now() - t0;
   return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+/// Tenant identity in the trace-event domain (events carry integers).
+std::uint64_t tenant_hash(const TenantKey& key) {
+  return static_cast<std::uint64_t>(TenantKeyHash{}(key));
 }
 
 /// Ready future for a denied submission: never localized; routing misses
@@ -131,6 +137,7 @@ std::shared_ptr<ServeEngine::TenantState> ServeEngine::make_state(
     const TenantDeployment& dep) {
   auto state = std::make_shared<TenantState>(dep.lane.queue_capacity);
   state->key = dep.key;
+  state->trace_tenant = tenant_hash(dep.key);
   configure_state(*state, dep);
   return state;
 }
@@ -155,7 +162,7 @@ void ServeEngine::configure_state(TenantState& st,
 
 ServeEngine::ServeEngine(std::shared_ptr<const DeploymentSnapshot> snapshot,
                          EngineConfig cfg)
-    : cfg_(cfg) {
+    : cfg_(cfg), recorder_(cfg.obs.recorder) {
   CAL_ENSURE(snapshot != nullptr, "engine needs a deployment snapshot");
   CAL_ENSURE(cfg_.pool_size > 0, "engine needs pool_size >= 1");
   snapshot_ = std::move(snapshot);
@@ -196,6 +203,9 @@ EngineSubmission ServeEngine::submit(
   out.decision = snapshot_->route(tenant);
   if (out.decision.status == RouteDecision::Status::Reject) {
     route_rejected_.fetch_add(1, std::memory_order_relaxed);
+    CAL_TRACE_EVENT(obs::EventType::Deny, tenant_hash(tenant),
+                    snapshot_->epoch(), 0,
+                    static_cast<double>(Admission::Rejected));
     // Deterministic explicit reject: never guess a venue.
     out.admission = Admission::Rejected;
     out.result = ready_denial(Verdict::Reject);
@@ -218,6 +228,9 @@ EngineSubmission ServeEngine::submit(
                "fingerprint AP " << i << " is non-finite");
   if (!state.bucket.try_acquire(std::chrono::steady_clock::now())) {
     state.stats.record_over_quota();
+    CAL_TRACE_EVENT(obs::EventType::Deny, state.trace_tenant,
+                    snapshot_->epoch(), 0,
+                    static_cast<double>(Admission::OverQuota));
     out.admission = Admission::OverQuota;
     out.result = ready_denial(Verdict::Accept);
     return out;
@@ -239,7 +252,10 @@ EngineSubmission ServeEngine::submit(
   // (OverQuota/QueueFull) before this accept.
   pending.admitted_at = std::chrono::steady_clock::now();
   out.result = pending.promise.get_future();
-  if (!state.q.try_push(std::move(pending))) {
+  // Depth is reported by the push itself — a size() call here would take
+  // the queue mutex a second time per request just to label a trace event.
+  [[maybe_unused]] std::size_t depth_after = 0;
+  if (!state.q.try_push(std::move(pending), &depth_after)) {
     state.stats.record_submit_rejected();
     // The consumed token must not bill a request that was never
     // admitted — QueueFull shedding is not quota usage.
@@ -257,6 +273,21 @@ EngineSubmission ServeEngine::submit(
     CAL_ENSURE(accepting_.load(std::memory_order_acquire),
                "submit() after engine shutdown");
     state.stats.record_queue_full();
+    CAL_TRACE_EVENT(obs::EventType::Deny, state.trace_tenant,
+                    snapshot_->epoch(), 0,
+                    static_cast<double>(Admission::QueueFull));
+    // A sustained run of queue-full denials on one tenant is the classic
+    // "who is flooding whom" incident — freeze the timeline that led in.
+    const std::size_t streak =
+        state.queue_full_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (cfg_.obs.queue_full_burst > 0 &&
+        streak >= cfg_.obs.queue_full_burst) {
+      state.queue_full_streak.store(0, std::memory_order_relaxed);
+      recorder_.trip("queue_full_burst",
+                     {{"tenant", state.key.str()},
+                      {"streak", streak},
+                      {"queue_capacity", state.lane.queue_capacity}});
+    }
     out.admission = Admission::QueueFull;
     out.result = ready_denial(Verdict::Accept);
     return out;
@@ -269,6 +300,13 @@ EngineSubmission ServeEngine::submit(
   (out.decision.status == RouteDecision::Status::Exact ? route_exact_
                                                        : route_fallback_)
       .fetch_add(1, std::memory_order_relaxed);
+  state.queue_full_streak.store(0, std::memory_order_relaxed);
+  CAL_TRACE_EVENT(obs::EventType::Admit, state.trace_tenant,
+                  snapshot_->epoch(), 0,
+                  static_cast<double>(out.decision.status));
+  CAL_TRACE_EVENT(obs::EventType::Enqueue, state.trace_tenant,
+                  snapshot_->epoch(), 0,
+                  static_cast<double>(depth_after));
   out.admission = Admission::Accepted;
   return out;
 }
@@ -370,6 +408,14 @@ void ServeEngine::deploy(std::shared_ptr<const DeploymentSnapshot> snapshot) {
     ++work_gen_;
   }
   work_cv_.notify_all();
+  const std::uint64_t epoch = [this] {
+    ReaderMutexLock lock(mu_);
+    return snapshot_->epoch();
+  }();
+  CAL_TRACE_EVENT(obs::EventType::Deploy, 0, epoch, 0,
+                  static_cast<double>(dropped));
+  if (cfg_.obs.trip_on_deploy)
+    recorder_.trip("deploy", {{"epoch", epoch}, {"dropped", dropped}});
 }
 
 void ServeEngine::shutdown() {
@@ -421,9 +467,16 @@ bool ServeEngine::try_claim(std::size_t& cursor, Claim& out) {
     out.state = state;
     out.dep = &dep;
     out.slot = static_cast<std::size_t>(slot);
+    out.batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
     out.batch = std::move(batch);
     out.cache = state->cache;
     out.drift = state->drift;
+    CAL_TRACE_EVENT(obs::EventType::BatchClaim, state->trace_tenant,
+                    out.snap->epoch(), out.batch_id,
+                    static_cast<double>(out.batch.size()));
+    CAL_TRACE_EVENT(obs::EventType::ReplicaCheckout, state->trace_tenant,
+                    out.snap->epoch(), out.batch_id,
+                    static_cast<double>(out.slot));
     cursor = (idx + 1) % n;
     return true;
   }
@@ -477,6 +530,11 @@ void ServeEngine::process(Claim& claim, Rng& rng) {
   const std::shared_ptr<DriftMonitor>& drift = claim.drift;
   StatsCollector& stats = claim.state->stats;
   stats.record_batch(claim.batch.size());
+  // Unused when tracing is compiled out (their only readers are
+  // CAL_TRACE_EVENT sites, which strip their arguments).
+  [[maybe_unused]] const std::uint64_t trace_tenant =
+      claim.state->trace_tenant;
+  [[maybe_unused]] const std::uint64_t trace_epoch = claim.snap->epoch();
 
   struct Slot {
     Pending req;
@@ -505,6 +563,9 @@ void ServeEngine::process(Claim& claim, Rng& rng) {
       Slot& s = slots[i];
       s.res.anchor_distance = screen.distance(s.req.fingerprint, &s.probe);
       s.res.verdict = screen.classify(s.res.anchor_distance);
+      if (screen.enabled())
+        CAL_TRACE_EVENT(obs::EventType::Screen, trace_tenant, trace_epoch,
+                        claim.batch_id, s.res.anchor_distance);
       if (s.res.verdict == Verdict::Reject) continue;  // never localised
       // Drift tracking sees only non-rejected traffic: rejected
       // fingerprints are off-manifold adversaries, not a moved radio
@@ -512,12 +573,21 @@ void ServeEngine::process(Claim& claim, Rng& rng) {
       if (screen.enabled() && drift->record(s.res.anchor_distance)) {
         cache->clear();
         stats.record_drift_flush();
+        CAL_TRACE_EVENT(obs::EventType::DriftFlush, trace_tenant,
+                        trace_epoch, claim.batch_id, 0.0);
+        if (cfg_.obs.trip_on_drift)
+          recorder_.trip("drift_flush",
+                         {{"tenant", claim.state->key.str()},
+                          {"anchor_distance", s.res.anchor_distance}});
       }
       if (cache->enabled()) {
         s.key = cache->make_key(s.req.fingerprint);
         if (const auto hit = cache->lookup(s.key)) {
-          if (lane.cache_audit_rate > 0.0 &&
-              rng.bernoulli(lane.cache_audit_rate)) {
+          const bool audit = lane.cache_audit_rate > 0.0 &&
+                             rng.bernoulli(lane.cache_audit_rate);
+          CAL_TRACE_EVENT(obs::EventType::CacheHit, trace_tenant,
+                          trace_epoch, claim.batch_id, audit ? 1.0 : 0.0);
+          if (audit) {
             s.audited = true;
             s.cached_rp = *hit;
             s.infer = true;  // re-infer to verify the cached answer
@@ -556,6 +626,9 @@ void ServeEngine::process(Claim& claim, Rng& rng) {
       CAL_INVARIANT(rps.size() == infer_rows.size(),
                     "predict returned " << rps.size() << " labels for "
                                         << infer_rows.size() << " rows");
+      CAL_TRACE_EVENT(obs::EventType::Predict, trace_tenant, trace_epoch,
+                      claim.batch_id,
+                      static_cast<double>(infer_rows.size()));
       for (std::size_t k = 0; k < infer_rows.size(); ++k) {
         Slot& s = slots[infer_rows[k]];
         s.res.rp = rps[k];
@@ -578,8 +651,30 @@ void ServeEngine::process(Claim& claim, Rng& rng) {
       rec.anchors_scanned = s.probe.scanned;
       rec.anchors_pruned = s.probe.pruned;
       stats.record_result(rec);
+      CAL_TRACE_EVENT(obs::EventType::Complete, trace_tenant, trace_epoch,
+                      claim.batch_id, s.res.latency_ms);
       s.req.promise.set_value(s.res);
       s.fulfilled = true;
+    }
+
+    // Sampled p99-breach check: every p99_check_every completions this
+    // tenant's lifetime p99 is read (one mutex hop) and compared against
+    // the configured ceiling.
+    if (cfg_.obs.p99_breach_ms > 0.0) {
+      const std::size_t done =
+          claim.state->completions_since_p99.fetch_add(
+              slots.size(), std::memory_order_relaxed) +
+          slots.size();
+      if (done >= std::max<std::size_t>(1, cfg_.obs.p99_check_every)) {
+        claim.state->completions_since_p99.store(0,
+                                                 std::memory_order_relaxed);
+        const double p99 = stats.latency_p99_ms();
+        if (p99 > cfg_.obs.p99_breach_ms)
+          recorder_.trip("p99_breach",
+                         {{"tenant", claim.state->key.str()},
+                          {"p99_ms", p99},
+                          {"threshold_ms", cfg_.obs.p99_breach_ms}});
+      }
     }
   } catch (...) {
     // A model/bookkeeping failure must not strand waiting clients.
@@ -607,6 +702,169 @@ MultiTenantStats ServeEngine::stats() const {
   out.deploys = deploys_.load(std::memory_order_relaxed);
   out.reload_flushes = reload_flushes_.load(std::memory_order_relaxed);
   return out;
+}
+
+obs::MetricsRegistry ServeEngine::metrics() const {
+  obs::MetricsRegistry reg;
+  {
+    ReaderMutexLock lock(mu_);
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      const TenantState& state = *order_[i];
+      const TenantDeployment& dep = snapshot_->tenant(i);
+      const ServiceStats s = state.stats.snapshot();
+      const std::string tenant = state.key.str();
+      reg.add_counter("cal_serve_admissions_total",
+                      "Admission outcomes at the engine front door",
+                      {{"tenant", tenant}, {"outcome", "accepted"}},
+                      static_cast<double>(s.submitted));
+      reg.add_counter("cal_serve_admissions_total",
+                      "Admission outcomes at the engine front door",
+                      {{"tenant", tenant}, {"outcome", "over_quota"}},
+                      static_cast<double>(s.over_quota));
+      reg.add_counter("cal_serve_admissions_total",
+                      "Admission outcomes at the engine front door",
+                      {{"tenant", tenant}, {"outcome", "queue_full"}},
+                      static_cast<double>(s.queue_full));
+      reg.add_counter("cal_serve_completed_total",
+                      "Requests fulfilled, any verdict",
+                      {{"tenant", tenant}},
+                      static_cast<double>(s.completed));
+      reg.add_counter("cal_serve_verdicts_total",
+                      "Screening verdicts on completed requests",
+                      {{"tenant", tenant}, {"verdict", "flagged"}},
+                      static_cast<double>(s.flagged));
+      reg.add_counter("cal_serve_verdicts_total",
+                      "Screening verdicts on completed requests",
+                      {{"tenant", tenant}, {"verdict", "rejected"}},
+                      static_cast<double>(s.rejected));
+      reg.add_counter("cal_serve_cache_hits_total",
+                      "Requests served from the fingerprint LRU",
+                      {{"tenant", tenant}},
+                      static_cast<double>(s.cache_hits));
+      reg.add_counter("cal_serve_cache_audits_total",
+                      "Cache hits re-inferred for verification",
+                      {{"tenant", tenant}},
+                      static_cast<double>(s.cache_audits));
+      reg.add_counter("cal_serve_cache_audit_mismatches_total",
+                      "Audited cache hits that disagreed with the model",
+                      {{"tenant", tenant}},
+                      static_cast<double>(s.cache_audit_mismatches));
+      reg.add_counter("cal_serve_drift_flushes_total",
+                      "Cache flushes forced by the drift trend",
+                      {{"tenant", tenant}},
+                      static_cast<double>(s.drift_flushes));
+      reg.add_counter("cal_serve_batches_total",
+                      "Micro-batches drained by pool workers",
+                      {{"tenant", tenant}},
+                      static_cast<double>(s.batches));
+      reg.add_counter("cal_serve_screened_total",
+                      "Requests that ran the anchor screen",
+                      {{"tenant", tenant}},
+                      static_cast<double>(s.screened));
+      reg.add_histogram("cal_serve_latency_ms",
+                        "Request latency (admission to fulfilment), ms",
+                        {{"tenant", tenant}}, s.latency);
+      reg.add_gauge("cal_serve_queue_depth",
+                    "Requests waiting in the tenant sub-queue",
+                    {{"tenant", tenant}},
+                    static_cast<double>(state.q.size()));
+      reg.add_gauge("cal_serve_queue_capacity",
+                    "Bounded sub-queue capacity",
+                    {{"tenant", tenant}},
+                    static_cast<double>(state.lane.queue_capacity));
+      const double lookups =
+          static_cast<double>(state.cache->hits() + state.cache->misses());
+      reg.add_gauge("cal_serve_lru_hit_ratio",
+                    "LRU hits over lookups, lifetime",
+                    {{"tenant", tenant}},
+                    lookups > 0.0
+                        ? static_cast<double>(state.cache->hits()) / lookups
+                        : 0.0);
+      reg.add_gauge("cal_serve_lru_size", "Entries in the fingerprint LRU",
+                    {{"tenant", tenant}},
+                    static_cast<double>(state.cache->size()));
+      reg.add_gauge("cal_serve_replica_slots",
+                    "Replica slots (max concurrent batches)",
+                    {{"tenant", tenant}},
+                    static_cast<double>(dep.slots()));
+      reg.add_gauge("cal_serve_replica_slots_busy",
+                    "Replica slots currently checked out",
+                    {{"tenant", tenant}},
+                    static_cast<double>(dep.busy_slots()));
+      const DriftTrend drift = state.drift->snapshot();
+      if (drift.enabled) {
+        reg.add_gauge("cal_serve_drift_baseline_mean",
+                      "Pinned drift baseline window mean (-1 while pinning)",
+                      {{"tenant", tenant}}, drift.baseline_mean);
+        reg.add_gauge(
+            "cal_serve_drift_last_window_mean",
+            "Most recent completed drift window mean (-1 before one)",
+            {{"tenant", tenant}}, drift.last_window_mean);
+      }
+    }
+    reg.add_gauge("cal_serve_deploy_epoch",
+                  "Epoch of the live deployment snapshot", {},
+                  static_cast<double>(snapshot_->epoch()));
+    reg.add_gauge("cal_serve_tenants", "Deployed tenants", {},
+                  static_cast<double>(order_.size()));
+  }
+  reg.add_counter("cal_serve_route_total", "Routing outcomes",
+                  {{"status", "exact"}},
+                  static_cast<double>(
+                      route_exact_.load(std::memory_order_relaxed)));
+  reg.add_counter("cal_serve_route_total", "Routing outcomes",
+                  {{"status", "fallback"}},
+                  static_cast<double>(
+                      route_fallback_.load(std::memory_order_relaxed)));
+  reg.add_counter("cal_serve_route_total", "Routing outcomes",
+                  {{"status", "rejected"}},
+                  static_cast<double>(
+                      route_rejected_.load(std::memory_order_relaxed)));
+  reg.add_counter("cal_serve_deploys_total",
+                  "deploy() calls since engine construction", {},
+                  static_cast<double>(
+                      deploys_.load(std::memory_order_relaxed)));
+  reg.add_counter("cal_serve_reload_flushes_total",
+                  "Tenant reloads that flushed cache and drift state", {},
+                  static_cast<double>(
+                      reload_flushes_.load(std::memory_order_relaxed)));
+  reg.add_gauge("cal_serve_pool_size", "Shared worker threads", {},
+                static_cast<double>(cfg_.pool_size));
+
+  const kernels::PoolMetrics pool = kernels::pool_metrics();
+  reg.add_counter("cal_gemm_parallel_total",
+                  "GEMMs dispatched through the kernel pool", {},
+                  static_cast<double>(pool.parallel_gemms));
+  reg.add_counter("cal_gemm_serial_fallbacks_total",
+                  "Pool-eligible GEMMs that ran serial (pool busy)", {},
+                  static_cast<double>(pool.serial_fallbacks));
+  reg.add_counter("cal_gemm_pool_tasks_total",
+                  "Row-block tasks executed by the kernel pool", {},
+                  static_cast<double>(pool.tasks));
+  reg.add_histogram("cal_gemm_pool_task_ms",
+                    "Kernel-pool row-block task wall time, ms", {},
+                    pool.task_ms);
+
+  const obs::Tracer& tracer = obs::Tracer::instance();
+  const obs::Tracer::Totals totals = tracer.totals();
+  reg.add_counter("cal_trace_events_total",
+                  "Trace events recorded, all threads", {},
+                  static_cast<double>(totals.recorded));
+  reg.add_counter("cal_trace_dropped_total",
+                  "Trace events overwritten before any snapshot read them",
+                  {}, static_cast<double>(totals.dropped));
+  reg.add_gauge("cal_trace_threads", "Threads with a trace ring", {},
+                static_cast<double>(totals.threads));
+  reg.add_gauge("cal_trace_enabled",
+                "1 when tracing is compiled in and runtime-enabled", {},
+                obs::kTracingCompiledIn && tracer.enabled() ? 1.0 : 0.0);
+  reg.add_counter("cal_flight_trips_total",
+                  "Flight-recorder anomaly trips", {},
+                  static_cast<double>(recorder_.trips()));
+  reg.add_counter("cal_flight_dumps_total",
+                  "Flight-recorder dumps taken (trips minus rate-limited)",
+                  {}, static_cast<double>(recorder_.dumps()));
+  return reg;
 }
 
 void ServeEngine::reset_telemetry_clocks() {

@@ -50,6 +50,9 @@
 
 #include "common/rng.hpp"
 #include "common/thread_annotations.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/queue.hpp"
 #include "serve/snapshot.hpp"
@@ -100,12 +103,35 @@ class TokenBucket {
   std::chrono::steady_clock::time_point last_ CAL_GUARDED_BY(mu_){};
 };
 
+/// When the engine's flight recorder trips (see obs/flight_recorder.hpp).
+/// Every trigger is off by default: an engine without observability
+/// configuration behaves exactly as before, and the tracer itself is
+/// governed separately (obs::Tracer::set_enabled / CALLOC_TRACING=OFF).
+struct ObsConfig {
+  /// Trip when a tenant's lifetime p99 latency exceeds this (ms); 0 = off.
+  double p99_breach_ms = 0.0;
+  /// Completions between p99 checks per tenant — the check takes the
+  /// tenant's stats mutex, so it is sampled, not per-request.
+  std::size_t p99_check_every = 256;
+  /// Trip when one tenant accumulates this many CONSECUTIVE queue-full
+  /// denials (an admitted request resets the streak); 0 = off.
+  std::size_t queue_full_burst = 0;
+  /// Trip when a drift trend forces a cache flush.
+  bool trip_on_drift = false;
+  /// Trip on every deploy() — captures the cross-deploy timeline.
+  bool trip_on_deploy = false;
+  /// Dump size / rate limiting for the recorder itself.
+  obs::FlightRecorderConfig recorder;
+};
+
 struct EngineConfig {
   /// Shared worker threads for the WHOLE fleet — the engine's OS thread
   /// count, independent of how many tenants are deployed.
   std::size_t pool_size = 2;
   /// Base seed for the per-worker Rng streams (cache-hit audits).
   std::uint64_t seed = 2026;
+  /// Flight-recorder trip policy.
+  ObsConfig obs;
 };
 
 /// submit() outcome: admission and routing are known synchronously; the
@@ -179,6 +205,18 @@ class ServeEngine {
 
   MultiTenantStats stats() const;
 
+  /// The full metrics surface as one point-in-time registry: per-tenant
+  /// admission/verdict/cache counters, queue depth and capacity, LRU hit
+  /// ratio and size, replica-slot occupancy, latency histograms, drift
+  /// trend gauges, routing and deployment counters, deploy epoch, GEMM
+  /// pool task timing, and tracer/flight-recorder health. Encode it with
+  /// MetricsRegistry::prometheus_text() or ::json().
+  obs::MetricsRegistry metrics() const;
+
+  /// The engine's anomaly capture — trips per ObsConfig; tests and
+  /// operators read trips()/dumps()/last_dump().
+  obs::FlightRecorder& flight_recorder() { return recorder_; }
+
   /// Restart every tenant's telemetry wall clock (counters untouched) —
   /// call once a freshly constructed fleet is ready to take traffic.
   void reset_telemetry_clocks();
@@ -208,6 +246,9 @@ class ServeEngine {
     explicit TenantState(std::size_t queue_capacity) : q(queue_capacity) {}
 
     TenantKey key;
+    /// tenant_hash(key), cached at publish: trace sites on the submit hot
+    /// path must not re-hash three strings per request.
+    std::uint64_t trace_tenant = 0;
     std::uint64_t version = 0;
     std::size_t num_aps = 0;
     ServiceConfig lane;
@@ -218,6 +259,11 @@ class ServeEngine {
     StatsCollector stats;
     /// Bounded sub-queue; try_push keeps submit() non-blocking.
     BoundedQueue<Pending> q;
+    /// Consecutive QueueFull denials (ObsConfig::queue_full_burst trip);
+    /// any accepted submission resets it.
+    std::atomic<std::size_t> queue_full_streak{0};
+    /// Completions since the last sampled p99-breach check.
+    std::atomic<std::size_t> completions_since_p99{0};
   };
 
   struct Claim {
@@ -225,6 +271,8 @@ class ServeEngine {
     std::shared_ptr<TenantState> state;
     const TenantDeployment* dep = nullptr;  ///< points into `snap`
     std::size_t slot = 0;
+    /// Engine-unique micro-batch id, stamped on this batch's trace events.
+    std::uint64_t batch_id = 0;
     std::vector<Pending> batch;
     /// Copies taken at claim time: a concurrent hot reload swaps the
     /// tenant's cache/drift for fresh instances, while this batch keeps
@@ -275,6 +323,11 @@ class ServeEngine {
   std::atomic<std::size_t> route_rejected_{0};
   std::atomic<std::size_t> deploys_{0};
   std::atomic<std::size_t> reload_flushes_{0};
+  /// Micro-batch ids start at 1: trace events with batch == 0 are
+  /// outside any batch (admission path, deploys).
+  std::atomic<std::uint64_t> next_batch_id_{1};
+
+  obs::FlightRecorder recorder_;
 
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;

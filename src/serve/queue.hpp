@@ -50,11 +50,16 @@ class BoundedQueue {
   /// for a slot. This is the admission-control flavour the serving
   /// engine's typed submit() uses: overload is reported to the caller as
   /// Admission::QueueFull rather than absorbed as producer back-pressure.
-  bool try_push(T&& item) CAL_EXCLUDES(mu_) {
+  bool try_push(T&& item, std::size_t* depth_after = nullptr)
+      CAL_EXCLUDES(mu_) {
     {
       MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      // Reported under the lock already held for the push: callers that
+      // want the post-push depth (trace events) must not pay a second
+      // mutex round-trip via size().
+      if (depth_after != nullptr) *depth_after = items_.size();
     }
     not_empty_.notify_one();
     return true;

@@ -21,6 +21,11 @@ int TenantDeployment::try_checkout() const {
   return static_cast<int>(slot);
 }
 
+std::size_t TenantDeployment::busy_slots() const {
+  MutexLock lock(slot_mu_);
+  return replicas_.size() - free_slots_.size();
+}
+
 void TenantDeployment::release(std::size_t slot) const {
   MutexLock lock(slot_mu_);
   CAL_INVARIANT(slot < replicas_.size(),

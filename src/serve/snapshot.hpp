@@ -58,6 +58,8 @@ class TenantDeployment {
   void release(std::size_t slot) const CAL_EXCLUDES(slot_mu_);
 
   std::size_t slots() const { return replicas_.size(); }
+  /// Slots currently checked out (point-in-time; metrics export).
+  std::size_t busy_slots() const CAL_EXCLUDES(slot_mu_);
   baselines::ILocalizer& replica(std::size_t slot) const {
     return *replicas_[slot];
   }

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <sstream>
 
-#include "common/stats.hpp"
-
 namespace cal::serve {
 
 std::string ServiceStats::str() const {
@@ -36,10 +34,6 @@ std::string ServiceStats::str() const {
 
 ServiceStats aggregate_stats(std::span<const ServiceStats> shards) {
   ServiceStats agg;
-  double weighted_mean = 0.0;
-  double weighted_p50 = 0.0;
-  double weighted_p95 = 0.0;
-  double weighted_p99 = 0.0;
   for (const ServiceStats& s : shards) {
     agg.submitted += s.submitted;
     agg.completed += s.completed;
@@ -57,18 +51,13 @@ ServiceStats aggregate_stats(std::span<const ServiceStats> shards) {
     agg.batches += s.batches;
     agg.largest_batch = std::max(agg.largest_batch, s.largest_batch);
     agg.wall_seconds = std::max(agg.wall_seconds, s.wall_seconds);
-    const auto w = static_cast<double>(s.completed);
-    weighted_mean += w * s.latency_mean_ms;
-    weighted_p50 += w * s.latency_p50_ms;
-    weighted_p95 += w * s.latency_p95_ms;
-    weighted_p99 += w * s.latency_p99_ms;
+    agg.latency.merge(s.latency);
   }
-  if (agg.completed > 0) {
-    const auto n = static_cast<double>(agg.completed);
-    agg.latency_mean_ms = weighted_mean / n;
-    agg.latency_p50_ms = weighted_p50 / n;
-    agg.latency_p95_ms = weighted_p95 / n;
-    agg.latency_p99_ms = weighted_p99 / n;
+  if (agg.latency.count() > 0) {
+    agg.latency_mean_ms = agg.latency.mean();
+    agg.latency_p50_ms = agg.latency.quantile(0.50);
+    agg.latency_p95_ms = agg.latency.quantile(0.95);
+    agg.latency_p99_ms = agg.latency.quantile(0.99);
   }
   if (agg.screened > 0)
     agg.mean_anchors_scanned = static_cast<double>(agg.anchors_scanned) /
@@ -119,14 +108,7 @@ void StatsCollector::record_batch(std::size_t batch_size) {
 void StatsCollector::record_result(const ResultRecord& r) {
   MutexLock lock(mu_);
   ++completed_;
-  latency_sum_ms_ += r.latency_ms;
-  if (latencies_ms_.size() < kLatencyWindow) {
-    latencies_ms_.push_back(r.latency_ms);
-  } else {  // full: overwrite the oldest sample (order is irrelevant for
-            // percentiles, which sort a copy)
-    latencies_ms_[latency_wrap_] = r.latency_ms;
-    latency_wrap_ = (latency_wrap_ + 1) % kLatencyWindow;
-  }
+  latency_.record(r.latency_ms);
   if (r.from_cache) ++cache_hits_;
   if (r.audited) ++cache_audits_;
   if (r.audit_mismatch) ++cache_audit_mismatches_;
@@ -173,17 +155,23 @@ ServiceStats StatsCollector::snapshot() const {
   if (batches_ > 0)
     s.mean_batch_size =
         static_cast<double>(batched_items_) / static_cast<double>(batches_);
-  if (!latencies_ms_.empty()) {
-    s.latency_mean_ms = latency_sum_ms_ / static_cast<double>(completed_);
-    s.latency_p50_ms = percentile(latencies_ms_, 50.0);
-    s.latency_p95_ms = percentile(latencies_ms_, 95.0);
-    s.latency_p99_ms = percentile(latencies_ms_, 99.0);
+  s.latency = latency_;
+  if (latency_.count() > 0) {
+    s.latency_mean_ms = latency_.mean();
+    s.latency_p50_ms = latency_.quantile(0.50);
+    s.latency_p95_ms = latency_.quantile(0.95);
+    s.latency_p99_ms = latency_.quantile(0.99);
   }
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   s.wall_seconds = std::chrono::duration<double>(elapsed).count();
   if (s.wall_seconds > 0.0)
     s.throughput_rps = static_cast<double>(completed_) / s.wall_seconds;
   return s;
+}
+
+double StatsCollector::latency_p99_ms() const {
+  MutexLock lock(mu_);
+  return latency_.quantile(0.99);
 }
 
 }  // namespace cal::serve

@@ -12,15 +12,24 @@
 #include <vector>
 
 #include "common/thread_annotations.hpp"
+#include "obs/histogram.hpp"
 #include "serve/screening.hpp"
 
 namespace cal::serve {
 
 /// Point-in-time snapshot of one shard lane's health. Latencies are
 /// request latencies (submit -> result available), which include queueing
-/// delay — the figure a client actually experiences. The mean is
-/// lifetime-exact; the percentiles cover the most recent
-/// StatsCollector::kLatencyWindow requests.
+/// delay — the figure a client actually experiences.
+///
+/// Latency semantics (changed when the sorted sliding window was replaced
+/// by the log-bucketed histogram): mean and percentiles are now LIFETIME
+/// figures over every completed request, not a recent window, and the
+/// percentiles carry the histogram's bounded relative error
+/// (obs::Histogram::kRelativeError, ~3%) instead of being exact order
+/// statistics of the last 64K samples. In exchange they are mergeable —
+/// aggregate_stats() combines shard histograms exactly, so fleet-wide
+/// tails are true quantiles of the union rather than completed-weighted
+/// averages of per-shard quantiles (which were not quantiles of anything).
 struct ServiceStats {
   std::size_t submitted = 0;
   std::size_t completed = 0;        ///< fulfilled results, any verdict
@@ -43,6 +52,9 @@ struct ServiceStats {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+  /// The full latency distribution the four figures above are derived
+  /// from — lifetime, fixed memory, exactly mergeable across shards.
+  obs::Histogram latency;
   double wall_seconds = 0.0;        ///< since service start
   double throughput_rps = 0.0;      ///< completed / wall_seconds
 
@@ -51,9 +63,9 @@ struct ServiceStats {
 };
 
 /// Fleet-wide roll-up of per-shard snapshots: counters are summed, the
-/// latency mean and percentiles are completed-weighted averages of the
-/// shard figures (exact for the mean; an approximation for the tails,
-/// which are only defined per shard), wall_seconds is the longest-running
+/// latency histograms are merged bucket-wise (exact — the aggregate
+/// percentiles are true quantiles of the combined distribution, up to the
+/// histogram's relative-error bound), wall_seconds is the longest-running
 /// shard, and throughput is total completed over that wall clock.
 ServiceStats aggregate_stats(std::span<const ServiceStats> shards);
 
@@ -71,15 +83,12 @@ struct ResultRecord {
 
 /// Mutex-guarded accumulator shared by one shard lane's worker pool.
 ///
-/// Memory is bounded for arbitrarily long runs: the latency mean is exact
-/// over the whole lifetime (running sum), while the percentiles are over
-/// a sliding window of the most recent kLatencyWindow requests — the
-/// operator-relevant "current" tail behaviour, in O(1) memory.
+/// Memory is bounded for arbitrarily long runs: latencies feed a
+/// log-bucketed obs::Histogram (fixed ~9 KB, lifetime-mergeable, bounded
+/// relative error), so mean and percentiles are both exact-lifetime in
+/// count and O(1) in memory regardless of traffic volume.
 class StatsCollector {
  public:
-  /// Latency samples retained for the percentile window.
-  static constexpr std::size_t kLatencyWindow = 1U << 16;
-
   StatsCollector();
 
   void record_submitted() CAL_EXCLUDES(mu_);
@@ -101,15 +110,16 @@ class StatsCollector {
 
   ServiceStats snapshot() const CAL_EXCLUDES(mu_);
 
+  /// Cheap read of the current lifetime p99 — the flight-recorder breach
+  /// check runs this on the completion path, where a full snapshot()
+  /// (with its wall-clock math and struct copy) would be waste.
+  double latency_p99_ms() const CAL_EXCLUDES(mu_);
+
  private:
   mutable Mutex mu_;
   std::chrono::steady_clock::time_point start_ CAL_GUARDED_BY(mu_);
-  /// Ring buffer, <= kLatencyWindow entries.
-  std::vector<double> latencies_ms_ CAL_GUARDED_BY(mu_);
-  /// Next slot to overwrite when full.
-  std::size_t latency_wrap_ CAL_GUARDED_BY(mu_) = 0;
-  /// Lifetime sum (exact mean).
-  double latency_sum_ms_ CAL_GUARDED_BY(mu_) = 0.0;
+  /// Lifetime latency distribution (mergeable, bounded relative error).
+  obs::Histogram latency_ CAL_GUARDED_BY(mu_);
   std::size_t submitted_ CAL_GUARDED_BY(mu_) = 0;
   std::size_t completed_ CAL_GUARDED_BY(mu_) = 0;
   std::size_t over_quota_ CAL_GUARDED_BY(mu_) = 0;

@@ -1,0 +1,28 @@
+// Negative-compile seed for the tracing kill switch. NOT part of any
+// CMake target: CI compiles this TU directly TWICE:
+//
+//   clang++ -std=c++20 -Isrc -fsyntax-only -DCALLOC_TRACING_DISABLED \
+//           tests/static/tracing_killswitch.cpp      # must SUCCEED
+//   clang++ -std=c++20 -Isrc -fsyntax-only \
+//           tests/static/tracing_killswitch.cpp      # must FAIL
+//
+// The CAL_TRACE_EVENT arguments below name identifiers that are never
+// declared anywhere. With tracing compiled OUT the macro drops its
+// arguments before name lookup, so this TU builds — proving the kill
+// switch strips trace sites entirely (no argument evaluation, no code).
+// With tracing compiled IN the undeclared names reach the compiler and
+// the TU cannot build — proving the probe actually exercises the macro.
+// If the first compile ever fails, someone "simplified" the disabled
+// branch into something that still evaluates its arguments (e.g.
+// (void)sizeof(...)), silently re-introducing per-site cost.
+#include "obs/trace.hpp"
+
+void probe() {
+  CAL_TRACE_EVENT(cal::obs::EventType::Admit, undeclared_tenant_hash,
+                  undeclared_epoch, undeclared_batch, undeclared_value());
+}
+
+int main() {
+  probe();
+  return 0;
+}

@@ -12,7 +12,10 @@
 #include <filesystem>
 #include <future>
 #include <limits>
+#include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -1570,6 +1573,177 @@ TEST(Engine, RouteStatusesAgreeWithRegistryRouter) {
   EXPECT_EQ(stats.route_fallback, 1u);
   EXPECT_EQ(stats.route_rejected, 1u);
   EXPECT_EQ(stats.aggregate.completed, 2u);
+}
+
+TEST(Engine, MetricsScrapeRoundTrip) {
+  ModelRegistry reg;
+  const TenantKey kx{"venue-mx", 0, "OP3"};
+  const TenantKey ky{"venue-my", 0, "OP3"};
+  reg.register_tenant(kx, const_spec(1));
+  reg.register_tenant(ky, const_spec(2));
+  reg.set_profile_fallbacks({"OP3"});
+  ServeEngine engine(reg.publish(), EngineConfig{});
+
+  for (int i = 0; i < 6; ++i)
+    EXPECT_TRUE(
+        submit_blocking(engine, kx, tiny_fp()).result.get().localized);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(
+        submit_blocking(engine, ky, tiny_fp()).result.get().localized);
+  // Bump the epoch so the exported gauge is distinguishable from the
+  // initial snapshot's.
+  reg.reload_tenant(kx, const_spec(1));
+  engine.deploy(reg.publish());
+
+  const obs::MetricsRegistry m = engine.metrics();
+  const auto stats = engine.stats();
+
+  // Registry lookups agree with stats(): per-tenant admission counters,
+  // queue depth, the latency histogram, and the deploy epoch.
+  const auto* ax =
+      m.find("cal_serve_admissions_total",
+             {{"tenant", "venue-mx/0:OP3"}, {"outcome", "accepted"}});
+  ASSERT_NE(ax, nullptr);
+  EXPECT_EQ(ax->value, 6.0);
+  const auto* ay =
+      m.find("cal_serve_admissions_total",
+             {{"tenant", "venue-my/0:OP3"}, {"outcome", "accepted"}});
+  ASSERT_NE(ay, nullptr);
+  EXPECT_EQ(ay->value, 3.0);
+  const auto* oq =
+      m.find("cal_serve_admissions_total",
+             {{"tenant", "venue-mx/0:OP3"}, {"outcome", "over_quota"}});
+  ASSERT_NE(oq, nullptr);
+  EXPECT_EQ(oq->value, 0.0);
+  const auto* qd =
+      m.find("cal_serve_queue_depth", {{"tenant", "venue-my/0:OP3"}});
+  ASSERT_NE(qd, nullptr);
+  EXPECT_EQ(qd->value, 0.0);  // drained: every submission completed
+  const auto* lat =
+      m.find("cal_serve_latency_ms", {{"tenant", "venue-mx/0:OP3"}});
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->hist.count(), 6u);
+  EXPECT_GE(lat->hist.quantile(0.99), lat->hist.quantile(0.5));
+  const auto* ep = m.find("cal_serve_deploy_epoch");
+  ASSERT_NE(ep, nullptr);
+  EXPECT_EQ(ep->value, static_cast<double>(stats.snapshot_epoch));
+  EXPECT_EQ(ep->value, 2.0);
+
+  // The Prometheus text exposition carries the same figures.
+  const std::string text = m.prometheus_text();
+  const auto npos = std::string::npos;
+  EXPECT_NE(text.find("# TYPE cal_serve_admissions_total counter\n"), npos);
+  EXPECT_NE(text.find("cal_serve_admissions_total{tenant=\"venue-mx/0:OP3\","
+                      "outcome=\"accepted\"} 6\n"),
+            npos);
+  EXPECT_NE(
+      text.find("cal_serve_latency_ms_count{tenant=\"venue-mx/0:OP3\"} 6\n"),
+      npos);
+  EXPECT_NE(text.find("cal_serve_latency_ms_bucket{tenant=\"venue-mx/0:OP3\","
+                      "le=\"+Inf\"} 6\n"),
+            npos);
+  EXPECT_NE(text.find("cal_serve_deploy_epoch 2\n"), npos);
+  EXPECT_NE(text.find("cal_serve_deploys_total 1\n"), npos);
+
+  // And the JSON export, with convenience percentiles on histograms.
+  const std::string json = m.json();
+  EXPECT_NE(json.find("\"name\":\"cal_serve_admissions_total\""), npos);
+  EXPECT_NE(json.find("\"tenant\":\"venue-mx/0:OP3\""), npos);
+  EXPECT_NE(json.find("\"name\":\"cal_serve_latency_ms\""), npos);
+  EXPECT_NE(json.find("\"p99\":"), npos);
+  EXPECT_NE(json.find("\"name\":\"cal_serve_deploy_epoch\""), npos);
+  engine.shutdown();
+}
+
+TEST(Engine, FlightRecorderTimelineSpansDeploy) {
+  if (!obs::kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  obs::Tracer::instance().set_enabled(true);
+
+  // A venue name no other test uses: the tracer is process-wide, so the
+  // tenant hash is this test's filter on shared rings.
+  ModelRegistry reg;
+  const TenantKey key{"venue-fr", 0, "OP3"};
+  reg.register_tenant(key, const_spec(1));
+  reg.set_profile_fallbacks({"OP3"});
+  EngineConfig cfg;
+  cfg.obs.trip_on_deploy = true;
+  cfg.obs.recorder.last_n = 0;  // capture whole rings
+  ServeEngine engine(reg.publish(), cfg);
+
+  // Distinct fingerprints per request keep every request on the
+  // Predict path (no LRU hits), so each one has a full timeline.
+  const auto fp_of = [](int i) {
+    std::vector<float> fp(kTinyAps);
+    for (std::size_t a = 0; a < kTinyAps; ++a)
+      fp[a] = 0.01F * static_cast<float>(i) + 0.1F * static_cast<float>(a);
+    return fp;
+  };
+  int next_fp = 0;
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(
+        submit_blocking(engine, key, fp_of(next_fp++)).result.get().rp, 1u);
+
+  reg.reload_tenant(key, const_spec(2));
+  engine.deploy(reg.publish());  // trip_on_deploy captures here
+
+  ASSERT_GE(engine.flight_recorder().trips(), 1u);
+  ASSERT_GE(engine.flight_recorder().dumps(), 1u);
+  ASSERT_TRUE(engine.flight_recorder().last_dump().has_value());
+  EXPECT_EQ(engine.flight_recorder().last_dump()->reason, "deploy");
+
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(
+        submit_blocking(engine, key, fp_of(next_fp++)).result.get().rp, 2u);
+  engine.shutdown();
+
+  // A second capture now holds the full two-epoch history (rings retain
+  // finished worker threads' events).
+  ASSERT_TRUE(engine.flight_recorder().trip("test_capture"));
+  const obs::FlightDump dump = *engine.flight_recorder().last_dump();
+
+  const std::uint64_t tenant = TenantKeyHash{}(key);
+  bool saw_deploy_marker = false;
+  std::map<std::uint64_t, std::set<int>> types_by_epoch;
+  std::set<std::uint64_t> claimed_batches;
+  std::set<std::uint64_t> completed_batches;
+  for (const obs::ThreadTrace& t : dump.threads) {
+    // Within one thread the ring is ordered oldest -> newest.
+    for (std::size_t i = 1; i < t.events.size(); ++i)
+      EXPECT_LE(t.events[i - 1].ts_ns, t.events[i].ts_ns);
+    for (const obs::TraceEvent& ev : t.events) {
+      if (ev.type == obs::EventType::Deploy && ev.epoch == 2)
+        saw_deploy_marker = true;
+      if (ev.tenant != tenant) continue;
+      types_by_epoch[ev.epoch].insert(static_cast<int>(ev.type));
+      if (ev.type == obs::EventType::BatchClaim)
+        claimed_batches.insert(ev.batch);
+      if (ev.type == obs::EventType::Complete) {
+        EXPECT_NE(ev.batch, 0u) << "completion outside any batch";
+        completed_batches.insert(ev.batch);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_deploy_marker) << "deploy() must leave a Deploy event";
+
+  // Both epochs show the full request lifecycle for this tenant: the
+  // timeline is coherent across the mid-stream deploy.
+  for (const std::uint64_t epoch : {std::uint64_t{1}, std::uint64_t{2}}) {
+    ASSERT_TRUE(types_by_epoch.count(epoch)) << "no events in epoch "
+                                             << epoch;
+    const std::set<int>& seen = types_by_epoch[epoch];
+    for (const obs::EventType want :
+         {obs::EventType::Admit, obs::EventType::Enqueue,
+          obs::EventType::BatchClaim, obs::EventType::ReplicaCheckout,
+          obs::EventType::Predict, obs::EventType::Complete}) {
+      EXPECT_TRUE(seen.count(static_cast<int>(want)))
+          << "epoch " << epoch << " missing "
+          << obs::to_string(want);
+    }
+  }
+  // Every completed batch id traces back to a claim event.
+  for (const std::uint64_t b : completed_batches)
+    EXPECT_TRUE(claimed_batches.count(b))
+        << "Complete in batch " << b << " without a BatchClaim";
 }
 
 }  // namespace
