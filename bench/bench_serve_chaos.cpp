@@ -1,0 +1,419 @@
+// ServeEngine chaos bench: deterministic fault injection against a live
+// multi-tenant fleet, CI-enforcing the fault-containment claims.
+//
+//   1. CONTAINMENT — with one tenant's replicas faulting on a seeded
+//      schedule (p=0.85 via CAL_FAULT_POINT("chaos.predict")), the
+//      HEALTHY tenants keep >= 99% availability and their p99 stays
+//      within a bounded factor of the no-fault baseline.
+//   2. TYPED BLAST RADIUS — the faulty tenant's failures surface as
+//      ServeStatus::Faulted results, breaker opens, and BreakerOpen
+//      fast-fails; never as hangs, crashes, or wrong answers.
+//   3. BIT-IDENTITY UNDER FAULTS — every SERVED row, on every tenant,
+//      still matches sequential per-tenant predict() exactly: the
+//      per-row containment retry runs the same model on the same input.
+//   4. HEAL — after the outage, disarming the site and redeploying the
+//      faulty tenant restores service (quarantined slots rebuilt).
+//
+// Built with -DCALLOC_FAULT_INJECTION=OFF (the default), the fault site
+// compiles to nothing: this bench then asserts the inverse shape — zero
+// faults, zero breaker activity, 100% availability everywhere — so the
+// OFF configuration in CI proves the kill switch strips the chaos
+// surface from release binaries.
+//
+// Emits BENCH_serve_chaos.json for the CI perf-trajectory artifact.
+//
+// Run: ./build/bench/bench_serve_chaos   (CALLOC_BENCH_FULL=1 for all
+// five Table II venues and the larger request count)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/knn.hpp"
+#include "bench_util.hpp"
+#include "common/fault_inject.hpp"
+#include "common/table.hpp"
+#include "serve/engine.hpp"
+#include "sim/fleet.hpp"
+
+namespace {
+
+using namespace cal;
+
+constexpr std::size_t kPoolSize = 4;
+constexpr std::size_t kFaultyVenue = 1;  // index into the bench fleet
+constexpr double kFaultProbability = 0.85;
+constexpr std::uint64_t kFaultSeed = 4242;
+
+/// KNN replica with a fault site in front of inference — the ONLY
+/// difference from the healthy tenants' replicas. With fault injection
+/// compiled out the macro vanishes and this is a plain KNN delegate.
+class ChaosKnn : public baselines::ILocalizer {
+ public:
+  explicit ChaosKnn(const data::FingerprintDataset& train) : inner_(3) {
+    inner_.fit(train);
+  }
+  void fit(const data::FingerprintDataset&) override {}
+  std::vector<std::size_t> predict(const Tensor& x) override {
+    CAL_FAULT_POINT("chaos.predict");
+    return inner_.predict(x);
+  }
+  std::string name() const override { return "ChaosKnn"; }
+
+ private:
+  baselines::Knn inner_;
+};
+
+serve::TenantKey venue_key(const sim::Scenario& sc) {
+  return {sc.building_spec.name, 0, "OP3"};
+}
+
+serve::TenantSpec venue_spec(const sim::Scenario& sc, bool faulty) {
+  serve::TenantSpec spec;
+  const data::FingerprintDataset& train = sc.train;
+  if (faulty) {
+    spec.factory = [&train] { return std::make_unique<ChaosKnn>(train); };
+    // The containment stack under test: two consecutive all-fault
+    // batches open the breaker; short open intervals keep probes (and
+    // therefore reopens) flowing during the bench window.
+    spec.service.breaker.fault_threshold = 2;
+    spec.service.breaker.open_for_s = 0.05;
+    spec.service.breaker.backoff_factor = 2.0;
+    spec.service.breaker.max_open_s = 1.0;
+  } else {
+    spec.factory = [&train] {
+      auto model = std::make_unique<baselines::Knn>(3);
+      model->fit(train);
+      return model;
+    };
+  }
+  spec.num_aps = train.num_aps();
+  spec.service.num_workers = 2;  // replica slots, NOT threads
+  spec.service.max_batch = 16;
+  spec.service.queue_capacity = 512;
+  spec.service.cache_capacity = 0;  // measure serving, not the cache
+  return spec;
+}
+
+serve::ModelRegistry build_registry(std::span<const sim::Scenario> fleet) {
+  serve::ModelRegistry registry;
+  for (std::size_t v = 0; v < fleet.size(); ++v)
+    registry.register_tenant(venue_key(fleet[v]),
+                             venue_spec(fleet[v], v == kFaultyVenue));
+  registry.set_profile_fallbacks({"OP3"});
+  return registry;
+}
+
+/// Per-venue outcome tallies of one full drive of the request stream.
+struct VenueOutcome {
+  std::size_t sent = 0;
+  std::size_t served = 0;
+  std::size_t faulted = 0;
+  std::size_t breaker_denied = 0;  ///< BreakerOpen fast-fails at submit
+  std::size_t other = 0;           ///< any other terminal status
+  bool bit_identical = true;       ///< served rows vs sequential predict
+};
+
+std::vector<VenueOutcome> drive(
+    serve::ServeEngine& engine, std::span<const sim::Scenario> fleet,
+    std::span<const sim::FleetRequest> stream,
+    const std::vector<std::vector<Tensor>>& pools,
+    const std::vector<std::vector<std::vector<std::size_t>>>& expected) {
+  struct Sent {
+    sim::FleetRequest req;
+    std::future<serve::ServeResult> fut;
+  };
+  std::vector<VenueOutcome> out(fleet.size());
+  std::vector<Sent> sent;
+  sent.reserve(stream.size());
+  for (const auto& req : stream) {
+    const auto fp = pools[req.venue][req.device].row(req.row);
+    auto sub = engine.submit_blocking(venue_key(fleet[req.venue]),
+                                      {fp.begin(), fp.end()});
+    ++out[req.venue].sent;
+    if (sub.admission == serve::Admission::BreakerOpen) {
+      ++out[req.venue].breaker_denied;
+      continue;  // ready denial future; nothing to await
+    }
+    sent.push_back({req, std::move(sub.result)});
+  }
+  for (auto& s : sent) {
+    const auto res = s.fut.get();
+    VenueOutcome& v = out[s.req.venue];
+    switch (res.status) {
+      case serve::ServeStatus::Served:
+        ++v.served;
+        if (res.rp != expected[s.req.venue][s.req.device][s.req.row])
+          v.bit_identical = false;
+        break;
+      case serve::ServeStatus::Faulted:
+        ++v.faulted;
+        break;
+      default:
+        ++v.other;
+        break;
+    }
+  }
+  return out;
+}
+
+double availability(const VenueOutcome& v) {
+  return v.sent > 0
+             ? static_cast<double>(v.served) / static_cast<double>(v.sent)
+             : 0.0;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cal;
+  bench::banner(
+      "bench_serve_chaos — fault containment under injected replica "
+      "faults",
+      "claims: with one tenant's replicas faulting on a seeded schedule, "
+      "healthy tenants keep >= 99% availability and bounded p99; faults "
+      "surface as typed Faulted/BreakerOpen outcomes; served rows stay "
+      "bit-identical to sequential predict; redeploy heals the outage");
+
+  const std::vector<std::size_t> venues =
+      bench::full_mode() ? std::vector<std::size_t>{0, 1, 2, 3, 4}
+                         : std::vector<std::size_t>{0, 2, 3};
+  const std::size_t train_spr = bench::full_mode() ? 5 : 2;
+  const auto fleet = sim::make_table2_fleet(venues, 2024, train_spr, 1);
+  const std::size_t n_requests = bench::full_mode() ? 12000 : 3000;
+  const serve::TenantKey faulty_key = venue_key(fleet[kFaultyVenue]);
+
+  // Pre-normalised request pools and sequential per-venue ground truth.
+  std::vector<std::vector<Tensor>> pools(fleet.size());
+  std::vector<std::vector<std::vector<std::size_t>>> expected(fleet.size());
+  for (std::size_t v = 0; v < fleet.size(); ++v) {
+    baselines::Knn knn(3);
+    knn.fit(fleet[v].train);
+    for (const auto& test : fleet[v].device_tests) {
+      pools[v].push_back(test.normalized());
+      expected[v].push_back(knn.predict(test.normalized()));
+    }
+  }
+  const auto stream =
+      sim::fleet_request_stream(fleet, n_requests, 31, /*repeat_prob=*/0.2);
+
+  serve::EngineConfig cfg;
+  cfg.pool_size = kPoolSize;
+
+  // -- Run 1: baseline, nothing armed — the p99 yardstick ------------------
+  FaultRegistry::instance().disarm_all();
+  serve::ModelRegistry base_registry = build_registry(fleet);
+  serve::ServeEngine baseline(base_registry.publish(), cfg);
+  baseline.reset_telemetry_clocks();
+  const auto base_out = drive(baseline, fleet, stream, pools, expected);
+  double baseline_healthy_p99 = 0.0;
+  {
+    const auto stats = baseline.stats();
+    for (std::size_t v = 0; v < fleet.size(); ++v) {
+      if (v == kFaultyVenue) continue;
+      const auto shard = baseline.snapshot()->route(venue_key(fleet[v])).shard;
+      baseline_healthy_p99 = std::max(
+          baseline_healthy_p99, stats.per_tenant[shard].stats.latency_p99_ms);
+    }
+  }
+  baseline.shutdown();
+  // Generous enough for shared CI runners, tight enough that a faulty
+  // tenant leaking latency into healthy lanes blows through it.
+  const double p99_bound_ms =
+      std::max(10.0 * std::max(baseline_healthy_p99, 0.5), 25.0);
+
+  // -- Run 2: chaos — the faulty tenant's replicas fault at p=0.85 ---------
+  if (kFaultInjectionCompiledIn)
+    FaultRegistry::instance().arm("chaos.predict", kFaultProbability,
+                                  kFaultSeed);
+  serve::ModelRegistry registry = build_registry(fleet);
+  serve::ServeEngine engine(registry.publish(), cfg);
+  engine.reset_telemetry_clocks();
+  const auto chaos_out = drive(engine, fleet, stream, pools, expected);
+  const auto site = FaultRegistry::instance().site_stats("chaos.predict");
+  FaultRegistry::instance().disarm_all();
+
+  const auto chaos_stats = engine.stats();
+  const auto faulty_shard = engine.snapshot()->route(faulty_key).shard;
+  const auto& faulty_tenant = chaos_stats.per_tenant[faulty_shard];
+  double chaos_healthy_p99 = 0.0;
+  for (std::size_t v = 0; v < fleet.size(); ++v) {
+    if (v == kFaultyVenue) continue;
+    const auto shard = engine.snapshot()->route(venue_key(fleet[v])).shard;
+    chaos_healthy_p99 = std::max(
+        chaos_healthy_p99, chaos_stats.per_tenant[shard].stats.latency_p99_ms);
+  }
+
+  // -- Run 3: heal — disarmed + redeployed, the faulty tenant serves -------
+  registry.reload_tenant(faulty_key,
+                         venue_spec(fleet[kFaultyVenue], /*faulty=*/true));
+  engine.deploy(registry.publish());
+  bool healed = true;
+  for (int i = 0; i < 8; ++i) {
+    const auto fp = pools[kFaultyVenue][0].row(static_cast<std::size_t>(i));
+    const auto res =
+        engine.submit_blocking(faulty_key, {fp.begin(), fp.end()})
+            .result.get();
+    healed &= res.status == serve::ServeStatus::Served &&
+              res.rp == expected[kFaultyVenue][0][static_cast<std::size_t>(i)];
+  }
+  const std::size_t quarantined_after_heal =
+      engine.stats().per_tenant[faulty_shard].quarantined_slots;
+  engine.shutdown();
+  bench::append_obs_metrics("bench_serve_chaos", engine.metrics());
+
+  // -- Report --------------------------------------------------------------
+  TextTable table({"tenant", "sent", "served", "faulted", "breaker-denied",
+                   "avail %", "p99 ms"});
+  for (std::size_t v = 0; v < fleet.size(); ++v) {
+    const auto shard = engine.snapshot()->route(venue_key(fleet[v])).shard;
+    table.add_row({venue_key(fleet[v]).str() +
+                       (v == kFaultyVenue ? " (faulty)" : ""),
+                   std::to_string(chaos_out[v].sent),
+                   std::to_string(chaos_out[v].served),
+                   std::to_string(chaos_out[v].faulted),
+                   std::to_string(chaos_out[v].breaker_denied),
+                   fmt(100.0 * availability(chaos_out[v])),
+                   fmt(chaos_stats.per_tenant[shard].stats.latency_p99_ms)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("fault injection %s: site chaos.predict %llu hits, %llu "
+              "fires (p=%.2f, seed %llu)\n",
+              kFaultInjectionCompiledIn ? "COMPILED IN" : "COMPILED OUT",
+              static_cast<unsigned long long>(site.hits),
+              static_cast<unsigned long long>(site.fires), kFaultProbability,
+              static_cast<unsigned long long>(kFaultSeed));
+  std::printf("faulty tenant: breaker %zu opens / %zu closes, %zu slots "
+              "quarantined during chaos; healed to %zu after redeploy\n",
+              faulty_tenant.breaker.opens, faulty_tenant.breaker.closes,
+              faulty_tenant.quarantined_slots, quarantined_after_heal);
+  std::printf("healthy p99: %.2f ms baseline, %.2f ms under chaos "
+              "(bound %.2f ms)\n\n",
+              baseline_healthy_p99, chaos_healthy_p99, p99_bound_ms);
+
+  // Machine-readable trajectory for CI artifacts.
+  {
+    FILE* f = std::fopen("BENCH_serve_chaos.json", "w");
+    if (f != nullptr) {
+      std::fprintf(f, "{\n  \"bench\": \"bench_serve_chaos\",\n");
+      std::fprintf(f, "  \"mode\": \"%s\",\n",
+                   bench::full_mode() ? "full" : "quick");
+      std::fprintf(f, "  \"fault_injection_compiled_in\": %s,\n",
+                   kFaultInjectionCompiledIn ? "true" : "false");
+      std::fprintf(f, "  \"fault_probability\": %.2f,\n", kFaultProbability);
+      std::fprintf(f, "  \"site_hits\": %llu,\n  \"site_fires\": %llu,\n",
+                   static_cast<unsigned long long>(site.hits),
+                   static_cast<unsigned long long>(site.fires));
+      std::fprintf(f, "  \"baseline_healthy_p99_ms\": %.3f,\n",
+                   baseline_healthy_p99);
+      std::fprintf(f, "  \"chaos_healthy_p99_ms\": %.3f,\n",
+                   chaos_healthy_p99);
+      std::fprintf(f, "  \"p99_bound_ms\": %.3f,\n", p99_bound_ms);
+      std::fprintf(f, "  \"breaker_opens\": %zu,\n",
+                   faulty_tenant.breaker.opens);
+      std::fprintf(f, "  \"breaker_closes\": %zu,\n",
+                   faulty_tenant.breaker.closes);
+      std::fprintf(f, "  \"quarantined_slots\": %zu,\n",
+                   faulty_tenant.quarantined_slots);
+      std::fprintf(f, "  \"healed_after_redeploy\": %s,\n",
+                   healed ? "true" : "false");
+      std::fprintf(f, "  \"tenants\": [\n");
+      for (std::size_t v = 0; v < fleet.size(); ++v) {
+        std::fprintf(
+            f,
+            "    {\"tenant\": \"%s\", \"faulty\": %s, \"sent\": %zu,\n"
+            "     \"served\": %zu, \"faulted\": %zu, "
+            "\"breaker_denied\": %zu,\n"
+            "     \"availability\": %.4f, \"bit_identical\": %s}%s\n",
+            venue_key(fleet[v]).str().c_str(),
+            v == kFaultyVenue ? "true" : "false", chaos_out[v].sent,
+            chaos_out[v].served, chaos_out[v].faulted,
+            chaos_out[v].breaker_denied, availability(chaos_out[v]),
+            chaos_out[v].bit_identical ? "true" : "false",
+            v + 1 < fleet.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("wrote BENCH_serve_chaos.json\n\n");
+    }
+  }
+
+  // -- Shape checks --------------------------------------------------------
+  bool ok = true;
+  // Healthy tenants: availability and latency survive the chaos run, and
+  // every served row is still bit-identical — in BOTH build modes.
+  for (std::size_t v = 0; v < fleet.size(); ++v) {
+    if (v == kFaultyVenue) continue;
+    ok &= bench::shape_check(
+        availability(chaos_out[v]) >= 0.99,
+        "healthy tenant " + venue_key(fleet[v]).str() +
+            " availability >= 99% under chaos (got " +
+            fmt(100.0 * availability(chaos_out[v])) + "%)");
+    ok &= bench::shape_check(
+        chaos_out[v].bit_identical,
+        "healthy tenant " + venue_key(fleet[v]).str() +
+            " served rows bit-identical to sequential predict");
+  }
+  ok &= bench::shape_check(
+      chaos_healthy_p99 <= p99_bound_ms,
+      "healthy p99 under chaos (" + fmt(chaos_healthy_p99) +
+          " ms) within bound (" + fmt(p99_bound_ms) + " ms)");
+  ok &= bench::shape_check(
+      chaos_out[kFaultyVenue].bit_identical,
+      "faulty tenant's SERVED rows bit-identical (containment retry runs "
+      "the same model)");
+  // Baseline sanity: with nothing armed, everything serves everywhere.
+  for (std::size_t v = 0; v < fleet.size(); ++v)
+    ok &= bench::shape_check(
+        base_out[v].served == base_out[v].sent && base_out[v].bit_identical,
+        "baseline run: " + venue_key(fleet[v]).str() +
+            " served 100% bit-identically");
+
+  if (kFaultInjectionCompiledIn) {
+    // Compiled in: the outage must be VISIBLE and typed.
+    ok &= bench::shape_check(site.fires > 0,
+                             "armed site actually fired (" +
+                                 std::to_string(site.fires) + " of " +
+                                 std::to_string(site.hits) + " passages)");
+    ok &= bench::shape_check(
+        chaos_out[kFaultyVenue].faulted > 0,
+        "faulty tenant surfaced typed Faulted results (" +
+            std::to_string(chaos_out[kFaultyVenue].faulted) + ")");
+    ok &= bench::shape_check(faulty_tenant.breaker.opens >= 1,
+                             "circuit breaker opened at least once (" +
+                                 std::to_string(faulty_tenant.breaker.opens) +
+                                 " opens)");
+    ok &= bench::shape_check(
+        chaos_out[kFaultyVenue].breaker_denied > 0,
+        "open breaker / quarantine fast-failed submissions (" +
+            std::to_string(chaos_out[kFaultyVenue].breaker_denied) + ")");
+    ok &= bench::shape_check(healed && quarantined_after_heal == 0,
+                             "disarm + redeploy healed the faulty tenant");
+  } else {
+    // Compiled out: the kill switch must strip the chaos surface — the
+    // "faulty" tenant is indistinguishable from a healthy one.
+    ok &= bench::shape_check(site.hits == 0 && site.fires == 0,
+                             "stripped site never registered a passage");
+    ok &= bench::shape_check(
+        chaos_out[kFaultyVenue].faulted == 0 &&
+            chaos_out[kFaultyVenue].breaker_denied == 0,
+        "no faults, no breaker denials with injection compiled out");
+    ok &= bench::shape_check(faulty_tenant.breaker.opens == 0,
+                             "breaker never opened with injection "
+                             "compiled out");
+    ok &= bench::shape_check(
+        availability(chaos_out[kFaultyVenue]) == 1.0,
+        "the instrumented tenant served 100% with injection compiled out");
+  }
+  return ok ? 0 : 1;
+}

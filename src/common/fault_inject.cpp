@@ -1,0 +1,82 @@
+#include "common/fault_inject.hpp"
+
+#include "common/ensure.hpp"
+
+namespace cal {
+
+FaultRegistry& FaultRegistry::instance() {
+  static FaultRegistry registry;
+  return registry;
+}
+
+void FaultRegistry::arm(const std::string& site, double probability,
+                        std::uint64_t seed) {
+  CAL_ENSURE(probability >= 0.0 && probability <= 1.0,
+             "fault probability out of [0,1]: " << probability);
+  MutexLock lock(mu_);
+  Site& s = sites_[site];
+  s.probability = probability;
+  s.one_shot_nth = 0;
+  s.rng = Rng(seed);
+  s.hits = 0;
+  s.fires = 0;
+  armed_.store(sites_.size(), std::memory_order_release);
+}
+
+void FaultRegistry::arm_one_shot(const std::string& site, std::uint64_t nth) {
+  CAL_ENSURE(nth >= 1, "one-shot fault fires on a 1-based passage, got 0");
+  MutexLock lock(mu_);
+  Site& s = sites_[site];
+  s.probability = 0.0;
+  s.one_shot_nth = nth;
+  s.hits = 0;
+  s.fires = 0;
+  armed_.store(sites_.size(), std::memory_order_release);
+}
+
+void FaultRegistry::disarm(const std::string& site) {
+  MutexLock lock(mu_);
+  sites_.erase(site);
+  armed_.store(sites_.size(), std::memory_order_release);
+}
+
+void FaultRegistry::disarm_all() {
+  MutexLock lock(mu_);
+  sites_.clear();
+  armed_.store(0, std::memory_order_release);
+}
+
+void FaultRegistry::passage(const char* site) {
+  // Disarmed-everywhere fast path: no lock, no lookup, no allocation.
+  if (armed_.load(std::memory_order_acquire) == 0) return;
+  bool fire = false;
+  {
+    MutexLock lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) return;
+    Site& s = it->second;
+    ++s.hits;
+    if (s.one_shot_nth > 0) {
+      if (s.hits == s.one_shot_nth) {
+        fire = true;
+        s.one_shot_nth = 0;  // spent; the site keeps counting hits
+      }
+    } else if (s.probability > 0.0 && s.rng.bernoulli(s.probability)) {
+      fire = true;
+    }
+    if (fire) ++s.fires;
+  }
+  // Thrown outside the lock: unwinding through an armed site must never
+  // hold the registry mutex.
+  if (fire) throw InjectedFault(site);
+}
+
+FaultRegistry::SiteStats FaultRegistry::site_stats(
+    const std::string& site) const {
+  MutexLock lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return {};
+  return {it->second.hits, it->second.fires};
+}
+
+}  // namespace cal

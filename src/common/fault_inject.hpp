@@ -1,0 +1,121 @@
+// Deterministic fault injection: named CAL_FAULT_POINT sites that a test
+// or chaos bench arms at runtime to throw typed InjectedFault exceptions
+// on seeded, reproducible schedules.
+//
+// Production code marks the places where the outside world can fail —
+// replica inference, queue pushes, snapshot deploys, screen calibration —
+// with CAL_FAULT_POINT("site.name"). By default every site is a no-op
+// costing one relaxed atomic load; a harness then arms individual sites:
+//
+//   FaultRegistry::instance().arm("serve.replica_predict", 0.25, seed);
+//   FaultRegistry::instance().arm_one_shot("serve.deploy", /*nth=*/2);
+//
+// Probabilistic sites draw from a per-site seeded Rng, so a chaos run's
+// fault schedule is a pure function of (seed, passage order) — rerunning
+// the same single-threaded driver reproduces the same faults. One-shot
+// sites fire on exactly the nth passage, for point failures in tests.
+//
+// Kill switch: mirrors CALLOC_TRACING. Compiled with
+// CALLOC_FAULT_INJECTION_DISABLED (CMake -DCALLOC_FAULT_INJECTION=OFF,
+// the default) CAL_FAULT_POINT expands to nothing — its argument is never
+// evaluated, proven by a dual negative-compile CI check — so release
+// builds carry zero fault-injection surface. The FaultRegistry class
+// itself always compiles (tests drive it directly in either mode).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace cal {
+
+/// Thrown by an armed fault site. Deliberately a distinct type: tests
+/// and containment layers can tell an injected fault from a real one.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+#if defined(CALLOC_FAULT_INJECTION_DISABLED)
+inline constexpr bool kFaultInjectionCompiledIn = false;
+#else
+inline constexpr bool kFaultInjectionCompiledIn = true;
+#endif
+
+/// Process-wide registry of armed fault sites. One instance: fault sites
+/// are compiled into library code that knows nothing about which harness
+/// (test, chaos bench) is driving it.
+class FaultRegistry {
+ public:
+  static FaultRegistry& instance();
+
+  /// Arm `site` to throw with `probability` per passage, drawn from an
+  /// Rng seeded with `seed` — the fire/pass schedule is deterministic in
+  /// (seed, passage order). Re-arming resets the site's Rng and counters.
+  void arm(const std::string& site, double probability,
+           std::uint64_t seed = 2026) CAL_EXCLUDES(mu_);
+
+  /// Arm `site` to throw on exactly the nth passage (1-based), once.
+  /// Later passages pass; hits keep counting.
+  void arm_one_shot(const std::string& site, std::uint64_t nth = 1)
+      CAL_EXCLUDES(mu_);
+
+  void disarm(const std::string& site) CAL_EXCLUDES(mu_);
+  void disarm_all() CAL_EXCLUDES(mu_);
+
+  /// The CAL_FAULT_POINT entry: throws InjectedFault when `site` is armed
+  /// and its trigger fires. With no armed sites anywhere this is one
+  /// relaxed atomic load — the macro is safe on hot paths.
+  void passage(const char* site) CAL_EXCLUDES(mu_);
+
+  struct SiteStats {
+    std::uint64_t hits = 0;   ///< passages through the site while armed
+    std::uint64_t fires = 0;  ///< passages that threw
+  };
+  /// Counters for an armed site; zeros for unknown/disarmed sites.
+  SiteStats site_stats(const std::string& site) const CAL_EXCLUDES(mu_);
+
+ private:
+  struct Site {
+    double probability = 0.0;
+    std::uint64_t one_shot_nth = 0;  ///< 0 = probabilistic site
+    Rng rng{0};
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  FaultRegistry() = default;
+
+  /// Armed-site count mirrored outside the mutex: the disarmed-everywhere
+  /// fast path in passage() must not take a lock per site visit.
+  std::atomic<std::size_t> armed_{0};
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Site> sites_ CAL_GUARDED_BY(mu_);
+};
+
+}  // namespace cal
+
+// The sanctioned fault-site marker: compiles to NOTHING (the argument is
+// not evaluated) under CALLOC_FAULT_INJECTION_DISABLED, and to one
+// registry passage — a relaxed load when nothing is armed — otherwise.
+#if defined(CALLOC_FAULT_INJECTION_DISABLED)
+#define CAL_FAULT_POINT(site) \
+  do {                        \
+  } while (false)
+#else
+#define CAL_FAULT_POINT(site)                          \
+  do {                                                 \
+    ::cal::FaultRegistry::instance().passage((site));  \
+  } while (false)
+#endif

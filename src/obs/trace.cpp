@@ -25,6 +25,10 @@ const char* to_string(EventType t) {
     case EventType::DriftFlush: return "drift_flush";
     case EventType::Deploy: return "deploy";
     case EventType::Anomaly: return "anomaly";
+    case EventType::Expire: return "expire";
+    case EventType::Fault: return "fault";
+    case EventType::Quarantine: return "quarantine";
+    case EventType::Breaker: return "breaker";
   }
   return "?";
 }

@@ -54,6 +54,10 @@ enum class EventType : std::uint8_t {
   DriftFlush,       ///< drift trend tripped a cache flush; value = unused
   Deploy,           ///< snapshot swap; value = requests dropped by it
   Anomaly,          ///< flight-recorder trip marker; value = unused
+  Expire,           ///< deadline shed at dequeue; value = requests shed
+  Fault,            ///< replica predict threw; value = rows faulted
+  Quarantine,       ///< replica slot retired; value = slot index
+  Breaker,          ///< circuit-breaker transition; value = transition code
 };
 
 const char* to_string(EventType t);

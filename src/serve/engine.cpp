@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/ensure.hpp"
+#include "common/fault_inject.hpp"
 #include "kernels/gemm.hpp"
 
 namespace cal::serve {
@@ -25,13 +26,24 @@ std::uint64_t tenant_hash(const TenantKey& key) {
 /// additionally carry Verdict::Reject (the request was refused, not
 /// screened), admission denials keep Verdict::Accept — the Admission enum
 /// is the authoritative "why".
-std::future<ServeResult> ready_denial(Verdict verdict) {
+std::future<ServeResult> ready_denial(
+    Verdict verdict, ServeStatus status = ServeStatus::Denied) {
   std::promise<ServeResult> promise;
   ServeResult res;
   res.localized = false;
   res.verdict = verdict;
+  res.status = status;
   promise.set_value(res);
   return promise.get_future();
+}
+
+const char* breaker_state_name(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::Closed: return "closed";
+    case CircuitBreaker::State::Open: return "open";
+    case CircuitBreaker::State::HalfOpen: return "half-open";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -42,6 +54,7 @@ std::string to_string(Admission a) {
     case Admission::OverQuota: return "over-quota";
     case Admission::QueueFull: return "queue-full";
     case Admission::Rejected: return "rejected";
+    case Admission::BreakerOpen: return "breaker-open";
   }
   return "?";
 }
@@ -100,6 +113,125 @@ bool TokenBucket::try_acquire(std::chrono::steady_clock::time_point now) {
 }
 
 // ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker(BreakerPolicy policy) { reconfigure(policy); }
+
+bool CircuitBreaker::enabled() const {
+  MutexLock lock(mu_);
+  return policy_.fault_threshold > 0;
+}
+
+void CircuitBreaker::reconfigure(BreakerPolicy policy) {
+  if (policy.fault_threshold > 0) {
+    CAL_ENSURE(policy.open_for_s > 0.0,
+               "breaker open_for_s must be positive, got "
+                   << policy.open_for_s);
+    CAL_ENSURE(policy.backoff_factor >= 1.0,
+               "breaker backoff_factor must be >= 1, got "
+                   << policy.backoff_factor);
+    CAL_ENSURE(!(policy.max_open_s < policy.open_for_s),
+               "breaker max_open_s " << policy.max_open_s
+                                     << " below open_for_s "
+                                     << policy.open_for_s);
+    CAL_ENSURE(policy.half_open_probes >= 1,
+               "breaker needs half_open_probes >= 1");
+  }
+  MutexLock lock(mu_);
+  policy_ = policy;
+  state_ = State::Closed;
+  consecutive_faults_ = 0;
+  probes_in_flight_ = 0;
+  current_open_s_ = policy_.open_for_s;
+}
+
+bool CircuitBreaker::try_admit(std::chrono::steady_clock::time_point now) {
+  MutexLock lock(mu_);
+  if (policy_.fault_threshold == 0 || state_ == State::Closed) return true;
+  if (state_ == State::Open) {
+    if (std::chrono::duration<double>(now - opened_at_).count() <
+        current_open_s_)
+      return false;
+    state_ = State::HalfOpen;
+    probes_in_flight_ = 0;
+  }
+  if (probes_in_flight_ < policy_.half_open_probes) {
+    ++probes_in_flight_;
+    last_probe_at_ = now;
+    return true;
+  }
+  // Probes can vanish without ever reaching on_batch (shed by a deadline,
+  // dropped by a deploy): after a full backoff interval of silence, admit
+  // one replacement so the breaker cannot stay half-open forever.
+  if (!(std::chrono::duration<double>(now - last_probe_at_).count() <
+        current_open_s_)) {
+    probes_in_flight_ = 1;
+    last_probe_at_ = now;
+    return true;
+  }
+  return false;
+}
+
+BreakerTransition CircuitBreaker::on_batch(
+    std::chrono::steady_clock::time_point now, std::size_t faulted,
+    std::size_t served) {
+  if (faulted == 0 && served == 0) return BreakerTransition::None;
+  MutexLock lock(mu_);
+  if (policy_.fault_threshold == 0) return BreakerTransition::None;
+  switch (state_) {
+    case State::Closed:
+      if (served > 0) {
+        // Any served row proves the replicas work; a mixed batch is row
+        // poison (the faulted rows got their typed result), not a broken
+        // tenant.
+        consecutive_faults_ = 0;
+        return BreakerTransition::None;
+      }
+      consecutive_faults_ += faulted;
+      if (consecutive_faults_ >= policy_.fault_threshold) {
+        state_ = State::Open;
+        opened_at_ = now;
+        current_open_s_ = policy_.open_for_s;
+        ++opens_;
+        return BreakerTransition::Opened;
+      }
+      return BreakerTransition::None;
+    case State::Open:
+      // A batch claimed before the breaker opened finishing late: the
+      // open interval is already counting down, nothing to learn.
+      return BreakerTransition::None;
+    case State::HalfOpen:
+      if (served > 0) {
+        state_ = State::Closed;
+        consecutive_faults_ = 0;
+        probes_in_flight_ = 0;
+        current_open_s_ = policy_.open_for_s;
+        ++closes_;
+        return BreakerTransition::Closed;
+      }
+      state_ = State::Open;
+      opened_at_ = now;
+      current_open_s_ = std::min(current_open_s_ * policy_.backoff_factor,
+                                 policy_.max_open_s);
+      ++opens_;
+      return BreakerTransition::Reopened;
+  }
+  return BreakerTransition::None;
+}
+
+CircuitBreaker::Snapshot CircuitBreaker::snapshot() const {
+  MutexLock lock(mu_);
+  Snapshot s;
+  s.state = state_;
+  s.consecutive_faults = consecutive_faults_;
+  s.opens = opens_;
+  s.closes = closes_;
+  s.current_open_s = current_open_s_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
 // MultiTenantStats
 // ---------------------------------------------------------------------------
 
@@ -111,6 +243,10 @@ std::string MultiTenantStats::str() const {
      << " fallback, " << route_rejected << " rejected\n";
   for (const TenantStats& t : per_tenant) {
     os << "-- tenant " << t.tenant.str() << " --\n" << t.stats.str() << "\n";
+    if (t.breaker.opens + t.breaker.closes + t.quarantined_slots > 0)
+      os << "breaker:  " << breaker_state_name(t.breaker.state) << ", "
+         << t.breaker.opens << " opens, " << t.breaker.closes
+         << " closes, " << t.quarantined_slots << " slots quarantined\n";
     if (t.drift.enabled) {
       os << "drift:    baseline ";
       if (t.drift.baseline_mean < 0.0) {
@@ -155,6 +291,9 @@ void ServeEngine::configure_state(TenantState& st,
                                                 dep.lane.cache_quant_step);
   st.drift = std::make_shared<DriftMonitor>(dep.lane.drift);
   st.bucket.reconfigure(dep.lane.quota);
+  // The breaker restarts Closed: a version-bump deploy rebuilt the
+  // replicas (healing any quarantine), so the fault streak is stale.
+  st.breaker.reconfigure(dep.lane.breaker);
   // Applies to future pushes only: requests already queued beyond a
   // shrunken capacity stay and drain normally.
   st.q.set_capacity(dep.lane.queue_capacity);
@@ -195,7 +334,8 @@ ServeEngine::ServeEngine(std::shared_ptr<const DeploymentSnapshot> snapshot,
 ServeEngine::~ServeEngine() { shutdown(); }
 
 EngineSubmission ServeEngine::submit(
-    const TenantKey& tenant, std::vector<float> fingerprint_normalized) {
+    const TenantKey& tenant, std::vector<float> fingerprint_normalized,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
   CAL_ENSURE(accepting_.load(std::memory_order_acquire),
              "submit() after engine shutdown");
   EngineSubmission out;
@@ -226,6 +366,22 @@ EngineSubmission ServeEngine::submit(
   for (std::size_t i = 0; i < fingerprint_normalized.size(); ++i)
     CAL_ENSURE(std::isfinite(fingerprint_normalized[i]),
                "fingerprint AP " << i << " is non-finite");
+  // Fault containment gate, ahead of the quota so a doomed request never
+  // spends a token: a tenant with every replica slot quarantined is a
+  // black hole (no replica left that could serve its queue), and an open
+  // breaker is deliberately shedding load. healthy_slots() is one relaxed
+  // atomic load; a disabled breaker's try_admit is one uncontended
+  // mutex hop.
+  if (snapshot_->tenant(out.decision.shard).healthy_slots() == 0 ||
+      !state.breaker.try_admit(std::chrono::steady_clock::now())) {
+    state.stats.record_breaker_denied();
+    CAL_TRACE_EVENT(obs::EventType::Deny, state.trace_tenant,
+                    snapshot_->epoch(), 0,
+                    static_cast<double>(Admission::BreakerOpen));
+    out.admission = Admission::BreakerOpen;
+    out.result = ready_denial(Verdict::Accept);
+    return out;
+  }
   if (!state.bucket.try_acquire(std::chrono::steady_clock::now())) {
     state.stats.record_over_quota();
     CAL_TRACE_EVENT(obs::EventType::Deny, state.trace_tenant,
@@ -251,11 +407,37 @@ EngineSubmission ServeEngine::submit(
   // + inference, never the time a client spent being denied
   // (OverQuota/QueueFull) before this accept.
   pending.admitted_at = std::chrono::steady_clock::now();
+  if (deadline) {
+    pending.deadline = *deadline;
+    // Sticky, set before the push: the worker that claims this request
+    // must see the flag. (A lost relaxed-store race is still covered by
+    // the per-row expiry check inside process().)
+    state.has_deadlines.store(true, std::memory_order_relaxed);
+  }
   out.result = pending.promise.get_future();
   // Depth is reported by the push itself — a size() call here would take
   // the queue mutex a second time per request just to label a trace event.
   [[maybe_unused]] std::size_t depth_after = 0;
-  if (!state.q.try_push(std::move(pending), &depth_after)) {
+  bool pushed = false;
+  try {
+    CAL_FAULT_POINT("serve.queue_push");
+    pushed = state.q.try_push(std::move(pending), &depth_after);
+  } catch (...) {
+    // Containment: an exception between the bookkeeping above and a
+    // successful push (the fault-injection site stands in for whatever
+    // the future grows here — allocation, instrumentation) must leave
+    // the engine exactly as if the submission never happened.
+    state.stats.record_submit_rejected();
+    state.bucket.refund();
+    {
+      MutexLock wlock(work_mu_);
+      --pending_;
+      ++work_gen_;
+    }
+    work_cv_.notify_all();
+    throw;
+  }
+  if (!pushed) {
     state.stats.record_submit_rejected();
     // The consumed token must not bill a request that was never
     // admitted — QueueFull shedding is not quota usage.
@@ -335,20 +517,22 @@ EngineSubmission ServeEngine::submit_blocking(
   }
 }
 
-std::size_t ServeEngine::drop_queue(TenantState& st) {
+std::size_t ServeEngine::drop_queue(TenantState& st, ServeStatus status) {
   std::size_t n = 0;
   for (;;) {
     auto batch = st.q.try_pop_batch(64);
     if (batch.empty()) return n;
     for (Pending& p : batch) {
-      // The tenant vanished (or changed width) under the request: fail
-      // it explicitly, and roll its admission back out of `submitted` —
-      // it was never served.
+      // The tenant vanished / changed width under the request (Dropped)
+      // or the engine is stopping (ShutDown): fail it with its typed
+      // terminal status, and shed its admission back out of `submitted`
+      // — it was never served.
       ServeResult res;
       res.localized = false;
+      res.status = status;
       res.verdict = Verdict::Reject;
       p.promise.set_value(res);
-      st.stats.record_submit_rejected();
+      st.stats.record_shed();
       ++n;
     }
   }
@@ -358,6 +542,9 @@ void ServeEngine::deploy(std::shared_ptr<const DeploymentSnapshot> snapshot) {
   CAL_ENSURE(snapshot != nullptr, "deploy() needs a snapshot");
   CAL_ENSURE(accepting_.load(std::memory_order_acquire),
              "deploy() after engine shutdown");
+  // Before any engine state is touched: a deploy that faults here leaves
+  // the old snapshot serving untouched (strong exception safety).
+  CAL_FAULT_POINT("serve.deploy");
   std::size_t dropped = 0;
   {
     WriterMutexLock lock(mu_);
@@ -382,7 +569,8 @@ void ServeEngine::deploy(std::shared_ptr<const DeploymentSnapshot> snapshot) {
           // baseline describe the retired model's radio map. Queued
           // requests survive (they re-run on the new replicas) unless
           // the fingerprint width changed under them.
-          if (state->num_aps != dep.num_aps) dropped += drop_queue(*state);
+          if (state->num_aps != dep.num_aps)
+            dropped += drop_queue(*state, ServeStatus::Dropped);
           configure_state(*state, dep);
           reload_flushes_.fetch_add(1, std::memory_order_relaxed);
         }
@@ -396,7 +584,7 @@ void ServeEngine::deploy(std::shared_ptr<const DeploymentSnapshot> snapshot) {
     }
     for (auto& [key, state] : states_)
       if (next_states.find(key) == next_states.end())
-        dropped += drop_queue(*state);
+        dropped += drop_queue(*state, ServeStatus::Dropped);
     states_ = std::move(next_states);
     order_ = std::move(next_order);
     snapshot_ = std::move(snapshot);
@@ -421,16 +609,26 @@ void ServeEngine::deploy(std::shared_ptr<const DeploymentSnapshot> snapshot) {
 void ServeEngine::shutdown() {
   std::call_once(shutdown_once_, [this] {
     accepting_.store(false, std::memory_order_release);
+    std::size_t dropped = 0;
     {
-      // Close every sub-queue. close() serializes on the queue's own
-      // mutex, so after this sweep every in-flight submit has either
-      // pushed (the drain below will serve it) or will see try_push
-      // fail and — accepting_ being false by now — throw.
-      ReaderMutexLock lock(mu_);
-      for (const auto& state : order_) state->q.close();
+      // Exclusive lock: in-flight submits hold the shared lock for their
+      // whole push, so once we hold this, every accepted request is
+      // visible in its queue and no new one can appear (a submit that
+      // slipped past accepting_ and is parked on the lock will find its
+      // queue closed, re-read the flag, and throw). Close each queue and
+      // fail what it held with the typed ShutDown status — shutdown is
+      // deterministic: every future a caller holds becomes ready, served
+      // or ShutDown, never abandoned. In-flight batches already claimed
+      // by workers are NOT cut short; the join below waits for them.
+      WriterMutexLock lock(mu_);
+      for (const auto& state : order_) {
+        state->q.close();
+        dropped += drop_queue(*state, ServeStatus::ShutDown);
+      }
     }
     {
       MutexLock wlock(work_mu_);
+      pending_ -= static_cast<std::int64_t>(dropped);
       stopped_ = true;
       ++work_gen_;
     }
@@ -452,6 +650,60 @@ bool ServeEngine::try_claim(std::size_t& cursor, Claim& out) {
     // same exclusive lock — index alignment is an invariant.
     const TenantDeployment& dep = snapshot_->tenant(idx);
     CAL_INVARIANT(dep.key == state->key, "engine state order out of sync");
+    if (dep.healthy_slots() == 0) {
+      // Every replica slot is quarantined: nothing can ever serve this
+      // queue on this deployment. Fail what is queued deterministically
+      // (requests racing past the submit-side gate land here on the next
+      // scan — every push signals work) and let the breaker see the
+      // faults so recovery probing has a state to close from after the
+      // healing deploy.
+      auto doomed = state->q.drain_if([](const Pending&) { return true; });
+      if (!doomed.empty()) {
+        for (Pending& p : doomed) {
+          ServeResult res;
+          res.localized = false;
+          res.status = ServeStatus::Faulted;
+          p.promise.set_value(res);
+        }
+        state->stats.record_faulted(doomed.size());
+        {
+          MutexLock wlock(work_mu_);
+          pending_ -= static_cast<std::int64_t>(doomed.size());
+        }
+        CAL_TRACE_EVENT(obs::EventType::Fault, state->trace_tenant,
+                        snapshot_->epoch(), 0,
+                        static_cast<double>(doomed.size()));
+        state->breaker.on_batch(std::chrono::steady_clock::now(),
+                                doomed.size(), 0);
+      }
+      continue;
+    }
+    if (state->has_deadlines.load(std::memory_order_relaxed)) {
+      // Deadline shedding at dequeue: expired requests leave the queue
+      // with their typed result BEFORE this tenant costs a replica
+      // checkout or a batch slot. Deadline-free tenants never reach this
+      // scan (the sticky flag stays false), so they pay nothing.
+      const auto now = std::chrono::steady_clock::now();
+      auto expired = state->q.drain_if(
+          [now](const Pending& p) { return p.deadline <= now; });
+      if (!expired.empty()) {
+        for (Pending& p : expired) {
+          ServeResult res;
+          res.localized = false;
+          res.status = ServeStatus::Expired;
+          p.promise.set_value(res);
+        }
+        state->stats.record_expired(expired.size());
+        {
+          MutexLock wlock(work_mu_);
+          pending_ -= static_cast<std::int64_t>(expired.size());
+        }
+        CAL_TRACE_EVENT(obs::EventType::Expire, state->trace_tenant,
+                        snapshot_->epoch(), 0,
+                        static_cast<double>(expired.size()));
+        if (state->q.size() == 0) continue;
+      }
+    }
     const int slot = dep.try_checkout();
     if (slot < 0) continue;  // this tenant is already at max concurrency
     std::vector<Pending> batch = state->q.try_pop_batch(dep.lane.max_batch);
@@ -557,10 +809,20 @@ void ServeEngine::process(Claim& claim, Rng& rng) {
   }
 
   try {
-    // Phase 1 — per-request screening and cache probe.
+    // Phase 1 — per-request deadline check, screening, and cache probe.
+    // One clock read covers the whole batch: a request that expired
+    // between the dequeue-time drain and here (or whose claim sat behind
+    // a slow sibling batch) is shed now, before it costs screening or an
+    // inference row.
+    const auto batch_now = std::chrono::steady_clock::now();
     std::vector<std::size_t> infer_rows;
     for (std::size_t i = 0; i < slots.size(); ++i) {
       Slot& s = slots[i];
+      if (s.req.deadline <= batch_now) {
+        s.res.status = ServeStatus::Expired;
+        s.res.localized = false;
+        continue;
+      }
       s.res.anchor_distance = screen.distance(s.req.fingerprint, &s.probe);
       s.res.verdict = screen.classify(s.res.anchor_distance);
       if (screen.enabled())
@@ -605,56 +867,143 @@ void ServeEngine::process(Claim& claim, Rng& rng) {
     }
 
     // Phase 2 — one batched forward pass for every surviving request,
-    // on this claim's checked-out replica.
+    // on this claim's checked-out replica. A replica that throws must
+    // not take down the worker or fail healthy neighbours: the batch is
+    // retried row by row, poison rows get ServeStatus::Faulted, healthy
+    // rows complete bit-identically to a sequential predict (forward
+    // math is row-independent by contract). A replica that serves NO row
+    // of its batch is quarantined out of the checkout rotation.
     if (!infer_rows.empty()) {
-      Tensor xb({infer_rows.size(), dep.num_aps});
-      for (std::size_t k = 0; k < infer_rows.size(); ++k) {
-        const auto& fp = slots[infer_rows[k]].req.fingerprint;
-        std::copy(fp.begin(), fp.end(), xb.data() + k * dep.num_aps);
-      }
-      const auto rps = [&] {
+      const auto run_predict = [&](const Tensor& x) {
+        CAL_FAULT_POINT("serve.replica_predict");
         if (Mutex* mu = dep.shared_serialization(); mu != nullptr) {
           // Borrowed model: predict() is not required to be thread-safe,
           // and a reload can briefly put two deployments of the same
           // model in flight — the registry-issued per-model mutex
           // serializes across all of them.
           MutexLock lock(*mu);
-          return dep.replica(claim.slot).predict(xb);
+          return dep.replica(claim.slot).predict(x);
         }
-        return dep.replica(claim.slot).predict(xb);
-      }();
-      CAL_INVARIANT(rps.size() == infer_rows.size(),
-                    "predict returned " << rps.size() << " labels for "
-                                        << infer_rows.size() << " rows");
-      CAL_TRACE_EVENT(obs::EventType::Predict, trace_tenant, trace_epoch,
-                      claim.batch_id,
-                      static_cast<double>(infer_rows.size()));
-      for (std::size_t k = 0; k < infer_rows.size(); ++k) {
-        Slot& s = slots[infer_rows[k]];
-        s.res.rp = rps[k];
+        return dep.replica(claim.slot).predict(x);
+      };
+      const auto fill = [&](Slot& s, std::size_t rp) {
+        s.res.rp = rp;
         s.res.localized = true;
-        if (s.audited) s.audit_mismatch = (s.cached_rp != rps[k]);
-        if (cache->enabled()) cache->insert(s.key, rps[k]);
+        if (s.audited) s.audit_mismatch = (s.cached_rp != rp);
+        if (cache->enabled()) cache->insert(s.key, rp);
+      };
+      Tensor xb({infer_rows.size(), dep.num_aps});
+      for (std::size_t k = 0; k < infer_rows.size(); ++k) {
+        const auto& fp = slots[infer_rows[k]].req.fingerprint;
+        std::copy(fp.begin(), fp.end(), xb.data() + k * dep.num_aps);
+      }
+      bool batch_ok = true;
+      try {
+        const auto rps = run_predict(xb);
+        CAL_INVARIANT(rps.size() == infer_rows.size(),
+                      "predict returned " << rps.size() << " labels for "
+                                          << infer_rows.size() << " rows");
+        CAL_TRACE_EVENT(obs::EventType::Predict, trace_tenant, trace_epoch,
+                        claim.batch_id,
+                        static_cast<double>(infer_rows.size()));
+        for (std::size_t k = 0; k < infer_rows.size(); ++k)
+          fill(slots[infer_rows[k]], rps[k]);
+      } catch (...) {
+        batch_ok = false;
+      }
+      if (!batch_ok) {
+        // Containment path: isolate the poison. Same replica on purpose
+        // — a row that faults batched but serves alone means the batch
+        // assembly was poisoned by a neighbour, and a row that faults
+        // both ways is the poison itself.
+        std::size_t served_rows = 0;
+        std::size_t faulted_rows = 0;
+        Tensor xrow({std::size_t{1}, dep.num_aps});
+        for (std::size_t k = 0; k < infer_rows.size(); ++k) {
+          Slot& s = slots[infer_rows[k]];
+          std::copy(s.req.fingerprint.begin(), s.req.fingerprint.end(),
+                    xrow.data());
+          try {
+            const auto rp1 = run_predict(xrow);
+            CAL_INVARIANT(rp1.size() == 1, "single-row predict returned "
+                                               << rp1.size() << " labels");
+            fill(s, rp1[0]);
+            ++served_rows;
+          } catch (...) {
+            s.res.status = ServeStatus::Faulted;
+            s.res.localized = false;
+            ++faulted_rows;
+          }
+        }
+        CAL_TRACE_EVENT(obs::EventType::Fault, trace_tenant, trace_epoch,
+                        claim.batch_id,
+                        static_cast<double>(faulted_rows));
+        if (served_rows == 0) {
+          // Not one row survived: the replica (not any request) is
+          // broken. Retire its slot — heals on the next version-bump
+          // deploy of this tenant, which rebuilds the deployment.
+          dep.quarantine(claim.slot);
+          CAL_TRACE_EVENT(obs::EventType::Quarantine, trace_tenant,
+                          trace_epoch, claim.batch_id,
+                          static_cast<double>(claim.slot));
+          if (cfg_.obs.trip_on_quarantine)
+            recorder_.trip("replica_quarantine",
+                           {{"tenant", claim.state->key.str()},
+                            {"slot", claim.slot},
+                            {"faulted", faulted_rows}});
+        }
       }
     }
 
-    // Phase 3 — fulfil promises and record telemetry.
+    // Phase 3 — fulfil promises and record telemetry. Only Served rows
+    // count as completions and feed the latency histogram; Expired and
+    // Faulted rows resolve their futures with the typed status and land
+    // in their own counters (still inside `submitted` — they consumed
+    // admission and queue space).
+    std::size_t served_n = 0;
+    std::size_t expired_n = 0;
+    std::size_t faulted_n = 0;
     for (Slot& s : slots) {
-      s.res.latency_ms = ms_since(s.req.admitted_at);
-      ResultRecord rec;
-      rec.latency_ms = s.res.latency_ms;
-      rec.verdict = s.res.verdict;
-      rec.from_cache = s.res.from_cache;
-      rec.audited = s.audited;
-      rec.audit_mismatch = s.audit_mismatch;
-      rec.screened = screen.enabled();
-      rec.anchors_scanned = s.probe.scanned;
-      rec.anchors_pruned = s.probe.pruned;
-      stats.record_result(rec);
-      CAL_TRACE_EVENT(obs::EventType::Complete, trace_tenant, trace_epoch,
-                      claim.batch_id, s.res.latency_ms);
+      if (s.res.status == ServeStatus::Served) {
+        s.res.latency_ms = ms_since(s.req.admitted_at);
+        ResultRecord rec;
+        rec.latency_ms = s.res.latency_ms;
+        rec.verdict = s.res.verdict;
+        rec.from_cache = s.res.from_cache;
+        rec.audited = s.audited;
+        rec.audit_mismatch = s.audit_mismatch;
+        rec.screened = screen.enabled();
+        rec.anchors_scanned = s.probe.scanned;
+        rec.anchors_pruned = s.probe.pruned;
+        stats.record_result(rec);
+        CAL_TRACE_EVENT(obs::EventType::Complete, trace_tenant, trace_epoch,
+                        claim.batch_id, s.res.latency_ms);
+        ++served_n;
+      } else if (s.res.status == ServeStatus::Expired) {
+        ++expired_n;
+      } else {
+        ++faulted_n;
+      }
       s.req.promise.set_value(s.res);
       s.fulfilled = true;
+    }
+    if (expired_n > 0) {
+      stats.record_expired(expired_n);
+      CAL_TRACE_EVENT(obs::EventType::Expire, trace_tenant, trace_epoch,
+                      claim.batch_id, static_cast<double>(expired_n));
+    }
+    if (faulted_n > 0) stats.record_faulted(faulted_n);
+
+    // Feed the breaker: served rows prove the tenant works (closing a
+    // half-open breaker, resetting the streak); all-fault batches grow
+    // the consecutive-fault streak toward BreakerPolicy::fault_threshold.
+    // Pure-expired batches say nothing about replica health.
+    if (served_n + faulted_n > 0) {
+      const BreakerTransition tr = claim.state->breaker.on_batch(
+          std::chrono::steady_clock::now(), faulted_n, served_n);
+      if (tr != BreakerTransition::None)
+        CAL_TRACE_EVENT(obs::EventType::Breaker, trace_tenant, trace_epoch,
+                        claim.batch_id, static_cast<double>(tr));
     }
 
     // Sampled p99-breach check: every p99_check_every completions this
@@ -689,10 +1038,16 @@ MultiTenantStats ServeEngine::stats() const {
   out.per_tenant.reserve(order_.size());
   std::vector<ServiceStats> snapshots;
   snapshots.reserve(order_.size());
-  for (const auto& state : order_) {
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const auto& state = order_[i];
     snapshots.push_back(state->stats.snapshot());
-    out.per_tenant.push_back(
-        {state->key, snapshots.back(), state->drift->snapshot()});
+    TenantStats t;
+    t.tenant = state->key;
+    t.stats = snapshots.back();
+    t.drift = state->drift->snapshot();
+    t.breaker = state->breaker.snapshot();
+    t.quarantined_slots = snapshot_->tenant(i).quarantined_slots();
+    out.per_tenant.push_back(std::move(t));
   }
   out.aggregate = aggregate_stats(snapshots);
   out.route_exact = route_exact_.load(std::memory_order_relaxed);
@@ -725,6 +1080,36 @@ obs::MetricsRegistry ServeEngine::metrics() const {
                       "Admission outcomes at the engine front door",
                       {{"tenant", tenant}, {"outcome", "queue_full"}},
                       static_cast<double>(s.queue_full));
+      reg.add_counter("cal_serve_admissions_total",
+                      "Admission outcomes at the engine front door",
+                      {{"tenant", tenant}, {"outcome", "breaker_open"}},
+                      static_cast<double>(s.breaker_denied));
+      reg.add_counter("cal_serve_expired_total",
+                      "Requests shed past their deadline",
+                      {{"tenant", tenant}},
+                      static_cast<double>(s.expired));
+      reg.add_counter("cal_serve_faulted_total",
+                      "Requests failed by replica faults",
+                      {{"tenant", tenant}},
+                      static_cast<double>(s.faulted));
+      reg.add_counter("cal_serve_shed_total",
+                      "Queued requests terminated unserved "
+                      "(tenant removed / shutdown)",
+                      {{"tenant", tenant}},
+                      static_cast<double>(s.shed));
+      const CircuitBreaker::Snapshot breaker = state.breaker.snapshot();
+      reg.add_gauge("cal_serve_breaker_state",
+                    "Circuit-breaker state: 0 closed, 1 open, 2 half-open",
+                    {{"tenant", tenant}},
+                    static_cast<double>(breaker.state));
+      reg.add_counter("cal_serve_breaker_opens_total",
+                      "Circuit-breaker open + reopen transitions",
+                      {{"tenant", tenant}},
+                      static_cast<double>(breaker.opens));
+      reg.add_counter("cal_serve_breaker_closes_total",
+                      "Circuit-breaker half-open -> closed recoveries",
+                      {{"tenant", tenant}},
+                      static_cast<double>(breaker.closes));
       reg.add_counter("cal_serve_completed_total",
                       "Requests fulfilled, any verdict",
                       {{"tenant", tenant}},
@@ -791,6 +1176,10 @@ obs::MetricsRegistry ServeEngine::metrics() const {
                     "Replica slots currently checked out",
                     {{"tenant", tenant}},
                     static_cast<double>(dep.busy_slots()));
+      reg.add_gauge("cal_serve_replica_slots_quarantined",
+                    "Replica slots retired from rotation by faults",
+                    {{"tenant", tenant}},
+                    static_cast<double>(dep.quarantined_slots()));
       const DriftTrend drift = state.drift->snapshot();
       if (drift.enabled) {
         reg.add_gauge("cal_serve_drift_baseline_mean",

@@ -45,6 +45,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -62,10 +63,12 @@ namespace cal::serve {
 /// Typed outcome of ServeEngine::submit — the engine never blocks the
 /// caller; every denial is explicit.
 enum class Admission {
-  Accepted,   ///< enqueued; the future resolves when a worker serves it
-  OverQuota,  ///< tenant's token bucket is empty (ready future)
-  QueueFull,  ///< tenant's bounded sub-queue is at capacity (ready future)
-  Rejected,   ///< tenant resolved nowhere — routing miss (ready future)
+  Accepted,    ///< enqueued; the future resolves when a worker serves it
+  OverQuota,   ///< tenant's token bucket is empty (ready future)
+  QueueFull,   ///< tenant's bounded sub-queue is at capacity (ready future)
+  Rejected,    ///< tenant resolved nowhere — routing miss (ready future)
+  BreakerOpen, ///< tenant's circuit breaker is open, or every replica slot
+               ///< is quarantined — fast-fail (ready future)
 };
 
 std::string to_string(Admission a);
@@ -103,6 +106,81 @@ class TokenBucket {
   std::chrono::steady_clock::time_point last_ CAL_GUARDED_BY(mu_){};
 };
 
+/// How a CircuitBreaker::on_batch call moved the breaker, so the engine
+/// can trace state changes without polling snapshots.
+enum class BreakerTransition : std::uint8_t {
+  None = 0,  ///< no state change
+  Opened,    ///< Closed -> Open (consecutive-fault threshold reached)
+  Reopened,  ///< HalfOpen probe faulted -> Open again (backoff grows)
+  Closed,    ///< HalfOpen probe served -> Closed (recovered)
+};
+
+/// Per-tenant circuit breaker (see BreakerPolicy): consecutive all-fault
+/// batches open it, submissions then fast-fail with Admission::BreakerOpen
+/// instead of queueing doomed work, and timed half-open probes with
+/// exponential backoff test for recovery. Like TokenBucket, every entry
+/// point takes the current time explicitly so tests drive synthetic
+/// clocks; a default-constructed breaker (fault_threshold == 0) is
+/// disabled and admits everything.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { Closed = 0, Open, HalfOpen };
+
+  struct Snapshot {
+    State state = State::Closed;
+    std::size_t consecutive_faults = 0;  ///< current all-fault batch streak
+    std::size_t opens = 0;    ///< Closed->Open + HalfOpen->Open transitions
+    std::size_t closes = 0;   ///< HalfOpen->Closed recoveries
+    double current_open_s = 0.0;  ///< present open/backoff interval
+  };
+
+  CircuitBreaker() = default;  ///< disabled
+  explicit CircuitBreaker(BreakerPolicy policy);
+
+  bool enabled() const CAL_EXCLUDES(mu_);
+
+  /// Admission-side gate. Closed (or disabled): admit. Open: refuse until
+  /// the current backoff interval elapses, then flip to HalfOpen and admit
+  /// up to half_open_probes probe requests. HalfOpen with all probes out:
+  /// refuse — unless a full backoff interval passed since the last probe
+  /// left (probes can vanish: shed by deadline, dropped by a deploy), in
+  /// which case one replacement probe is admitted so the breaker cannot
+  /// deadlock half-open forever.
+  bool try_admit(std::chrono::steady_clock::time_point now)
+      CAL_EXCLUDES(mu_);
+
+  /// Completion-side feed: one micro-batch finished with `faulted` rows
+  /// failed by the replica and `served` rows fulfilled (expired rows count
+  /// as neither). Any served row proves the replica works — it resets the
+  /// consecutive-fault streak, and closes a HalfOpen breaker. All-fault
+  /// batches grow the streak; at fault_threshold the breaker opens. A
+  /// faulted HalfOpen probe reopens with the backoff interval multiplied
+  /// by backoff_factor (capped at max_open_s). Results from batches
+  /// claimed before the breaker opened are ignored while Open.
+  BreakerTransition on_batch(std::chrono::steady_clock::time_point now,
+                             std::size_t faulted, std::size_t served)
+      CAL_EXCLUDES(mu_);
+
+  /// Swap the policy in place (engine hot reload). The breaker restarts
+  /// Closed with a clean streak — a version-bump redeploy replaced the
+  /// replicas, so past faults say nothing about the new ones.
+  void reconfigure(BreakerPolicy policy) CAL_EXCLUDES(mu_);
+
+  Snapshot snapshot() const CAL_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  BreakerPolicy policy_ CAL_GUARDED_BY(mu_){};
+  State state_ CAL_GUARDED_BY(mu_) = State::Closed;
+  std::size_t consecutive_faults_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t probes_in_flight_ CAL_GUARDED_BY(mu_) = 0;
+  double current_open_s_ CAL_GUARDED_BY(mu_) = 0.0;
+  std::chrono::steady_clock::time_point opened_at_ CAL_GUARDED_BY(mu_){};
+  std::chrono::steady_clock::time_point last_probe_at_ CAL_GUARDED_BY(mu_){};
+  std::size_t opens_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t closes_ CAL_GUARDED_BY(mu_) = 0;
+};
+
 /// When the engine's flight recorder trips (see obs/flight_recorder.hpp).
 /// Every trigger is off by default: an engine without observability
 /// configuration behaves exactly as before, and the tracer itself is
@@ -118,6 +196,11 @@ struct ObsConfig {
   std::size_t queue_full_burst = 0;
   /// Trip when a drift trend forces a cache flush.
   bool trip_on_drift = false;
+  /// Trip when a replica slot is quarantined (every row of its batch
+  /// faulted). On by default: a broken replica is exactly the anomaly a
+  /// flight recorder exists for, and quarantine is rare enough that the
+  /// dump rate limiter is never pressure.
+  bool trip_on_quarantine = true;
   /// Trip on every deploy() — captures the cross-deploy timeline.
   bool trip_on_deploy = false;
   /// Dump size / rate limiting for the recorder itself.
@@ -150,6 +233,10 @@ struct TenantStats {
   /// The drift trend itself (window means + pinned baseline), so
   /// operators see drift building before the flush.
   DriftTrend drift;
+  /// Circuit-breaker state (Closed/Open/HalfOpen, streak, open count).
+  CircuitBreaker::Snapshot breaker;
+  /// Replica slots retired from this tenant's live deployment.
+  std::size_t quarantined_slots = 0;
 };
 
 /// Fleet snapshot: every tenant's stats, their aggregate, the route mix,
@@ -183,13 +270,25 @@ class ServeEngine {
   /// every denial). Throws PreconditionError on a malformed fingerprint
   /// (wrong width for the resolved tenant, non-finite values) and after
   /// shutdown().
-  EngineSubmission submit(const TenantKey& tenant,
-                          std::vector<float> fingerprint_normalized);
+  ///
+  /// `deadline`, when set, is the latest monotonic instant the caller
+  /// still wants an answer: a worker that dequeues the request past it
+  /// sheds it — completing the future with ServeStatus::Expired, before
+  /// the request costs a replica checkout or a batch slot. Admission is
+  /// NOT deadline-checked (an already-expired deadline is still Accepted
+  /// and then shed by the pool), keeping submit() clock-read-free on the
+  /// no-deadline path.
+  EngineSubmission submit(
+      const TenantKey& tenant, std::vector<float> fingerprint_normalized,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt);
 
   /// Blocking convenience wrapper for legacy-style producers (and the
   /// deprecated shims): retries OverQuota / QueueFull denials with a
-  /// short poll until the request is Accepted or Rejected. `denials`,
-  /// when given, counts the retried attempts.
+  /// short poll until the request is Accepted or Rejected. BreakerOpen is
+  /// NOT retried — it is returned like Rejected, because an open breaker
+  /// deliberately sheds load and a polling retry would defeat it.
+  /// `denials`, when given, counts the retried attempts.
   EngineSubmission submit_blocking(const TenantKey& tenant,
                                    std::vector<float> fingerprint_normalized,
                                    std::size_t* denials = nullptr);
@@ -238,6 +337,10 @@ class ServeEngine {
     /// Post-quota admission on the monotonic clock — latency_ms bills
     /// queueing + inference, never pre-admission stalls.
     std::chrono::steady_clock::time_point admitted_at;
+    /// Shed (ServeStatus::Expired) when dequeued past this instant; the
+    /// max() sentinel means no deadline.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   /// Mutable per-tenant lane state; persists across deploy() for
@@ -256,9 +359,14 @@ class ServeEngine {
     std::shared_ptr<FingerprintCache> cache;
     std::shared_ptr<DriftMonitor> drift;
     TokenBucket bucket;
+    CircuitBreaker breaker;
     StatsCollector stats;
     /// Bounded sub-queue; try_push keeps submit() non-blocking.
     BoundedQueue<Pending> q;
+    /// Sticky flag: set the first time a deadline-carrying request is
+    /// queued, so the dequeue path of deadline-free tenants (the common
+    /// case) never pays the drain_if scan or the clock read.
+    std::atomic<bool> has_deadlines{false};
     /// Consecutive QueueFull denials (ObsConfig::queue_full_burst trip);
     /// any accepted submission resets it.
     std::atomic<std::size_t> queue_full_streak{0};
@@ -283,10 +391,13 @@ class ServeEngine {
 
   static std::shared_ptr<TenantState> make_state(const TenantDeployment& dep);
   static void configure_state(TenantState& st, const TenantDeployment& dep);
-  /// Fail every queued request of `st` (tenant removed / incompatible).
-  /// Returns how many were dropped. Caller holds mu_ exclusively: the
-  /// queue must be invisible to submit() while it is being failed.
-  std::size_t drop_queue(TenantState& st) CAL_REQUIRES(mu_);
+  /// Fail every queued request of `st` with the given terminal status
+  /// (Dropped: tenant removed / incompatible on deploy; ShutDown: engine
+  /// stopping). Returns how many were dropped. Caller holds mu_
+  /// exclusively: the queue must be invisible to submit() while it is
+  /// being failed.
+  std::size_t drop_queue(TenantState& st, ServeStatus status)
+      CAL_REQUIRES(mu_);
 
   void worker_loop(std::size_t worker_index) CAL_EXCLUDES(mu_, work_mu_);
   bool try_claim(std::size_t& cursor, Claim& out)

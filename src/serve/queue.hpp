@@ -106,6 +106,30 @@ class BoundedQueue {
     return batch;
   }
 
+  /// Remove and return every queued item matching `pred`, preserving
+  /// arrival order among survivors. Never waits. The engine's deadline
+  /// shedding uses this at dequeue time: expired requests leave the queue
+  /// (and get their typed terminal result) without ever costing a replica
+  /// checkout or a batch slot.
+  template <typename Pred>
+  std::vector<T> drain_if(Pred pred) CAL_EXCLUDES(mu_) {
+    std::vector<T> removed;
+    {
+      MutexLock lock(mu_);
+      for (auto it = items_.begin(); it != items_.end();) {
+        if (pred(*it)) {
+          removed.push_back(std::move(*it));
+          it = items_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Freed capacity may unblock producers parked in push().
+    if (!removed.empty()) not_full_.notify_all();
+    return removed;
+  }
+
   /// Resize the capacity in place (ServeEngine applies a hot-reloaded
   /// tenant's queue_capacity this way). Only future pushes are affected:
   /// items already queued beyond a shrunken capacity stay and drain

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/ensure.hpp"
+#include "common/fault_inject.hpp"
 #include "common/stats.hpp"
 #include "core/calloc.hpp"
 
@@ -45,6 +46,9 @@ ScreeningThresholds calibrate_thresholds(const Tensor& anchors,
                                          const Tensor& clean_x_normalized,
                                          double flag_percentile,
                                          double reject_factor) {
+  // Calibration runs inside replica factories (registry publish): a fault
+  // here must surface as a failed publish, never a half-built deployment.
+  CAL_FAULT_POINT("serve.screen_calibrate");
   CAL_ENSURE(flag_percentile >= 0.0 && flag_percentile <= 100.0,
              "flag percentile out of [0,100]: " << flag_percentile);
   CAL_ENSURE(reject_factor >= 1.0,

@@ -4,6 +4,18 @@
 
 namespace cal::serve {
 
+const char* to_string(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::Served: return "served";
+    case ServeStatus::Denied: return "denied";
+    case ServeStatus::Expired: return "expired";
+    case ServeStatus::Faulted: return "faulted";
+    case ServeStatus::Dropped: return "dropped";
+    case ServeStatus::ShutDown: return "shutdown";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------------------
 // DriftMonitor
 // ---------------------------------------------------------------------------

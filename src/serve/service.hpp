@@ -27,10 +27,26 @@
 
 namespace cal::serve {
 
+/// Typed terminal status of one request: WHY the future resolved. The
+/// serving pipeline ran only for Served (localized or screen-rejected);
+/// every other value is the fault-containment layer resolving the future
+/// deterministically instead of serving it.
+enum class ServeStatus : std::uint8_t {
+  Served = 0,  ///< ran the pipeline; `localized`/`verdict` are meaningful
+  Denied,      ///< never enqueued — the Admission enum says why
+  Expired,     ///< deadline passed before inference; shed at dequeue
+  Faulted,     ///< replica predict threw; failed by fault containment
+  Dropped,     ///< tenant removed / width-changed under a queued request
+  ShutDown,    ///< engine shut down with the request still queued
+};
+
+const char* to_string(ServeStatus s);
+
 /// Outcome of one localization request.
 struct ServeResult {
   std::size_t rp = 0;       ///< predicted RP; meaningful iff `localized`
   bool localized = false;   ///< false when the screen rejected the request
+  ServeStatus status = ServeStatus::Served;
   Verdict verdict = Verdict::Accept;
   double anchor_distance = 0.0;  ///< screening score (0 if screening off)
   bool from_cache = false;
@@ -124,6 +140,22 @@ struct QuotaPolicy {
   double burst = 0.0;
 };
 
+/// Per-tenant circuit breaker over replica faults. `fault_threshold`
+/// consecutive faulted requests (a batch with any served request resets
+/// the streak) open the breaker: submits fast-fail with ready futures
+/// (Admission::BreakerOpen) so a broken tenant costs the shared pool
+/// nothing. After `open_for_s` the breaker goes half-open and admits up
+/// to `half_open_probes` probe requests; a faulted probe reopens with the
+/// interval multiplied by `backoff_factor` (capped at `max_open_s`), a
+/// served probe closes the breaker. fault_threshold == 0 disables it.
+struct BreakerPolicy {
+  std::size_t fault_threshold = 0;  ///< consecutive faults to open; 0 = off
+  double open_for_s = 0.5;          ///< initial open interval, seconds
+  double backoff_factor = 2.0;      ///< interval growth per failed probe
+  double max_open_s = 30.0;         ///< open-interval ceiling, seconds
+  std::size_t half_open_probes = 1; ///< probes admitted while half-open
+};
+
 struct ServiceConfig {
   /// Engine: replica slots for this tenant — the max number of pool
   /// workers that can run this tenant's batches concurrently (the
@@ -149,6 +181,8 @@ struct ServiceConfig {
   DriftPolicy drift;
   /// Token-bucket admission quota; unlimited by default.
   QuotaPolicy quota;
+  /// Fault circuit breaker; disabled by default.
+  BreakerPolicy breaker;
   /// Base seed for the per-worker Rng streams.
   std::uint64_t seed = 2026;
 };

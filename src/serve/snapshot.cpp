@@ -1,5 +1,7 @@
 #include "serve/snapshot.hpp"
 
+#include <algorithm>
+
 #include "common/ensure.hpp"
 
 namespace cal::serve {
@@ -23,14 +25,40 @@ int TenantDeployment::try_checkout() const {
 
 std::size_t TenantDeployment::busy_slots() const {
   MutexLock lock(slot_mu_);
-  return replicas_.size() - free_slots_.size();
+  // Free + quarantined slots are not serving; what remains is in flight.
+  // A slot between quarantine() and its final release() counts as
+  // quarantined, not busy — it will never serve again.
+  const std::size_t out = free_slots_.size() +
+                          quarantined_count_.load(std::memory_order_relaxed);
+  return replicas_.size() > out ? replicas_.size() - out : 0;
 }
 
 void TenantDeployment::release(std::size_t slot) const {
   MutexLock lock(slot_mu_);
   CAL_INVARIANT(slot < replicas_.size(),
                 "released slot " << slot << " out of " << replicas_.size());
+  // A quarantined slot is retired, not recycled: try_checkout must never
+  // see it again on this deployment.
+  if (slot < quarantined_.size() && quarantined_[slot] != 0) return;
   free_slots_.push_back(slot);
+}
+
+void TenantDeployment::quarantine(std::size_t slot) const {
+  MutexLock lock(slot_mu_);
+  CAL_INVARIANT(slot < replicas_.size(),
+                "quarantined slot " << slot << " out of "
+                                    << replicas_.size());
+  if (quarantined_.size() < replicas_.size())
+    quarantined_.resize(replicas_.size(), 0);
+  if (quarantined_[slot] != 0) return;
+  quarantined_[slot] = 1;
+  quarantined_count_.fetch_add(1, std::memory_order_relaxed);
+  // Normally the caller holds the slot (fault detected mid-batch), but a
+  // slot sitting on the free list is scrubbed too — quarantine must be
+  // effective no matter who calls it.
+  free_slots_.erase(
+      std::remove(free_slots_.begin(), free_slots_.end(), slot),
+      free_slots_.end());
 }
 
 const TenantDeployment& DeploymentSnapshot::tenant(std::size_t shard) const {

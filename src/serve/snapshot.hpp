@@ -13,6 +13,7 @@
 // guarded, engine-internal) rather than deployment state.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -54,12 +55,33 @@ class TenantDeployment {
   /// engine then leaves this tenant's queue for a later pass — at most
   /// `slots()` pool workers run one tenant concurrently). Thread-safe.
   int try_checkout() const CAL_EXCLUDES(slot_mu_);
-  /// Return a slot obtained from try_checkout().
+  /// Return a slot obtained from try_checkout(). Quarantined slots are
+  /// retired instead of re-entering the free list.
   void release(std::size_t slot) const CAL_EXCLUDES(slot_mu_);
 
+  /// Remove `slot` from the checkout rotation permanently — the engine
+  /// quarantines a replica whose predict() threw for every row of a
+  /// batch. The caller still release()s the slot afterwards (release
+  /// retires it). Quarantine heals when the tenant's deployment is
+  /// rebuilt: a version-bump publish() constructs a fresh
+  /// TenantDeployment with fresh replicas and a full free list, while an
+  /// identical republish reuses this object — correctly keeping the same
+  /// broken replicas out of rotation. Idempotent; thread-safe.
+  void quarantine(std::size_t slot) const CAL_EXCLUDES(slot_mu_);
+
   std::size_t slots() const { return replicas_.size(); }
-  /// Slots currently checked out (point-in-time; metrics export).
+  /// Slots currently checked out and serving (excludes quarantined ones).
   std::size_t busy_slots() const CAL_EXCLUDES(slot_mu_);
+  /// Slots retired from rotation by quarantine(). Lock-free (relaxed):
+  /// submit() reads this per request to fast-fail fully-broken tenants.
+  std::size_t quarantined_slots() const {
+    return quarantined_count_.load(std::memory_order_relaxed);
+  }
+  /// Slots still in rotation (total minus quarantined).
+  std::size_t healthy_slots() const {
+    const std::size_t q = quarantined_slots();
+    return replicas_.size() > q ? replicas_.size() - q : 0;
+  }
   baselines::ILocalizer& replica(std::size_t slot) const {
     return *replicas_[slot];
   }
@@ -82,6 +104,9 @@ class TenantDeployment {
   std::shared_ptr<Mutex> shared_mu_;  ///< set iff borrowed model
   mutable Mutex slot_mu_;
   mutable std::vector<std::size_t> free_slots_ CAL_GUARDED_BY(slot_mu_);
+  /// Per-slot quarantine flags (sized lazily on first quarantine).
+  mutable std::vector<char> quarantined_ CAL_GUARDED_BY(slot_mu_);
+  mutable std::atomic<std::size_t> quarantined_count_{0};
 };
 
 /// The immutable publish() product: tenants in shard order plus routing.

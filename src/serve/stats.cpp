@@ -9,9 +9,12 @@ std::string ServiceStats::str() const {
   std::ostringstream os;
   os << "requests: " << completed << "/" << submitted << " completed, "
      << flagged << " flagged, " << rejected << " rejected\n";
-  if (over_quota + queue_full > 0)
+  if (over_quota + queue_full + breaker_denied > 0)
     os << "admission: " << over_quota << " over quota, " << queue_full
-       << " queue-full\n";
+       << " queue-full, " << breaker_denied << " breaker-open\n";
+  if (expired + faulted + shed > 0)
+    os << "faults:   " << expired << " expired, " << faulted << " faulted, "
+       << shed << " shed\n";
   os << "cache:    " << cache_hits << " hits";
   if (cache_audits > 0)
     os << " (" << cache_audits << " audited, " << cache_audit_mismatches
@@ -39,6 +42,10 @@ ServiceStats aggregate_stats(std::span<const ServiceStats> shards) {
     agg.completed += s.completed;
     agg.over_quota += s.over_quota;
     agg.queue_full += s.queue_full;
+    agg.breaker_denied += s.breaker_denied;
+    agg.expired += s.expired;
+    agg.faulted += s.faulted;
+    agg.shed += s.shed;
     agg.cache_hits += s.cache_hits;
     agg.cache_audits += s.cache_audits;
     agg.cache_audit_mismatches += s.cache_audit_mismatches;
@@ -98,6 +105,27 @@ void StatsCollector::record_queue_full() {
   ++queue_full_;
 }
 
+void StatsCollector::record_breaker_denied() {
+  MutexLock lock(mu_);
+  ++breaker_denied_;
+}
+
+void StatsCollector::record_expired(std::size_t n) {
+  MutexLock lock(mu_);
+  expired_ += n;
+}
+
+void StatsCollector::record_faulted(std::size_t n) {
+  MutexLock lock(mu_);
+  faulted_ += n;
+}
+
+void StatsCollector::record_shed() {
+  MutexLock lock(mu_);
+  --submitted_;
+  ++shed_;
+}
+
 void StatsCollector::record_batch(std::size_t batch_size) {
   MutexLock lock(mu_);
   ++batches_;
@@ -138,6 +166,10 @@ ServiceStats StatsCollector::snapshot() const {
   s.completed = completed_;
   s.over_quota = over_quota_;
   s.queue_full = queue_full_;
+  s.breaker_denied = breaker_denied_;
+  s.expired = expired_;
+  s.faulted = faulted_;
+  s.shed = shed_;
   s.cache_hits = cache_hits_;
   s.cache_audits = cache_audits_;
   s.cache_audit_mismatches = cache_audit_mismatches_;

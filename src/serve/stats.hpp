@@ -35,6 +35,11 @@ struct ServiceStats {
   std::size_t completed = 0;        ///< fulfilled results, any verdict
   std::size_t over_quota = 0;       ///< submissions denied by the token bucket
   std::size_t queue_full = 0;       ///< submissions denied by a full sub-queue
+  std::size_t breaker_denied = 0;   ///< submissions fast-failed by the breaker
+  std::size_t expired = 0;          ///< requests shed past their deadline
+  std::size_t faulted = 0;          ///< requests failed by replica faults
+  std::size_t shed = 0;             ///< queued requests terminated unserved
+                                    ///< (tenant removed / engine shutdown)
   std::size_t cache_hits = 0;
   std::size_t cache_audits = 0;     ///< hits re-inferred for verification
   std::size_t cache_audit_mismatches = 0;
@@ -98,6 +103,15 @@ class StatsCollector {
   /// queue, so neither `submitted` nor `completed` moves.
   void record_over_quota() CAL_EXCLUDES(mu_);
   void record_queue_full() CAL_EXCLUDES(mu_);
+  void record_breaker_denied() CAL_EXCLUDES(mu_);
+  /// Admitted requests resolved by fault containment instead of serving:
+  /// they stay in `submitted` (they consumed admission + queue space) but
+  /// never reach `completed` or the latency histogram.
+  void record_expired(std::size_t n = 1) CAL_EXCLUDES(mu_);
+  void record_faulted(std::size_t n = 1) CAL_EXCLUDES(mu_);
+  /// A queued request terminated unserved (tenant removed, shutdown):
+  /// rolls its admission back out of `submitted` and counts it in `shed`.
+  void record_shed() CAL_EXCLUDES(mu_);
   void record_batch(std::size_t batch_size) CAL_EXCLUDES(mu_);
   void record_result(const ResultRecord& r) CAL_EXCLUDES(mu_);
   void record_drift_flush() CAL_EXCLUDES(mu_);
@@ -124,6 +138,10 @@ class StatsCollector {
   std::size_t completed_ CAL_GUARDED_BY(mu_) = 0;
   std::size_t over_quota_ CAL_GUARDED_BY(mu_) = 0;
   std::size_t queue_full_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t breaker_denied_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t expired_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t faulted_ CAL_GUARDED_BY(mu_) = 0;
+  std::size_t shed_ CAL_GUARDED_BY(mu_) = 0;
   std::size_t cache_hits_ CAL_GUARDED_BY(mu_) = 0;
   std::size_t cache_audits_ CAL_GUARDED_BY(mu_) = 0;
   std::size_t cache_audit_mismatches_ CAL_GUARDED_BY(mu_) = 0;

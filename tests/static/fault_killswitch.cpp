@@ -1,0 +1,29 @@
+// Negative-compile seed for the fault-injection kill switch. NOT part of
+// any CMake target: CI compiles this TU directly TWICE:
+//
+//   clang++ -std=c++20 -Isrc -fsyntax-only -DCALLOC_FAULT_INJECTION_DISABLED \
+//           tests/static/fault_killswitch.cpp      # must SUCCEED
+//   clang++ -std=c++20 -Isrc -fsyntax-only \
+//           tests/static/fault_killswitch.cpp      # must FAIL
+//
+// The CAL_FAULT_POINT argument below calls a function that is never
+// declared anywhere. With fault injection compiled OUT (the default
+// build) the macro drops its argument before name lookup, so this TU
+// builds — proving the kill switch strips fault sites entirely from
+// release binaries (no argument evaluation, no registry passage, no
+// code). With fault injection compiled IN the undeclared name reaches
+// the compiler and the TU cannot build — proving the probe actually
+// exercises the macro. If the first compile ever fails, someone
+// "simplified" the disabled branch into something that still evaluates
+// its argument (e.g. (void)sizeof(...)), silently re-introducing
+// per-site cost on production hot paths.
+#include "common/fault_inject.hpp"
+
+void probe() {
+  CAL_FAULT_POINT(undeclared_fault_site_name());
+}
+
+int main() {
+  probe();
+  return 0;
+}

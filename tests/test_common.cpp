@@ -1,12 +1,16 @@
-// Unit tests: RNG, statistics, CSV, tables, error helpers.
+// Unit tests: RNG, statistics, CSV, tables, error helpers, fault sites.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/ensure.hpp"
+#include "common/fault_inject.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -262,6 +266,122 @@ TEST(Ensure, MacrosThrowTypedErrors) {
   EXPECT_THROW(CAL_ENSURE(false, "msg " << 42), PreconditionError);
   EXPECT_THROW(CAL_INVARIANT(false, "bug"), InvariantError);
   EXPECT_NO_THROW(CAL_ENSURE(true, "fine"));
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection registry (driven via passage() directly, so these run
+// identically whether CAL_FAULT_POINT is compiled in or stripped).
+// ---------------------------------------------------------------------------
+
+/// Record the fire/pass pattern of `n` passages through `site`.
+std::vector<bool> fire_pattern(const std::string& site, int n) {
+  std::vector<bool> fired;
+  fired.reserve(static_cast<std::size_t>(n));
+  auto& reg = FaultRegistry::instance();
+  for (int i = 0; i < n; ++i) {
+    try {
+      reg.passage(site.c_str());
+      fired.push_back(false);
+    } catch (const InjectedFault& f) {
+      EXPECT_EQ(f.site(), site);
+      fired.push_back(true);
+    }
+  }
+  return fired;
+}
+
+TEST(FaultInject, UnarmedSitesNeverThrow) {
+  auto& reg = FaultRegistry::instance();
+  reg.disarm_all();
+  for (int i = 0; i < 100; ++i)
+    EXPECT_NO_THROW(reg.passage("fault-test.unarmed"));
+  // Unknown sites report zero counters, not an error.
+  EXPECT_EQ(reg.site_stats("fault-test.unarmed").hits, 0u);
+  EXPECT_EQ(reg.site_stats("fault-test.never-mentioned").fires, 0u);
+}
+
+TEST(FaultInject, SeededScheduleIsDeterministic) {
+  auto& reg = FaultRegistry::instance();
+  reg.arm("fault-test.seeded", 0.3, 99);
+  const auto first = fire_pattern("fault-test.seeded", 100);
+  // Re-arming with the same seed resets the site's Rng: the fault
+  // schedule replays bit-for-bit.
+  reg.arm("fault-test.seeded", 0.3, 99);
+  const auto replay = fire_pattern("fault-test.seeded", 100);
+  EXPECT_EQ(first, replay);
+  const std::size_t fires = static_cast<std::size_t>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 100u);
+  // A different seed gives a different (still deterministic) schedule.
+  reg.arm("fault-test.seeded", 0.3, 100);
+  EXPECT_NE(fire_pattern("fault-test.seeded", 100), first);
+  reg.disarm_all();
+}
+
+TEST(FaultInject, ProbabilityExtremesAndValidation) {
+  auto& reg = FaultRegistry::instance();
+  reg.arm("fault-test.always", 1.0);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_THROW(reg.passage("fault-test.always"), InjectedFault);
+  reg.arm("fault-test.never", 0.0);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_NO_THROW(reg.passage("fault-test.never"));
+  EXPECT_THROW(reg.arm("fault-test.bad", -0.1), PreconditionError);
+  EXPECT_THROW(reg.arm("fault-test.bad", 1.5), PreconditionError);
+  reg.disarm_all();
+}
+
+TEST(FaultInject, OneShotFiresExactlyOnTheNthPassage) {
+  auto& reg = FaultRegistry::instance();
+  reg.arm_one_shot("fault-test.nth", 3);
+  const auto fired = fire_pattern("fault-test.nth", 6);
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}))
+      << "a one-shot site fires on the nth passage only, then is spent";
+  const auto st = reg.site_stats("fault-test.nth");
+  EXPECT_EQ(st.hits, 6u) << "passages keep counting after the shot";
+  EXPECT_EQ(st.fires, 1u);
+  reg.disarm_all();
+}
+
+TEST(FaultInject, DisarmStopsFiringAndClearsCounters) {
+  auto& reg = FaultRegistry::instance();
+  reg.arm("fault-test.a", 1.0);
+  reg.arm("fault-test.b", 1.0);
+  EXPECT_THROW(reg.passage("fault-test.a"), InjectedFault);
+  reg.disarm("fault-test.a");
+  EXPECT_NO_THROW(reg.passage("fault-test.a"));
+  EXPECT_EQ(reg.site_stats("fault-test.a").hits, 0u)
+      << "a disarmed site reads as unknown";
+  EXPECT_THROW(reg.passage("fault-test.b"), InjectedFault);
+  reg.disarm_all();
+  EXPECT_NO_THROW(reg.passage("fault-test.b"));
+}
+
+TEST(FaultInject, SiteStatsCountHitsAndFires) {
+  auto& reg = FaultRegistry::instance();
+  reg.arm("fault-test.stats", 0.5, 7);
+  const auto fired = fire_pattern("fault-test.stats", 40);
+  const auto st = reg.site_stats("fault-test.stats");
+  EXPECT_EQ(st.hits, 40u);
+  EXPECT_EQ(st.fires, static_cast<std::uint64_t>(std::count(
+                          fired.begin(), fired.end(), true)));
+  reg.disarm_all();
+}
+
+TEST(FaultInject, MacroMatchesCompileTimeSwitch) {
+  auto& reg = FaultRegistry::instance();
+  reg.arm("fault-test.macro", 1.0);
+  if (kFaultInjectionCompiledIn) {
+    EXPECT_THROW(CAL_FAULT_POINT("fault-test.macro"), InjectedFault);
+  } else {
+    // Compiled out: the macro is a no-op and its argument is never
+    // evaluated (the negative-compile CI check proves the latter).
+    EXPECT_NO_THROW(CAL_FAULT_POINT("fault-test.macro"));
+    EXPECT_EQ(reg.site_stats("fault-test.macro").hits, 0u);
+  }
+  reg.disarm_all();
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // tenant, and unknown tenants are rejected deterministically.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -15,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "attacks/attack.hpp"
 #include "baselines/knn.hpp"
 #include "common/ensure.hpp"
+#include "common/fault_inject.hpp"
 #include "core/calloc.hpp"
 #include "serve/engine.hpp"
 #include "serve/lru_cache.hpp"
@@ -1267,8 +1270,10 @@ TEST(Engine, OverQuotaIsTypedAndCounted) {
   ServeEngine engine(reg.publish(), cfg);
   const TenantKey key{"venue", 0, ""};
 
-  EXPECT_EQ(engine.submit(key, tiny_fp()).admission, Admission::Accepted);
-  EXPECT_EQ(engine.submit(key, tiny_fp()).admission, Admission::Accepted);
+  auto a1 = engine.submit(key, tiny_fp());
+  auto a2 = engine.submit(key, tiny_fp());
+  EXPECT_EQ(a1.admission, Admission::Accepted);
+  EXPECT_EQ(a2.admission, Admission::Accepted);
   auto denied = engine.submit(key, tiny_fp());
   EXPECT_EQ(denied.admission, Admission::OverQuota);
   // The routing still resolved — the denial is admission, not a miss.
@@ -1276,6 +1281,11 @@ TEST(Engine, OverQuotaIsTypedAndCounted) {
   ASSERT_EQ(denied.result.wait_for(std::chrono::seconds(0)),
             std::future_status::ready);
   EXPECT_FALSE(denied.result.get().localized);
+  // Wait for the accepted pair BEFORE shutdown: with typed-shutdown
+  // semantics, still-queued requests would be shed (ServeStatus::ShutDown)
+  // and rolled back out of `submitted`.
+  EXPECT_EQ(a1.result.get().status, ServeStatus::Served);
+  EXPECT_EQ(a2.result.get().status, ServeStatus::Served);
   engine.shutdown();
 
   const auto stats = engine.stats();
@@ -1744,6 +1754,652 @@ TEST(Engine, FlightRecorderTimelineSpansDeploy) {
   for (const std::uint64_t b : completed_batches)
     EXPECT_TRUE(claimed_batches.count(b))
         << "Complete in batch " << b << " without a BatchClaim";
+}
+
+// ---------------------------------------------------------------------------
+// Fault containment: deadlines, quarantine, circuit breaker, shutdown
+// ---------------------------------------------------------------------------
+
+/// ILocalizer whose predict() always throws — a permanently broken
+/// replica, for quarantine and breaker tests.
+class ThrowingLocalizer : public baselines::ILocalizer {
+ public:
+  void fit(const data::FingerprintDataset&) override {}
+  std::vector<std::size_t> predict(const Tensor&) override {
+    throw std::runtime_error("replica is broken");
+  }
+  std::string name() const override { return "Throwing"; }
+};
+
+/// ILocalizer that throws while the shared `broken` flag is set and
+/// serves a constant label once it clears — for breaker recovery tests.
+class FlakyLocalizer : public baselines::ILocalizer {
+ public:
+  FlakyLocalizer(std::shared_ptr<std::atomic<bool>> broken,
+                 std::size_t label)
+      : broken_(std::move(broken)), label_(label) {}
+  void fit(const data::FingerprintDataset&) override {}
+  std::vector<std::size_t> predict(const Tensor& x) override {
+    if (broken_->load()) throw std::runtime_error("transient outage");
+    return std::vector<std::size_t>(x.rows(), label_);
+  }
+  std::string name() const override { return "Flaky"; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> broken_;
+  std::size_t label_;
+};
+
+/// KNN-backed localizer that throws whenever the batch contains the
+/// poison fingerprint — the batched pass faults, single healthy rows
+/// serve, so the engine's per-row containment retry is observable. The
+/// gate freezes the first predict() so a test can stage a mixed batch.
+class PoisonGateLocalizer : public baselines::ILocalizer {
+ public:
+  PoisonGateLocalizer(std::shared_future<void> gate,
+                      std::vector<float> poison,
+                      const data::FingerprintDataset& train,
+                      std::promise<void>* entered = nullptr)
+      : gate_(std::move(gate)),
+        poison_(std::move(poison)),
+        inner_(3),
+        entered_(entered) {
+    inner_.fit(train);
+  }
+  void fit(const data::FingerprintDataset&) override {}
+  std::vector<std::size_t> predict(const Tensor& x) override {
+    if (entered_ != nullptr && !entered_fired_.exchange(true))
+      entered_->set_value();
+    gate_.wait();
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const auto row = x.row(r);
+      if (row.size() == poison_.size() &&
+          std::equal(row.begin(), row.end(), poison_.begin()))
+        throw std::runtime_error("poison fingerprint");
+    }
+    return inner_.predict(x);
+  }
+  std::string name() const override { return "PoisonGate"; }
+
+ private:
+  std::shared_future<void> gate_;
+  std::vector<float> poison_;
+  baselines::Knn inner_;
+  std::promise<void>* entered_;
+  std::atomic<bool> entered_fired_{false};
+};
+
+Tensor one_row(const std::vector<float>& fp) {
+  Tensor x({std::size_t{1}, fp.size()});
+  std::copy(fp.begin(), fp.end(), x.data());
+  return x;
+}
+
+/// Poll stats() until `done` or the timeout: promises resolve BEFORE the
+/// worker feeds the breaker / bumps trip counters, so tests must wait for
+/// post-fulfilment state instead of assuming it after future.get().
+template <typename Pred>
+bool poll_stats(ServeEngine& engine, Pred done,
+                std::chrono::milliseconds timeout =
+                    std::chrono::milliseconds(5000)) {
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < give_up) {
+    if (done(engine.stats())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done(engine.stats());
+}
+
+TEST(Engine, DeadlineExpiredRequestsShedAtDequeue) {
+  std::promise<void> open_gate;
+  std::promise<void> entered;
+  GateLocalizer gate(open_gate.get_future().share(), 7, &entered);
+  ModelRegistry reg;
+  TenantSpec spec;
+  spec.shared_model = &gate;
+  spec.num_aps = kTinyAps;
+  spec.service.num_workers = 1;
+  spec.service.max_batch = 1;
+  spec.service.queue_capacity = 8;
+  const TenantKey key{"venue-dl", 0, ""};
+  reg.register_tenant(key, std::move(spec));
+  EngineConfig cfg;
+  cfg.pool_size = 1;
+  ServeEngine engine(reg.publish(), cfg);
+
+  // R1 (no deadline) parks the only worker inside predict(), so the next
+  // two requests sit in the queue until the gate opens.
+  auto r1 = engine.submit(key, tiny_fp());
+  ASSERT_EQ(r1.admission, Admission::Accepted);
+  entered.get_future().wait();
+
+  const auto now = std::chrono::steady_clock::now();
+  auto late = engine.submit(key, tiny_fp(), now - std::chrono::minutes(1));
+  ASSERT_EQ(late.admission, Admission::Accepted)
+      << "admission is not deadline-checked";
+  auto live = engine.submit(key, tiny_fp(), now + std::chrono::hours(1));
+  ASSERT_EQ(live.admission, Admission::Accepted);
+
+  open_gate.set_value();
+  EXPECT_EQ(r1.result.get().status, ServeStatus::Served);
+  const ServeResult expired = late.result.get();
+  EXPECT_EQ(expired.status, ServeStatus::Expired);
+  EXPECT_FALSE(expired.localized);
+  EXPECT_EQ(expired.verdict, Verdict::Accept)
+      << "expiry is a latency outcome, not a screening one";
+  const ServeResult served = live.result.get();
+  EXPECT_EQ(served.status, ServeStatus::Served);
+  EXPECT_EQ(served.rp, 7u);
+  engine.shutdown();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.per_tenant[0].stats.submitted, 3u);
+  EXPECT_EQ(stats.per_tenant[0].stats.expired, 1u);
+  EXPECT_EQ(stats.per_tenant[0].stats.completed, 2u)
+      << "an expired request must not enter the latency population";
+  EXPECT_EQ(stats.aggregate.expired, 1u);
+}
+
+TEST(Engine, ReplicaFaultQuarantinesSlotsAndHealsOnDeploy) {
+  ModelRegistry reg;
+  TenantSpec spec;
+  spec.factory = [] { return std::make_unique<ThrowingLocalizer>(); };
+  spec.num_aps = kTinyAps;
+  spec.service.num_workers = 2;
+  spec.service.max_batch = 4;
+  spec.service.queue_capacity = 8;
+  const TenantKey key{"venue-qr", 0, ""};
+  reg.register_tenant(key, std::move(spec));
+  EngineConfig cfg;
+  cfg.pool_size = 2;
+  ServeEngine engine(reg.publish(), cfg);
+
+  // Every all-fault batch retires the slot it ran on; sequential faulted
+  // requests therefore quarantine both slots, one by one.
+  std::size_t faulted_results = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto sub = engine.submit(key, tiny_fp());
+    if (sub.admission == Admission::BreakerOpen) break;  // fully retired
+    ASSERT_EQ(sub.admission, Admission::Accepted);
+    const ServeResult res = sub.result.get();
+    EXPECT_EQ(res.status, ServeStatus::Faulted);
+    EXPECT_FALSE(res.localized);
+    ++faulted_results;
+    if (poll_stats(engine,
+                   [](const MultiTenantStats& s) {
+                     return s.per_tenant[0].quarantined_slots == 2;
+                   },
+                   std::chrono::milliseconds(50)))
+      break;
+  }
+  EXPECT_GE(faulted_results, 2u);
+  ASSERT_TRUE(poll_stats(engine, [](const MultiTenantStats& s) {
+    return s.per_tenant[0].quarantined_slots == 2;
+  })) << "both broken slots must end up quarantined";
+  EXPECT_GE(engine.flight_recorder().trips(), 2u)
+      << "each quarantine trips the flight recorder";
+
+  // A fully quarantined tenant fast-fails with a ready future — no work
+  // is queued toward replicas that no longer exist.
+  auto denied = engine.submit(key, tiny_fp());
+  EXPECT_EQ(denied.admission, Admission::BreakerOpen);
+  ASSERT_EQ(denied.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const ServeResult dres = denied.result.get();
+  EXPECT_EQ(dres.status, ServeStatus::Denied);
+  EXPECT_FALSE(dres.localized);
+
+  // Heal: a version-bump redeploy rebuilds the deployment with fresh
+  // replicas and a full free list.
+  reg.reload_tenant(key, const_spec(5, 2));
+  engine.deploy(reg.publish());
+  auto healed = engine.submit(key, tiny_fp());
+  ASSERT_EQ(healed.admission, Admission::Accepted);
+  EXPECT_EQ(healed.result.get().rp, 5u);
+  EXPECT_EQ(engine.stats().per_tenant[0].quarantined_slots, 0u);
+  engine.shutdown();
+
+  const auto stats = engine.stats();
+  EXPECT_GE(stats.per_tenant[0].stats.faulted, 2u);
+  EXPECT_GE(stats.per_tenant[0].stats.breaker_denied, 1u);
+}
+
+TEST(Engine, MixedBatchIsolatesPoisonRowBitIdentical) {
+  const auto& sc = scenario();
+  const std::size_t aps = sc.train.num_aps();
+  baselines::Knn seq(3);  // sequential ground truth, identical fit
+  seq.fit(sc.train);
+
+  const Tensor x = sc.device_tests[0].normalized();
+  const std::vector<float> h0 = row_of(x, 0);
+  const std::vector<float> h1 = row_of(x, 1);
+  const std::vector<float> h2 = row_of(x, 2);
+  const std::vector<float> poison(aps, 0.77F);
+
+  std::promise<void> open_gate;
+  std::promise<void> entered;
+  auto gate = open_gate.get_future().share();
+  ModelRegistry reg;
+  TenantSpec spec;
+  spec.factory = [&gate, &poison, &sc, &entered] {
+    return std::make_unique<PoisonGateLocalizer>(gate, poison, sc.train,
+                                                 &entered);
+  };
+  spec.num_aps = aps;
+  spec.service.num_workers = 1;
+  spec.service.max_batch = 4;
+  spec.service.queue_capacity = 8;
+  // An enabled breaker that must NOT move: a poison ROW in a mixed batch
+  // is bad input, not a broken replica.
+  spec.service.breaker.fault_threshold = 3;
+  const TenantKey key{"venue-px", 0, ""};
+  reg.register_tenant(key, std::move(spec));
+  EngineConfig cfg;
+  cfg.pool_size = 1;
+  ServeEngine engine(reg.publish(), cfg);
+
+  // R0 claims the slot and parks in predict(); the poison and two healthy
+  // requests then queue up behind it and get claimed as ONE micro-batch.
+  auto r0 = engine.submit(key, h0);
+  ASSERT_EQ(r0.admission, Admission::Accepted);
+  entered.get_future().wait();
+  auto rp = engine.submit(key, poison);
+  auto ra = engine.submit(key, h1);
+  auto rb = engine.submit(key, h2);
+  ASSERT_EQ(rp.admission, Admission::Accepted);
+  ASSERT_EQ(ra.admission, Admission::Accepted);
+  ASSERT_EQ(rb.admission, Admission::Accepted);
+  open_gate.set_value();
+
+  EXPECT_EQ(r0.result.get().rp, seq.predict(one_row(h0))[0]);
+  const ServeResult pres = rp.result.get();
+  EXPECT_EQ(pres.status, ServeStatus::Faulted);
+  EXPECT_FALSE(pres.localized);
+  // The healthy rows of the faulted micro-batch are served and remain
+  // bit-identical to sequential predict() on the same trained model.
+  const ServeResult res1 = ra.result.get();
+  EXPECT_EQ(res1.status, ServeStatus::Served);
+  EXPECT_EQ(res1.rp, seq.predict(one_row(h1))[0]);
+  const ServeResult res2 = rb.result.get();
+  EXPECT_EQ(res2.status, ServeStatus::Served);
+  EXPECT_EQ(res2.rp, seq.predict(one_row(h2))[0]);
+  engine.shutdown();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.per_tenant[0].stats.completed, 3u);
+  EXPECT_EQ(stats.per_tenant[0].stats.faulted, 1u);
+  EXPECT_EQ(stats.per_tenant[0].quarantined_slots, 0u)
+      << "a batch with served rows must not retire its slot";
+  EXPECT_EQ(stats.per_tenant[0].breaker.opens, 0u);
+  EXPECT_EQ(stats.per_tenant[0].breaker.state,
+            CircuitBreaker::State::Closed)
+      << "served rows in the same batch reset the fault streak";
+}
+
+TEST(Engine, BreakerOpensFastFailsAndRecoversViaProbe) {
+  auto broken = std::make_shared<std::atomic<bool>>(true);
+  ModelRegistry reg;
+  TenantSpec spec;
+  spec.factory = [broken] {
+    return std::make_unique<FlakyLocalizer>(broken, 6);
+  };
+  spec.num_aps = kTinyAps;
+  // Two slots: the first all-fault batch quarantines the slot it ran on,
+  // and the recovery probe needs a healthy one left to run on.
+  spec.service.num_workers = 2;
+  spec.service.max_batch = 4;
+  spec.service.queue_capacity = 8;
+  spec.service.breaker.fault_threshold = 1;
+  spec.service.breaker.open_for_s = 0.05;
+  const TenantKey key{"venue-br", 0, ""};
+  reg.register_tenant(key, std::move(spec));
+  EngineConfig cfg;
+  cfg.pool_size = 2;
+  ServeEngine engine(reg.publish(), cfg);
+
+  auto first = engine.submit(key, tiny_fp());
+  ASSERT_EQ(first.admission, Admission::Accepted);
+  EXPECT_EQ(first.result.get().status, ServeStatus::Faulted);
+  ASSERT_TRUE(poll_stats(engine, [](const MultiTenantStats& s) {
+    return s.per_tenant[0].breaker.opens == 1;
+  })) << "one all-fault batch at threshold 1 must open the breaker";
+  EXPECT_EQ(engine.stats().per_tenant[0].breaker.state,
+            CircuitBreaker::State::Open);
+  EXPECT_EQ(engine.stats().per_tenant[0].quarantined_slots, 1u);
+
+  // While open: fast-fail, ready future, typed denial.
+  auto denied = engine.submit(key, tiny_fp());
+  EXPECT_EQ(denied.admission, Admission::BreakerOpen);
+  ASSERT_EQ(denied.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(denied.result.get().status, ServeStatus::Denied);
+
+  // Outage over: after the open interval the next submission is admitted
+  // as the half-open probe, serves, and closes the breaker.
+  broken->store(false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  auto probe = engine.submit(key, tiny_fp());
+  ASSERT_EQ(probe.admission, Admission::Accepted);
+  EXPECT_EQ(probe.result.get().rp, 6u);
+  ASSERT_TRUE(poll_stats(engine, [](const MultiTenantStats& s) {
+    return s.per_tenant[0].breaker.closes == 1;
+  })) << "a served probe must close the breaker";
+  engine.shutdown();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.per_tenant[0].breaker.state,
+            CircuitBreaker::State::Closed);
+  EXPECT_EQ(stats.per_tenant[0].breaker.opens, 1u);
+  EXPECT_EQ(stats.per_tenant[0].breaker.closes, 1u);
+  EXPECT_GE(stats.per_tenant[0].stats.breaker_denied, 1u);
+}
+
+TEST(CircuitBreaker, StateMachineWithSyntheticClock) {
+  using std::chrono::milliseconds;
+  BreakerPolicy policy;
+  policy.fault_threshold = 3;
+  policy.open_for_s = 1.0;
+  policy.backoff_factor = 2.0;
+  policy.max_open_s = 3.0;
+  policy.half_open_probes = 1;
+  CircuitBreaker breaker(policy);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto at = [&t0](double s) {
+    return t0 + std::chrono::duration_cast<std::chrono::steady_clock::
+                                               duration>(
+                    std::chrono::duration<double>(s));
+  };
+
+  ASSERT_TRUE(breaker.enabled());
+  EXPECT_TRUE(breaker.try_admit(at(0.0)));
+
+  // Served rows reset the streak: 2 faults + a served batch + 2 faults
+  // never reaches the threshold of 3.
+  EXPECT_EQ(breaker.on_batch(at(0.1), 1, 0), BreakerTransition::None);
+  EXPECT_EQ(breaker.on_batch(at(0.2), 1, 0), BreakerTransition::None);
+  EXPECT_EQ(breaker.on_batch(at(0.3), 1, 2), BreakerTransition::None)
+      << "a batch with served rows proves the replica works";
+  EXPECT_EQ(breaker.on_batch(at(0.4), 1, 0), BreakerTransition::None);
+  EXPECT_EQ(breaker.on_batch(at(0.5), 1, 0), BreakerTransition::None);
+  EXPECT_EQ(breaker.snapshot().consecutive_faults, 2u);
+  EXPECT_TRUE(breaker.try_admit(at(0.5)));
+
+  // Third consecutive all-fault batch: Opened.
+  EXPECT_EQ(breaker.on_batch(at(0.6), 2, 0), BreakerTransition::Opened);
+  EXPECT_EQ(breaker.snapshot().state, CircuitBreaker::State::Open);
+  EXPECT_EQ(breaker.snapshot().opens, 1u);
+  EXPECT_FALSE(breaker.try_admit(at(0.7)));
+  EXPECT_FALSE(breaker.try_admit(at(1.5)))
+      << "still inside the 1 s open interval (opened at 0.6)";
+  // Stale results from batches claimed before the open are ignored.
+  EXPECT_EQ(breaker.on_batch(at(0.8), 3, 0), BreakerTransition::None);
+  EXPECT_EQ(breaker.snapshot().opens, 1u);
+
+  // Interval elapsed: exactly one half-open probe is admitted.
+  EXPECT_TRUE(breaker.try_admit(at(1.7)));
+  EXPECT_EQ(breaker.snapshot().state, CircuitBreaker::State::HalfOpen);
+  EXPECT_FALSE(breaker.try_admit(at(1.8))) << "probe budget exhausted";
+
+  // Probe faults: Reopened, interval doubles to 2 s.
+  EXPECT_EQ(breaker.on_batch(at(1.9), 1, 0), BreakerTransition::Reopened);
+  EXPECT_EQ(breaker.snapshot().opens, 2u);
+  EXPECT_DOUBLE_EQ(breaker.snapshot().current_open_s, 2.0);
+  EXPECT_FALSE(breaker.try_admit(at(3.0)));
+  EXPECT_TRUE(breaker.try_admit(at(4.0)));
+
+  // Second probe serves: Closed, streak and interval reset.
+  EXPECT_EQ(breaker.on_batch(at(4.1), 0, 1), BreakerTransition::Closed);
+  EXPECT_EQ(breaker.snapshot().state, CircuitBreaker::State::Closed);
+  EXPECT_EQ(breaker.snapshot().closes, 1u);
+  EXPECT_EQ(breaker.snapshot().consecutive_faults, 0u);
+  EXPECT_TRUE(breaker.try_admit(at(4.2)));
+
+  // Backoff caps at max_open_s: three consecutive reopens would want
+  // 1 -> 2 -> 4 s, but the cap holds the interval at 3 s.
+  for (int i = 0; i < 3; ++i)
+    breaker.on_batch(at(5.0 + 0.1 * i), 1, 0);  // Opened at the third
+  EXPECT_EQ(breaker.snapshot().state, CircuitBreaker::State::Open);
+  EXPECT_TRUE(breaker.try_admit(at(6.5)));   // 1 s interval passed
+  breaker.on_batch(at(6.6), 1, 0);           // Reopened: 2 s
+  EXPECT_TRUE(breaker.try_admit(at(8.7)));
+  breaker.on_batch(at(8.8), 1, 0);           // Reopened: capped at 3 s
+  EXPECT_DOUBLE_EQ(breaker.snapshot().current_open_s, 3.0);
+
+  // A probe that vanished (shed, dropped) cannot wedge the breaker: a
+  // full backoff interval of probe silence admits a replacement.
+  EXPECT_TRUE(breaker.try_admit(at(12.0)));  // HalfOpen, probe out
+  EXPECT_FALSE(breaker.try_admit(at(13.0)));
+  EXPECT_TRUE(breaker.try_admit(at(15.1)))
+      << "replacement probe after a full interval of silence";
+
+  // A default-constructed breaker is disabled and admits everything.
+  CircuitBreaker off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_TRUE(off.try_admit(at(0.0)));
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(off.on_batch(at(0.1), 5, 0), BreakerTransition::None);
+  EXPECT_TRUE(off.try_admit(at(0.2)));
+}
+
+TEST(Engine, ShutdownFailsQueuedRequestsTyped) {
+  std::promise<void> open_gate;
+  std::promise<void> entered;
+  GateLocalizer gate(open_gate.get_future().share(), 3, &entered);
+  ModelRegistry reg;
+  TenantSpec spec;
+  spec.shared_model = &gate;
+  spec.num_aps = kTinyAps;
+  spec.service.num_workers = 1;
+  spec.service.max_batch = 1;
+  spec.service.queue_capacity = 8;
+  const TenantKey key{"venue-sd", 0, ""};
+  reg.register_tenant(key, std::move(spec));
+  EngineConfig cfg;
+  cfg.pool_size = 1;
+  ServeEngine engine(reg.publish(), cfg);
+
+  auto r1 = engine.submit(key, tiny_fp());
+  ASSERT_EQ(r1.admission, Admission::Accepted);
+  entered.get_future().wait();  // the worker is mid-batch on R1
+  auto r2 = engine.submit(key, tiny_fp());
+  auto r3 = engine.submit(key, tiny_fp());
+  ASSERT_EQ(r2.admission, Admission::Accepted);
+  ASSERT_EQ(r3.admission, Admission::Accepted);
+
+  std::thread stopper([&engine] { engine.shutdown(); });
+  // Queued-but-unclaimed requests resolve with the typed terminal status
+  // BEFORE the in-flight batch finishes — the gate is still closed, so a
+  // blocking drain would deadlock here.
+  EXPECT_EQ(r2.result.get().status, ServeStatus::ShutDown);
+  EXPECT_EQ(r3.result.get().status, ServeStatus::ShutDown);
+  EXPECT_NE(r1.result.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::ready)
+      << "the in-flight request is still parked on the gate";
+  open_gate.set_value();
+  stopper.join();
+  EXPECT_EQ(r1.result.get().status, ServeStatus::Served);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.per_tenant[0].stats.completed, 1u);
+  EXPECT_EQ(stats.per_tenant[0].stats.shed, 2u);
+  EXPECT_EQ(stats.per_tenant[0].stats.submitted, 1u)
+      << "shed requests leave the submitted population";
+}
+
+TEST(Engine, DestructorUnderLoadResolvesEveryFuture) {
+  constexpr std::size_t kRequests = 200;
+  std::vector<std::future<ServeResult>> futures;
+  futures.reserve(kRequests);
+  {
+    ModelRegistry reg;
+    TenantSpec spec = const_spec(4, 2);
+    spec.service.queue_capacity = kRequests + 8;
+    const TenantKey key{"venue-dt", 0, ""};
+    reg.register_tenant(key, std::move(spec));
+    EngineConfig cfg;
+    cfg.pool_size = 4;
+    ServeEngine engine(reg.publish(), cfg);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      auto sub = engine.submit(key, tiny_fp());
+      ASSERT_EQ(sub.admission, Admission::Accepted);
+      futures.push_back(std::move(sub.result));
+    }
+  }  // ~ServeEngine runs with most of the queue still pending
+
+  std::size_t served = 0;
+  std::size_t shut = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "the destructor must resolve every outstanding future";
+    const ServeResult res = f.get();
+    if (res.status == ServeStatus::Served) {
+      EXPECT_EQ(res.rp, 4u);
+      ++served;
+    } else {
+      EXPECT_EQ(res.status, ServeStatus::ShutDown);
+      EXPECT_FALSE(res.localized);
+      ++shut;
+    }
+  }
+  EXPECT_EQ(served + shut, kRequests);
+}
+
+TEST(Engine, RobustnessMetricsScrapeRoundTrip) {
+  ModelRegistry reg;
+  const TenantKey kf{"venue-rf", 0, "OP3"};
+  const TenantKey kh{"venue-rh", 0, "OP3"};
+  TenantSpec faulty;
+  faulty.factory = [] { return std::make_unique<ThrowingLocalizer>(); };
+  faulty.num_aps = kTinyAps;
+  faulty.service.num_workers = 1;
+  faulty.service.max_batch = 4;
+  faulty.service.queue_capacity = 8;
+  faulty.service.breaker.fault_threshold = 1;
+  reg.register_tenant(kf, std::move(faulty));
+  reg.register_tenant(kh, const_spec(2));
+  reg.set_profile_fallbacks({"OP3"});
+  ServeEngine engine(reg.publish(), EngineConfig{});
+
+  // One faulted request: opens the breaker AND quarantines the only slot.
+  EXPECT_EQ(engine.submit(kf, tiny_fp()).result.get().status,
+            ServeStatus::Faulted);
+  ASSERT_TRUE(poll_stats(engine, [](const MultiTenantStats& s) {
+    return s.per_tenant[0].breaker.opens == 1;
+  }));
+  EXPECT_EQ(engine.submit(kf, tiny_fp()).admission, Admission::BreakerOpen);
+
+  // One deadline-expired and one served request on the healthy tenant.
+  EXPECT_EQ(engine
+                .submit(kh, tiny_fp(),
+                        std::chrono::steady_clock::now() -
+                            std::chrono::minutes(1))
+                .result.get()
+                .status,
+            ServeStatus::Expired);
+  EXPECT_TRUE(submit_blocking(engine, kh, tiny_fp()).result.get().localized);
+  // Counters are bumped after the promise resolves; wait for the scrape
+  // population to settle before reading it.
+  ASSERT_TRUE(poll_stats(engine, [](const MultiTenantStats& s) {
+    for (const TenantStats& t : s.per_tenant)
+      if (t.tenant.building == "venue-rh") return t.stats.expired == 1;
+    return false;
+  }));
+
+  const obs::MetricsRegistry m = engine.metrics();
+  const auto* faulted =
+      m.find("cal_serve_faulted_total", {{"tenant", "venue-rf/0:OP3"}});
+  ASSERT_NE(faulted, nullptr);
+  EXPECT_EQ(faulted->value, 1.0);
+  const auto* bo =
+      m.find("cal_serve_admissions_total",
+             {{"tenant", "venue-rf/0:OP3"}, {"outcome", "breaker_open"}});
+  ASSERT_NE(bo, nullptr);
+  EXPECT_GE(bo->value, 1.0);
+  const auto* quarantined = m.find("cal_serve_replica_slots_quarantined",
+                                   {{"tenant", "venue-rf/0:OP3"}});
+  ASSERT_NE(quarantined, nullptr);
+  EXPECT_EQ(quarantined->value, 1.0);
+  const auto* bstate =
+      m.find("cal_serve_breaker_state", {{"tenant", "venue-rf/0:OP3"}});
+  ASSERT_NE(bstate, nullptr);
+  EXPECT_EQ(bstate->value, 1.0);  // 0 closed / 1 open / 2 half-open
+  const auto* opens = m.find("cal_serve_breaker_opens_total",
+                             {{"tenant", "venue-rf/0:OP3"}});
+  ASSERT_NE(opens, nullptr);
+  EXPECT_EQ(opens->value, 1.0);
+  const auto* expired =
+      m.find("cal_serve_expired_total", {{"tenant", "venue-rh/0:OP3"}});
+  ASSERT_NE(expired, nullptr);
+  EXPECT_EQ(expired->value, 1.0);
+
+  // The same figures ride both exposition formats.
+  const std::string text = m.prometheus_text();
+  const auto npos = std::string::npos;
+  EXPECT_NE(
+      text.find("cal_serve_faulted_total{tenant=\"venue-rf/0:OP3\"} 1\n"),
+      npos);
+  EXPECT_NE(
+      text.find("cal_serve_breaker_state{tenant=\"venue-rf/0:OP3\"} 1\n"),
+      npos);
+  EXPECT_NE(
+      text.find("cal_serve_expired_total{tenant=\"venue-rh/0:OP3\"} 1\n"),
+      npos);
+  EXPECT_NE(text.find("# TYPE cal_serve_breaker_opens_total counter\n"),
+            npos);
+  const std::string json = m.json();
+  EXPECT_NE(json.find("\"name\":\"cal_serve_breaker_state\""), npos);
+  EXPECT_NE(json.find("\"name\":\"cal_serve_shed_total\""), npos);
+  EXPECT_NE(json.find("\"name\":\"cal_serve_replica_slots_quarantined\""),
+            npos);
+  engine.shutdown();
+}
+
+TEST(Engine, FaultPointQueuePushContainmentKeepsEngineHealthy) {
+  if (!kFaultInjectionCompiledIn)
+    GTEST_SKIP() << "fault injection compiled out";
+  ModelRegistry reg;
+  const TenantKey key{"venue-fi", 0, ""};
+  reg.register_tenant(key, const_spec(8));
+  ServeEngine engine(reg.publish(), EngineConfig{});
+
+  FaultRegistry::instance().arm_one_shot("serve.queue_push");
+  EXPECT_THROW(engine.submit(key, tiny_fp()), InjectedFault);
+  FaultRegistry::instance().disarm_all();
+
+  // The rollback left no trace: the engine still serves, and the faulted
+  // call never entered the submitted population (its quota token was
+  // refunded and the worker wake count rolled back).
+  EXPECT_EQ(engine.submit(key, tiny_fp()).result.get().rp, 8u);
+  engine.shutdown();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.per_tenant[0].stats.submitted, 1u);
+  EXPECT_EQ(stats.per_tenant[0].stats.completed, 1u);
+}
+
+TEST(Engine, FaultPointDeployContainmentKeepsOldSnapshot) {
+  if (!kFaultInjectionCompiledIn)
+    GTEST_SKIP() << "fault injection compiled out";
+  ModelRegistry reg;
+  const TenantKey key{"venue-fd", 0, ""};
+  reg.register_tenant(key, const_spec(1));
+  ServeEngine engine(reg.publish(), EngineConfig{});
+  EXPECT_EQ(engine.submit(key, tiny_fp()).result.get().rp, 1u);
+  const std::uint64_t epoch_before = engine.snapshot()->epoch();
+
+  reg.reload_tenant(key, const_spec(2));
+  auto next = reg.publish();
+  FaultRegistry::instance().arm_one_shot("serve.deploy");
+  EXPECT_THROW(engine.deploy(next), InjectedFault);
+  FaultRegistry::instance().disarm_all();
+
+  // Strong exception safety: the old snapshot keeps serving untouched,
+  // and a clean retry of the same deploy succeeds.
+  EXPECT_EQ(engine.snapshot()->epoch(), epoch_before);
+  EXPECT_EQ(engine.submit(key, tiny_fp()).result.get().rp, 1u);
+  engine.deploy(next);
+  EXPECT_EQ(engine.submit(key, tiny_fp()).result.get().rp, 2u);
+  engine.shutdown();
 }
 
 }  // namespace
