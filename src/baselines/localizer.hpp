@@ -3,6 +3,8 @@
 // Fig. 6/7, and CALLOC itself).
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,18 @@ class ILocalizer {
   /// Exact white-box gradient access, or nullptr when the model is not
   /// differentiable (attackers then transfer from a surrogate).
   virtual attacks::GradientSource* gradient_source() { return nullptr; }
+
+  /// Resident bytes of the trained inference state (weights, anchors,
+  /// scales — whatever must stay in memory to serve). 0 = unknown/untrained.
+  /// The serve layer exports this per tenant so quantization memory wins
+  /// are observable.
+  virtual std::size_t weight_bytes() const { return 0; }
+
+  /// Build an int8-quantized, inference-only copy of this trained model
+  /// (per-output-channel weight scales, fp32 accumulate), or nullptr when
+  /// the model has no quantized path. The copy shares no state with the
+  /// original.
+  virtual std::unique_ptr<ILocalizer> quantize_int8() { return nullptr; }
 };
 
 /// Prediction accuracy helper shared by tests.

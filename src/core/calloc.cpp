@@ -5,6 +5,7 @@
 
 #include "autograd/ops.hpp"
 #include "common/ensure.hpp"
+#include "core/calloc_quant.hpp"
 #include "nn/trainer.hpp"
 
 namespace cal::core {
@@ -80,6 +81,21 @@ std::string Calloc::name() const {
 
 attacks::GradientSource* Calloc::gradient_source() {
   return grads_ ? grads_.get() : nullptr;
+}
+
+std::size_t Calloc::weight_bytes() const {
+  if (!model_) return 0;
+  std::size_t floats = 0;
+  for (const auto& p : model_->parameters()) floats += p.var->value().size();
+  // Anchor database + onehot V are part of the resident inference state.
+  floats += model_->anchor_matrix().size();
+  floats += model_->num_anchors() * model_->config().num_rps;
+  return floats * sizeof(float);
+}
+
+std::unique_ptr<baselines::ILocalizer> Calloc::quantize_int8() {
+  CAL_ENSURE(model_ != nullptr, "quantize_int8 before fit/load_weights");
+  return std::make_unique<QuantizedCalloc>(*model_);
 }
 
 CallocModel& Calloc::model() {

@@ -52,6 +52,12 @@ class Calloc : public baselines::ILocalizer {
   std::vector<std::size_t> predict(const Tensor& x_normalized) override;
   std::string name() const override;
   attacks::GradientSource* gradient_source() override;
+  std::size_t weight_bytes() const override;
+
+  /// Snapshot the trained model into an int8 inference copy
+  /// (core/calloc_quant.hpp) — what ModelRegistry::publish() calls for
+  /// tenants deployed at Precision::Int8.
+  std::unique_ptr<baselines::ILocalizer> quantize_int8() override;
 
   /// Trained model access (for footprint audits and weight IO).
   CallocModel& model();

@@ -108,6 +108,15 @@ class CallocModel : public nn::Module {
   std::size_t attention_parameter_count();
   std::size_t classifier_parameter_count();
 
+  /// Layer access for the int8 quantizer (core/calloc_quant.cpp), which
+  /// snapshots trained weights into a quantized inference copy.
+  nn::Linear& embed_c_layer() { return *embed_c_; }
+  nn::Linear& embed_o_layer() { return *embed_o_; }
+  nn::Linear& attn_wq_layer() { return *w_q_; }
+  nn::Linear& attn_wk_layer() { return *w_k_; }
+  nn::Linear& head_layer() { return *head_; }
+  float temperature() const { return temperature_->value()[0]; }
+
  private:
   autograd::Var attention_distribution(const autograd::Var& x);
   autograd::Var embed_original_clean(const autograd::Var& x);

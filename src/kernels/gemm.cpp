@@ -16,29 +16,50 @@
 namespace cal::kernels {
 namespace {
 
-constexpr std::size_t kMR = 6;  // row granule; must match the kernel body
+constexpr std::size_t kMR = 6;    // fp32 row granule; must match kernel body
+constexpr std::size_t kMRs8 = 4;  // int8 row granule; must match kernel body
 
 // Minimum 2·m·k·n before the thread pool is worth its synchronisation.
 constexpr double kParallelMinFlops = 4.0e6;
 
 // --- ISA dispatch ---------------------------------------------------------
 
-using GemmRowsFn = void (*)(CAL_GEMM_ROWS_ARGS);
-
-GemmRowsFn select_rows_fn() {
-#if defined(CALLOC_GEMM_HAVE_V3)
+#if defined(CALLOC_GEMM_HAVE_V3) || defined(CALLOC_GEMM_HAVE_V512)
+bool cpu_is_v3() {
   // Haswell-era x86-64-v3: everything the v3 TU may emit is implied by
   // these three on real silicon.
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
-      __builtin_cpu_supports("bmi2"))
-    return &arch_v3::gemm_rows;
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+         __builtin_cpu_supports("bmi2");
+}
 #endif
-  return &arch_base::gemm_rows;
+
+const GemmF32Ops& f32() {
+  static const GemmF32Ops& ops = *[]() -> const GemmF32Ops* {
+#if defined(CALLOC_GEMM_HAVE_V3)
+    if (cpu_is_v3()) return &arch_v3::f32_ops();
+#endif
+    return &arch_base::f32_ops();
+  }();
+  return ops;
 }
 
-GemmRowsFn rows_fn() {
-  static const GemmRowsFn fn = select_rows_fn();
-  return fn;
+const GemmS8Ops& s8() {
+  static const GemmS8Ops& ops = *[]() -> const GemmS8Ops* {
+#if defined(CALLOC_GEMM_HAVE_V512)
+    // x86-64-v4 = the full 512-bit quintet; the v512 TU may emit any of it.
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512cd"))
+      return &arch_v512::s8_ops();
+#endif
+#if defined(CALLOC_GEMM_HAVE_V3)
+    if (cpu_is_v3()) return &arch_v3::s8_ops();
+#endif
+    return &arch_base::s8_ops();
+  }();
+  return ops;
 }
 
 // --- persistent thread pool (row-block fork/join) -------------------------
@@ -128,6 +149,36 @@ Pool& pool() {
   return p;
 }
 
+// The fork/join pool state (job_/next_/end_/pending_) supports one running
+// job; a second concurrent GEMM must not join it. try_lock keeps whichever
+// caller loses the race on the serial path instead of blocking — results
+// are bit-identical either way, and callers like multi-worker serving
+// already parallelise above the kernel.
+//
+// Deliberately a plain std::mutex, outside the thread-safety analysis: the
+// gate guards no data beyond the pool-owned packing scratch below (whose
+// lifetime is exactly a pool job), only which caller gets to run one, and
+// a conditionally-held RAII try-lock is a shape the analysis cannot
+// express without NO_THREAD_SAFETY_ANALYSIS escapes.
+std::mutex& pool_gate() {
+  static std::mutex gate;
+  return gate;
+}
+
+// Pool-owned packed-B scratch, reused across parallel GEMMs (guarded by
+// pool_gate: only the gate holder packs into and reads from it). Packing
+// once here and letting every row-split task read the shared image removes
+// the per-thread re-pack tax the self-packing serial driver pays.
+std::vector<float>& shared_bpack_f32() {
+  static std::vector<float> buf;
+  return buf;
+}
+
+std::vector<std::int8_t>& shared_bpack_s8() {
+  static std::vector<std::int8_t> buf;
+  return buf;
+}
+
 std::atomic<std::size_t> g_max_threads{1};
 
 // --- pool telemetry -------------------------------------------------------
@@ -140,6 +191,7 @@ struct PoolMetricsState {
   std::size_t parallel_gemms CAL_GUARDED_BY(mu) = 0;
   std::size_t serial_fallbacks CAL_GUARDED_BY(mu) = 0;
   std::size_t tasks CAL_GUARDED_BY(mu) = 0;
+  std::size_t shared_b_packs CAL_GUARDED_BY(mu) = 0;
   obs::Histogram task_ms CAL_GUARDED_BY(mu);
 };
 
@@ -148,69 +200,95 @@ PoolMetricsState& pool_metrics_state() {
   return s;
 }
 
-// --- dispatch -------------------------------------------------------------
+void note_serial_fallback() {
+  PoolMetricsState& pm = pool_metrics_state();
+  MutexLock lk(pm.mu);
+  ++pm.serial_fallbacks;
+}
+
+void note_parallel_gemm(std::size_t shared_packs) {
+  PoolMetricsState& pm = pool_metrics_state();
+  MutexLock lk(pm.mu);
+  ++pm.parallel_gemms;
+  pm.shared_b_packs += shared_packs;
+}
+
+// Wrap a pool task with wall-time telemetry.
+template <typename Fn>
+void timed_task(const Fn& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  PoolMetricsState& pm = pool_metrics_state();
+  MutexLock lk(pm.mu);
+  ++pm.tasks;
+  pm.task_ms.record(ms);
+}
+
+// Split `m` rows into at most `want` granule-aligned chunks: one task per
+// permitted thread, so set_max_threads(n) really caps concurrency (a finer
+// split would let idle pool workers steal extra tasks). Each chunk is an
+// independent sub-GEMM: the k reduction order per output element is
+// untouched, so any split is bit-identical to serial.
+std::size_t row_chunk(std::size_t m, std::size_t granule, std::size_t want) {
+  const std::size_t blocks = (m + granule - 1) / granule;
+  const std::size_t chunk_blocks = (blocks + want - 1) / want;
+  return chunk_blocks * granule;
+}
+
+// --- fp32 dispatch --------------------------------------------------------
 
 void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
                std::size_t k, std::size_t n, bool ta, bool tb,
                bool accumulate) {
-  const GemmRowsFn rows = rows_fn();
+  const GemmF32Ops& ops = f32();
+  // Dense leading dimensions: the stored row widths of each operand.
+  const std::size_t lda = ta ? m : k;
+  const std::size_t ldb = tb ? k : n;
+  const std::size_t ldc = n;
   const std::size_t mt = max_threads();
   const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
                        static_cast<double>(n);
   if (mt > 1 && flops >= kParallelMinFlops && m > kMR) {
-    // The fork/join pool state (job_/next_/end_/pending_) supports one
-    // running job; a second concurrent GEMM must not join it. try_lock
-    // keeps whichever caller loses the race on the serial path instead of
-    // blocking — results are bit-identical either way, and callers like
-    // multi-worker serving already parallelise above the kernel.
-    //
-    // Deliberately a plain std::mutex, outside the thread-safety
-    // analysis: the gate guards no data (Pool's own cal::Mutex does
-    // that), only which caller gets to run a pool job, and a
-    // conditionally-held RAII try-lock is a shape the analysis cannot
-    // express without NO_THREAD_SAFETY_ANALYSIS escapes.
-    static std::mutex pool_gate;
-    std::unique_lock gate(pool_gate, std::try_to_lock);
+    std::unique_lock gate(pool_gate(), std::try_to_lock);
     if (!gate.owns_lock()) {
-      {
-        PoolMetricsState& pm = pool_metrics_state();
-        MutexLock lk(pm.mu);
-        ++pm.serial_fallbacks;
-      }
-      rows(a, b, c, m, k, n, ta, tb, accumulate, 0, m);
+      note_serial_fallback();
+      ops.gemm_rows(a, b, c, m, k, n, lda, ldb, ldc, ta, tb, accumulate, 0, m);
       return;
     }
     const std::size_t want = std::min(mt, pool().workers() + 1);
-    // Split rows of C into at most `want` kMR-aligned chunks: one task per
-    // permitted thread, so set_max_threads(n) really caps concurrency (a
-    // finer split would let idle pool workers steal extra tasks). Each
-    // chunk is an independent sub-GEMM: the k reduction order per output
-    // element is untouched, so any split is bit-identical to serial.
-    const std::size_t blocks = (m + kMR - 1) / kMR;
-    const std::size_t chunk_blocks = (blocks + want - 1) / want;
-    const std::size_t chunk = chunk_blocks * kMR;
+    const std::size_t chunk = row_chunk(m, kMR, want);
     const std::size_t tasks = (m + chunk - 1) / chunk;
-    {
-      PoolMetricsState& pm = pool_metrics_state();
-      MutexLock lk(pm.mu);
-      ++pm.parallel_gemms;
+    std::vector<float>& bpack = shared_bpack_f32();
+    if (bpack.size() < ops.packed_b_floats) bpack.resize(ops.packed_b_floats);
+    // Drive the cache-block loops here so B is packed ONCE per (j0, p0)
+    // block and every row task reads the shared panel. Same block order
+    // and same per-element reduction order as the serial driver, so the
+    // result is bit-identical to gemm_rows over [0, m).
+    std::size_t packs = 0;
+    for (std::size_t j0 = 0; j0 < n; j0 += ops.block_nc) {
+      const std::size_t nc = std::min(ops.block_nc, n - j0);
+      for (std::size_t p0 = 0; p0 < k; p0 += ops.block_kc) {
+        const std::size_t kc = std::min(ops.block_kc, k - p0);
+        const bool acc_block = accumulate || p0 > 0;
+        ops.pack_b_block(b, k, n, ldb, tb, p0, kc, j0, nc, bpack.data());
+        ++packs;
+        pool().run(tasks, [&](std::size_t t) {
+          timed_task([&] {
+            const std::size_t i_begin = t * chunk;
+            const std::size_t i_end = std::min(m, i_begin + chunk);
+            ops.gemm_rows_prepacked(a, bpack.data(), c, m, k, n, lda, ldc, ta,
+                                    acc_block, p0, kc, j0, nc, i_begin, i_end);
+          });
+        });
+      }
     }
-    pool().run(tasks, [&](std::size_t t) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const std::size_t i_begin = t * chunk;
-      const std::size_t i_end = std::min(m, i_begin + chunk);
-      rows(a, b, c, m, k, n, ta, tb, accumulate, i_begin, i_end);
-      const double ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-      PoolMetricsState& pm = pool_metrics_state();
-      MutexLock lk(pm.mu);
-      ++pm.tasks;
-      pm.task_ms.record(ms);
-    });
+    note_parallel_gemm(packs);
     return;
   }
-  rows(a, b, c, m, k, n, ta, tb, accumulate, 0, m);
+  ops.gemm_rows(a, b, c, m, k, n, lda, ldb, ldc, ta, tb, accumulate, 0, m);
 }
 
 void check_args(std::span<const float> a, std::span<const float> b,
@@ -227,6 +305,182 @@ void check_args(std::span<const float> a, std::span<const float> b,
   CAL_ENSURE(c.size() == m * n, "gemm out span has " << c.size()
                                                      << " floats, expected "
                                                      << m * n);
+}
+
+// --- batched dispatch -----------------------------------------------------
+
+struct ResolvedStrides {
+  std::size_t stride_a, stride_b, stride_c, lda, ldb, ldc;
+};
+
+ResolvedStrides resolve_strides(const BatchStrides& s, std::size_t m,
+                                std::size_t k, std::size_t n, bool ta,
+                                bool tb) {
+  ResolvedStrides r{};
+  r.lda = s.lda != 0 ? s.lda : (ta ? m : k);
+  r.ldb = s.ldb != 0 ? s.ldb : (tb ? k : n);
+  r.ldc = s.ldc != 0 ? s.ldc : n;
+  r.stride_a = s.stride_a != 0 ? s.stride_a : (ta ? k : m) * r.lda;
+  r.stride_b = s.stride_b != 0 ? s.stride_b : (tb ? n : k) * r.ldb;
+  r.stride_c = s.stride_c != 0 ? s.stride_c : m * r.ldc;
+  return r;
+}
+
+// Greatest element offset touched in a batch of stored rows x cols views,
+// plus one: the minimum span size.
+std::size_t batched_extent(std::size_t batch, std::size_t stride,
+                           std::size_t rows, std::size_t cols,
+                           std::size_t ld) {
+  return (batch - 1) * stride + (rows - 1) * ld + cols;
+}
+
+void check_batched(std::span<const float> a, std::span<const float> b,
+                   std::span<float> c, std::size_t batch, std::size_t m,
+                   std::size_t k, std::size_t n, const ResolvedStrides& r,
+                   bool ta, bool tb) {
+  CAL_ENSURE(batch > 0 && m > 0 && n > 0, "batched gemm dims must be positive: "
+                                              << batch << " of " << m << "x"
+                                              << k << "x" << n);
+  CAL_ENSURE(r.ldc >= n, "batched gemm ldc " << r.ldc << " < n " << n);
+  if (k > 0) {
+    const std::size_t rows_a = ta ? k : m;
+    const std::size_t cols_a = ta ? m : k;
+    const std::size_t rows_b = tb ? n : k;
+    const std::size_t cols_b = tb ? k : n;
+    CAL_ENSURE(r.lda >= cols_a,
+               "batched gemm lda " << r.lda << " < row width " << cols_a);
+    CAL_ENSURE(r.ldb >= cols_b,
+               "batched gemm ldb " << r.ldb << " < row width " << cols_b);
+    const std::size_t need_a =
+        batched_extent(batch, r.stride_a, rows_a, cols_a, r.lda);
+    const std::size_t need_b =
+        batched_extent(batch, r.stride_b, rows_b, cols_b, r.ldb);
+    CAL_ENSURE(a.size() >= need_a, "batched gemm lhs span has "
+                                       << a.size() << " floats, needs >= "
+                                       << need_a);
+    CAL_ENSURE(b.size() >= need_b, "batched gemm rhs span has "
+                                       << b.size() << " floats, needs >= "
+                                       << need_b);
+  }
+  const std::size_t need_c = batched_extent(batch, r.stride_c, m, n, r.ldc);
+  CAL_ENSURE(c.size() >= need_c, "batched gemm out span has "
+                                     << c.size() << " floats, needs >= "
+                                     << need_c);
+}
+
+void gemm_batched_impl(const float* a, const float* b, float* c,
+                       std::size_t batch, std::size_t m, std::size_t k,
+                       std::size_t n, const ResolvedStrides& r, bool ta,
+                       bool tb, bool accumulate) {
+  if (k == 0) {
+    // Empty reduction: the product is the zero matrix.
+    if (!accumulate)
+      for (std::size_t e = 0; e < batch; ++e)
+        for (std::size_t i = 0; i < m; ++i)
+          std::fill_n(c + e * r.stride_c + i * r.ldc, n, 0.0F);
+    return;
+  }
+  const GemmF32Ops& ops = f32();
+  const auto item = [&](std::size_t e, std::size_t i_begin,
+                        std::size_t i_end) {
+    ops.gemm_rows(a + e * r.stride_a, b + e * r.stride_b, c + e * r.stride_c,
+                  m, k, n, r.lda, r.ldb, r.ldc, ta, tb, accumulate, i_begin,
+                  i_end);
+  };
+  const std::size_t mt = max_threads();
+  const double flops = 2.0 * static_cast<double>(batch) *
+                       static_cast<double>(m) * static_cast<double>(k) *
+                       static_cast<double>(n);
+  if (mt > 1 && flops >= kParallelMinFlops && batch * m > kMR) {
+    std::unique_lock gate(pool_gate(), std::try_to_lock);
+    if (gate.owns_lock()) {
+      // Parallelise across batch x row-chunks: each task is one row slice
+      // of one batch item, self-packing its own B view (items have
+      // distinct B matrices, so there is no shared panel to exploit).
+      const std::size_t want = std::min(mt, pool().workers() + 1);
+      const std::size_t per_item = (want + batch - 1) / batch;
+      const std::size_t chunk = row_chunk(m, kMR, per_item);
+      const std::size_t chunks = (m + chunk - 1) / chunk;
+      note_parallel_gemm(0);
+      pool().run(batch * chunks, [&](std::size_t t) {
+        timed_task([&] {
+          const std::size_t e = t / chunks;
+          const std::size_t i_begin = (t % chunks) * chunk;
+          item(e, i_begin, std::min(m, i_begin + chunk));
+        });
+      });
+      return;
+    }
+    note_serial_fallback();
+  }
+  for (std::size_t e = 0; e < batch; ++e) item(e, 0, m);
+}
+
+// --- int8 dispatch --------------------------------------------------------
+
+void check_args_s8(std::span<const std::int8_t> a,
+                   std::span<const std::int8_t> b, std::span<float> c,
+                   std::size_t m, std::size_t k, std::size_t n,
+                   std::span<const float> scale_a,
+                   std::span<const float> scale_b) {
+  CAL_ENSURE(m > 0 && n > 0,
+             "gemm_s8 dims must be positive: " << m << "x" << k << "x" << n);
+  CAL_ENSURE(a.size() == m * k, "gemm_s8 lhs span has " << a.size()
+                                                        << " bytes, expected "
+                                                        << m * k);
+  CAL_ENSURE(b.size() == k * n, "gemm_s8 rhs span has " << b.size()
+                                                        << " bytes, expected "
+                                                        << k * n);
+  CAL_ENSURE(c.size() == m * n, "gemm_s8 out span has " << c.size()
+                                                        << " floats, expected "
+                                                        << m * n);
+  CAL_ENSURE(scale_a.size() == m, "gemm_s8 scale_a has " << scale_a.size()
+                                                         << ", expected m = "
+                                                         << m);
+  CAL_ENSURE(scale_b.size() == n, "gemm_s8 scale_b has " << scale_b.size()
+                                                         << ", expected n = "
+                                                         << n);
+}
+
+void gemm_s8_impl(const std::int8_t* a, const std::int8_t* b, float* c,
+                  std::size_t m, std::size_t k, std::size_t n,
+                  const float* scale_a, const float* scale_b, bool tb,
+                  bool accumulate) {
+  if (k == 0) {
+    if (!accumulate) std::fill_n(c, m * n, 0.0F);
+    return;
+  }
+  const GemmS8Ops& ops = s8();
+  const std::size_t packed = ops.packed_b_bytes(k, n);
+  const std::size_t mt = max_threads();
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                       static_cast<double>(n);
+  if (mt > 1 && flops >= kParallelMinFlops && m > kMRs8) {
+    std::unique_lock gate(pool_gate(), std::try_to_lock);
+    if (gate.owns_lock()) {
+      std::vector<std::int8_t>& bpack = shared_bpack_s8();
+      if (bpack.size() < packed) bpack.resize(packed);
+      ops.pack_b(b, k, n, tb, bpack.data());
+      const std::size_t want = std::min(mt, pool().workers() + 1);
+      const std::size_t chunk = row_chunk(m, kMRs8, want);
+      const std::size_t tasks = (m + chunk - 1) / chunk;
+      note_parallel_gemm(1);
+      pool().run(tasks, [&](std::size_t t) {
+        timed_task([&] {
+          const std::size_t i_begin = t * chunk;
+          const std::size_t i_end = std::min(m, i_begin + chunk);
+          ops.rows(a, bpack.data(), c, m, k, n, scale_a, scale_b, accumulate,
+                   i_begin, i_end);
+        });
+      });
+      return;
+    }
+    note_serial_fallback();
+  }
+  thread_local std::vector<std::int8_t> t_bpack;
+  if (t_bpack.size() < packed) t_bpack.resize(packed);
+  ops.pack_b(b, k, n, tb, t_bpack.data());
+  ops.rows(a, t_bpack.data(), c, m, k, n, scale_a, scale_b, accumulate, 0, m);
 }
 
 }  // namespace
@@ -269,6 +523,60 @@ void gemm_naive(std::span<const float> a, std::span<const float> b,
   }
 }
 
+void gemm_batched_nn(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, std::size_t batch, std::size_t m,
+                     std::size_t k, std::size_t n, const BatchStrides& strides,
+                     bool accumulate) {
+  const ResolvedStrides r = resolve_strides(strides, m, k, n, false, false);
+  check_batched(a, b, c, batch, m, k, n, r, false, false);
+  gemm_batched_impl(a.data(), b.data(), c.data(), batch, m, k, n, r, false,
+                    false, accumulate);
+}
+
+void gemm_batched_nt(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, std::size_t batch, std::size_t m,
+                     std::size_t k, std::size_t n, const BatchStrides& strides,
+                     bool accumulate) {
+  const ResolvedStrides r = resolve_strides(strides, m, k, n, false, true);
+  check_batched(a, b, c, batch, m, k, n, r, false, true);
+  gemm_batched_impl(a.data(), b.data(), c.data(), batch, m, k, n, r, false,
+                    true, accumulate);
+}
+
+void gemm_batched_tn(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, std::size_t batch, std::size_t m,
+                     std::size_t k, std::size_t n, const BatchStrides& strides,
+                     bool accumulate) {
+  const ResolvedStrides r = resolve_strides(strides, m, k, n, true, false);
+  check_batched(a, b, c, batch, m, k, n, r, true, false);
+  gemm_batched_impl(a.data(), b.data(), c.data(), batch, m, k, n, r, true,
+                    false, accumulate);
+}
+
+void gemm_s8_nn(std::span<const std::int8_t> a, std::span<const std::int8_t> b,
+                std::span<float> c, std::size_t m, std::size_t k,
+                std::size_t n, std::span<const float> scale_a,
+                std::span<const float> scale_b, bool accumulate) {
+  check_args_s8(a, b, c, m, k, n, scale_a, scale_b);
+  gemm_s8_impl(a.data(), b.data(), c.data(), m, k, n, scale_a.data(),
+               scale_b.data(), false, accumulate);
+}
+
+void gemm_s8_nt(std::span<const std::int8_t> a, std::span<const std::int8_t> b,
+                std::span<float> c, std::size_t m, std::size_t k,
+                std::size_t n, std::span<const float> scale_a,
+                std::span<const float> scale_b, bool accumulate) {
+  check_args_s8(a, b, c, m, k, n, scale_a, scale_b);
+  gemm_s8_impl(a.data(), b.data(), c.data(), m, k, n, scale_a.data(),
+               scale_b.data(), true, accumulate);
+}
+
+const char* gemm_s8_isa() { return s8().isa; }
+
+namespace detail {
+const GemmS8Ops& s8_dispatch() { return s8(); }
+}  // namespace detail
+
 void set_max_threads(std::size_t n) {
   g_max_threads.store(n == 0 ? 1 : n, std::memory_order_relaxed);
 }
@@ -284,6 +592,7 @@ PoolMetrics pool_metrics() {
   out.parallel_gemms = s.parallel_gemms;
   out.serial_fallbacks = s.serial_fallbacks;
   out.tasks = s.tasks;
+  out.shared_b_packs = s.shared_b_packs;
   out.task_ms = s.task_ms;
   return out;
 }

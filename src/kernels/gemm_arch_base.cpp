@@ -1,4 +1,5 @@
-// Baseline-ISA instantiation of the blocked GEMM driver (whatever -march
+// Baseline-ISA instantiation of the blocked GEMM drivers (whatever -march
 // the toolchain defaults to, or -march=native under CALLOC_ENABLE_NATIVE).
 #define CAL_GEMM_ARCH_NS arch_base
 #include "gemm_kernel_body.inc"
+#include "gemm_s8_kernel_body.inc"

@@ -1,7 +1,8 @@
-// x86-64-v3 (AVX2+FMA) instantiation of the blocked GEMM driver. Added to
+// x86-64-v3 (AVX2+FMA) instantiation of the blocked GEMM drivers. Added to
 // the build only on x86-64 GCC/Clang (see CMakeLists.txt, which compiles
 // this TU with -march=x86-64-v3); gemm.cpp dispatches to it at runtime
 // when the CPU qualifies, so the portable default build still reaches FMA
 // throughput on modern hardware.
 #define CAL_GEMM_ARCH_NS arch_v3
 #include "gemm_kernel_body.inc"
+#include "gemm_s8_kernel_body.inc"

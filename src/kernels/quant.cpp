@@ -1,0 +1,96 @@
+#include "kernels/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "kernels/gemm_arch.hpp"
+
+namespace cal::kernels {
+namespace {
+
+constexpr float kQmax = 127.0F;
+
+// Round half away from zero via copysign+truncate instead of
+// std::nearbyint: the libm call defeats auto-vectorization and dominates
+// the quantize pass, which sits on the serving hot path ahead of every
+// int8 GEMM. Clamping first keeps the +-0.5 bias in range.
+inline std::int8_t quantize_one(float x, float inv_scale) {
+  float q = x * inv_scale;
+  q = std::min(std::max(q, -kQmax), kQmax);
+  q += std::copysign(0.5F, q);
+  return static_cast<std::int8_t>(static_cast<std::int32_t>(q));
+}
+
+}  // namespace
+
+QuantizedMatrix quantize_per_output_channel(std::span<const float> w,
+                                            std::size_t rows,
+                                            std::size_t cols) {
+  CAL_ENSURE(w.size() == rows * cols, "quantize: span has "
+                                          << w.size() << " floats, expected "
+                                          << rows * cols);
+  QuantizedMatrix q;
+  q.rows = rows;
+  q.cols = cols;
+  q.per_row = false;
+  q.data.resize(rows * cols);
+  q.scales.assign(cols, 1.0F);
+  std::vector<float> inv(cols, 1.0F);
+  for (std::size_t j = 0; j < cols; ++j) {
+    float amax = 0.0F;
+    for (std::size_t i = 0; i < rows; ++i)
+      amax = std::max(amax, std::fabs(w[i * cols + j]));
+    if (amax > 0.0F) {
+      q.scales[j] = amax / kQmax;
+      inv[j] = kQmax / amax;
+    }
+  }
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      q.data[i * cols + j] = quantize_one(w[i * cols + j], inv[j]);
+  return q;
+}
+
+void quantize_rows(std::span<const float> x, std::size_t rows,
+                   std::size_t cols, std::span<std::int8_t> out,
+                   std::span<float> scales) {
+  CAL_ENSURE(x.size() == rows * cols, "quantize_rows: span has "
+                                          << x.size() << " floats, expected "
+                                          << rows * cols);
+  CAL_ENSURE(out.size() == rows * cols,
+             "quantize_rows: out has " << out.size() << " bytes, expected "
+                                       << rows * cols);
+  CAL_ENSURE(scales.size() == rows, "quantize_rows: scales has "
+                                        << scales.size() << ", expected "
+                                        << rows);
+  // Ride the runtime-dispatched per-ISA quantizer: this pass fronts every
+  // int8 GEMM at serve time and the portable TU would run it scalar.
+  detail::s8_dispatch().quantize_rows(x.data(), rows, cols, out.data(),
+                                      scales.data());
+}
+
+QuantizedMatrix quantize_rows(std::span<const float> x, std::size_t rows,
+                              std::size_t cols) {
+  QuantizedMatrix q;
+  q.rows = rows;
+  q.cols = cols;
+  q.per_row = true;
+  q.data.resize(rows * cols);
+  q.scales.resize(rows);
+  quantize_rows(x, rows, cols, std::span<std::int8_t>(q.data),
+                std::span<float>(q.scales));
+  return q;
+}
+
+std::vector<float> dequantize(const QuantizedMatrix& q) {
+  std::vector<float> out(q.rows * q.cols);
+  for (std::size_t i = 0; i < q.rows; ++i)
+    for (std::size_t j = 0; j < q.cols; ++j) {
+      const float s = q.per_row ? q.scales[i] : q.scales[j];
+      out[i * q.cols + j] = static_cast<float>(q.data[i * q.cols + j]) * s;
+    }
+  return out;
+}
+
+}  // namespace cal::kernels

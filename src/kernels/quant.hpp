@@ -1,0 +1,68 @@
+// Int8 quantization for the inference path.
+//
+// Symmetric linear quantization: q = round(x / s) clamped to [-127, 127],
+// with one scale per output channel for weights (so each column of a
+// Linear keeps its own dynamic range — the per-channel scheme the
+// compact-transformer localization line of work shows is loss-free enough
+// for this workload) and one dynamic scale per row for activations
+// (computed from each row's amax at predict time — fingerprint batches
+// are tiny, so this costs one pass over the row). -128 is excluded so
+// negation stays exact and the madd-pair kernels never overflow int16.
+//
+// These helpers feed gemm_s8_nn/nt: quantize weights once at publish
+// time (quantize_per_output_channel), activations per batch
+// (quantize_rows), and the kernel applies scale_a[i]*scale_b[j] to the
+// exact int32 inner product.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cal::kernels {
+
+/// An int8 matrix plus its per-channel scales. `per_row == false` means
+/// scales[j] covers column j (weights for gemm_s8_nn, one scale per
+/// output channel); `per_row == true` means scales[i] covers row i
+/// (activations, or nt-layout weights whose stored rows are the output
+/// channels).
+struct QuantizedMatrix {
+  std::vector<std::int8_t> data;
+  std::vector<float> scales;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  bool per_row = false;
+
+  /// Resident bytes of the quantized representation (data + scales).
+  std::size_t bytes() const {
+    return data.size() * sizeof(std::int8_t) + scales.size() * sizeof(float);
+  }
+};
+
+/// Quantize a rows x cols fp32 matrix with one symmetric scale per COLUMN
+/// (output channel of a y = xW layer). An all-zero column gets scale 1 so
+/// dequantization stays well-defined.
+QuantizedMatrix quantize_per_output_channel(std::span<const float> w,
+                                            std::size_t rows,
+                                            std::size_t cols);
+
+/// Quantize a rows x cols fp32 matrix with one symmetric scale per ROW —
+/// the activation side of gemm_s8, or an n x k weight destined for
+/// gemm_s8_nt (whose stored rows are the output channels). Writes into
+/// caller-provided storage so the serving hot path can reuse buffers;
+/// `out` must hold rows*cols int8 and `scales` rows floats.
+void quantize_rows(std::span<const float> x, std::size_t rows,
+                   std::size_t cols, std::span<std::int8_t> out,
+                   std::span<float> scales);
+
+/// Convenience allocating form of quantize_rows (per_row = true).
+QuantizedMatrix quantize_rows(std::span<const float> x, std::size_t rows,
+                              std::size_t cols);
+
+/// Reconstruct fp32 values from a quantized matrix: x̂ = q * scale. The
+/// round-trip error per element is bounded by scale/2, i.e. amax/254 of
+/// the channel it belongs to (tests assert this bound).
+std::vector<float> dequantize(const QuantizedMatrix& q);
+
+}  // namespace cal::kernels

@@ -1180,6 +1180,14 @@ obs::MetricsRegistry ServeEngine::metrics() const {
                     "Replica slots retired from rotation by faults",
                     {{"tenant", tenant}},
                     static_cast<double>(dep.quarantined_slots()));
+      reg.add_gauge("cal_serve_weight_bytes",
+                    "Resident model weight bytes across replica slots",
+                    {{"tenant", tenant}},
+                    static_cast<double>(dep.weight_bytes));
+      reg.add_gauge("cal_serve_precision_int8",
+                    "1 when this tenant serves int8-quantized replicas",
+                    {{"tenant", tenant}},
+                    dep.precision == Precision::Int8 ? 1.0 : 0.0);
       const DriftTrend drift = state.drift->snapshot();
       if (drift.enabled) {
         reg.add_gauge("cal_serve_drift_baseline_mean",

@@ -52,12 +52,22 @@ std::size_t TenantKeyHash::operator()(const TenantKey& k) const {
   return h.value();
 }
 
+std::string to_string(Precision p) {
+  return p == Precision::Int8 ? "int8" : "fp32";
+}
+
 void ModelRegistry::validate_spec(const TenantKey& key,
                                   const TenantSpec& spec) {
   CAL_ENSURE(!key.building.empty(), "tenant key needs a building name");
   CAL_ENSURE((spec.factory != nullptr) != (spec.shared_model != nullptr),
              "tenant " << key.str()
                        << " needs exactly one of factory / shared_model");
+  // Quantized replicas are publish()-owned copies; a borrowed shared
+  // model stays under the caller's control and cannot be swapped out.
+  CAL_ENSURE(spec.precision == Precision::Fp32 || spec.factory != nullptr,
+             "tenant " << key.str()
+                       << " requests int8 precision, which needs a replica "
+                          "factory (shared_model tenants serve fp32)");
   CAL_ENSURE(spec.num_aps > 0, "tenant " << key.str() << " needs num_aps > 0");
   if (!spec.anchors.empty())
     CAL_ENSURE(spec.anchors.rank() == 2 &&
@@ -198,16 +208,30 @@ std::shared_ptr<const DeploymentSnapshot> ModelRegistry::publish() {
       }
       dep->shared_mu_ = std::move(lock);
     } else {
+      dep->precision = spec.precision;
       dep->owned_.reserve(spec.service.num_workers);
       for (std::size_t i = 0; i < spec.service.num_workers; ++i) {
-        dep->owned_.push_back(spec.factory());
-        CAL_ENSURE(dep->owned_.back() != nullptr,
+        auto replica = spec.factory();
+        CAL_ENSURE(replica != nullptr,
                    "tenant " << key.str()
                              << " replica factory returned nullptr for slot "
                              << i);
+        if (spec.precision == Precision::Int8) {
+          // Snapshot the trained replica into its int8 inference copy;
+          // the fp32 original is discarded once quantization succeeds.
+          auto quantized = replica->quantize_int8();
+          CAL_ENSURE(quantized != nullptr,
+                     "tenant " << key.str() << " requests int8 but model '"
+                               << replica->name()
+                               << "' has no quantized path");
+          replica = std::move(quantized);
+        }
+        dep->owned_.push_back(std::move(replica));
         dep->replicas_.push_back(dep->owned_.back().get());
       }
     }
+    for (const baselines::ILocalizer* rep : dep->replicas_)
+      dep->weight_bytes += rep->weight_bytes();
     {
       // The deployment is not shared yet, but free_slots_ is guarded by
       // slot_mu_ and the analysis (rightly) has no notion of "not yet

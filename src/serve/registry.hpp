@@ -54,6 +54,17 @@ struct TenantKeyHash {
   std::size_t operator()(const TenantKey& k) const;
 };
 
+/// Numeric precision a tenant's replicas serve at. Int8 asks publish()
+/// to snapshot each freshly built replica through
+/// ILocalizer::quantize_int8() — per-output-channel weight scales, fp32
+/// accumulate — so the deployment carries ~4x smaller resident weights
+/// and rides the int8 GEMM path. Requires a factory (the registry owns
+/// the quantized copies) and a model family with a quantized path;
+/// publish() throws otherwise.
+enum class Precision : std::uint8_t { Fp32, Int8 };
+
+std::string to_string(Precision p);
+
 /// Everything needed to stand up one tenant's shard lane.
 struct TenantSpec {
   /// Builds one trained replica per slot (ServiceConfig::num_workers).
@@ -71,6 +82,10 @@ struct TenantSpec {
   /// Shard-local lane configuration: replica slots, batching, cache,
   /// screening thresholds, drift policy, admission quota, seed.
   ServiceConfig service;
+  /// Serving precision (see Precision). Int8 is validated at
+  /// register/reload time (needs a factory) and applied at publish()
+  /// time (each replica is quantized as it is built).
+  Precision precision = Precision::Fp32;
 };
 
 /// Catalogue of trained models keyed by tenant. Assemble (and keep

@@ -50,6 +50,14 @@ class TenantDeployment {
   std::size_t num_aps = 0;
   ServiceConfig lane;
   AnchorScreen screen;
+  /// Precision the replicas serve at (Int8 ⇒ replicas are quantized
+  /// copies built at publish() time).
+  Precision precision = Precision::Fp32;
+  /// Total resident weight bytes across this tenant's replicas
+  /// (ILocalizer::weight_bytes summed at publish(); 0 when the model
+  /// family does not report a footprint). Exported per tenant by
+  /// ServeEngine::metrics() so quantization memory wins are observable.
+  std::size_t weight_bytes = 0;
 
   /// Checkout one replica slot, or -1 when every slot is busy (the
   /// engine then leaves this tenant's queue for a later pass — at most

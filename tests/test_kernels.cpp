@@ -13,6 +13,7 @@
 #include "common/ensure.hpp"
 #include "common/rng.hpp"
 #include "kernels/gemm.hpp"
+#include "kernels/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace {
@@ -210,6 +211,284 @@ TEST(Kernels, RejectsMissizedSpans) {
       PreconditionError);
   EXPECT_THROW(kernels::gemm_nn(a.flat(), b.flat(), c.flat(), 0, 3, 5),
                PreconditionError);
+}
+
+// --- batched / strided -----------------------------------------------------
+
+TEST(Kernels, BatchedNnIsBitIdenticalToLoopedGemm) {
+  // Dense contiguous batches across ragged shapes, including edge tiles.
+  const std::vector<Shape> shapes = {
+      {1, 3, 1}, {5, 7, 9}, {6, 16, 16}, {13, 31, 17}};
+  for (const auto& s : shapes) {
+    const std::size_t batch = 5;
+    const Tensor a = random_mat(s.m * 31 + s.k, batch * s.m, s.k);
+    const Tensor b = random_mat(s.k * 31 + s.n, batch * s.k, s.n);
+    std::vector<float> want(batch * s.m * s.n);
+    for (std::size_t e = 0; e < batch; ++e)
+      kernels::gemm_nn(a.flat().subspan(e * s.m * s.k, s.m * s.k),
+                       b.flat().subspan(e * s.k * s.n, s.k * s.n),
+                       std::span<float>(want).subspan(e * s.m * s.n,
+                                                      s.m * s.n),
+                       s.m, s.k, s.n);
+    std::vector<float> got(batch * s.m * s.n);
+    kernels::gemm_batched_nn(a.flat(), b.flat(), got, batch, s.m, s.k, s.n);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(got[i], want[i])
+          << "batched diverged from looped at " << i << " (shape " << s.m
+          << "x" << s.k << "x" << s.n << ")";
+  }
+}
+
+TEST(Kernels, BatchedStridedHeadViewsMatchPerHeadLoop) {
+  // The fused-attention layout: Q is B x (H·D) with head h at column
+  // offset h·D, prototypes are (H·M) x D with head h at row offset h·M,
+  // scores land in B x (H·M) at column offset h·M. One strided batched-nt
+  // call must equal H separate gemm_nt calls over copied-out views.
+  const std::size_t rows = 9, heads = 3, d = 5, m = 7;
+  const Tensor q = random_mat(101, rows, heads * d);
+  const Tensor proto = random_mat(102, heads * m, d);
+  std::vector<float> want(rows * heads * m);
+  for (std::size_t h = 0; h < heads; ++h) {
+    Tensor qh({rows, d});
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < d; ++j)
+        qh.at(i, j) = q.at(i, h * d + j);
+    Tensor sh({rows, m});
+    kernels::gemm_nt(qh.flat(),
+                     proto.flat().subspan(h * m * d, m * d), sh.flat(),
+                     rows, d, m);
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < m; ++j)
+        want[i * heads * m + h * m + j] = sh.at(i, j);
+  }
+  std::vector<float> got(rows * heads * m);
+  kernels::BatchStrides st;
+  st.stride_a = d;
+  st.lda = heads * d;
+  st.stride_b = m * d;
+  st.stride_c = m;
+  st.ldc = heads * m;
+  kernels::gemm_batched_nt(q.flat(), proto.flat(), got, heads, rows, d, m,
+                           st);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(got[i], want[i]) << "strided head view diverged at " << i;
+}
+
+TEST(Kernels, BatchedKZeroZeroFillsUnlessAccumulating) {
+  const std::size_t batch = 2, m = 3, n = 4;
+  std::vector<float> c(batch * m * n, 7.0F);
+  kernels::gemm_batched_nn({}, {}, c, batch, m, 0, n);
+  for (float v : c) EXPECT_EQ(v, 0.0F);
+  std::vector<float> kept(batch * m * n, 7.0F);
+  kernels::gemm_batched_nn({}, {}, kept, batch, m, 0, n, {},
+                           /*accumulate=*/true);
+  for (float v : kept) EXPECT_EQ(v, 7.0F);
+}
+
+TEST(Kernels, BatchedThreadedSplitIsBitIdenticalToSerial) {
+  const std::size_t batch = 8, m = 96, k = 128, n = 80;
+  const Tensor a = random_mat(51, batch * m, k);
+  const Tensor b = random_mat(52, batch * k, n);
+  std::vector<float> serial(batch * m * n);
+  ASSERT_EQ(kernels::max_threads(), 1u);
+  kernels::gemm_batched_nn(a.flat(), b.flat(), serial, batch, m, k, n);
+  kernels::set_max_threads(4);
+  std::vector<float> threaded(batch * m * n);
+  kernels::gemm_batched_nn(a.flat(), b.flat(), threaded, batch, m, k, n);
+  kernels::set_max_threads(1);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], threaded[i])
+        << "batched thread split changed bits at " << i;
+}
+
+// --- int8 quantized --------------------------------------------------------
+
+std::vector<std::int8_t> random_s8(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<std::int8_t> out(count);
+  for (auto& v : out)
+    v = static_cast<std::int8_t>(
+        static_cast<int>(std::floor(rng.uniform() * 255.0)) - 127);
+  return out;
+}
+
+std::vector<float> random_scales(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<float> out(count);
+  for (auto& v : out)
+    v = 0.001F + 0.05F * static_cast<float>(rng.uniform());
+  return out;
+}
+
+/// Reference int8 GEMM: exact int32 inner product, then the same
+/// scale-application expression the kernel uses — so comparisons can
+/// demand bit-identity, not tolerance.
+void s8_reference(std::span<const std::int8_t> a,
+                  std::span<const std::int8_t> b, std::span<float> c,
+                  std::size_t m, std::size_t k, std::size_t n,
+                  std::span<const float> scale_a,
+                  std::span<const float> scale_b, bool transpose_b,
+                  bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int32_t sum = 0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const std::int32_t bv = transpose_b ? b[j * k + p] : b[p * n + j];
+        sum += static_cast<std::int32_t>(a[i * k + p]) * bv;
+      }
+      const float v = scale_a[i] * scale_b[j] * static_cast<float>(sum);
+      c[i * n + j] = accumulate ? c[i * n + j] + v : v;
+    }
+}
+
+TEST(Kernels, GemmS8NnMatchesExactReferenceAcrossEdgeShapes) {
+  // Edge shapes from the issue: M=1, N=1, K=0, plus non-multiples of the
+  // int8 tile (MR=4, NR up to 32, k packed in pairs ⇒ odd k is the edge).
+  const std::vector<Shape> shapes = {
+      {1, 8, 8},  {8, 8, 1},   {1, 1, 1},  {3, 0, 5},   {4, 2, 32},
+      {5, 7, 33}, {4, 17, 32}, {7, 33, 9}, {12, 64, 48}, {31, 101, 67}};
+  for (const auto& s : shapes) {
+    const auto a = random_s8(s.m * 7 + s.k, s.m * s.k);
+    const auto b = random_s8(s.k * 7 + s.n + 1, s.k * s.n);
+    const auto sa = random_scales(3 * s.m + 1, s.m);
+    const auto sb = random_scales(5 * s.n + 2, s.n);
+    std::vector<float> want(s.m * s.n, -9.0F);
+    s8_reference(a, b, want, s.m, s.k, s.n, sa, sb, /*transpose_b=*/false,
+                 /*accumulate=*/false);
+    std::vector<float> got(s.m * s.n, -9.0F);
+    kernels::gemm_s8_nn(a, b, got, s.m, s.k, s.n, sa, sb);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(got[i], want[i]) << "s8_nn diverged at " << i << " (shape "
+                                 << s.m << "x" << s.k << "x" << s.n << ")";
+  }
+}
+
+TEST(Kernels, GemmS8NtMatchesExactReferenceAcrossEdgeShapes) {
+  const std::vector<Shape> shapes = {
+      {1, 5, 1}, {1, 8, 9}, {6, 0, 3}, {4, 9, 31}, {9, 33, 33}, {17, 40, 21}};
+  for (const auto& s : shapes) {
+    const auto a = random_s8(s.m * 13 + s.k, s.m * s.k);
+    const auto b = random_s8(s.n * 13 + s.k + 1, s.n * s.k);  // stored NxK
+    const auto sa = random_scales(7 * s.m + 1, s.m);
+    const auto sb = random_scales(9 * s.n + 2, s.n);
+    std::vector<float> want(s.m * s.n);
+    s8_reference(a, b, want, s.m, s.k, s.n, sa, sb, /*transpose_b=*/true,
+                 /*accumulate=*/false);
+    std::vector<float> got(s.m * s.n);
+    kernels::gemm_s8_nt(a, b, got, s.m, s.k, s.n, sa, sb);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(got[i], want[i]) << "s8_nt diverged at " << i << " (shape "
+                                 << s.m << "x" << s.k << "x" << s.n << ")";
+  }
+}
+
+TEST(Kernels, GemmS8AccumulateAndSaturatedInputsStayExact) {
+  // All-extreme operands (±127) maximise the int16-pair products; k large
+  // enough to cross several packed k-pair panels. The int32 sum must not
+  // saturate or wrap, and accumulate must add onto prior contents.
+  const std::size_t m = 5, k = 203, n = 35;
+  std::vector<std::int8_t> a(m * k, 127);
+  std::vector<std::int8_t> b(k * n, -127);
+  for (std::size_t i = 0; i < a.size(); i += 3) a[i] = -127;
+  const std::vector<float> sa(m, 0.5F);
+  const std::vector<float> sb(n, 0.25F);
+  std::vector<float> want(m * n, 2.0F);
+  s8_reference(a, b, want, m, k, n, sa, sb, false, /*accumulate=*/true);
+  std::vector<float> got(m * n, 2.0F);
+  kernels::gemm_s8_nn(a, b, got, m, k, n, sa, sb, /*accumulate=*/true);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(got[i], want[i]) << "saturated accumulate diverged at " << i;
+}
+
+TEST(Kernels, GemmS8ThreadedSplitIsBitIdenticalToSerial) {
+  const std::size_t m = 256, k = 320, n = 192;
+  const auto a = random_s8(91, m * k);
+  const auto b = random_s8(92, k * n);
+  const auto sa = random_scales(93, m);
+  const auto sb = random_scales(94, n);
+  std::vector<float> serial(m * n);
+  ASSERT_EQ(kernels::max_threads(), 1u);
+  kernels::gemm_s8_nn(a, b, serial, m, k, n, sa, sb);
+  kernels::set_max_threads(4);
+  std::vector<float> threaded(m * n);
+  kernels::gemm_s8_nn(a, b, threaded, m, k, n, sa, sb);
+  kernels::set_max_threads(1);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], threaded[i])
+        << "s8 thread split changed bits at " << i;
+}
+
+TEST(Kernels, GemmS8RejectsMissizedSpansAndScales) {
+  const auto a = random_s8(1, 4 * 3);
+  const auto b = random_s8(2, 3 * 5);
+  std::vector<float> c(4 * 5);
+  const std::vector<float> sa(4, 1.0F);
+  const std::vector<float> sb(5, 1.0F);
+  EXPECT_THROW(kernels::gemm_s8_nn(a, b, c, 4, 3, 6, sa, sb),
+               PreconditionError);
+  EXPECT_THROW(kernels::gemm_s8_nn(a, b, c, 0, 3, 5, sa, sb),
+               PreconditionError);
+  const std::vector<float> sa_short(3, 1.0F);
+  EXPECT_THROW(kernels::gemm_s8_nn(a, b, c, 4, 3, 5, sa_short, sb),
+               PreconditionError);
+}
+
+// --- quantization ----------------------------------------------------------
+
+TEST(Kernels, QuantizeRoundTripErrorIsBoundedByHalfScale) {
+  // Property: |x − dequant(quant(x))| ≤ scale/2 = amax/254 per element,
+  // for both the per-column (weight) and per-row (activation) schemes.
+  Rng rng(404);
+  const std::size_t rows = 37, cols = 23;
+  const Tensor w = Tensor::randn({rows, cols}, rng, 2.5F);
+
+  const kernels::QuantizedMatrix qc =
+      kernels::quantize_per_output_channel(w.flat(), rows, cols);
+  EXPECT_FALSE(qc.per_row);
+  ASSERT_EQ(qc.scales.size(), cols);
+  const std::vector<float> backc = kernels::dequantize(qc);
+  for (std::size_t j = 0; j < cols; ++j) {
+    float amax = 0.0F;
+    for (std::size_t i = 0; i < rows; ++i)
+      amax = std::max(amax, std::abs(w.at(i, j)));
+    const float bound = amax / 254.0F + 1e-12F;
+    EXPECT_NEAR(qc.scales[j], amax / 127.0F, 1e-6F * std::max(1.0F, amax));
+    for (std::size_t i = 0; i < rows; ++i)
+      ASSERT_LE(std::abs(w.at(i, j) - backc[i * cols + j]), bound)
+          << "per-column round trip out of bound at (" << i << "," << j
+          << ")";
+  }
+
+  const kernels::QuantizedMatrix qr =
+      kernels::quantize_rows(w.flat(), rows, cols);
+  EXPECT_TRUE(qr.per_row);
+  ASSERT_EQ(qr.scales.size(), rows);
+  const std::vector<float> backr = kernels::dequantize(qr);
+  for (std::size_t i = 0; i < rows; ++i) {
+    float amax = 0.0F;
+    for (std::size_t j = 0; j < cols; ++j)
+      amax = std::max(amax, std::abs(w.at(i, j)));
+    const float bound = amax / 254.0F + 1e-12F;
+    for (std::size_t j = 0; j < cols; ++j)
+      ASSERT_LE(std::abs(w.at(i, j) - backr[i * cols + j]), bound)
+          << "per-row round trip out of bound at (" << i << "," << j << ")";
+  }
+}
+
+TEST(Kernels, QuantizeHandlesZeroChannelsAndExcludesMinus128) {
+  // An all-zero column must get a well-defined scale (1) and all-zero
+  // codes; the most negative value must map to -127, never -128.
+  const std::size_t rows = 4, cols = 3;
+  std::vector<float> w(rows * cols, 0.0F);
+  for (std::size_t i = 0; i < rows; ++i) w[i * cols + 1] = -3.0F;
+  const kernels::QuantizedMatrix q =
+      kernels::quantize_per_output_channel(w, rows, cols);
+  EXPECT_EQ(q.scales[0], 1.0F);
+  for (std::size_t i = 0; i < rows; ++i) {
+    EXPECT_EQ(q.data[i * cols + 0], 0);
+    EXPECT_EQ(q.data[i * cols + 1], -127);
+  }
+  for (const std::int8_t v : q.data) EXPECT_GE(v, -127);
 }
 
 }  // namespace

@@ -128,6 +128,50 @@ TEST(PrototypeAttention, ShapesAndParams) {
   EXPECT_EQ(mha.parameter_count(), 2u * (12 * 8 + 8 + 64) + 16 * 16 + 16);
 }
 
+TEST(PrototypeAttention, FusedHeadsBitIdenticalToPerHeadLoop) {
+  // The fused multi-head path (one strided batched GEMM per step) must be
+  // bit-identical — forward AND gradients — to the per-head reference:
+  // each PrototypeAttentionHead run separately, outputs concatenated,
+  // then the same w_o. Same seed ⇒ same RNG draw order by construction.
+  const std::size_t in = 11, hd = 6, heads = 3, protos = 5, rows = 7;
+  Rng rng_fused(77);
+  MultiHeadPrototypeAttention fused(in, hd, heads, protos, rng_fused);
+
+  Rng rng_ref(77);
+  std::vector<std::unique_ptr<PrototypeAttentionHead>> ref_heads;
+  for (std::size_t h = 0; h < heads; ++h)
+    ref_heads.push_back(std::make_unique<PrototypeAttentionHead>(
+        in, hd, protos, rng_ref, "h" + std::to_string(h)));
+  Linear ref_wo(hd * heads, hd * heads, rng_ref, "wo");
+
+  Rng data_rng(5005);
+  const Tensor x = Tensor::randn({rows, in}, data_rng, 1.0F);
+
+  auto xin_f = autograd::make_leaf(x, true);
+  auto out_f = fused.forward(xin_f);
+  auto xin_r = autograd::make_leaf(x, true);
+  auto cat = ref_heads[0]->forward(xin_r);
+  for (std::size_t h = 1; h < heads; ++h)
+    cat = autograd::concat_cols(cat, ref_heads[h]->forward(xin_r));
+  auto out_r = ref_wo.forward(cat);
+
+  ASSERT_EQ(out_f->value().size(), out_r->value().size());
+  for (std::size_t i = 0; i < out_f->value().size(); ++i)
+    ASSERT_EQ(out_f->value()[i], out_r->value()[i])
+        << "fused forward diverged at " << i;
+
+  // Gradients agree to the ulp level: the head-batched attention ops
+  // lower to the same reductions, but dX through the fused w_q is one
+  // (H·hd)-wide sum where the reference rounds at each head boundary —
+  // a reassociation of the same terms, not a different computation.
+  autograd::backward(autograd::sum_all(out_f));
+  autograd::backward(autograd::sum_all(out_r));
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_NEAR(xin_f->grad()[i], xin_r->grad()[i],
+                1e-6F * std::max(1.0F, std::fabs(xin_r->grad()[i])))
+        << "fused input gradient diverged at " << i;
+}
+
 TEST(Optimizer, SgdConvergesOnQuadratic) {
   // Minimise ||x - t||^2 by gradient descent on a leaf "parameter".
   auto param = autograd::make_leaf(Tensor({1, 4}, 5.0F), true);

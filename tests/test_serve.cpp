@@ -1665,6 +1665,131 @@ TEST(Engine, MetricsScrapeRoundTrip) {
   engine.shutdown();
 }
 
+TEST(Engine, MixedPrecisionTenantsCoexist) {
+  // One venue served twice: an fp32 tenant and an int8 tenant built from
+  // the SAME trained artefact (precision = Int8 quantizes each replica at
+  // publish()). The int8 lane must not perturb the fp32 lane: routing,
+  // screening, and bit-identity with sequential fp32 predict all hold,
+  // while the int8 tenant serves its own (deterministic) quantized
+  // predictions at a fraction of the resident weight bytes.
+  const auto& sc = scenario();
+  const Tensor anchors = anchor_database_from(sc.train);
+  const TenantKey kf{"venue-mp", 0, "fp32"};
+  const TenantKey kq{"venue-mp", 0, "int8"};
+
+  ModelRegistry reg;
+  {
+    TenantSpec spec;
+    spec.factory = calloc_factory();
+    spec.num_aps = sc.train.num_aps();
+    spec.anchors = anchors;
+    spec.service.num_workers = 2;
+    spec.service.max_batch = 8;
+    spec.service.queue_capacity = 64;
+    reg.register_tenant(kf, std::move(spec));
+  }
+  {
+    TenantSpec spec;
+    spec.factory = calloc_factory();
+    spec.num_aps = sc.train.num_aps();
+    spec.anchors = anchors;
+    spec.service.num_workers = 2;
+    spec.service.max_batch = 8;
+    spec.service.queue_capacity = 64;
+    spec.precision = Precision::Int8;
+    reg.register_tenant(kq, std::move(spec));
+  }
+  ServeEngine engine(reg.publish(), EngineConfig{});
+  ASSERT_EQ(engine.num_tenants(), 2u);
+
+  // Sequential ground truths from fresh replicas of the same artefact.
+  const Tensor x = sc.device_tests.front().normalized();
+  auto fp32_ref = calloc_factory()();
+  const std::vector<std::size_t> want_f = fp32_ref->predict(x);
+  auto int8_ref = fp32_ref->quantize_int8();
+  ASSERT_NE(int8_ref, nullptr);
+  const std::vector<std::size_t> want_q = int8_ref->predict(x);
+  // The quantized copy is ~4x smaller and must say so itself.
+  ASSERT_GT(fp32_ref->weight_bytes(), 0u);
+  EXPECT_LT(int8_ref->weight_bytes(), fp32_ref->weight_bytes() / 2);
+
+  const std::size_t rows = std::min<std::size_t>(x.rows(), 48);
+  std::vector<EngineSubmission> sub_f, sub_q;
+  for (std::size_t r = 0; r < rows; ++r) {
+    sub_f.push_back(submit_blocking(engine, kf, row_of(x, r)));
+    sub_q.push_back(submit_blocking(engine, kq, row_of(x, r)));
+  }
+  std::size_t agree = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(sub_f[r].decision.status, RouteDecision::Status::Exact);
+    EXPECT_EQ(sub_q[r].decision.status, RouteDecision::Status::Exact);
+    const ServeResult rf = sub_f[r].result.get();
+    const ServeResult rq = sub_q[r].result.get();
+    ASSERT_TRUE(rf.localized);
+    ASSERT_TRUE(rq.localized);
+    // fp32 lane: bit-identical to sequential predict, int8 neighbour or
+    // not. int8 lane: identical to the sequentially quantized replica
+    // (the int8 kernels are exact, so this is deterministic too).
+    EXPECT_EQ(rf.rp, want_f[r]) << "fp32 tenant perturbed at row " << r;
+    EXPECT_EQ(rq.rp, want_q[r]) << "int8 tenant diverged at row " << r;
+    agree += static_cast<std::size_t>(want_f[r] == want_q[r]);
+  }
+  // Quantization keeps predictions overwhelmingly aligned with fp32.
+  EXPECT_GE(agree * 10, rows * 9)
+      << "int8 agreed with fp32 on only " << agree << "/" << rows;
+
+  // Both lanes screened their traffic against the shared anchor shard.
+  engine.shutdown();
+  const auto stats = engine.stats();
+  for (const auto& t : stats.per_tenant) {
+    EXPECT_EQ(t.stats.completed, rows);
+    EXPECT_EQ(t.stats.screened, rows);
+  }
+
+  // Precision and resident-weight gauges, straight from the snapshot.
+  const obs::MetricsRegistry m = engine.metrics();
+  const auto* pf =
+      m.find("cal_serve_precision_int8", {{"tenant", kf.str()}});
+  const auto* pq =
+      m.find("cal_serve_precision_int8", {{"tenant", kq.str()}});
+  ASSERT_NE(pf, nullptr);
+  ASSERT_NE(pq, nullptr);
+  EXPECT_EQ(pf->value, 0.0);
+  EXPECT_EQ(pq->value, 1.0);
+  const auto* wf = m.find("cal_serve_weight_bytes", {{"tenant", kf.str()}});
+  const auto* wq = m.find("cal_serve_weight_bytes", {{"tenant", kq.str()}});
+  ASSERT_NE(wf, nullptr);
+  ASSERT_NE(wq, nullptr);
+  EXPECT_GT(wf->value, 0.0);
+  EXPECT_GT(wq->value, 0.0);
+  EXPECT_LT(wq->value, wf->value / 2);
+  const std::string text = m.prometheus_text();
+  EXPECT_NE(text.find("cal_serve_precision_int8{tenant=\"venue-mp/0:int8\"}"
+                      " 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cal_serve_weight_bytes{tenant=\"venue-mp/0:fp32\"}"),
+            std::string::npos);
+}
+
+TEST(Registry, Int8PrecisionRequiresAFactory) {
+  // Borrowed shared models cannot be swapped for quantized copies — the
+  // registry must refuse the combination at registration time.
+  ConstLocalizer shared(1);
+  TenantSpec spec;
+  spec.shared_model = &shared;
+  spec.num_aps = kTinyAps;
+  spec.service.num_workers = 1;
+  spec.precision = Precision::Int8;
+  ModelRegistry reg;
+  EXPECT_THROW(reg.register_tenant({"venue-q", 0, ""}, std::move(spec)),
+               PreconditionError);
+  // And a factory whose models lack a quantized path fails at publish().
+  TenantSpec no_path = const_spec(1);
+  no_path.precision = Precision::Int8;
+  reg.register_tenant({"venue-q", 0, ""}, std::move(no_path));
+  EXPECT_THROW(reg.publish(), PreconditionError);
+}
+
 TEST(Engine, FlightRecorderTimelineSpansDeploy) {
   if (!obs::kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
   obs::Tracer::instance().set_enabled(true);
