@@ -29,6 +29,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/hot_path_annotations.hpp"
 #include "common/rng.hpp"
 #include "common/thread_annotations.hpp"
 
@@ -76,7 +77,10 @@ class FaultRegistry {
 
   /// The CAL_FAULT_POINT entry: throws InjectedFault when `site` is armed
   /// and its trigger fires. With no armed sites anywhere this is one
-  /// relaxed atomic load — the macro is safe on hot paths.
+  /// relaxed atomic load — the macro is safe on hot paths (bounded mutex
+  /// on the armed path only; calloc-lint resolves CAL_FAULT_POINT to an
+  /// edge onto this function).
+  CAL_HOT_PATH
   void passage(const char* site) CAL_EXCLUDES(mu_);
 
   struct SiteStats {

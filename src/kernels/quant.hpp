@@ -20,6 +20,8 @@
 #include <span>
 #include <vector>
 
+#include "common/hot_path_annotations.hpp"
+
 namespace cal::kernels {
 
 /// An int8 matrix plus its per-channel scales. `per_row == false` means
@@ -52,6 +54,7 @@ QuantizedMatrix quantize_per_output_channel(std::span<const float> w,
 /// gemm_s8_nt (whose stored rows are the output channels). Writes into
 /// caller-provided storage so the serving hot path can reuse buffers;
 /// `out` must hold rows*cols int8 and `scales` rows floats.
+CAL_HOT_PATH CAL_NONBLOCKING
 void quantize_rows(std::span<const float> x, std::size_t rows,
                    std::size_t cols, std::span<std::int8_t> out,
                    std::span<float> scales);

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hot_path_annotations.hpp"
 #include "common/log.hpp"
 #include "common/thread_annotations.hpp"
 #include "obs/trace.hpp"
@@ -58,8 +59,15 @@ class FlightRecorder {
   /// Record an anomaly. Returns true when a dump was taken (false while
   /// rate-limited). `fields` are appended to the structured header line —
   /// pass the numbers that justify the trip (observed p99, threshold...).
+  // Audited: trip() is called from hot-path roots (submit, process) but
+  // is rate-limited by min_interval and deliberately synchronous — the
+  // whole point of an anomaly dump is that it is on disk before the
+  // process degrades further. The snapshot allocation and stderr write
+  // are bounded by the rate limit; bench_serve_chaos gates the cost.
+  CAL_LINT_SUPPRESS(block, "rate-limited anomaly dump is synchronous by design")
   bool trip(std::string_view reason, std::span<const LogField> fields = {})
       CAL_EXCLUDES(mu_);
+  CAL_LINT_SUPPRESS(block, "rate-limited anomaly dump is synchronous by design")
   bool trip(std::string_view reason, std::initializer_list<LogField> fields)
       CAL_EXCLUDES(mu_) {
     return trip(reason,

@@ -35,6 +35,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/hot_path_annotations.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace cal::obs {
@@ -106,6 +107,7 @@ class Tracer {
   /// Record one event into the calling thread's ring. Lock-free and
   /// allocation-free after the thread's first call. Prefer the
   /// CAL_TRACE_EVENT macro, which compiles out entirely.
+  CAL_HOT_PATH CAL_NONBLOCKING CAL_NOALLOC
   void record(EventType type, std::uint64_t tenant, std::uint64_t epoch,
               std::uint64_t batch, double value);
 
@@ -143,6 +145,11 @@ class Tracer {
 
   Tracer() : t0_(std::chrono::steady_clock::now()) {}
 
+  // Audited: the FIRST record() on a thread allocates its ring and takes
+  // reg_mu_ to register it; every later call is one thread_local read.
+  // The steady-state record() path stays lock- and allocation-free.
+  CAL_LINT_SUPPRESS(alloc, "one-time per-thread ring registration")
+  CAL_LINT_SUPPRESS(block, "registry mutex only on a thread's first event")
   Ring& ring_for_this_thread() CAL_EXCLUDES(reg_mu_);
   static void read_ring(const Ring& ring, std::size_t last_n,
                         ThreadTrace& out);

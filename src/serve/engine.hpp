@@ -49,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/hot_path_annotations.hpp"
 #include "common/rng.hpp"
 #include "common/thread_annotations.hpp"
 #include "obs/flight_recorder.hpp"
@@ -84,8 +85,10 @@ class TokenBucket {
 
   /// Take one token if available. Refills rate_per_s per second up to
   /// the burst cap, computed lazily from the elapsed monotonic time.
+  CAL_HOT_PATH
   bool try_acquire(std::chrono::steady_clock::time_point now)
       CAL_EXCLUDES(mu_);
+  CAL_HOT_PATH
   bool try_acquire() { return try_acquire(std::chrono::steady_clock::now()); }
 
   /// Return one token (capped at the burst). The engine refunds a token
@@ -146,6 +149,7 @@ class CircuitBreaker {
   /// left (probes can vanish: shed by deadline, dropped by a deploy), in
   /// which case one replacement probe is admitted so the breaker cannot
   /// deadlock half-open forever.
+  CAL_HOT_PATH
   bool try_admit(std::chrono::steady_clock::time_point now)
       CAL_EXCLUDES(mu_);
 
@@ -278,6 +282,7 @@ class ServeEngine {
   /// NOT deadline-checked (an already-expired deadline is still Accepted
   /// and then shed by the pool), keeping submit() clock-read-free on the
   /// no-deadline path.
+  CAL_HOT_PATH
   EngineSubmission submit(
       const TenantKey& tenant, std::vector<float> fingerprint_normalized,
       std::optional<std::chrono::steady_clock::time_point> deadline =
@@ -399,10 +404,16 @@ class ServeEngine {
   std::size_t drop_queue(TenantState& st, ServeStatus status)
       CAL_REQUIRES(mu_);
 
+  // worker_loop itself parks on work_cv_ between claims and is therefore
+  // deliberately NOT hot-path annotated; the claim→checkout→screen→
+  // predict→complete chain it runs per wakeup is.
   void worker_loop(std::size_t worker_index) CAL_EXCLUDES(mu_, work_mu_);
+  CAL_HOT_PATH
   bool try_claim(std::size_t& cursor, Claim& out)
       CAL_EXCLUDES(mu_, work_mu_);
+  CAL_HOT_PATH
   void process(Claim& claim, Rng& rng);
+  CAL_HOT_PATH
   void signal_work() CAL_EXCLUDES(work_mu_);
 
   EngineConfig cfg_;

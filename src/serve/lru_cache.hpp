@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hot_path_annotations.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace cal::serve {
@@ -43,10 +44,12 @@ class FingerprintCache {
 
   /// Cached RP for this key, bumping it to most-recently-used. Counts a
   /// hit or a miss.
+  CAL_HOT_PATH CAL_NOALLOC
   std::optional<std::size_t> lookup(const Key& key) CAL_EXCLUDES(mu_);
 
   /// Insert (or refresh) a prediction, evicting the least-recently-used
   /// entry when full.
+  CAL_HOT_PATH
   void insert(const Key& key, std::size_t rp) CAL_EXCLUDES(mu_);
 
   /// Drop every entry (hit/miss counters survive). The serving layer calls

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/ensure.hpp"
+#include "common/hot_path_annotations.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace cal::serve {
@@ -50,6 +51,7 @@ class BoundedQueue {
   /// for a slot. This is the admission-control flavour the serving
   /// engine's typed submit() uses: overload is reported to the caller as
   /// Admission::QueueFull rather than absorbed as producer back-pressure.
+  CAL_HOT_PATH
   bool try_push(T&& item, std::size_t* depth_after = nullptr)
       CAL_EXCLUDES(mu_) {
     {
@@ -90,6 +92,7 @@ class BoundedQueue {
   /// Non-blocking drain: up to `max_items` items if any are queued,
   /// empty otherwise — never waits. Used by pool workers that scan many
   /// queues and must not park on an empty one.
+  CAL_HOT_PATH
   std::vector<T> try_pop_batch(std::size_t max_items) CAL_EXCLUDES(mu_) {
     CAL_ENSURE(max_items > 0, "try_pop_batch needs max_items > 0");
     std::vector<T> batch;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hot_path_annotations.hpp"
 #include "data/dataset.hpp"
 #include "serve/shard_index.hpp"
 #include "tensor/tensor.hpp"
@@ -82,10 +83,12 @@ class AnchorScreen {
 
   /// Distance of one fingerprint to the nearest anchor (0 when disabled).
   /// `probe`, when given, reports the scan/prune work of this query.
+  CAL_HOT_PATH CAL_NOALLOC
   double distance(std::span<const float> fingerprint,
                   ShardIndexProbe* probe = nullptr) const;
 
   /// Threshold the distance into a verdict.
+  CAL_HOT_PATH CAL_NONBLOCKING CAL_NOALLOC
   Verdict classify(double distance) const;
 
  private:

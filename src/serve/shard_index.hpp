@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "common/hot_path_annotations.hpp"
 #include "tensor/tensor.hpp"
 
 namespace cal::serve {
@@ -54,6 +55,7 @@ class ShardIndex {
   /// the same quantity as serve::anchor_distance(anchors, fingerprint),
   /// computed with centroid-bound pruning. Optionally reports per-query
   /// work through `probe`.
+  CAL_HOT_PATH CAL_NONBLOCKING CAL_NOALLOC
   double nearest(std::span<const float> fingerprint,
                  ShardIndexProbe* probe = nullptr) const;
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hot_path_annotations.hpp"
 #include "common/thread_annotations.hpp"
 #include "obs/histogram.hpp"
 #include "serve/screening.hpp"
@@ -96,24 +97,35 @@ class StatsCollector {
  public:
   StatsCollector();
 
+  CAL_HOT_PATH
   void record_submitted() CAL_EXCLUDES(mu_);
   /// Roll back a record_submitted() whose push was refused (shutdown).
+  CAL_HOT_PATH
   void record_submit_rejected() CAL_EXCLUDES(mu_);
   /// Admission denials (engine front door): the request never entered a
   /// queue, so neither `submitted` nor `completed` moves.
+  CAL_HOT_PATH
   void record_over_quota() CAL_EXCLUDES(mu_);
+  CAL_HOT_PATH
   void record_queue_full() CAL_EXCLUDES(mu_);
+  CAL_HOT_PATH
   void record_breaker_denied() CAL_EXCLUDES(mu_);
   /// Admitted requests resolved by fault containment instead of serving:
   /// they stay in `submitted` (they consumed admission + queue space) but
   /// never reach `completed` or the latency histogram.
+  CAL_HOT_PATH
   void record_expired(std::size_t n = 1) CAL_EXCLUDES(mu_);
+  CAL_HOT_PATH
   void record_faulted(std::size_t n = 1) CAL_EXCLUDES(mu_);
   /// A queued request terminated unserved (tenant removed, shutdown):
   /// rolls its admission back out of `submitted` and counts it in `shed`.
+  CAL_HOT_PATH
   void record_shed() CAL_EXCLUDES(mu_);
+  CAL_HOT_PATH
   void record_batch(std::size_t batch_size) CAL_EXCLUDES(mu_);
+  CAL_HOT_PATH
   void record_result(const ResultRecord& r) CAL_EXCLUDES(mu_);
+  CAL_HOT_PATH
   void record_drift_flush() CAL_EXCLUDES(mu_);
 
   /// Restart the wall clock behind wall_seconds/throughput_rps. The
@@ -127,6 +139,7 @@ class StatsCollector {
   /// Cheap read of the current lifetime p99 — the flight-recorder breach
   /// check runs this on the completion path, where a full snapshot()
   /// (with its wall-clock math and struct copy) would be waste.
+  CAL_HOT_PATH
   double latency_p99_ms() const CAL_EXCLUDES(mu_);
 
  private:

@@ -1,0 +1,30 @@
+// Seeded violation for the calloc-lint `alloc` rule. NOT compiled into
+// any target — this file is an analyzer input (see tests/CMakeLists.txt:
+// ctest runs `calloc-lint --expect alloc` on it and FAILS unless exactly
+// this rule fires). The violation is transitive on purpose: the
+// CAL_NOALLOC root itself is allocation-free; the helper it calls grows
+// a vector. A detector that only scans annotated bodies misses it.
+#include <cstddef>
+#include <vector>
+
+#include "common/hot_path_annotations.hpp"
+
+namespace lint_corpus_alloc {
+
+struct Buffer {
+  std::vector<float> values;
+
+  void grow_tail(float v) {
+    values.push_back(v);  // allocation: reachable from the root below
+  }
+};
+
+CAL_NOALLOC
+float hot_accumulate(Buffer& buf, const float* xs, std::size_t n) {
+  float acc = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) acc += xs[i];
+  buf.grow_tail(acc);
+  return acc;
+}
+
+}  // namespace lint_corpus_alloc

@@ -1,0 +1,40 @@
+// Seeded violation for the calloc-lint `block` rule. NOT compiled into
+// any target — analyzer input only (ctest runs `calloc-lint --expect
+// block` on it). Two violations, one per tier:
+//   - a CAL_NONBLOCKING root that constructs a blocking mutex guard
+//     (any lock acquisition is banned at that tier; a try_to_lock
+//     acquisition would be allowed), and
+//   - a CAL_HOT_PATH root that reaches a condition-variable wait through
+//     a helper (unbounded waits are banned transitively at every tier).
+#include <condition_variable>
+#include <mutex>
+
+#include "common/hot_path_annotations.hpp"
+
+namespace lint_corpus_block {
+
+struct Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  int ready = 0;
+};
+
+inline void wait_for_ready(Shared& sh) {
+  std::unique_lock<std::mutex> lk(sh.mu);
+  while (sh.ready == 0) sh.cv.wait(lk);
+}
+
+CAL_NONBLOCKING
+int probe_counter(Shared& sh, int delta) {
+  std::lock_guard<std::mutex> lk(sh.mu);  // lock on a NONBLOCKING path
+  sh.ready += delta;
+  return sh.ready;
+}
+
+CAL_HOT_PATH
+int serve_one(Shared& sh) {
+  wait_for_ready(sh);  // condvar wait reached from a HOT_PATH root
+  return sh.ready;
+}
+
+}  // namespace lint_corpus_block

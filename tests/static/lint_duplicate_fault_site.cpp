@@ -1,0 +1,20 @@
+// Seeded violation for the calloc-lint `sites` rule. NOT compiled into
+// any target — analyzer input only (ctest runs `calloc-lint --expect
+// sites` on it, with the real site table). Violations seeded:
+//   - "serve.queue_push" appears at two passage points (a site literal
+//     must map to exactly one location, or armed-fault schedules and
+//     per-site hit counters silently aggregate two code paths), and
+//   - "serve.totally_undocumented" is absent from site_table.txt.
+#include "common/fault_inject.hpp"
+
+namespace lint_corpus_sites {
+
+inline void push_fast(int) { CAL_FAULT_POINT("serve.queue_push"); }
+
+inline void push_slow(int) {
+  CAL_FAULT_POINT("serve.queue_push");  // duplicate of the site above
+}
+
+inline void drain() { CAL_FAULT_POINT("serve.totally_undocumented"); }
+
+}  // namespace lint_corpus_sites

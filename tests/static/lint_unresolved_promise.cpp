@@ -1,0 +1,25 @@
+// Seeded violation for the calloc-lint `promise` rule. NOT compiled into
+// any target — analyzer input only (ctest runs `calloc-lint --expect
+// promise` on it). The early-denial branch returns the future but never
+// resolves the promise: exactly the bug class PR 8's "every future
+// resolves" guarantee exists to prevent, and the shape (denial branch
+// added later, forgot set_value) is the realistic regression.
+#include <future>
+
+namespace lint_corpus_promise {
+
+struct Result {
+  int code = 0;
+};
+
+inline std::future<Result> admit(bool over_quota, int payload) {
+  std::promise<Result> p;
+  std::future<Result> fut = p.get_future();
+  if (over_quota) {
+    return fut;  // BUG: promise destroyed unresolved on this path
+  }
+  p.set_value(Result{payload});
+  return fut;
+}
+
+}  // namespace lint_corpus_promise

@@ -1,0 +1,141 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace callint {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> toks;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last '\n'
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: swallow to end of line, honoring backslash
+    // continuations (multi-line #define bodies are one directive).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;  // the '\n' itself handled above
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string close = ")" + delim + "\"";
+      const std::size_t start = j + 1;
+      const std::size_t end = src.find(close, start);
+      const std::size_t stop = end == std::string::npos ? n : end;
+      std::string body = src.substr(start, stop - start);
+      for (char b : body)
+        if (b == '\n') ++line;
+      toks.push_back({TokKind::String, std::move(body), line});
+      i = stop == n ? n : stop + close.size();
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          body.push_back(src[j]);
+          body.push_back(src[j + 1]);
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; keep going anyway
+        body.push_back(src[j++]);
+      }
+      toks.push_back({quote == '"' ? TokKind::String : TokKind::Char,
+                      std::move(body), line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      toks.push_back({TokKind::Identifier, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P'))))
+        ++j;
+      toks.push_back({TokKind::Number, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    toks.push_back({TokKind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return toks;
+}
+
+}  // namespace callint

@@ -1,0 +1,41 @@
+// calloc-lint: token stream over RAW (un-preprocessed) C++ source.
+//
+// The analyzer deliberately reads source text before the preprocessor
+// runs, so the annotation macros from src/common/hot_path_annotations.hpp
+// (which expand to nothing) are still visible as identifiers, and so the
+// CAL_FAULT_POINT / CAL_TRACE_EVENT instrumentation sites can be read
+// off as written rather than as their expansions. Preprocessor directive
+// lines (including backslash continuations) are skipped entirely: macro
+// *definitions* are not code and must not be parsed as functions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace callint {
+
+enum class TokKind {
+  Identifier,  ///< identifiers and keywords (the parser distinguishes)
+  Number,
+  String,  ///< text excludes the quotes; adjacent literals NOT merged
+  Char,
+  Punct,  ///< one token per character: ( ) { } < > ; : , . * & = etc.
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// Tokenizes `source`. Comments, preprocessor directives, and raw-string
+/// bodies are consumed (raw strings become String tokens). Never throws
+/// on malformed input — unknown bytes become single-char Punct tokens so
+/// the parser can resynchronize.
+std::vector<Token> lex(const std::string& source);
+
+/// Reads a whole file; returns false (and leaves `out` empty) on error.
+bool read_file(const std::string& path, std::string* out);
+
+}  // namespace callint

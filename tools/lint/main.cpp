@@ -1,0 +1,139 @@
+// calloc-lint: the project hot-path analyzer. See rules.hpp for the rule
+// set and src/common/hot_path_annotations.hpp for the vocabulary.
+//
+// Usage:
+//   calloc-lint [--table FILE] [--require-all-sites] [--expect RULE]
+//               [--quiet] PATH...
+//
+// PATH is a file or a directory (recursed for .hpp/.h/.cpp/.cc/.inc).
+// Exit status:
+//   normal mode : 0 when no findings, 1 when any finding, 2 on usage/IO
+//   --expect R  : 0 iff there is at least one finding AND every finding
+//                 is of rule R — the seeded-violation corpus gate: a
+//                 clean run over a file that is supposed to violate R is
+//                 itself a failure (a gate that can't fail is dead), and
+//                 so is tripping the wrong rule.
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "model.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".hpp" || e == ".h" || e == ".cpp" || e == ".cc" ||
+         e == ".inc";
+}
+
+void collect(const std::string& path, std::vector<std::string>* files) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (auto it = fs::recursive_directory_iterator(path, ec);
+         it != fs::recursive_directory_iterator(); ++it)
+      if (it->is_regular_file(ec) && source_ext(it->path()))
+        files->push_back(it->path().string());
+  } else {
+    files->push_back(path);
+  }
+}
+
+int usage() {
+  std::cerr << "usage: calloc-lint [--table FILE] [--require-all-sites] "
+               "[--expect alloc|block|promise|sites] [--quiet] PATH...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string table_path;
+  std::string expect;
+  bool require_all_sites = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--table" && i + 1 < argc) table_path = argv[++i];
+    else if (a == "--expect" && i + 1 < argc) expect = argv[++i];
+    else if (a == "--require-all-sites") require_all_sites = true;
+    else if (a == "--quiet") quiet = true;
+    else if (a == "--help" || a == "-h") return usage();
+    else if (!a.empty() && a[0] == '-') return usage();
+    else paths.push_back(a);
+  }
+  if (paths.empty()) return usage();
+
+  callint::AnalysisOptions opts;
+  opts.require_all_sites = require_all_sites;
+  if (!table_path.empty()) {
+    if (!callint::load_site_table(table_path, &opts.site_table)) {
+      std::cerr << "calloc-lint: cannot read site table: " << table_path
+                << "\n";
+      return 2;
+    }
+    opts.have_site_table = true;
+  }
+
+  std::vector<std::string> files;
+  for (const auto& p : paths) collect(p, &files);
+  if (files.empty()) {
+    std::cerr << "calloc-lint: no source files under given paths\n";
+    return 2;
+  }
+
+  std::vector<callint::TuModel> tus;
+  tus.reserve(files.size());
+  for (const auto& f : files) {
+    std::string src;
+    if (!callint::read_file(f, &src)) {
+      std::cerr << "calloc-lint: cannot read " << f << "\n";
+      return 2;
+    }
+    tus.push_back(callint::build_model(f, callint::lex(src)));
+  }
+
+  const std::vector<callint::Finding> findings =
+      callint::analyze(tus, opts);
+
+  std::size_t functions = 0, annotated = 0;
+  for (const auto& tu : tus)
+    for (const auto& fn : tu.functions) {
+      ++functions;
+      if (fn->hot_path || fn->nonblocking || fn->noalloc) ++annotated;
+    }
+
+  for (const auto& f : findings)
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  if (!quiet)
+    std::cout << "calloc-lint: " << files.size() << " files, " << functions
+              << " functions (" << annotated << " annotated roots), "
+              << findings.size() << " finding(s)\n";
+
+  if (!expect.empty()) {
+    if (findings.empty()) {
+      std::cout << "calloc-lint: FAIL — expected at least one '" << expect
+                << "' finding, got none (dead gate)\n";
+      return 1;
+    }
+    for (const auto& f : findings)
+      if (f.rule != expect) {
+        std::cout << "calloc-lint: FAIL — expected only '" << expect
+                  << "' findings, got '" << f.rule << "'\n";
+        return 1;
+      }
+    std::cout << "calloc-lint: OK — seeded '" << expect
+              << "' violation detected\n";
+    return 0;
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,592 @@
+#include "model.hpp"
+
+#include <algorithm>
+
+namespace callint {
+namespace {
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> k = {
+      "if",       "for",      "while",    "switch",   "return",
+      "catch",    "sizeof",   "alignof",  "decltype", "noexcept",
+      "new",      "delete",   "throw",    "do",       "else",
+      "case",     "default",  "goto",     "static_assert",
+      "alignas",  "co_await", "co_yield", "co_return"};
+  return k;
+}
+
+// Annotation/assertion macros whose parenthesized payload is not code to
+// analyze. CAL_ENSURE / CAL_INVARIANT are the project assertion macros:
+// their failure path is program-fatal and cold, so the whole group is
+// skipped (documented in README "Correctness tooling").
+const std::set<std::string>& skip_macros() {
+  static const std::set<std::string> k = {
+      "CAL_GUARDED_BY",      "CAL_PT_GUARDED_BY",  "CAL_ACQUIRED_AFTER",
+      "CAL_ACQUIRED_BEFORE", "CAL_REQUIRES",       "CAL_REQUIRES_SHARED",
+      "CAL_ACQUIRE",         "CAL_ACQUIRE_SHARED", "CAL_RELEASE",
+      "CAL_RELEASE_SHARED",  "CAL_TRY_ACQUIRE",    "CAL_EXCLUDES",
+      "CAL_RETURN_CAPABILITY", "CAL_CAPABILITY",   "CAL_SCOPED_CAPABILITY",
+      "CAL_ENSURE",          "CAL_INVARIANT",      "assert",
+      "static_assert",       "alignas",            "defined"};
+  return k;
+}
+
+const std::set<std::string>& lock_classes() {
+  static const std::set<std::string> k = {
+      "MutexLock",   "ReaderMutexLock", "WriterMutexLock", "lock_guard",
+      "scoped_lock", "unique_lock",     "shared_lock"};
+  return k;
+}
+
+struct Parser {
+  const std::vector<Token>& t;
+  TuModel model;
+
+  // Pending annotations: attach to the next declaration or definition.
+  bool p_hot = false, p_nb = false, p_na = false;
+  std::vector<SuppressEntry> p_sup;
+
+  explicit Parser(const std::string& file, const std::vector<Token>& toks)
+      : t(toks) {
+    model.file = file;
+  }
+
+  bool is(std::size_t k, const char* s) const {
+    return k < t.size() && t[k].text == s;
+  }
+  bool ident(std::size_t k) const {
+    return k < t.size() && t[k].kind == TokKind::Identifier;
+  }
+
+  /// Index just past the group that opens at `k` (expects '(' '{' '[' '<').
+  std::size_t skip_group(std::size_t k) const {
+    const std::string& open = t[k].text;
+    std::string close = open == "(" ? ")" : open == "{" ? "}"
+                        : open == "[" ? "]" : ">";
+    int depth = 0;
+    for (std::size_t j = k; j < t.size(); ++j) {
+      if (t[j].kind != TokKind::Punct) continue;
+      if (t[j].text == open) ++depth;
+      else if (t[j].text == close && --depth == 0) return j + 1;
+      // Angle groups: bail on tokens that cannot appear in template args,
+      // so stray comparisons don't swallow the file.
+      if (open == "<" && (t[j].text == ";" || t[j].text == "{")) return j;
+    }
+    return t.size();
+  }
+
+  void clear_pending() {
+    p_hot = p_nb = p_na = false;
+    p_sup.clear();
+  }
+
+  bool take_annotation(std::size_t& k) {
+    const std::string& s = t[k].text;
+    if (s == "CAL_HOT_PATH") { p_hot = true; ++k; return true; }
+    if (s == "CAL_NONBLOCKING") { p_nb = true; ++k; return true; }
+    if (s == "CAL_NOALLOC") { p_na = true; ++k; return true; }
+    if (s == "CAL_LINT_SUPPRESS") {
+      SuppressEntry e;
+      e.line = t[k].line;
+      ++k;  // name
+      if (is(k, "(")) {
+        std::size_t end = skip_group(k);
+        // Expect: ( ident , "reason" )
+        if (k + 1 < end && ident(k + 1)) e.rule = t[k + 1].text;
+        for (std::size_t j = k + 1; j + 1 < end; ++j)
+          if (t[j].kind == TokKind::String) e.reason += t[j].text;
+        k = end;
+      }
+      p_sup.push_back(std::move(e));
+      return true;
+    }
+    return false;
+  }
+
+  // -------------------------------------------------------------------
+  // Body facts
+  // -------------------------------------------------------------------
+
+  /// Scans [b, e) (the token slice of a function body, braces included)
+  /// into `fn`. Nested lambdas are scanned inline: work a function
+  /// creates is attributed to it, which is the conservative direction.
+  void scan_body(FunctionInfo& fn, std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e; ++k) {
+      if (!ident(k)) continue;
+      const std::string& s = t[k].text;
+
+      if (skip_macros().count(s) && is(k + 1, "(")) {
+        k = skip_group(k + 1) - 1;
+        continue;
+      }
+      if (s == "CAL_FAULT_POINT" && is(k + 1, "(")) {
+        std::size_t end = skip_group(k + 1);
+        SiteUse u;
+        u.kind = SiteUse::Kind::FaultPoint;
+        u.file = model.file;
+        u.line = t[k].line;
+        u.is_literal = (k + 2 < end && t[k + 2].kind == TokKind::String &&
+                        k + 3 < t.size() && t[k + 3].text == ")");
+        if (u.is_literal) u.literal = t[k + 2].text;
+        model.sites.push_back(std::move(u));
+        fn.calls.push_back({"passage", "", t[k].line});
+        k = end - 1;
+        continue;
+      }
+      if (s == "CAL_TRACE_EVENT" && is(k + 1, "(")) {
+        std::size_t end = skip_group(k + 1);
+        SiteUse u;
+        u.kind = SiteUse::Kind::TraceEvent;
+        u.file = model.file;
+        u.line = t[k].line;
+        // First argument must be a qualified EventType enumerator.
+        std::string first;
+        int depth = 0;
+        for (std::size_t j = k + 1; j < end; ++j) {
+          if (t[j].text == "(" || t[j].text == "{") ++depth;
+          else if (t[j].text == ")" || t[j].text == "}") --depth;
+          else if (t[j].text == "," && depth == 1) break;
+          if (j > k + 1) first += t[j].text;
+        }
+        u.literal = first;
+        u.is_literal = first.find("EventType::") != std::string::npos;
+        model.sites.push_back(std::move(u));
+        fn.calls.push_back({"record", "__tracer", t[k].line});
+        k = end - 1;
+        continue;
+      }
+      if (s == "new" && !(k > b && t[k - 1].text == "operator")) {
+        fn.new_lines.push_back(t[k].line);
+        continue;
+      }
+      // iostream sinks are blocking I/O even without a call-shaped token.
+      if (s == "cerr" || s == "cout" || s == "clog") {
+        fn.calls.push_back({"__stream_io", "", t[k].line});
+        continue;
+      }
+      // Blocking guard construction: `MutexLock lock(mu_);`,
+      // `std::unique_lock<std::mutex> g(m);` — allowed only with an
+      // explicit try_to_lock / defer_lock / adopt_lock tag.
+      if (lock_classes().count(s)) {
+        std::size_t j = k + 1;
+        if (is(j, "<")) j = skip_group(j);
+        if (ident(j)) {
+          std::size_t g = j + 1;
+          if (is(g, "(") || is(g, "{")) {
+            std::size_t end = skip_group(g);
+            bool deferred = false;
+            for (std::size_t m = g; m < end; ++m)
+              if (t[m].text == "try_to_lock" || t[m].text == "defer_lock" ||
+                  t[m].text == "adopt_lock")
+                deferred = true;
+            if (!deferred) {
+              fn.lock_ctors.push_back(s);
+              fn.lock_ctor_lines.push_back(t[k].line);
+            }
+            k = end - 1;
+            continue;
+          }
+        }
+      }
+      // Local promise/future declarations: [std::]promise<...> name.
+      if ((s == "promise" || s == "future" || s == "shared_future") &&
+          is(k + 1, "<")) {
+        std::size_t j = skip_group(k + 1);
+        if (ident(j) && !keywords().count(t[j].text)) {
+          if (s == "promise") fn.promise_locals.insert(t[j].text);
+          else fn.future_locals.insert(t[j].text);
+        }
+      }
+      // Plain call: identifier followed by '('.
+      if (is(k + 1, "(") && !keywords().count(s)) {
+        CallSite c;
+        c.name = s;
+        c.line = t[k].line;
+        if (k >= 1 && t[k - 1].text == "." && k >= 2 && ident(k - 2))
+          c.receiver = t[k - 2].text;
+        else if (k >= 2 && t[k - 1].text == ">" && t[k - 2].text == "-" &&
+                 k >= 3 && ident(k - 3))
+          c.receiver = t[k - 3].text;
+        // `trip("reason", ...)`: flight-recorder trip-reason registry.
+        if (s == "trip" && k + 2 < t.size() &&
+            t[k + 2].kind == TokKind::String) {
+          SiteUse u;
+          u.kind = SiteUse::Kind::TripReason;
+          u.file = model.file;
+          u.line = t[k].line;
+          u.literal = t[k + 2].text;
+          model.sites.push_back(std::move(u));
+        }
+        fn.calls.push_back(std::move(c));
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Statement tree (promise-resolution rule)
+  // -------------------------------------------------------------------
+
+  std::unique_ptr<Stmt> parse_block(std::size_t& k, std::size_t limit) {
+    auto seq = std::make_unique<Stmt>();
+    seq->kind = Stmt::Kind::Seq;
+    seq->line = t[k].line;
+    ++k;  // '{'
+    while (k < limit && !is(k, "}")) {
+      auto s = parse_stmt(k, limit);
+      if (s) seq->kids.push_back(std::move(s));
+    }
+    if (k < limit) ++k;  // '}'
+    return seq;
+  }
+
+  std::unique_ptr<Stmt> parse_stmt(std::size_t& k, std::size_t limit) {
+    if (k >= limit) return nullptr;
+    if (is(k, "{")) return parse_block(k, limit);
+    if (is(k, ";")) { ++k; return nullptr; }
+    const std::string& s = t[k].text;
+    if (s == "if") {
+      auto node = std::make_unique<Stmt>();
+      node->kind = Stmt::Kind::If;
+      node->line = t[k].line;
+      ++k;
+      if (is(k, "constexpr")) ++k;
+      if (is(k, "(")) {
+        std::size_t end = skip_group(k);
+        node->tokens.assign(t.begin() + static_cast<long>(k),
+                            t.begin() + static_cast<long>(end));
+        k = end;
+      }
+      node->then_branch = parse_stmt(k, limit);
+      if (is(k, "else")) {
+        ++k;
+        node->else_branch = parse_stmt(k, limit);
+      }
+      return node;
+    }
+    if (s == "for" || s == "while" || s == "switch") {
+      auto node = std::make_unique<Stmt>();
+      node->kind = Stmt::Kind::Loop;
+      node->line = t[k].line;
+      ++k;
+      if (is(k, "(")) {
+        std::size_t end = skip_group(k);
+        node->tokens.assign(t.begin() + static_cast<long>(k),
+                            t.begin() + static_cast<long>(end));
+        k = end;
+      }
+      node->body = parse_stmt(k, limit);
+      return node;
+    }
+    if (s == "do") {
+      auto node = std::make_unique<Stmt>();
+      node->kind = Stmt::Kind::Loop;
+      node->line = t[k].line;
+      ++k;
+      node->body = parse_stmt(k, limit);
+      // `while ( ... ) ;`
+      if (is(k, "while")) {
+        ++k;
+        if (is(k, "(")) k = skip_group(k);
+        if (is(k, ";")) ++k;
+      }
+      return node;
+    }
+    if (s == "try") {
+      auto node = std::make_unique<Stmt>();
+      node->kind = Stmt::Kind::TryCatch;
+      node->line = t[k].line;
+      ++k;
+      if (is(k, "{")) node->body = parse_block(k, limit);
+      while (is(k, "catch")) {
+        ++k;
+        if (is(k, "(")) k = skip_group(k);
+        if (is(k, "{")) node->handlers.push_back(parse_block(k, limit));
+        else node->handlers.push_back(parse_stmt(k, limit));
+      }
+      return node;
+    }
+    if (s == "return" || s == "throw") {
+      auto node = std::make_unique<Stmt>();
+      node->kind = s == "return" ? Stmt::Kind::Return : Stmt::Kind::Throw;
+      node->line = t[k].line;
+      ++k;
+      k = collect_to_semicolon(k, limit, &node->tokens);
+      return node;
+    }
+    // Expression / declaration statement (labels included).
+    auto node = std::make_unique<Stmt>();
+    node->kind = Stmt::Kind::Expr;
+    node->line = t[k].line;
+    k = collect_to_semicolon(k, limit, &node->tokens);
+    return node;
+  }
+
+  /// Collects tokens up to the ';' that ends the statement (balanced over
+  /// parens/braces/brackets, so lambda bodies ride along); returns the
+  /// index past the ';'.
+  std::size_t collect_to_semicolon(std::size_t k, std::size_t limit,
+                                   std::vector<Token>* out) {
+    int depth = 0;
+    while (k < limit) {
+      const std::string& s = t[k].text;
+      if (t[k].kind == TokKind::Punct) {
+        if (s == "(" || s == "[") ++depth;
+        else if (s == ")" || s == "]") --depth;
+        else if (s == "{") ++depth;
+        else if (s == "}") {
+          if (depth == 0) return k;  // enclosing block ends; no ';'
+          --depth;
+        } else if (s == ";" && depth == 0) {
+          out->push_back(t[k]);
+          return k + 1;
+        }
+      }
+      out->push_back(t[k]);
+      ++k;
+    }
+    return k;
+  }
+
+  // -------------------------------------------------------------------
+  // Top-level scan
+  // -------------------------------------------------------------------
+
+  struct Scope {
+    enum class Kind { Namespace, Class, Plain } kind;
+    std::string name;
+  };
+  std::vector<Scope> scopes;
+
+  std::string class_scope() const {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it)
+      if (it->kind == Scope::Kind::Class) return it->name;
+    return {};
+  }
+
+  void run() {
+    std::size_t k = 0;
+    while (k < t.size()) {
+      if (ident(k)) {
+        if (take_annotation(k)) continue;
+        const std::string& s = t[k].text;
+        if (s == "namespace") { k = enter_namespace(k); continue; }
+        if (s == "class" || s == "struct" || s == "union") {
+          k = enter_record(k);
+          continue;
+        }
+        if (s == "enum") { k = skip_enum(k); continue; }
+        if (s == "template") {
+          ++k;
+          if (is(k, "<")) k = skip_group(k);
+          continue;
+        }
+        if (s == "using" || s == "typedef") {
+          while (k < t.size() && !is(k, ";")) ++k;
+          ++k;
+          continue;
+        }
+        if (skip_macros().count(s) && is(k + 1, "(")) {
+          k = skip_group(k + 1);
+          continue;
+        }
+        // Candidate function: identifier directly before '('.
+        if (is(k + 1, "(") && !keywords().count(s)) {
+          std::size_t next = k;
+          if (try_function(k, &next)) { k = next; continue; }
+          k = next;
+          continue;
+        }
+        ++k;
+        continue;
+      }
+      if (is(k, "{")) {
+        scopes.push_back({Scope::Kind::Plain, ""});
+        ++k;
+        continue;
+      }
+      if (is(k, "}")) {
+        if (!scopes.empty()) scopes.pop_back();
+        ++k;
+        continue;
+      }
+      ++k;
+    }
+  }
+
+  std::size_t enter_namespace(std::size_t k) {
+    ++k;  // 'namespace'
+    std::string name;
+    while (ident(k) || is(k, ":")) {
+      if (ident(k)) name += t[k].text;
+      else name += ":";
+      ++k;
+    }
+    if (is(k, "=")) {  // namespace alias
+      while (k < t.size() && !is(k, ";")) ++k;
+      return k + 1;
+    }
+    if (is(k, "{")) {
+      scopes.push_back({Scope::Kind::Namespace, name});
+      return k + 1;
+    }
+    return k;
+  }
+
+  std::size_t enter_record(std::size_t k) {
+    ++k;  // class/struct/union
+    std::string name;
+    while (k < t.size()) {
+      if (ident(k)) {
+        // Attribute-like macro with payload (CAL_CAPABILITY("mutex")).
+        if (is(k + 1, "(")) {
+          k = skip_group(k + 1);
+          continue;
+        }
+        name = t[k].text;
+        ++k;
+        continue;
+      }
+      if (is(k, "<")) { k = skip_group(k); continue; }
+      if (is(k, "[")) { k = skip_group(k); continue; }
+      break;
+    }
+    if (is(k, ":")) {  // base clause
+      while (k < t.size() && !is(k, "{") && !is(k, ";")) {
+        if (is(k, "<")) { k = skip_group(k); continue; }
+        ++k;
+      }
+    }
+    if (is(k, "{")) {
+      scopes.push_back({Scope::Kind::Class, name});
+      return k + 1;
+    }
+    if (is(k, ";")) return k + 1;  // forward declaration
+    return k;  // elaborated type specifier; resume normally
+  }
+
+  std::size_t skip_enum(std::size_t k) {
+    while (k < t.size() && !is(k, "{") && !is(k, ";")) ++k;
+    if (is(k, "{")) return skip_group(k);
+    return k + 1;
+  }
+
+  /// `k` sits on the identifier before '('. Returns true when a
+  /// declaration or definition was consumed; `*next` is where to resume.
+  bool try_function(std::size_t k, std::size_t* next) {
+    const std::size_t name_tok = k;
+    std::string name = t[k].text;
+    std::string qual_prefix;
+    // Walk back over `A::B::` qualifiers.
+    std::size_t b = k;
+    while (b >= 2 && t[b - 1].text == ":" && t[b - 2].text == ":") {
+      std::size_t q = b - 2;
+      if (q >= 1 && ident(q - 1)) {
+        qual_prefix = t[q - 1].text + "::" + qual_prefix;
+        b = q - 1;
+      } else {
+        break;
+      }
+    }
+    const std::size_t close = skip_group(k + 1);  // past ')'
+    std::size_t j = close;
+    // Trailer: const/noexcept/override/trailing-return/annotation macros.
+    while (j < t.size()) {
+      if (ident(j)) {
+        if (is(j + 1, "(")) { j = skip_group(j + 1); continue; }
+        ++j;
+        continue;
+      }
+      const std::string& s = t[j].text;
+      if (s == "&" || s == "*" || s == "-" || s == ">" || s == "<" ||
+          s == ":" || s == ",") {
+        if (s == "<") { j = skip_group(j); continue; }
+        if (s == ":" && j + 1 < t.size() && t[j + 1].text == ":") {
+          j += 2;
+          continue;
+        }
+        if (s == ":") break;  // ctor-init list
+        if (s == ",") { *next = name_tok + 1; return false; }
+        ++j;
+        continue;
+      }
+      if (s == "[") { j = skip_group(j); continue; }
+      break;
+    }
+    if (j < t.size() && t[j].text == ":") {
+      // Constructor initializer list: `ident (group|braces) [, ...] {`.
+      ++j;
+      while (j < t.size()) {
+        while (ident(j) || is(j, ":")) ++j;
+        if (is(j, "<")) j = skip_group(j);
+        if (is(j, "(") || is(j, "{")) j = skip_group(j);
+        if (is(j, ",")) { ++j; continue; }
+        break;
+      }
+    }
+    if (j >= t.size()) { *next = name_tok + 1; return false; }
+    if (t[j].text == "=") {
+      // `= default;` / `= delete;` / pure virtual.
+      while (j < t.size() && !is(j, ";")) ++j;
+      record_declaration(name, qual_prefix);
+      *next = j + 1;
+      return true;
+    }
+    if (t[j].text == ";") {
+      record_declaration(name, qual_prefix);
+      *next = j + 1;
+      return true;
+    }
+    if (t[j].text != "{") { *next = name_tok + 1; return false; }
+
+    // Definition.
+    auto fn = std::make_unique<FunctionInfo>();
+    fn->name = name;
+    fn->file = model.file;
+    fn->line = t[name_tok].line;
+    if (!qual_prefix.empty()) fn->qualified = qual_prefix + name;
+    else if (!class_scope().empty())
+      fn->qualified = class_scope() + "::" + name;
+    else fn->qualified = name;
+    fn->hot_path = p_hot;
+    fn->nonblocking = p_nb;
+    fn->noalloc = p_na;
+    fn->suppressions = p_sup;
+    clear_pending();
+
+    const std::size_t body_end = skip_group(j);
+    scan_body(*fn, j, body_end);
+    if (!fn->promise_locals.empty()) {
+      std::size_t cursor = j;
+      fn->stmts = parse_block(cursor, body_end);
+    }
+    model.functions.push_back(std::move(fn));
+    *next = body_end;
+    return true;
+  }
+
+  void record_declaration(const std::string& name,
+                          const std::string& qual_prefix) {
+    if (!p_hot && !p_nb && !p_na && p_sup.empty()) return;
+    TuModel::DeclAnnotation d;
+    if (!qual_prefix.empty()) d.qualified = qual_prefix + name;
+    else if (!class_scope().empty())
+      d.qualified = class_scope() + "::" + name;
+    else d.qualified = name;
+    d.hot_path = p_hot;
+    d.nonblocking = p_nb;
+    d.noalloc = p_na;
+    d.suppressions = p_sup;
+    model.decl_annotations.push_back(std::move(d));
+    clear_pending();
+  }
+};
+
+}  // namespace
+
+TuModel build_model(const std::string& file, const std::vector<Token>& toks) {
+  Parser p(file, toks);
+  p.run();
+  return std::move(p.model);
+}
+
+}  // namespace callint

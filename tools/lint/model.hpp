@@ -1,0 +1,109 @@
+// calloc-lint: heuristic source model.
+//
+// A TU scan produces FunctionInfo records: the function's (qualified)
+// name, the hot-path annotations attached to its declaration(s) or
+// definition, the calls its body makes, and the lexical facts the rules
+// consume (allocation tokens, wait/lock tokens, local promise/future
+// declarations, instrumentation-site literals, a statement tree for the
+// promise-resolution dataflow).
+//
+// This is a *name-based* model over raw source — deliberately so (see
+// lexer.hpp): templates, overloads, and virtual dispatch all collapse
+// onto names, which over-approximates the call graph. Over-approximation
+// is the safe direction for a gate (extra edges can only produce extra
+// findings, which the audited CAL_LINT_SUPPRESS list then documents);
+// the LibTooling/AST upgrade path is noted in tools/lint/README comments
+// and in the top-level README.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace callint {
+
+/// One call site inside a function body: the unqualified callee name as
+/// written (`obj.method(..)` -> "method", `ns::fn(..)` -> "fn").
+struct CallSite {
+  std::string name;
+  std::string receiver;  ///< identifier before '.'/'->', if any
+  int line = 0;
+};
+
+/// Statement tree for the promise-resolution dataflow. Expression
+/// statements keep their token slice; control flow keeps children.
+struct Stmt {
+  enum class Kind { Seq, Expr, If, Loop, TryCatch, Return, Throw };
+  Kind kind = Kind::Expr;
+  int line = 0;
+  std::vector<Token> tokens;               ///< Expr/Return/Throw payload
+  std::vector<std::unique_ptr<Stmt>> kids; ///< Seq children; If: [cond?,
+                                           ///< then, else?]; see model.cpp
+  std::unique_ptr<Stmt> then_branch, else_branch, body;  // If / Loop
+  std::vector<std::unique_ptr<Stmt>> handlers;           // TryCatch
+};
+
+struct SuppressEntry {
+  std::string rule;    ///< alloc | block | promise | sites
+  std::string reason;  ///< empty reason is itself a finding
+  int line = 0;
+};
+
+struct SiteUse {
+  enum class Kind { FaultPoint, TripReason, TraceEvent };
+  Kind kind;
+  std::string literal;  ///< site string, trip reason, or EventType token
+  bool is_literal = true;
+  std::string file;
+  int line = 0;
+};
+
+struct FunctionInfo {
+  std::string name;       ///< unqualified name as written
+  std::string qualified;  ///< Scope::name when the scope is known
+  std::string file;
+  int line = 0;
+
+  bool hot_path = false;
+  bool nonblocking = false;
+  bool noalloc = false;
+  std::vector<SuppressEntry> suppressions;
+
+  std::vector<CallSite> calls;
+  std::vector<int> new_lines;            ///< `new` keyword occurrences
+  std::vector<std::string> lock_ctors;   ///< blocking guard constructions
+  std::vector<int> lock_ctor_lines;
+  std::set<std::string> future_locals;   ///< locals of std::future type
+  std::set<std::string> promise_locals;  ///< locals of std::promise type
+  std::unique_ptr<Stmt> stmts;           ///< body tree (promise rule)
+
+  bool suppressed(const std::string& rule) const {
+    for (const auto& s : suppressions)
+      if (s.rule == rule) return true;
+    return false;
+  }
+};
+
+struct TuModel {
+  std::string file;
+  std::vector<std::unique_ptr<FunctionInfo>> functions;
+  std::vector<SiteUse> sites;
+  /// Annotations that appeared on a pure declaration (name -> flags);
+  /// merged onto the definition by qualified name, falling back to the
+  /// unqualified name when the declaration carries no scope.
+  struct DeclAnnotation {
+    std::string qualified;
+    bool hot_path = false, nonblocking = false, noalloc = false;
+    std::vector<SuppressEntry> suppressions;
+  };
+  std::vector<DeclAnnotation> decl_annotations;
+};
+
+/// Parses one file's token stream into a TuModel.
+TuModel build_model(const std::string& file, const std::vector<Token>& toks);
+
+}  // namespace callint

@@ -1,0 +1,486 @@
+#include "rules.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace callint {
+namespace {
+
+// ---------------------------------------------------------------------
+// Deny lists
+// ---------------------------------------------------------------------
+
+/// Heap allocation, by call name. Growing-container calls count: the
+/// CAL_NOALLOC contract is "no allocation", not "no operator new".
+const std::set<std::string>& alloc_deny() {
+  static const std::set<std::string> k = {
+      "malloc",       "calloc",   "realloc",      "aligned_alloc",
+      "strdup",       "make_unique", "make_shared", "push_back",
+      "emplace_back", "emplace",  "emplace_front", "insert",
+      "resize",       "reserve",  "append",       "to_string",
+      "substr"};
+  return k;
+}
+
+/// Unbounded waits — forbidden from CAL_HOT_PATH (and stricter) roots.
+/// `__stream_io` is the pseudo-call the model emits for cerr/cout/clog
+/// use; stdio sinks are listed by name.
+const std::set<std::string>& wait_deny() {
+  static const std::set<std::string> k = {
+      "wait",      "wait_for",  "wait_until", "sleep_for", "sleep_until",
+      "sleep",     "usleep",    "nanosleep",  "join",      "__stream_io",
+      "printf",    "fprintf",   "vfprintf",   "fputs",     "fwrite",
+      "puts",      "fflush",    "getline",    "fopen",     "fread",
+      "system"};
+  return k;
+}
+
+/// Lock acquisitions — additionally forbidden from CAL_NONBLOCKING roots.
+const std::set<std::string>& lock_deny() {
+  static const std::set<std::string> k = {"lock", "lock_shared"};
+  return k;
+}
+
+/// Short, type-ambiguous names the name-based call graph must not chase:
+/// `v.size()` on a vector would otherwise resolve to BoundedQueue::size
+/// (which takes a mutex) and poison every lock-free root. Deny-list
+/// checks still apply to these names; only graph *descent* is skipped.
+const std::set<std::string>& no_descend() {
+  static const std::set<std::string> k = {
+      "size",  "empty", "begin", "end",   "clear", "count", "data",
+      "at",    "front", "back",  "reset", "find",  "str",   "c_str",
+      "min",   "max",   "abs",   "get",   "swap",  "value", "load",
+      "store", "exchange", "compare_exchange_weak",
+      "compare_exchange_strong", "fetch_add", "fetch_sub", "name",
+      "enabled"};
+  return k;
+}
+
+// ---------------------------------------------------------------------
+// Merged model + call graph
+// ---------------------------------------------------------------------
+
+struct Graph {
+  std::vector<FunctionInfo*> fns;
+  std::unordered_map<std::string, std::vector<int>> by_last_name;
+
+  void build(std::vector<TuModel>& tus) {
+    for (auto& tu : tus)
+      for (auto& f : tu.functions) {
+        by_last_name[f->name].push_back(static_cast<int>(fns.size()));
+        fns.push_back(f.get());
+      }
+    // Attach annotations that rode on declarations (headers) to the
+    // definitions, by qualified name with unqualified fallback.
+    for (auto& tu : tus)
+      for (auto& d : tu.decl_annotations) {
+        const std::string last = d.qualified.rfind("::") == std::string::npos
+                                     ? d.qualified
+                                     : d.qualified.substr(
+                                           d.qualified.rfind("::") + 2);
+        auto it = by_last_name.find(last);
+        if (it == by_last_name.end()) continue;
+        bool matched_qualified = false;
+        for (int idx : it->second)
+          if (fns[idx]->qualified == d.qualified) matched_qualified = true;
+        for (int idx : it->second) {
+          FunctionInfo* f = fns[idx];
+          if (matched_qualified && f->qualified != d.qualified) continue;
+          f->hot_path |= d.hot_path;
+          f->nonblocking |= d.nonblocking;
+          f->noalloc |= d.noalloc;
+          for (const auto& s : d.suppressions) f->suppressions.push_back(s);
+        }
+      }
+  }
+};
+
+std::string chain_str(const std::vector<FunctionInfo*>& path) {
+  std::string out;
+  for (const auto* f : path) {
+    if (!out.empty()) out += " -> ";
+    out += f->qualified;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Rules alloc + block: transitive DFS from annotated roots
+// ---------------------------------------------------------------------
+
+class ReachChecker {
+ public:
+  ReachChecker(Graph& g, std::vector<Finding>& findings)
+      : g_(g), findings_(findings) {}
+
+  void run() {
+    for (FunctionInfo* f : g_.fns) {
+      if (f->noalloc && !f->suppressed("alloc")) {
+        path_.clear();
+        visited_.clear();
+        walk_alloc(f);
+      }
+      if ((f->hot_path || f->nonblocking) && !f->suppressed("block")) {
+        path_.clear();
+        visited_.clear();
+        walk_block(f, /*strict=*/f->nonblocking);
+      }
+    }
+  }
+
+ private:
+  void emit(const std::string& rule, const FunctionInfo* at, int line,
+            const std::string& what) {
+    std::ostringstream msg;
+    msg << what << " [path: " << chain_str(path_) << "]";
+    const std::string key =
+        rule + "|" + at->file + "|" + std::to_string(line) + "|" +
+        path_.front()->qualified + "|" + what;
+    if (!seen_.insert(key).second) return;
+    findings_.push_back({rule, at->file, line, msg.str()});
+  }
+
+  void descend(const CallSite& c,
+               const std::function<void(FunctionInfo*)>& visit) {
+    if (no_descend().count(c.name)) return;
+    auto it = g_.by_last_name.find(c.name);
+    if (it == g_.by_last_name.end()) return;
+    for (int idx : it->second) {
+      FunctionInfo* callee = g_.fns[idx];
+      if (callee == path_.back()) continue;  // direct self-recursion
+      if (!visited_.insert(callee).second) continue;
+      visit(callee);
+    }
+  }
+
+  void walk_alloc(FunctionInfo* f) {
+    if (f->suppressed("alloc")) return;
+    if (path_.size() > 40) return;
+    path_.push_back(f);
+    for (int line : f->new_lines)
+      emit("alloc", f, line,
+           "'new' on a CAL_NOALLOC path in " + f->qualified);
+    for (const auto& c : f->calls) {
+      if (alloc_deny().count(c.name))
+        emit("alloc", f, c.line,
+             "allocating call '" + c.name + "' on a CAL_NOALLOC path in " +
+                 f->qualified);
+      descend(c, [&](FunctionInfo* callee) { walk_alloc(callee); });
+    }
+    path_.pop_back();
+  }
+
+  void walk_block(FunctionInfo* f, bool strict) {
+    if (f->suppressed("block")) return;
+    if (path_.size() > 40) return;
+    path_.push_back(f);
+    const char* tier = strict ? "CAL_NONBLOCKING" : "CAL_HOT_PATH";
+    for (const auto& c : f->calls) {
+      const bool is_wait = wait_deny().count(c.name) != 0;
+      const bool is_future_get =
+          c.name == "get" && f->future_locals.count(c.receiver) != 0;
+      const bool is_lock = strict && lock_deny().count(c.name) != 0;
+      if (is_wait || is_future_get)
+        emit("block", f, c.line,
+             std::string("blocking call '") + c.name + "' on a " + tier +
+                 " path in " + f->qualified);
+      else if (is_lock)
+        emit("block", f, c.line,
+             "lock acquisition '" + c.name + "' on a CAL_NONBLOCKING path "
+             "in " + f->qualified);
+      descend(c, [&](FunctionInfo* callee) { walk_block(callee, strict); });
+    }
+    if (strict)
+      for (std::size_t i = 0; i < f->lock_ctors.size(); ++i)
+        emit("block", f, f->lock_ctor_lines[i],
+             "guard '" + f->lock_ctors[i] +
+                 "' constructed on a CAL_NONBLOCKING path in " +
+                 f->qualified);
+    path_.pop_back();
+  }
+
+  Graph& g_;
+  std::vector<Finding>& findings_;
+  std::vector<FunctionInfo*> path_;
+  std::unordered_set<FunctionInfo*> visited_;
+  std::unordered_set<std::string> seen_;
+};
+
+// ---------------------------------------------------------------------
+// Rule promise: per-function dataflow over the statement tree
+// ---------------------------------------------------------------------
+
+class PromiseChecker {
+ public:
+  PromiseChecker(FunctionInfo& fn, std::vector<Finding>& findings)
+      : fn_(fn), findings_(findings) {}
+
+  struct State {
+    /// var -> {declared, resolved}. A var is only checked at an exit
+    /// once its declaration statement has executed.
+    std::map<std::string, std::pair<bool, bool>> vars;
+  };
+
+  void run() {
+    if (!fn_.stmts) return;
+    State st;
+    for (const auto& v : fn_.promise_locals) st.vars[v] = {false, false};
+    const bool falls = exec(fn_.stmts.get(), st);
+    if (falls) check_exit(st, fn_.line, "falls off the end");
+  }
+
+ private:
+  void check_exit(const State& st, int line, const std::string& how) {
+    for (const auto& [var, flags] : st.vars) {
+      if (!flags.first || flags.second) continue;
+      if (!reported_.insert(var).second) continue;
+      findings_.push_back(
+          {"promise", fn_.file, line,
+           "std::promise '" + var + "' in " + fn_.qualified + " " + how +
+               " without set_value/set_exception or handoff on some path"});
+    }
+  }
+
+  void scan_tokens(const std::vector<Token>& toks, State& st) {
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+      if (toks[k].kind != TokKind::Identifier) continue;
+      const std::string& s = toks[k].text;
+      // Declaration: promise < ... > var
+      if (s == "promise" && k + 1 < toks.size() && toks[k + 1].text == "<") {
+        int depth = 0;
+        std::size_t j = k + 1;
+        for (; j < toks.size(); ++j) {
+          if (toks[j].text == "<") ++depth;
+          else if (toks[j].text == ">" && --depth == 0) { ++j; break; }
+        }
+        if (j < toks.size() && st.vars.count(toks[j].text))
+          st.vars[toks[j].text].first = true;
+        continue;
+      }
+      auto it = st.vars.find(s);
+      if (it == st.vars.end()) continue;
+      // var.set_value / var.set_exception
+      if (k + 2 < toks.size() && toks[k + 1].text == "." &&
+          (toks[k + 2].text == "set_value" ||
+           toks[k + 2].text == "set_exception")) {
+        it->second.second = true;
+        continue;
+      }
+      // std::move(var): ownership handed off — whoever received it is now
+      // responsible (tracked at its own declaration site if local).
+      if (k >= 1 && toks[k - 1].text == "(" && k >= 2 &&
+          toks[k - 2].text == "move") {
+        it->second.second = true;
+        continue;
+      }
+    }
+  }
+
+  static void merge_and(State& a, const State& b) {
+    for (auto& [var, flags] : a.vars) {
+      auto it = b.vars.find(var);
+      if (it == b.vars.end()) continue;
+      flags.first = flags.first || it->second.first;
+      flags.second = flags.second && it->second.second;
+    }
+  }
+
+  /// Executes `s` over `st`; returns whether control can fall through.
+  bool exec(const Stmt* s, State& st) {
+    if (!s) return true;
+    switch (s->kind) {
+      case Stmt::Kind::Seq: {
+        for (const auto& kid : s->kids)
+          if (!exec(kid.get(), st)) return false;
+        return true;
+      }
+      case Stmt::Kind::Expr:
+        scan_tokens(s->tokens, st);
+        return true;
+      case Stmt::Kind::Return:
+      case Stmt::Kind::Throw: {
+        scan_tokens(s->tokens, st);
+        check_exit(st, s->line,
+                   s->kind == Stmt::Kind::Return ? "reaches a return"
+                                                 : "reaches a throw");
+        return false;
+      }
+      case Stmt::Kind::If: {
+        scan_tokens(s->tokens, st);
+        State then_st = st, else_st = st;
+        const bool then_falls = exec(s->then_branch.get(), then_st);
+        const bool else_falls =
+            s->else_branch ? exec(s->else_branch.get(), else_st) : true;
+        if (then_falls && else_falls) {
+          State joined = then_st;
+          merge_and(joined, else_st);
+          st = joined;
+          return true;
+        }
+        if (then_falls) { st = then_st; return true; }
+        if (else_falls) { st = else_st; return true; }
+        return false;
+      }
+      case Stmt::Kind::Loop: {
+        scan_tokens(s->tokens, st);
+        // Optimistic on loop bodies: a resolution inside the loop counts
+        // (worker loops resolve every claimed request by construction;
+        // the zero-iteration case is the if-join's job to model).
+        if (s->body) exec(s->body.get(), st);
+        return true;
+      }
+      case Stmt::Kind::TryCatch: {
+        const State entry = st;
+        State try_st = st;
+        const bool try_falls = exec(s->body.get(), try_st);
+        bool any_falls = try_falls;
+        State joined = try_falls ? try_st : entry;
+        bool have = try_falls;
+        for (const auto& h : s->handlers) {
+          State h_st = entry;  // the throw may precede any try-side work
+          if (exec(h.get(), h_st)) {
+            any_falls = true;
+            if (have) merge_and(joined, h_st);
+            else { joined = h_st; have = true; }
+          }
+        }
+        if (any_falls) st = joined;
+        return any_falls;
+      }
+    }
+    return true;
+  }
+
+  FunctionInfo& fn_;
+  std::vector<Finding>& findings_;
+  std::set<std::string> reported_;
+};
+
+// ---------------------------------------------------------------------
+// Rule sites: instrumentation-site registry discipline
+// ---------------------------------------------------------------------
+
+void check_sites(const std::vector<TuModel>& tus, const AnalysisOptions& opts,
+                 std::vector<Finding>& findings) {
+  struct Occ {
+    const SiteUse* use;
+  };
+  std::map<std::string, std::vector<const SiteUse*>> faults, trips;
+  for (const auto& tu : tus)
+    for (const auto& u : tu.sites) {
+      switch (u.kind) {
+        case SiteUse::Kind::FaultPoint:
+          if (!u.is_literal) {
+            findings.push_back({"sites", u.file, u.line,
+                                "CAL_FAULT_POINT site must be a single "
+                                "string literal"});
+            continue;
+          }
+          faults[u.literal].push_back(&u);
+          break;
+        case SiteUse::Kind::TripReason:
+          trips[u.literal].push_back(&u);
+          break;
+        case SiteUse::Kind::TraceEvent:
+          if (!u.is_literal)
+            findings.push_back(
+                {"sites", u.file, u.line,
+                 "CAL_TRACE_EVENT first argument must be a qualified "
+                 "obs::EventType enumerator (got '" + u.literal + "')"});
+          break;
+      }
+    }
+
+  auto check_group = [&](const char* kind,
+                         std::map<std::string, std::vector<const SiteUse*>>&
+                             group) {
+    for (auto& [lit, uses] : group) {
+      if (uses.size() > 1)
+        for (std::size_t i = 1; i < uses.size(); ++i)
+          findings.push_back(
+              {"sites", uses[i]->file, uses[i]->line,
+               std::string("duplicate ") + kind + " site '" + lit +
+                   "' (first at " + uses[0]->file + ":" +
+                   std::to_string(uses[0]->line) + ")"});
+      if (opts.have_site_table) {
+        bool in_table = false;
+        for (const auto& e : opts.site_table)
+          if (e.kind == kind && e.literal == lit) in_table = true;
+        if (!in_table)
+          findings.push_back(
+              {"sites", uses[0]->file, uses[0]->line,
+               std::string(kind) + " site '" + lit +
+                   "' is not in tools/lint/site_table.txt"});
+      }
+    }
+  };
+  check_group("fault", faults);
+  check_group("trip", trips);
+
+  if (opts.have_site_table && opts.require_all_sites)
+    for (const auto& e : opts.site_table) {
+      const auto& group = e.kind == "fault" ? faults : trips;
+      if (!group.count(e.literal))
+        findings.push_back(
+            {"sites", "site_table.txt", 0,
+             "dead table entry: " + e.kind + " site '" + e.literal +
+                 "' never appears in the scanned sources"});
+    }
+}
+
+}  // namespace
+
+bool load_site_table(const std::string& path,
+                     std::vector<SiteTableEntry>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::string kind, literal;
+    if (!(ss >> kind) || kind[0] == '#') continue;
+    if (!(ss >> literal)) continue;
+    out->push_back({kind, literal});
+  }
+  return true;
+}
+
+std::vector<Finding> analyze(std::vector<TuModel>& tus,
+                             const AnalysisOptions& opts) {
+  std::vector<Finding> findings;
+
+  Graph g;
+  g.build(tus);
+
+  // Suppress-contract check: the escape hatch itself must be auditable.
+  static const std::set<std::string> valid_rules = {"alloc", "block",
+                                                    "promise", "sites"};
+  for (FunctionInfo* f : g.fns)
+    for (const auto& s : f->suppressions) {
+      if (!valid_rules.count(s.rule))
+        findings.push_back({"suppress", f->file, s.line,
+                            "CAL_LINT_SUPPRESS rule '" + s.rule +
+                                "' is not one of alloc/block/promise/sites"});
+      std::string reason = s.reason;
+      reason.erase(0, reason.find_first_not_of(" \t"));
+      if (reason.empty())
+        findings.push_back({"suppress", f->file, s.line,
+                            "CAL_LINT_SUPPRESS on " + f->qualified +
+                                " needs a non-empty reason string"});
+    }
+
+  ReachChecker(g, findings).run();
+
+  for (FunctionInfo* f : g.fns)
+    if (!f->promise_locals.empty() && !f->suppressed("promise"))
+      PromiseChecker(*f, findings).run();
+
+  check_sites(tus, opts, findings);
+  return findings;
+}
+
+}  // namespace callint

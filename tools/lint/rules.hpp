@@ -1,0 +1,55 @@
+// calloc-lint: the four enforced rules over the merged source model.
+//
+//   alloc   — no heap allocation reachable from a CAL_NOALLOC root
+//   block   — no unbounded wait reachable from a CAL_HOT_PATH root; no
+//             lock acquisition at all reachable from a CAL_NONBLOCKING
+//             root (try_to_lock / defer_lock acquisitions excepted)
+//   promise — every function declaring a local std::promise resolves or
+//             hands it off on every control-flow path
+//   sites   — CAL_FAULT_POINT / FlightRecorder::trip literals are unique,
+//             appear in the checked-in site table, and CAL_TRACE_EVENT's
+//             first argument is a qualified EventType enumerator
+//
+// plus `suppress` findings for CAL_LINT_SUPPRESS entries with a missing
+// or empty reason string (the escape hatch must stay auditable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace callint {
+
+struct Finding {
+  std::string rule;  ///< alloc | block | promise | sites | suppress
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+struct SiteTableEntry {
+  std::string kind;  ///< "fault" | "trip"
+  std::string literal;
+};
+
+/// Parses tools/lint/site_table.txt: `kind literal description...` per
+/// line, '#' comments. Returns false on I/O error.
+bool load_site_table(const std::string& path,
+                     std::vector<SiteTableEntry>* out);
+
+struct AnalysisOptions {
+  std::vector<SiteTableEntry> site_table;
+  bool have_site_table = false;
+  /// Fail on table entries never seen in the scanned sources (used for
+  /// the full-src CI run; off for single-file corpus runs).
+  bool require_all_sites = false;
+};
+
+/// Merges the per-TU models (annotations declared in headers attach to
+/// definitions in .cpp files by qualified name), builds the call graph,
+/// and runs every rule.
+std::vector<Finding> analyze(std::vector<TuModel>& tus,
+                             const AnalysisOptions& opts);
+
+}  // namespace callint
