@@ -78,9 +78,19 @@ std::vector<Token> lex(const std::string& src) {
       i = (i + 1 < n) ? i + 2 : n;
       continue;
     }
-    // Raw string literal R"delim( ... )delim".
-    if (c == 'R' && peek(1) == '"') {
-      std::size_t j = i + 2;
+    // Raw string literal [u8|u|U|L]R"delim( ... )delim". The encoding
+    // prefix must be matched here: left to the identifier branch, `u8R`
+    // would lex as an identifier and the raw body would then be mislexed
+    // as an ordinary string, desyncing on any unescaped '"' inside it.
+    std::size_t rpre = 0;  // token length up to and including the 'R'
+    if (c == 'R' && peek(1) == '"') rpre = 1;
+    else if ((c == 'u' || c == 'U' || c == 'L') && peek(1) == 'R' &&
+             peek(2) == '"')
+      rpre = 2;
+    else if (c == 'u' && peek(1) == '8' && peek(2) == 'R' && peek(3) == '"')
+      rpre = 3;
+    if (rpre > 0) {
+      std::size_t j = i + rpre + 1;
       std::string delim;
       while (j < n && src[j] != '(') delim.push_back(src[j++]);
       const std::string close = ")" + delim + "\"";
@@ -123,7 +133,13 @@ std::vector<Token> lex(const std::string& src) {
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i;
+      // A digit separator (') is part of the number only when a digit
+      // follows; otherwise 1'000'000 would stop at the quote and the
+      // '000' span would be consumed as a char literal, desyncing
+      // string/char tokenization for the rest of the file.
       while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       (src[j] == '\'' && j + 1 < n &&
+                        std::isalnum(static_cast<unsigned char>(src[j + 1]))) ||
                        ((src[j] == '+' || src[j] == '-') && j > i &&
                         (src[j - 1] == 'e' || src[j - 1] == 'E' ||
                          src[j - 1] == 'p' || src[j - 1] == 'P'))))

@@ -374,7 +374,11 @@ struct Parser {
           k = enter_record(k);
           continue;
         }
-        if (s == "enum") { k = skip_enum(k); continue; }
+        if (s == "enum") {
+          k = skip_enum(k);
+          clear_pending();
+          continue;
+        }
         if (s == "template") {
           ++k;
           if (is(k, "<")) k = skip_group(k);
@@ -383,6 +387,7 @@ struct Parser {
         if (s == "using" || s == "typedef") {
           while (k < t.size() && !is(k, ";")) ++k;
           ++k;
+          clear_pending();
           continue;
         }
         if (skip_macros().count(s) && is(k + 1, "(")) {
@@ -406,6 +411,17 @@ struct Parser {
       }
       if (is(k, "}")) {
         if (!scopes.empty()) scopes.pop_back();
+        clear_pending();
+        ++k;
+        continue;
+      }
+      // A ';' or '}' crossed here means whatever the pending annotations
+      // preceded was not a function this parser recognized (a variable, or
+      // a signature the heuristic failed on). Drop them rather than let
+      // them silently attach to — and mis-root the contract of — the next
+      // parsed function.
+      if (is(k, ";")) {
+        clear_pending();
         ++k;
         continue;
       }
